@@ -1,0 +1,79 @@
+// Ablation of the AIC confidence threshold epsilon (paper Sec. V-C): the
+// hyperparameter trades update speed against robustness. The split
+// threshold is k - log(epsilon), so epsilon matters most when the simple
+// models are small (k small); the sweep therefore uses low-dimensional
+// binary concepts where splits are necessary (a piecewise "XOR-like"
+// tree-teacher stream) or tempting but useless (noisy SEA), plus one
+// higher-dimensional drift stream.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/eval/prequential.h"
+#include "dmt/streams/concept_stream.h"
+#include "harness.h"
+
+namespace {
+
+// A stream whose concept NEEDS splits: depth-2 axis regions over 4 features.
+std::unique_ptr<dmt::streams::Stream> MakePiecewise(std::size_t samples,
+                                                    std::uint64_t seed) {
+  dmt::streams::ConceptStreamConfig config;
+  config.name = "Piecewise";
+  config.num_features = 4;
+  config.num_classes = 2;
+  config.teacher = dmt::streams::TeacherKind::kTree;
+  config.tree_depth = 2;
+  config.leaf_purity = 0.95;
+  config.total_samples = samples;
+  config.seed = seed;
+  return std::make_unique<dmt::streams::ConceptStream>(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+
+  std::printf("Ablation: AIC threshold epsilon (DMT), samples capped at "
+              "%zu\n",
+              options.max_samples);
+  std::printf("%-14s %10s %12s %8s %8s %8s %8s\n", "stream", "epsilon",
+              "threshold", "F1", "splits", "repl", "prunes");
+
+  struct StreamSpec {
+    const char* name;
+    std::size_t num_features;
+    std::size_t num_classes;
+  };
+  for (const char* name : {"Piecewise", "SEA", "Insects-Abr"}) {
+    for (double epsilon : {1e-1, 1e-4, 1e-8, 1e-16}) {
+      std::unique_ptr<streams::Stream> stream;
+      std::size_t samples = options.max_samples;
+      if (std::string(name) == "Piecewise") {
+        stream = MakePiecewise(samples, options.seed);
+      } else {
+        const streams::DatasetSpec spec = streams::DatasetByName(name);
+        samples = streams::EffectiveSamples(spec, options.max_samples);
+        stream = spec.make(samples, options.seed);
+      }
+      core::DmtConfig config;
+      config.num_features = static_cast<int>(stream->num_features());
+      config.num_classes = static_cast<int>(stream->num_classes());
+      config.epsilon = epsilon;
+      config.seed = options.seed;
+      core::DynamicModelTree tree(config);
+      eval::PrequentialConfig eval_config;
+      eval_config.expected_samples = samples;
+      const eval::PrequentialResult result =
+          eval::RunPrequential(stream.get(), &tree, eval_config);
+      std::printf("%-14s %10.0e %12.1f %8.3f %8.1f %8zu %8zu\n", name,
+                  epsilon, tree.SplitThreshold(), result.f1.mean(),
+                  result.num_splits.mean(), tree.num_subtree_replacements(),
+                  tree.num_prunes());
+    }
+  }
+  return 0;
+}

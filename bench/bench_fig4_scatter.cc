@@ -1,0 +1,43 @@
+// Reproduces Figure 4 of the paper: per-data-set average F1 vs. log10 of
+// the average number of splits for every incremental decision tree. Points
+// in the top-left quadrant (high F1, few splits) are best; the DMT cloud
+// should sit left of the Hoeffding trees at comparable F1.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const std::vector<std::string> models =
+      options.models.empty() ? bench::StandaloneModels() : options.models;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(models, options);
+
+  std::printf("model,dataset,f1,log10_splits\n");
+  for (const bench::CellResult& cell : cells) {
+    std::printf("%s,%s,%.4f,%.4f\n", cell.model.c_str(),
+                cell.dataset.c_str(), cell.f1_mean,
+                std::log10(std::max(1.0, cell.splits_mean)));
+  }
+
+  std::printf("\nFigure 4 centroids (mean over data sets):\n");
+  std::printf("%-10s %8s %14s\n", "model", "F1", "log10(splits)");
+  for (const std::string& model : models) {
+    double f1 = 0.0;
+    double ls = 0.0;
+    int n = 0;
+    for (const bench::CellResult& cell : cells) {
+      if (cell.model != model) continue;
+      f1 += cell.f1_mean;
+      ls += std::log10(std::max(1.0, cell.splits_mean));
+      ++n;
+    }
+    if (n == 0) continue;
+    std::printf("%-10s %8.3f %14.3f\n", model.c_str(), f1 / n, ls / n);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Micro-benchmarks (google-benchmark) for the per-step costs claimed in the
+// paper (Sec. IV-C): the DMT node update is O(m*n*c + m^2*v*c). The sweeps
+// vary the number of features m and classes c at a fixed batch size, plus
+// reference costs of the substrates (GLM update, ADWIN, VFDT training).
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "dmt/common/random.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/drift/adwin.h"
+#include "dmt/linear/glm.h"
+#include "dmt/trees/vfdt.h"
+
+namespace {
+
+using namespace dmt;
+
+Batch MakeBatch(int num_features, int num_classes, int n, Rng* rng) {
+  Batch batch(num_features);
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x(num_features);
+    for (double& v : x) v = rng->Uniform();
+    batch.Add(x, x[0] > 0.5 ? 1 % num_classes
+                            : rng->UniformInt(0, num_classes - 1));
+  }
+  return batch;
+}
+
+void BM_DmtPartialFit(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  core::DynamicModelTree tree({.num_features = m, .num_classes = c});
+  Rng rng(1);
+  const Batch batch = MakeBatch(m, c, 50, &rng);
+  for (auto _ : state) {
+    tree.PartialFit(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_DmtPartialFit)
+    ->Args({5, 2})
+    ->Args({20, 2})
+    ->Args({80, 2})
+    ->Args({20, 6})
+    ->Args({20, 23});
+
+void BM_DmtPredict(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  core::DynamicModelTree tree({.num_features = m, .num_classes = 2});
+  Rng rng(2);
+  Batch batch = MakeBatch(m, 2, 200, &rng);
+  for (int i = 0; i < 20; ++i) tree.PartialFit(batch);
+  std::vector<double> x(m, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Predict(x));
+  }
+}
+BENCHMARK(BM_DmtPredict)->Arg(5)->Arg(80);
+
+void BM_GlmFit(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int c = static_cast<int>(state.range(1));
+  linear::Glm model({.num_features = m, .num_classes = c});
+  Rng rng(3);
+  const Batch batch = MakeBatch(m, c, 50, &rng);
+  for (auto _ : state) {
+    model.Fit(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_GlmFit)->Args({5, 2})->Args({80, 2})->Args({20, 23});
+
+void BM_AdwinUpdate(benchmark::State& state) {
+  drift::Adwin adwin;
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(adwin.Update(rng.Bernoulli(0.3) ? 1.0 : 0.0));
+  }
+}
+BENCHMARK(BM_AdwinUpdate);
+
+void BM_VfdtTrain(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  trees::Vfdt tree({.num_features = m, .num_classes = 2});
+  Rng rng(5);
+  const Batch batch = MakeBatch(m, 2, 50, &rng);
+  for (auto _ : state) {
+    tree.PartialFit(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_VfdtTrain)->Arg(5)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Regression head-to-head: the regression Dynamic Model Tree vs. the
+// original FIMT-DD (its native setting) on the Friedman #1 benchmark
+// (stationary and with abrupt drift) and on an incrementally drifting
+// linear plane. Reports prequential MAE / RMSE / R^2 / splits.
+#include <cstdio>
+#include <memory>
+
+#include "dmt/core/dmt_regressor.h"
+#include "dmt/eval/regression_prequential.h"
+#include "dmt/streams/regression_streams.h"
+#include "dmt/trees/fimtdd_regressor.h"
+#include "harness.h"
+
+namespace {
+
+using namespace dmt;
+
+std::unique_ptr<streams::RegressionStream> MakeStream(
+    const std::string& name, std::size_t samples, std::uint64_t seed) {
+  if (name == "Fried") {
+    streams::FriedConfig config;
+    config.total_samples = samples;
+    config.seed = seed;
+    return std::make_unique<streams::FriedGenerator>(config);
+  }
+  if (name == "Fried-drift") {
+    streams::FriedConfig config;
+    config.total_samples = samples;
+    config.drift_points = {samples / 3, 2 * samples / 3};
+    config.seed = seed;
+    return std::make_unique<streams::FriedGenerator>(config);
+  }
+  streams::PlaneConfig config;
+  config.total_samples = samples;
+  config.mag_change = 0.001 * 100'000.0 / static_cast<double>(samples);
+  config.seed = seed;
+  return std::make_unique<streams::PlaneGenerator>(config);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  const bench::Options options = bench::ParseOptions(argc, argv);
+  const std::size_t samples = options.max_samples;
+
+  std::printf("Regression: DMT-R vs. FIMT-DD (native regression), %zu "
+              "observations per stream\n\n",
+              samples);
+  std::printf("%-12s %-10s %8s %8s %8s %8s %8s\n", "stream", "model", "MAE",
+              "RMSE", "R2", "splits", "prunes");
+  for (const char* stream_name : {"Fried", "Fried-drift", "Plane"}) {
+    for (const char* model_name : {"DMT-R", "FIMT-DD-R"}) {
+      auto stream = MakeStream(stream_name, samples, options.seed);
+      eval::RegressionPrequentialConfig config;
+      config.expected_samples = samples;
+      eval::RegressionPrequentialResult result;
+      std::size_t prunes = 0;
+      if (std::string(model_name) == "DMT-R") {
+        core::DmtRegressor tree(
+            {.num_features = static_cast<int>(stream->num_features()),
+             .learning_rate = 0.05,
+             .seed = options.seed});
+        result = eval::RunRegressionPrequential(
+            stream.get(), eval::MakeRegressorApi(&tree), config);
+        prunes = tree.num_prunes() + tree.num_subtree_replacements();
+      } else {
+        trees::FimtDdRegressor tree(
+            {.num_features = static_cast<int>(stream->num_features()),
+             .seed = options.seed});
+        result = eval::RunRegressionPrequential(
+            stream.get(), eval::MakeRegressorApi(&tree), config);
+        prunes = tree.NumPrunes();
+      }
+      std::printf("%-12s %-10s %8.3f %8.3f %8.3f %8.1f %8zu\n", stream_name,
+                  model_name, result.mae.mean(), result.rmse.mean(),
+                  result.r_squared, result.num_splits.mean(), prunes);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Table II of the paper: prequential F1 (mean +- std over
+// test-then-train batches) for every model on every data stream, plus the
+// cross-data-set mean. Higher is better; the DMT should rank first or second
+// on the streams with known drift and best on average.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmt/common/stats.h"
+#include "dmt/common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const std::vector<std::string> models =
+      options.models.empty() ? bench::AllModels() : options.models;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(models, options);
+  const std::vector<streams::DatasetSpec> datasets =
+      bench::SelectedDatasets(options);
+
+  std::vector<std::string> header = {"Model"};
+  for (const auto& spec : datasets) header.push_back(spec.name);
+  header.push_back("Mean");
+  TextTable table(header);
+
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    RunningStats across;
+    for (const auto& spec : datasets) {
+      const bench::CellResult* cell =
+          bench::FindCell(cells, spec.name, model);
+      if (cell == nullptr) {
+        row.push_back("-");
+        continue;
+      }
+      row.push_back(MeanStdCell(cell->f1_mean, cell->f1_std));
+      across.Add(cell->f1_mean);
+    }
+    row.push_back(MeanStdCell(across.mean(), across.stddev()));
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Table II: F1 measure (higher is better), samples capped at "
+              "%zu per stream, seed %llu\n\n",
+              options.max_samples,
+              static_cast<unsigned long long>(options.seed));
+  std::printf("%s\n", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Table III of the paper: number of splits (mean +- std over
+// batches; the paper's interpretability proxy, Sec. VI-D2). Lower is
+// better; the Model Trees (DMT, FIMT-DD) should stay far below the
+// Hoeffding trees, and DMT should rank first on average.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmt/common/stats.h"
+#include "dmt/common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const std::vector<std::string> models =
+      options.models.empty() ? bench::StandaloneModels() : options.models;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(models, options);
+  const std::vector<streams::DatasetSpec> datasets =
+      bench::SelectedDatasets(options);
+
+  std::vector<std::string> header = {"Model"};
+  for (const auto& spec : datasets) header.push_back(spec.name);
+  header.push_back("Mean");
+  TextTable table(header);
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    RunningStats across;
+    for (const auto& spec : datasets) {
+      const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
+      if (cell == nullptr) { row.push_back("-"); continue; }
+      row.push_back(MeanStdCell(cell->splits_mean, cell->splits_std, 1));
+      across.Add(cell->splits_mean);
+    }
+    row.push_back(MeanStdCell(across.mean(), across.stddev(), 1));
+    table.AddRow(std::move(row));
+  }
+  std::printf("Table III: number of splits (lower is better), samples capped "
+              "at %zu, seed %llu\n\n%s\n",
+              options.max_samples,
+              static_cast<unsigned long long>(options.seed),
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table IV of the paper: number of parameters (mean +- std over
+// batches) under the paper's counting rules (Sec. VI-D2): one parameter per
+// inner node, one per majority leaf, m per class for model/NB leaves.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmt/common/stats.h"
+#include "dmt/common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const std::vector<std::string> models =
+      options.models.empty() ? bench::StandaloneModels() : options.models;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(models, options);
+  const std::vector<streams::DatasetSpec> datasets =
+      bench::SelectedDatasets(options);
+
+  std::vector<std::string> header = {"Model"};
+  for (const auto& spec : datasets) header.push_back(spec.name);
+  header.push_back("Mean");
+  TextTable table(header);
+  for (const std::string& model : models) {
+    std::vector<std::string> row = {model};
+    RunningStats across;
+    for (const auto& spec : datasets) {
+      const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
+      if (cell == nullptr) { row.push_back("-"); continue; }
+      row.push_back(MeanStdCell(cell->params_mean, cell->params_std, 0));
+      across.Add(cell->params_mean);
+    }
+    row.push_back(MeanStdCell(across.mean(), across.stddev(), 0));
+    table.AddRow(std::move(row));
+  }
+  std::printf("Table IV: number of parameters (lower is better), samples "
+              "capped at %zu, seed %llu\n\n%s\n",
+              options.max_samples,
+              static_cast<unsigned long long>(options.seed),
+              table.ToString().c_str());
+  return 0;
+}

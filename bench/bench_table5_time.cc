@@ -1,0 +1,38 @@
+// Reproduces Table V of the paper: mean +- std wall-clock seconds of one
+// test-then-train iteration, averaged over all data sets. Absolute values
+// depend on hardware and batch size; the ordering (VFDT fastest, EFDT
+// slowest among trees, DMT/FIMT-DD in between) is the reproduced shape.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmt/common/stats.h"
+#include "dmt/common/table.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const std::vector<std::string> models =
+      options.models.empty() ? bench::StandaloneModels() : options.models;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(models, options);
+  const std::vector<streams::DatasetSpec> datasets =
+      bench::SelectedDatasets(options);
+
+  TextTable table({"Model", "Seconds per iteration (mean +- std)"});
+  for (const std::string& model : models) {
+    RunningStats across;
+    for (const auto& spec : datasets) {
+      const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
+      if (cell != nullptr) across.Add(cell->time_mean);
+    }
+    table.AddRow({model, MeanStdCell(across.mean(), across.stddev(), 5)});
+  }
+  std::printf("Table V: computation time per test/train iteration (lower is "
+              "better), samples capped at %zu, seed %llu\n\n%s\n",
+              options.max_samples,
+              static_cast<unsigned long long>(options.seed),
+              table.ToString().c_str());
+  return 0;
+}

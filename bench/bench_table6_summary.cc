@@ -1,0 +1,92 @@
+// Reproduces Table VI of the paper: the four-category experiment summary.
+// Scoring follows the caption: per category the best model gets "++", the
+// worst "--", and the rest "+" or "-" depending on whether they are above
+// or below the median. Categories: overall F1, F1 on the known-drift
+// streams, complexity (mean number of splits), and computational
+// efficiency (mean iteration time).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dmt/common/stats.h"
+#include "dmt/common/table.h"
+#include "harness.h"
+
+namespace {
+
+// Scores values into ++ / + / - / -- per the caption rule. `higher_better`
+// flips the orientation for complexity and time.
+std::vector<std::string> Score(const std::vector<double>& values,
+                               bool higher_better) {
+  std::vector<double> oriented = values;
+  if (!higher_better) {
+    for (double& v : oriented) v = -v;
+  }
+  std::vector<double> sorted = oriented;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  const double best = sorted.back();
+  const double worst = sorted.front();
+  std::vector<std::string> scores;
+  for (double v : oriented) {
+    if (v == best) scores.push_back("++");
+    else if (v == worst) scores.push_back("--");
+    else if (v >= median) scores.push_back("+");
+    else scores.push_back("-");
+  }
+  return scores;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  bench::Options options = bench::ParseOptions(argc, argv);
+  const std::vector<std::string> models =
+      options.models.empty() ? bench::StandaloneModels() : options.models;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(models, options);
+  const std::vector<streams::DatasetSpec> datasets =
+      bench::SelectedDatasets(options);
+
+  std::vector<double> overall_f1;
+  std::vector<double> drift_f1;
+  std::vector<double> complexity;
+  std::vector<double> time;
+  for (const std::string& model : models) {
+    RunningStats f1_all;
+    RunningStats f1_drift;
+    RunningStats splits;
+    RunningStats seconds;
+    for (const auto& spec : datasets) {
+      const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
+      if (cell == nullptr) continue;
+      f1_all.Add(cell->f1_mean);
+      if (spec.known_drift) f1_drift.Add(cell->f1_mean);
+      splits.Add(cell->splits_mean);
+      seconds.Add(cell->time_mean);
+    }
+    overall_f1.push_back(f1_all.mean());
+    drift_f1.push_back(f1_drift.mean());
+    complexity.push_back(splits.mean());
+    time.push_back(seconds.mean());
+  }
+
+  const std::vector<std::string> s1 = Score(overall_f1, true);
+  const std::vector<std::string> s2 = Score(drift_f1, true);
+  const std::vector<std::string> s3 = Score(complexity, false);
+  const std::vector<std::string> s4 = Score(time, false);
+
+  TextTable table({"Model", "Overall Pred. Perf.", "Pred. Perf. Known Drift",
+                   "Complexity/Interpret.", "Comput. Efficiency"});
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    table.AddRow({models[i], s1[i], s2[i], s3[i], s4[i]});
+  }
+  std::printf("Table VI: experiment summary (caption scoring rule), samples "
+              "capped at %zu, seed %llu\n\n%s\n",
+              options.max_samples,
+              static_cast<unsigned long long>(options.seed),
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,295 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/ensemble/adaptive_random_forest.h"
+#include "dmt/ensemble/leveraging_bagging.h"
+#include "dmt/linear/glm_classifier.h"
+#include "dmt/trees/efdt.h"
+#include "dmt/trees/fimtdd.h"
+#include "dmt/trees/hoeffding_adaptive.h"
+#include "dmt/trees/sgt.h"
+#include "dmt/trees/vfdt.h"
+
+namespace dmt::bench {
+
+namespace {
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> parts;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) parts.push_back(item);
+  }
+  return parts;
+}
+
+std::string CachePath(const Options& options) {
+  std::ostringstream path;
+  path << "bench_cache/sweep_s" << options.max_samples << "_r" << options.seed
+       << ".csv";
+  return path.str();
+}
+
+}  // namespace
+
+Options ParseOptions(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--samples") {
+      options.max_samples = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--datasets") {
+      options.datasets = SplitCsv(next());
+    } else if (arg == "--models") {
+      options.models = SplitCsv(next());
+    } else if (arg == "--no-cache") {
+      options.use_cache = false;
+    } else if (arg == "--help") {
+      std::fprintf(stderr,
+                   "options: --samples N --seed S --datasets a,b --models "
+                   "a,b --no-cache\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(1);
+    }
+  }
+  return options;
+}
+
+std::vector<std::string> StandaloneModels() {
+  return {"DMT", "FIMT-DD", "VFDT(MC)", "VFDT(NBA)", "HT-Ada", "EFDT"};
+}
+
+std::vector<std::string> AllModels() {
+  std::vector<std::string> models = StandaloneModels();
+  models.push_back("ForestEns");
+  models.push_back("BaggingEns");
+  return models;
+}
+
+std::unique_ptr<Classifier> MakeModel(const std::string& name,
+                                      int num_features, int num_classes,
+                                      std::uint64_t seed) {
+  if (name == "DMT") {
+    core::DmtConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<core::DynamicModelTree>(config);
+  }
+  if (name == "FIMT-DD") {
+    trees::FimtDdConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<trees::FimtDd>(config);
+  }
+  if (name == "VFDT(MC)" || name == "VFDT(NBA)") {
+    trees::VfdtConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.leaf_prediction = name == "VFDT(MC)"
+                                 ? trees::LeafPrediction::kMajorityClass
+                                 : trees::LeafPrediction::kNaiveBayesAdaptive;
+    config.seed = seed;
+    return std::make_unique<trees::Vfdt>(config);
+  }
+  if (name == "HT-Ada") {
+    trees::HatConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    return std::make_unique<trees::HoeffdingAdaptiveTree>(config);
+  }
+  if (name == "EFDT") {
+    trees::EfdtConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    return std::make_unique<trees::Efdt>(config);
+  }
+  if (name == "ForestEns") {
+    ensemble::AdaptiveRandomForestConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<ensemble::AdaptiveRandomForest>(config);
+  }
+  if (name == "BaggingEns") {
+    ensemble::LeveragingBaggingConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<ensemble::LeveragingBagging>(config);
+  }
+  if (name == "SGT") {
+    trees::SgtConfig config;
+    config.num_features = num_features;
+    return std::make_unique<trees::SgtClassifier>(config, num_classes);
+  }
+  if (name == "GLM") {
+    linear::GlmConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<linear::GlmClassifier>(config);
+  }
+  std::fprintf(stderr, "unknown model: %s\n", name.c_str());
+  std::exit(1);
+}
+
+std::vector<streams::DatasetSpec> SelectedDatasets(const Options& options) {
+  std::vector<streams::DatasetSpec> all = streams::AllDatasets();
+  if (options.datasets.empty()) return all;
+  std::vector<streams::DatasetSpec> selected;
+  for (const std::string& name : options.datasets) {
+    selected.push_back(streams::DatasetByName(name));
+  }
+  return selected;
+}
+
+CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
+                   const Options& options) {
+  const std::size_t samples =
+      streams::EffectiveSamples(spec, options.max_samples);
+  std::unique_ptr<streams::Stream> stream = spec.make(samples, options.seed);
+  std::unique_ptr<Classifier> classifier =
+      MakeModel(model, static_cast<int>(spec.num_features),
+                static_cast<int>(spec.num_classes), options.seed);
+
+  eval::PrequentialConfig config;
+  config.expected_samples = samples;
+  config.keep_series = options.keep_series;
+  const eval::PrequentialResult result =
+      eval::RunPrequential(stream.get(), classifier.get(), config);
+
+  CellResult cell;
+  cell.dataset = spec.name;
+  cell.model = model;
+  cell.f1_mean = result.f1.mean();
+  cell.f1_std = result.f1.stddev();
+  cell.splits_mean = result.num_splits.mean();
+  cell.splits_std = result.num_splits.stddev();
+  cell.params_mean = result.num_params.mean();
+  cell.params_std = result.num_params.stddev();
+  cell.time_mean = result.iteration_seconds.mean();
+  cell.time_std = result.iteration_seconds.stddev();
+  cell.f1_series = result.f1_series;
+  cell.splits_series = result.splits_series;
+  return cell;
+}
+
+namespace {
+
+bool LoadCache(const std::string& path, std::vector<CellResult>* cells) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::stringstream stream(line);
+    CellResult cell;
+    std::string field;
+    std::getline(stream, cell.dataset, ',');
+    std::getline(stream, cell.model, ',');
+    auto read_double = [&](double* out) {
+      std::getline(stream, field, ',');
+      *out = std::strtod(field.c_str(), nullptr);
+    };
+    read_double(&cell.f1_mean);
+    read_double(&cell.f1_std);
+    read_double(&cell.splits_mean);
+    read_double(&cell.splits_std);
+    read_double(&cell.params_mean);
+    read_double(&cell.params_std);
+    read_double(&cell.time_mean);
+    read_double(&cell.time_std);
+    cells->push_back(std::move(cell));
+  }
+  return true;
+}
+
+void SaveCache(const std::string& path, const std::vector<CellResult>& cells) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::ofstream out(path);
+  out << "dataset,model,f1_mean,f1_std,splits_mean,splits_std,params_mean,"
+         "params_std,time_mean,time_std\n";
+  for (const CellResult& cell : cells) {
+    out << cell.dataset << ',' << cell.model << ',' << cell.f1_mean << ','
+        << cell.f1_std << ',' << cell.splits_mean << ',' << cell.splits_std
+        << ',' << cell.params_mean << ',' << cell.params_std << ','
+        << cell.time_mean << ',' << cell.time_std << '\n';
+  }
+}
+
+}  // namespace
+
+const CellResult* FindCell(const std::vector<CellResult>& cells,
+                           const std::string& dataset,
+                           const std::string& model) {
+  for (const CellResult& cell : cells) {
+    if (cell.dataset == dataset && cell.model == model) return &cell;
+  }
+  return nullptr;
+}
+
+std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
+                                 const Options& options) {
+  const std::vector<std::string>& wanted =
+      options.models.empty() ? models : options.models;
+  const std::vector<streams::DatasetSpec> datasets =
+      SelectedDatasets(options);
+
+  std::vector<CellResult> cache;
+  const std::string cache_path = CachePath(options);
+  if (options.use_cache && !options.keep_series) {
+    LoadCache(cache_path, &cache);
+  }
+
+  std::vector<CellResult> results;
+  bool cache_dirty = false;
+  for (const streams::DatasetSpec& spec : datasets) {
+    for (const std::string& model : wanted) {
+      if (const CellResult* hit = FindCell(cache, spec.name, model);
+          hit != nullptr && !options.keep_series) {
+        results.push_back(*hit);
+        continue;
+      }
+      std::fprintf(stderr, "[sweep] %s / %s ...\n", spec.name.c_str(),
+                   model.c_str());
+      CellResult cell = RunCell(spec, model, options);
+      results.push_back(cell);
+      if (!options.keep_series) {
+        cell.f1_series.clear();
+        cell.splits_series.clear();
+        cache.push_back(std::move(cell));
+        cache_dirty = true;
+      }
+    }
+  }
+  if (options.use_cache && cache_dirty && !options.keep_series) {
+    SaveCache(cache_path, cache);
+  }
+  return results;
+}
+
+}  // namespace dmt::bench

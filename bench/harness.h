@@ -1,0 +1,86 @@
+// Shared experiment harness for the paper-reproduction benchmark binaries
+// (one binary per table / figure, see DESIGN.md Sec. 3).
+//
+// All binaries accept:
+//   --samples N    cap on observations per data set (default 50000; 0 = the
+//                  full Table I sizes -- slow on one core)
+//   --seed S       RNG seed (default 42)
+//   --datasets a,b comma-separated data-set filter (default: all 13)
+//   --models a,b   comma-separated model filter (default: per-table set)
+//   --no-cache     recompute even if a cached sweep exists
+//
+// Because Tables II-VI all derive from the same prequential sweep, the
+// harness caches sweep results under bench_cache/ keyed by (samples, seed);
+// the first table binary computes, the rest reuse.
+#ifndef DMT_BENCH_HARNESS_H_
+#define DMT_BENCH_HARNESS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/eval/prequential.h"
+#include "dmt/streams/datasets.h"
+
+namespace dmt::bench {
+
+struct Options {
+  std::size_t max_samples = 50'000;
+  std::uint64_t seed = 42;
+  std::vector<std::string> datasets;  // empty = all
+  std::vector<std::string> models;    // empty = caller default
+  bool use_cache = true;
+  bool keep_series = false;
+};
+
+Options ParseOptions(int argc, char** argv);
+
+// Stand-alone models of the paper's Tables III-V, in row order.
+std::vector<std::string> StandaloneModels();
+// Stand-alone + ensemble models of Table II, in row order.
+std::vector<std::string> AllModels();
+
+// Builds a classifier by paper row name: "DMT", "FIMT-DD", "VFDT(MC)",
+// "VFDT(NBA)", "HT-Ada", "EFDT", "ForestEns", "BaggingEns", "GLM".
+std::unique_ptr<Classifier> MakeModel(const std::string& name,
+                                      int num_features, int num_classes,
+                                      std::uint64_t seed);
+
+struct CellResult {
+  std::string dataset;
+  std::string model;
+  double f1_mean = 0.0;
+  double f1_std = 0.0;
+  double splits_mean = 0.0;
+  double splits_std = 0.0;
+  double params_mean = 0.0;
+  double params_std = 0.0;
+  double time_mean = 0.0;  // seconds per test-then-train iteration
+  double time_std = 0.0;
+  // Per-batch series, only populated when Options.keep_series.
+  std::vector<double> f1_series;
+  std::vector<double> splits_series;
+};
+
+// Runs one model over one data set prequentially.
+CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
+                   const Options& options);
+
+// Runs (or loads from cache) the full sweep over the given models and the
+// data-set filter in `options`. Prints progress to stderr.
+std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
+                                 const Options& options);
+
+// Finds a cell by (dataset, model); nullptr if absent.
+const CellResult* FindCell(const std::vector<CellResult>& cells,
+                           const std::string& dataset,
+                           const std::string& model);
+
+// Datasets selected by the options (defaults to all 13 of Table I).
+std::vector<streams::DatasetSpec> SelectedDatasets(const Options& options);
+
+}  // namespace dmt::bench
+
+#endif  // DMT_BENCH_HARNESS_H_

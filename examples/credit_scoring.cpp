@@ -1,0 +1,92 @@
+// Credit-scoring scenario (the paper's motivating high-stakes application,
+// Sec. I): an imbalanced binary stream modeled after the Bank Marketing
+// data set, where interpretability of every model update matters (GDPR-style
+// accountability).
+//
+// The example shows the full interpretable-online-learning workflow:
+//   1. train a Dynamic Model Tree prequentially on an imbalanced stream,
+//   2. extract a local feature-based explanation for one decision,
+//   3. answer "why did the model change at time step u?" from the
+//      structural audit log -- each change is tied to a loss gain and the
+//      AIC threshold it had to clear (paper Sec. I-A and V-C).
+#include <cstdio>
+
+#include "dmt/dmt.h"
+
+int main() {
+  using namespace dmt;
+
+  // An imbalanced "bank marketing" surrogate: 16 features, 88% majority
+  // class, mostly linear concept with some interactions.
+  streams::ConceptStreamConfig config;
+  config.name = "CreditScoring";
+  config.num_features = 16;
+  config.num_classes = 2;
+  // Interaction-heavy approval rules (axis-aligned regions), so the tree
+  // actually needs splits and the audit log below has entries.
+  config.teacher = streams::TeacherKind::kTree;
+  config.tree_depth = 3;
+  config.leaf_purity = 0.95;
+  config.class_priors = {0.88, 0.12};
+  config.noise = 0.02;
+  // A policy change mid-stream: the approval concept drifts abruptly.
+  config.drift_events = {{0.6, 0.6}};
+  config.total_samples = 40'000;
+  streams::ConceptStream stream(config);
+
+  core::DmtConfig dmt_config;
+  dmt_config.num_features = 16;
+  dmt_config.num_classes = 2;
+  core::DynamicModelTree dmt(dmt_config);
+
+  eval::PrequentialConfig eval_config;
+  eval_config.expected_samples = config.total_samples;
+  const eval::PrequentialResult result =
+      eval::RunPrequential(&stream, &dmt, eval_config);
+
+  std::printf("Credit-scoring stream (88%% / 12%% classes, abrupt policy "
+              "drift at 60%%):\n");
+  std::printf("  prequential F1 : %.3f +- %.3f\n", result.f1.mean(),
+              result.f1.stddev());
+  std::printf("  accuracy       : %.3f\n", result.accuracy.mean());
+  std::printf("  final tree     : %zu inner nodes, %zu leaves\n\n",
+              dmt.NumInnerNodes(), dmt.NumLeaves());
+
+  // 2. A local explanation: which features push THIS applicant's score?
+  std::vector<double> applicant(16, 0.5);
+  applicant[0] = 0.9;   // e.g. high account balance
+  applicant[3] = 0.1;   // e.g. short employment history
+  const std::vector<double> proba = dmt.PredictProba(applicant);
+  const std::vector<double> weights = dmt.LeafFeatureWeights(applicant, 1);
+  std::printf("Applicant decision: P(subscribe) = %.3f\n", proba[1]);
+  std::printf("Local feature weights of the responsible leaf model "
+              "(class 1):\n");
+  for (int j = 0; j < 16; ++j) {
+    if (j % 4 == 0) std::printf("  ");
+    std::printf("w[%2d]=%+.2f  ", j, weights[j]);
+    if (j % 4 == 3) std::printf("\n");
+  }
+
+  // 3. The audit log: why did the model change, and when?
+  std::printf("\nStructural audit log (one line per model update):\n");
+  for (const core::StructuralEvent& event : dmt.events()) {
+    const char* kind = "split";
+    if (event.kind == core::StructuralEvent::Kind::kReplaceSplit) {
+      kind = "replace-split";
+    } else if (event.kind == core::StructuralEvent::Kind::kPruneToLeaf) {
+      kind = "prune-to-leaf";
+    }
+    std::printf("  t=%4zu  %-14s depth=%zu  feature=%d  loss gain %.1f "
+                ">= threshold %.1f\n",
+                event.time_step, kind, event.depth, event.feature, event.gain,
+                event.threshold);
+  }
+  if (dmt.events().empty()) {
+    std::printf("  (no structural changes: the root model was sufficient)\n");
+  }
+  std::printf("\nEvery change above is justified by a measured reduction of "
+              "the negative log-likelihood\n");
+  std::printf("exceeding its AIC confidence threshold (paper Eq. 11) -- the "
+              "answer to \"why did you\nsplit this node at time step u?\"\n");
+  return 0;
+}

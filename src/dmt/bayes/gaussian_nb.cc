@@ -1,0 +1,84 @@
+#include "dmt/bayes/gaussian_nb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::bayes {
+
+namespace {
+// Variance floor: features are normalized to [0,1], so 1e-4 std is "tight".
+constexpr double kMinVariance = 1e-8;
+}  // namespace
+
+double GaussianEstimator::LogPdf(double x) const {
+  if (n == 0) return 0.0;
+  const double var = std::max(variance(), kMinVariance);
+  const double diff = x - mean;
+  return -0.5 * (std::log(2.0 * std::numbers::pi * var) + diff * diff / var);
+}
+
+GaussianNaiveBayes::GaussianNaiveBayes(int num_features, int num_classes)
+    : num_features_(num_features),
+      num_classes_(num_classes),
+      class_counts_(num_classes, 0),
+      estimators_(static_cast<std::size_t>(num_classes) * num_features) {
+  DMT_CHECK(num_features >= 1);
+  DMT_CHECK(num_classes >= 2);
+}
+
+void GaussianNaiveBayes::Update(std::span<const double> x, int y) {
+  DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
+  DMT_DCHECK(y >= 0 && y < num_classes_);
+  ++total_count_;
+  ++class_counts_[y];
+  GaussianEstimator* row = &estimators_[static_cast<std::size_t>(y) *
+                                        num_features_];
+  for (int j = 0; j < num_features_; ++j) row[j].Add(x[j]);
+}
+
+void GaussianNaiveBayes::Update(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Update(batch.row(i), batch.label(i));
+  }
+}
+
+std::vector<double> GaussianNaiveBayes::PredictProba(
+    std::span<const double> x) const {
+  std::vector<double> log_post(num_classes_);
+  if (total_count_ == 0) {
+    std::fill(log_post.begin(), log_post.end(), 1.0 / num_classes_);
+    return log_post;
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    // Laplace-smoothed log prior.
+    log_post[c] = std::log(
+        (class_counts_[c] + 1.0) /
+        (static_cast<double>(total_count_) + num_classes_));
+    if (class_counts_[c] == 0) continue;
+    const GaussianEstimator* row =
+        &estimators_[static_cast<std::size_t>(c) * num_features_];
+    for (int j = 0; j < num_features_; ++j) {
+      log_post[c] += row[j].LogPdf(x[j]);
+    }
+  }
+  SoftmaxInPlace(log_post);
+  return log_post;
+}
+
+int GaussianNaiveBayes::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+int GaussianNaiveBayes::MajorityClass() const {
+  return static_cast<int>(
+      std::max_element(class_counts_.begin(), class_counts_.end()) -
+      class_counts_.begin());
+}
+
+}  // namespace dmt::bayes

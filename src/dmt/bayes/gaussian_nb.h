@@ -1,0 +1,69 @@
+// Incremental Gaussian Naive Bayes.
+//
+// Used as the leaf model of the VFDT-NBA baseline (Gama et al., 2003): each
+// leaf keeps per-class feature Gaussians and class counts, and the
+// "adaptive" rule picks NB or majority-class prediction depending on which
+// has been more accurate at that leaf so far.
+#ifndef DMT_BAYES_GAUSSIAN_NB_H_
+#define DMT_BAYES_GAUSSIAN_NB_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dmt/common/types.h"
+
+namespace dmt::bayes {
+
+// Streaming per-feature Gaussian sufficient statistics for one class.
+struct GaussianEstimator {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+
+  void Add(double x) {
+    ++n;
+    const double delta = x - mean;
+    mean += delta / static_cast<double>(n);
+    m2 += delta * (x - mean);
+  }
+  double variance() const {
+    return n > 1 ? m2 / static_cast<double>(n) : 0.0;
+  }
+  // Log-density with a variance floor so single-valued features stay finite.
+  double LogPdf(double x) const;
+};
+
+class GaussianNaiveBayes {
+ public:
+  GaussianNaiveBayes(int num_features, int num_classes);
+
+  void Update(std::span<const double> x, int y);
+  void Update(const Batch& batch);
+
+  // Posterior class probabilities; uniform until any data has been seen.
+  std::vector<double> PredictProba(std::span<const double> x) const;
+  int Predict(std::span<const double> x) const;
+
+  // Majority class by raw counts (the VFDT majority-class prediction).
+  int MajorityClass() const;
+
+  std::size_t total_count() const { return total_count_; }
+  const std::vector<std::size_t>& class_counts() const {
+    return class_counts_;
+  }
+  int num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  int num_features_;
+  int num_classes_;
+  std::size_t total_count_ = 0;
+  std::vector<std::size_t> class_counts_;
+  // estimators_[c * num_features_ + j]: feature j under class c.
+  std::vector<GaussianEstimator> estimators_;
+};
+
+}  // namespace dmt::bayes
+
+#endif  // DMT_BAYES_GAUSSIAN_NB_H_

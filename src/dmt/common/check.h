@@ -1,0 +1,29 @@
+// Lightweight invariant checking used across the library.
+//
+// DMT_CHECK is always on and is reserved for API-boundary validation whose
+// violation indicates caller error; DMT_DCHECK compiles out in release builds
+// and guards internal invariants on hot paths.
+#ifndef DMT_COMMON_CHECK_H_
+#define DMT_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define DMT_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "DMT_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define DMT_DCHECK(cond) DMT_CHECK(cond)
+#else
+#define DMT_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // DMT_COMMON_CHECK_H_

@@ -1,0 +1,44 @@
+// Common interface implemented by every online classifier in this library
+// (DMT, the Hoeffding-tree family, FIMT-DD, and the ensembles), consumed by
+// the prequential evaluation harness.
+#ifndef DMT_COMMON_CLASSIFIER_H_
+#define DMT_COMMON_CLASSIFIER_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dmt/common/types.h"
+
+namespace dmt {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Incrementally trains on a batch of observations. Streams in this library
+  // are batch-incremental (the paper processes 0.1% of the data per step);
+  // instance-incremental training is a batch of size one.
+  virtual void PartialFit(const Batch& batch) = 0;
+
+  // Predicts the class index for a single observation.
+  virtual int Predict(std::span<const double> x) const = 0;
+
+  // Class-probability estimates (size num_classes, sums to ~1).
+  virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
+
+  // Complexity measures with the paper's counting rules (Sec. VI-D2):
+  // every inner node is one split; majority-class leaves add nothing; model
+  // leaves add 1 (binary) or c (multiclass) splits. Parameters: 1 per inner
+  // node, leaves add 1 (majority) or m (linear / per-class NB) parameters,
+  // counted per class for multinomial models.
+  virtual std::size_t NumSplits() const = 0;
+  virtual std::size_t NumParameters() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_CLASSIFIER_H_

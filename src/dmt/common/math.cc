@@ -1,0 +1,41 @@
+#include "dmt/common/math.h"
+
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt {
+
+double LogSumExp(std::span<const double> z) {
+  DMT_DCHECK(!z.empty());
+  double max = z[0];
+  for (double v : z) max = std::max(max, v);
+  double sum = 0.0;
+  for (double v : z) sum += std::exp(v - max);
+  return max + std::log(sum);
+}
+
+void SoftmaxInPlace(std::span<double> z) {
+  const double lse = LogSumExp(z);
+  for (double& v : z) v = std::exp(v - lse);
+}
+
+double SquaredNorm(std::span<const double> v) {
+  double sum = 0.0;
+  for (double x : v) sum += x * x;
+  return sum;
+}
+
+void AddInPlace(std::span<double> v, std::span<const double> w) {
+  DMT_DCHECK(v.size() == w.size());
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] += w[i];
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  DMT_DCHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+}  // namespace dmt

@@ -1,0 +1,48 @@
+// Numerically stable scalar and vector math shared by the learners.
+#ifndef DMT_COMMON_MATH_H_
+#define DMT_COMMON_MATH_H_
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace dmt {
+
+// Probabilities are clamped away from {0,1} before taking logs so that the
+// negative log-likelihood stays finite under confident mispredictions.
+inline constexpr double kProbEpsilon = 1e-12;
+
+inline double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+inline double ClampProb(double p) {
+  return std::clamp(p, kProbEpsilon, 1.0 - kProbEpsilon);
+}
+
+inline double SafeLog(double p) { return std::log(ClampProb(p)); }
+
+// log(sum_i exp(z_i)) without overflow.
+double LogSumExp(std::span<const double> z);
+
+// In-place softmax of `z`; stable for large magnitudes.
+void SoftmaxInPlace(std::span<double> z);
+
+// Squared L2 norm.
+double SquaredNorm(std::span<const double> v);
+
+// v += w (sizes must match).
+void AddInPlace(std::span<double> v, std::span<const double> w);
+
+// Dot product.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_MATH_H_

@@ -1,0 +1,60 @@
+// Seedable random number generator used by every stochastic component.
+//
+// All experiments specify a seed (the paper: "We specified a random state to
+// guarantee the reproducibility of all results"), so nothing in the library
+// draws from an implicit global generator.
+#ifndef DMT_COMMON_RANDOM_H_
+#define DMT_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dmt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Samples an index according to non-negative weights (need not sum to 1).
+  int Categorical(const std::vector<double>& weights) {
+    return std::discrete_distribution<int>(weights.begin(), weights.end())(
+        engine_);
+  }
+
+  // Derives an independent child generator; used to hand each ensemble
+  // member / stream its own deterministic substream.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+  const std::mt19937_64& engine() const { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_RANDOM_H_

@@ -1,0 +1,79 @@
+// Streaming statistics accumulators (Welford mean/variance and a windowed
+// aggregator used for the paper's Figure 3 sliding-window curves).
+#ifndef DMT_COMMON_STATS_H_
+#define DMT_COMMON_STATS_H_
+
+#include <cmath>
+#include <cstddef>
+#include <deque>
+
+namespace dmt {
+
+// Numerically stable running mean / variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  // Population variance; the paper reports the std over per-batch measures.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void Reset() {
+    n_ = 0;
+    mean_ = 0.0;
+    m2_ = 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Fixed-size sliding window mean/std (Figure 3 uses window size 20).
+class SlidingWindowStats {
+ public:
+  explicit SlidingWindowStats(std::size_t window) : window_(window) {}
+
+  void Add(double x) {
+    values_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+    if (values_.size() > window_) {
+      const double old = values_.front();
+      values_.pop_front();
+      sum_ -= old;
+      sum_sq_ -= old * old;
+    }
+  }
+
+  std::size_t count() const { return values_.size(); }
+  double mean() const {
+    return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+  }
+  double stddev() const {
+    if (values_.size() < 2) return 0.0;
+    const double n = static_cast<double>(values_.size());
+    const double var = sum_sq_ / n - (sum_ / n) * (sum_ / n);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_STATS_H_

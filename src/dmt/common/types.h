@@ -1,0 +1,74 @@
+// Core value types shared by every subsystem: a single labeled observation
+// and a row-major batch of observations, the unit of prequential processing.
+#ifndef DMT_COMMON_TYPES_H_
+#define DMT_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "dmt/common/check.h"
+
+namespace dmt {
+
+// A single labeled observation. Features are dense doubles; the label is a
+// class index in [0, num_classes).
+struct Instance {
+  std::vector<double> x;
+  int y = 0;
+};
+
+// A row-major dense batch of labeled observations. This is the unit that
+// streams emit and classifiers consume (the paper processes 0.1% of the
+// stream per test-then-train iteration).
+class Batch {
+ public:
+  Batch() = default;
+  Batch(std::size_t num_features, std::size_t capacity_hint = 0)
+      : num_features_(num_features) {
+    if (capacity_hint > 0) {
+      data_.reserve(capacity_hint * num_features);
+      labels_.reserve(capacity_hint);
+    }
+  }
+
+  std::size_t size() const { return labels_.size(); }
+  bool empty() const { return labels_.empty(); }
+  std::size_t num_features() const { return num_features_; }
+
+  void Add(std::span<const double> features, int label) {
+    DMT_DCHECK(features.size() == num_features_);
+    data_.insert(data_.end(), features.begin(), features.end());
+    labels_.push_back(label);
+  }
+  void Add(const Instance& instance) { Add(instance.x, instance.y); }
+
+  std::span<const double> row(std::size_t i) const {
+    DMT_DCHECK(i < size());
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  std::span<double> mutable_row(std::size_t i) {
+    DMT_DCHECK(i < size());
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  int label(std::size_t i) const {
+    DMT_DCHECK(i < size());
+    return labels_[i];
+  }
+  const std::vector<int>& labels() const { return labels_; }
+
+  void clear() {
+    data_.clear();
+    labels_.clear();
+  }
+
+ private:
+  std::size_t num_features_ = 0;
+  std::vector<double> data_;
+  std::vector<int> labels_;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_TYPES_H_

@@ -1,0 +1,29 @@
+#include "dmt/core/candidate.h"
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::core {
+
+double ApproxCandidateLoss(double loss, const std::vector<double>& grad,
+                           double count, double lambda) {
+  if (count <= 0.0) return 0.0;
+  return loss - (lambda / count) * SquaredNorm(grad);
+}
+
+double ApproxComplementLoss(double parent_loss,
+                            const std::vector<double>& parent_grad,
+                            double parent_count, const CandidateStats& left,
+                            double lambda) {
+  DMT_DCHECK(parent_grad.size() == left.grad.size());
+  const double count = parent_count - left.count;
+  if (count <= 0.0) return 0.0;
+  double grad_norm_sq = 0.0;
+  for (std::size_t p = 0; p < parent_grad.size(); ++p) {
+    const double g = parent_grad[p] - left.grad[p];
+    grad_norm_sq += g * g;
+  }
+  return (parent_loss - left.loss) - (lambda / count) * grad_norm_sq;
+}
+
+}  // namespace dmt::core

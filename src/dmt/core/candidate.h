@@ -1,0 +1,48 @@
+// Split-candidate statistics of a Dynamic Model Tree node.
+//
+// A candidate is a feature/value pair representing the binary split
+// "x[feature] <= value". For each stored candidate the node accumulates the
+// loss, gradient and count of the observations that would have been routed
+// to the LEFT child (Algorithm 1, lines 8-10); the right child's statistics
+// are the difference between the node's and the left child's, so they are
+// never stored (Algorithm 1, note).
+//
+// The candidate's loss under its own (never materialized) warm-started
+// parameters is approximated by one gradient step from the parent model,
+// Eqs. (6)-(7):  L_hat = L - (lambda/n) * ||grad||^2.
+#ifndef DMT_CORE_CANDIDATE_H_
+#define DMT_CORE_CANDIDATE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dmt::core {
+
+struct CandidateStats {
+  int feature = -1;
+  double value = 0.0;
+  // Accumulated left-child statistics, evaluated at the parent's parameters
+  // of each respective time step.
+  double loss = 0.0;
+  std::vector<double> grad;
+  double count = 0.0;
+
+  CandidateStats() = default;
+  CandidateStats(int feature_in, double value_in, std::size_t num_params)
+      : feature(feature_in), value(value_in), grad(num_params, 0.0) {}
+};
+
+// Gradient-approximated loss of a split candidate (Eq. 7). `lambda` is the
+// warm-start step size of Eq. (6).
+double ApproxCandidateLoss(double loss, const std::vector<double>& grad,
+                           double count, double lambda);
+
+// Same, for the complementary (right) child given the parent statistics.
+double ApproxComplementLoss(double parent_loss,
+                            const std::vector<double>& parent_grad,
+                            double parent_count, const CandidateStats& left,
+                            double lambda);
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_CANDIDATE_H_

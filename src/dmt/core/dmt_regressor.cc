@@ -1,0 +1,450 @@
+#include "dmt/core/dmt_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::core {
+
+struct DmtRegressor::Node {
+  int split_feature = -1;  // < 0 marks a leaf
+  double split_value = 0.0;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  linear::LinearRegressor model;
+  double loss_sum = 0.0;
+  std::vector<double> grad_sum;
+  double count = 0.0;
+  std::vector<CandidateStats> candidates;
+
+  Node(const linear::LinearRegressorConfig& model_config, Rng* rng)
+      : model(model_config, rng), grad_sum(model.num_params(), 0.0) {}
+
+  bool is_leaf() const { return split_feature < 0; }
+
+  void ResetStats() {
+    loss_sum = 0.0;
+    std::fill(grad_sum.begin(), grad_sum.end(), 0.0);
+    count = 0.0;
+    candidates.clear();
+  }
+};
+
+DmtRegressor::DmtRegressor(const DmtRegressorConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.epsilon > 0.0 && config.epsilon <= 1.0);
+  if (config_.max_candidates == 0) {
+    config_.max_candidates =
+        3 * static_cast<std::size_t>(config.num_features);
+  }
+  root_ = MakeLeaf(nullptr);
+  model_params_ = root_->model.num_params();
+}
+
+DmtRegressor::~DmtRegressor() = default;
+
+std::unique_ptr<DmtRegressor::Node> DmtRegressor::MakeLeaf(
+    const linear::LinearRegressor* warm_start) {
+  linear::LinearRegressorConfig model_config;
+  model_config.num_features = config_.num_features;
+  model_config.learning_rate = config_.learning_rate;
+  auto node = std::make_unique<Node>(model_config, &rng_);
+  if (warm_start != nullptr) node->model.WarmStartFrom(*warm_start);
+  return node;
+}
+
+double DmtRegressor::SplitThreshold() const {
+  return static_cast<double>(model_params_) - std::log(config_.epsilon);
+}
+
+double DmtRegressor::ReplaceThreshold(std::size_t subtree_leaves) const {
+  const double param_delta = (2.0 - static_cast<double>(subtree_leaves)) *
+                             static_cast<double>(model_params_);
+  return std::max(param_delta, 0.0) - std::log(config_.epsilon);
+}
+
+double DmtRegressor::PruneThreshold(std::size_t subtree_leaves) const {
+  const double param_delta = (1.0 - static_cast<double>(subtree_leaves)) *
+                             static_cast<double>(model_params_);
+  return std::max(param_delta, 0.0) - std::log(config_.epsilon);
+}
+
+double DmtRegressor::CandidateGain(const Node& node,
+                                   const CandidateStats& candidate,
+                                   double reference_loss) const {
+  if (candidate.count <= 0.0 || candidate.count >= node.count) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double lambda = config_.gradient_step_size;
+  const double left = ApproxCandidateLoss(candidate.loss, candidate.grad,
+                                          candidate.count, lambda);
+  const double right = ApproxComplementLoss(node.loss_sum, node.grad_sum,
+                                            node.count, candidate, lambda);
+  return reference_loss - left - right;
+}
+
+const CandidateStats* DmtRegressor::BestCandidate(const Node& node,
+                                                  double reference_loss,
+                                                  double* best_gain) const {
+  const CandidateStats* best = nullptr;
+  *best_gain = -std::numeric_limits<double>::infinity();
+  for (const CandidateStats& candidate : node.candidates) {
+    const double gain = CandidateGain(node, candidate, reference_loss);
+    if (gain > *best_gain) {
+      *best_gain = gain;
+      best = &candidate;
+    }
+  }
+  return best;
+}
+
+void DmtRegressor::PartialFit(const linear::RegressionBatch& batch) {
+  DMT_CHECK(static_cast<int>(batch.num_features()) == config_.num_features);
+  ++time_step_;
+  // Standardize targets with the running estimates (updated first, so the
+  // very first batch already has a usable scale).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    target_stats_.Add(batch.target(i));
+  }
+  const double mean = target_stats_.mean();
+  const double std = std::max(target_stats_.stddev(), 1e-9);
+  linear::RegressionBatch standardized(batch.num_features());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    standardized.Add(batch.row(i), (batch.target(i) - mean) / std);
+  }
+  std::vector<std::size_t> rows(standardized.size());
+  for (std::size_t i = 0; i < standardized.size(); ++i) rows[i] = i;
+  UpdateNode(root_.get(), standardized, std::move(rows), 0);
+}
+
+void DmtRegressor::UpdateNode(Node* node,
+                              const linear::RegressionBatch& batch,
+                              std::vector<std::size_t> rows,
+                              std::size_t depth) {
+  if (rows.empty()) return;
+  if (!node->is_leaf()) {
+    std::vector<std::size_t> left_rows;
+    std::vector<std::size_t> right_rows;
+    for (std::size_t r : rows) {
+      if (batch.row(r)[node->split_feature] <= node->split_value) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    UpdateNode(node->left.get(), batch, std::move(left_rows), depth + 1);
+    UpdateNode(node->right.get(), batch, std::move(right_rows), depth + 1);
+  }
+  UpdateStatistics(node, batch, rows);
+  if (node->is_leaf()) {
+    CheckLeafSplit(node, depth);
+  } else {
+    CheckInnerReplacement(node, depth);
+  }
+}
+
+void DmtRegressor::UpdateStatistics(Node* node,
+                                    const linear::RegressionBatch& batch,
+                                    const std::vector<std::size_t>& rows) {
+  node->model.FitRows(batch, rows);
+
+  const std::size_t n = rows.size();
+  const std::size_t k = static_cast<std::size_t>(model_params_);
+  std::vector<double> sample_loss(n);
+  std::vector<double> sample_grad(n * k);
+  double batch_loss = 0.0;
+  std::vector<double> batch_grad(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<double> g(sample_grad.data() + i * k, k);
+    sample_loss[i] = node->model.LossAndGradientOne(
+        batch.row(rows[i]), batch.target(rows[i]), g);
+    batch_loss += sample_loss[i];
+    AddInPlace(batch_grad, g);
+  }
+  node->loss_sum += batch_loss;
+  AddInPlace(node->grad_sum, batch_grad);
+  node->count += static_cast<double>(n);
+
+  struct Proposal {
+    int feature;
+    double value;
+    double est_gain;
+    double loss;
+    std::vector<double> grad;
+    double count;
+  };
+  std::vector<Proposal> proposals;
+  std::vector<std::size_t> order(n);
+  std::vector<double> prefix_grad(k);
+  for (int j = 0; j < config_.num_features; ++j) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return batch.row(rows[a])[j] < batch.row(rows[b])[j];
+    });
+    std::vector<CandidateStats*> stored;
+    for (CandidateStats& c : node->candidates) {
+      if (c.feature == j) stored.push_back(&c);
+    }
+    std::sort(stored.begin(), stored.end(),
+              [](const CandidateStats* a, const CandidateStats* b) {
+                return a->value < b->value;
+              });
+
+    std::size_t proposal_stride = 1;
+    if (config_.max_proposals_per_feature > 0 &&
+        n > config_.max_proposals_per_feature) {
+      proposal_stride = n / config_.max_proposals_per_feature;
+    }
+
+    double run_loss = 0.0;
+    std::fill(prefix_grad.begin(), prefix_grad.end(), 0.0);
+    double run_count = 0.0;
+    std::size_t stored_pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = rows[order[i]];
+      const double value = batch.row(row)[j];
+      while (stored_pos < stored.size() &&
+             stored[stored_pos]->value < value) {
+        CandidateStats* c = stored[stored_pos];
+        c->loss += run_loss;
+        AddInPlace(c->grad, prefix_grad);
+        c->count += run_count;
+        ++stored_pos;
+      }
+      run_loss += sample_loss[order[i]];
+      AddInPlace(prefix_grad, {sample_grad.data() + order[i] * k, k});
+      run_count += 1.0;
+
+      const bool boundary =
+          i + 1 == n || batch.row(rows[order[i + 1]])[j] > value;
+      if (!boundary || i + 1 == n) continue;
+      if ((i + 1) % proposal_stride != 0) continue;
+
+      CandidateStats tentative(j, value, k);
+      tentative.loss = run_loss;
+      tentative.grad.assign(prefix_grad.begin(), prefix_grad.end());
+      tentative.count = run_count;
+      const double lambda = config_.gradient_step_size;
+      const double left_hat = ApproxCandidateLoss(run_loss, tentative.grad,
+                                                  run_count, lambda);
+      double right_norm_sq = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double g = batch_grad[p] - prefix_grad[p];
+        right_norm_sq += g * g;
+      }
+      const double right_count = static_cast<double>(n) - run_count;
+      const double right_hat =
+          (batch_loss - run_loss) -
+          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
+      proposals.push_back({j, value, batch_loss - left_hat - right_hat,
+                           run_loss, std::move(tentative.grad), run_count});
+    }
+    while (stored_pos < stored.size()) {
+      CandidateStats* c = stored[stored_pos];
+      c->loss += batch_loss;
+      AddInPlace(c->grad, batch_grad);
+      c->count += static_cast<double>(n);
+      ++stored_pos;
+    }
+  }
+
+  std::sort(proposals.begin(), proposals.end(),
+            [](const Proposal& a, const Proposal& b) {
+              return a.est_gain > b.est_gain;
+            });
+  std::size_t budget = static_cast<std::size_t>(
+      config_.replacement_rate *
+      static_cast<double>(config_.max_candidates));
+  std::vector<double> stored_gain(node->candidates.size());
+  for (std::size_t c = 0; c < node->candidates.size(); ++c) {
+    stored_gain[c] =
+        CandidateGain(*node, node->candidates[c], node->loss_sum);
+  }
+  for (Proposal& p : proposals) {
+    const bool exists =
+        std::any_of(node->candidates.begin(), node->candidates.end(),
+                    [&](const CandidateStats& c) {
+                      return c.feature == p.feature && c.value == p.value;
+                    });
+    if (exists) continue;
+    CandidateStats fresh(p.feature, p.value, k);
+    fresh.loss = p.loss;
+    fresh.grad = std::move(p.grad);
+    fresh.count = p.count;
+    if (node->candidates.size() < config_.max_candidates) {
+      node->candidates.push_back(std::move(fresh));
+      stored_gain.push_back(
+          CandidateGain(*node, node->candidates.back(), node->loss_sum));
+      continue;
+    }
+    if (budget == 0) break;
+    const std::size_t worst = static_cast<std::size_t>(
+        std::min_element(stored_gain.begin(), stored_gain.end()) -
+        stored_gain.begin());
+    if (p.est_gain > stored_gain[worst]) {
+      node->candidates[worst] = std::move(fresh);
+      stored_gain[worst] =
+          CandidateGain(*node, node->candidates[worst], node->loss_sum);
+      --budget;
+    }
+  }
+}
+
+void DmtRegressor::CheckLeafSplit(Node* node, std::size_t depth) {
+  double gain = 0.0;
+  const CandidateStats* best = BestCandidate(*node, node->loss_sum, &gain);
+  if (best == nullptr || gain < SplitThreshold()) return;
+  node->split_feature = best->feature;
+  node->split_value = best->value;
+  node->left = MakeLeaf(&node->model);
+  node->right = MakeLeaf(&node->model);
+  node->ResetStats();
+  ++splits_performed_;
+  RecordEvent({.kind = StructuralEvent::Kind::kSplit,
+               .time_step = time_step_,
+               .feature = node->split_feature,
+               .value = node->split_value,
+               .gain = gain,
+               .threshold = SplitThreshold(),
+               .depth = depth});
+}
+
+namespace {
+
+template <typename NodeT>
+void SubtreeLeafLossR(const NodeT* node, double* loss, std::size_t* leaves) {
+  if (node->is_leaf()) {
+    *loss += node->loss_sum;
+    ++*leaves;
+    return;
+  }
+  SubtreeLeafLossR(node->left.get(), loss, leaves);
+  SubtreeLeafLossR(node->right.get(), loss, leaves);
+}
+
+}  // namespace
+
+void DmtRegressor::CheckInnerReplacement(Node* node, std::size_t depth) {
+  double leaf_loss = 0.0;
+  std::size_t leaves = 0;
+  SubtreeLeafLossR(node, &leaf_loss, &leaves);
+
+  double replace_gain = 0.0;
+  const CandidateStats* best = BestCandidate(*node, leaf_loss, &replace_gain);
+  const bool candidate_is_current =
+      best != nullptr && best->feature == node->split_feature &&
+      best->value == node->split_value;
+  const bool replace_ok = best != nullptr && !candidate_is_current &&
+                          replace_gain >= ReplaceThreshold(leaves);
+  const double prune_gain = leaf_loss - node->loss_sum;
+  const bool prune_ok = prune_gain >= PruneThreshold(leaves);
+  if (!replace_ok && !prune_ok) return;
+
+  if (prune_ok && (!replace_ok || prune_gain >= replace_gain)) {
+    node->split_feature = -1;
+    node->left.reset();
+    node->right.reset();
+    ++prunes_;
+    RecordEvent({.kind = StructuralEvent::Kind::kPruneToLeaf,
+                 .time_step = time_step_,
+                 .feature = -1,
+                 .value = 0.0,
+                 .gain = prune_gain,
+                 .threshold = PruneThreshold(leaves),
+                 .depth = depth});
+    return;
+  }
+  node->split_feature = best->feature;
+  node->split_value = best->value;
+  node->left = MakeLeaf(&node->model);
+  node->right = MakeLeaf(&node->model);
+  node->ResetStats();
+  ++replacements_;
+  RecordEvent({.kind = StructuralEvent::Kind::kReplaceSplit,
+               .time_step = time_step_,
+               .feature = node->split_feature,
+               .value = node->split_value,
+               .gain = replace_gain,
+               .threshold = ReplaceThreshold(leaves),
+               .depth = depth});
+}
+
+void DmtRegressor::RecordEvent(StructuralEvent event) {
+  if (events_.size() >= kMaxEvents) {
+    events_.erase(events_.begin(), events_.begin() + kMaxEvents / 2);
+  }
+  events_.push_back(event);
+}
+
+double DmtRegressor::Predict(std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  // De-standardize back to the original target units.
+  const double std = std::max(target_stats_.stddev(), 1e-9);
+  return node->model.Predict(x) * std + target_stats_.mean();
+}
+
+std::vector<double> DmtRegressor::LeafFeatureWeights(
+    std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.FeatureWeights();
+}
+
+std::size_t DmtRegressor::NumInnerNodes() const {
+  std::size_t inner = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) return;
+    ++inner;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return inner;
+}
+
+std::size_t DmtRegressor::NumLeaves() const {
+  std::size_t leaves = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) {
+      ++leaves;
+      return;
+    }
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return leaves;
+}
+
+std::size_t DmtRegressor::Depth() const {
+  auto walk = [&](auto&& self, const Node* node) -> std::size_t {
+    if (node->is_leaf()) return 0;
+    return 1 + std::max(self(self, node->left.get()),
+                        self(self, node->right.get()));
+  };
+  return walk(walk, root_.get());
+}
+
+std::size_t DmtRegressor::NumSplits() const {
+  // Regression model leaves add one split each (cf. binary classification).
+  return NumInnerNodes() + NumLeaves();
+}
+
+std::size_t DmtRegressor::NumParameters() const {
+  return NumInnerNodes() +
+         NumLeaves() * static_cast<std::size_t>(config_.num_features);
+}
+
+}  // namespace dmt::core

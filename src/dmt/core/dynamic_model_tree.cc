@@ -1,0 +1,722 @@
+#include "dmt/core/dynamic_model_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::core {
+
+struct DynamicModelTree::Node {
+  // Split predicate; split_feature < 0 marks a leaf.
+  int split_feature = -1;
+  double split_value = 0.0;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  // The simple model, trained at every time step regardless of node type
+  // (inner nodes keep learning -- Sec. V-D of the paper).
+  linear::Glm model;
+
+  // Accumulated node statistics (Algorithm 1, lines 1-3), covering the
+  // window since the node's last structural change.
+  double loss_sum = 0.0;
+  std::vector<double> grad_sum;
+  double count = 0.0;
+
+  // Bounded split-candidate store (Sec. V-D).
+  std::vector<CandidateStats> candidates;
+
+  Node(const linear::GlmConfig& glm_config, Rng* rng)
+      : model(glm_config, rng), grad_sum(model.num_params(), 0.0) {}
+
+  bool is_leaf() const { return split_feature < 0; }
+
+  void ResetStats() {
+    loss_sum = 0.0;
+    std::fill(grad_sum.begin(), grad_sum.end(), 0.0);
+    count = 0.0;
+    candidates.clear();
+  }
+};
+
+DynamicModelTree::DynamicModelTree(const DmtConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  DMT_CHECK(config.epsilon > 0.0 && config.epsilon <= 1.0);
+  DMT_CHECK(config.replacement_rate >= 0.0 && config.replacement_rate <= 1.0);
+  if (config_.max_candidates == 0) {
+    config_.max_candidates = 3 * static_cast<std::size_t>(config.num_features);
+  }
+  root_ = MakeLeaf(nullptr);
+  model_params_ = root_->model.num_params();
+}
+
+DynamicModelTree::~DynamicModelTree() = default;
+
+std::unique_ptr<DynamicModelTree::Node> DynamicModelTree::MakeLeaf(
+    const linear::Glm* warm_start_from) {
+  linear::GlmConfig glm_config;
+  glm_config.num_features = config_.num_features;
+  glm_config.num_classes = config_.num_classes;
+  glm_config.learning_rate = config_.learning_rate;
+  auto node = std::make_unique<Node>(glm_config, &rng_);
+  if (warm_start_from != nullptr) node->model.WarmStartFrom(*warm_start_from);
+  return node;
+}
+
+// --- Thresholds (Sec. V-C) --------------------------------------------------
+//
+// Eq. (11) for a leaf split: G >= k_C + k_Cbar - k_S - log(eps) = k - log(eps)
+// with a single model type. The analogous derivation for Eqs. (4)/(5)
+// compares 2 (respectively 1) new models against the #leaves models of the
+// replaced subtree, giving parameter deltas (2 - #leaves) * k and
+// (1 - #leaves) * k. Those deltas are NEGATIVE for any real subtree, and a
+// raw AIC threshold would prune every fresh split before its children could
+// learn; the paper therefore requires "G >= threshold >= 0" for structural
+// reductions (Sec. V-C), so the parameter-delta term is clamped at zero and
+// every reduction must still clear the -log(eps) confidence margin.
+
+double DynamicModelTree::SplitThreshold() const {
+  return static_cast<double>(model_params_) - std::log(config_.epsilon);
+}
+
+double DynamicModelTree::ReplaceThreshold(std::size_t subtree_leaves) const {
+  const double param_delta = (2.0 - static_cast<double>(subtree_leaves)) *
+                             static_cast<double>(model_params_);
+  return std::max(param_delta, 0.0) - std::log(config_.epsilon);
+}
+
+double DynamicModelTree::PruneThreshold(std::size_t subtree_leaves) const {
+  const double param_delta = (1.0 - static_cast<double>(subtree_leaves)) *
+                             static_cast<double>(model_params_);
+  return std::max(param_delta, 0.0) - std::log(config_.epsilon);
+}
+
+// --- Gains -------------------------------------------------------------------
+
+double DynamicModelTree::CandidateGain(const Node& node,
+                                       const CandidateStats& candidate,
+                                       double reference_loss) const {
+  // Degenerate candidates (one empty side) cannot form a split.
+  if (candidate.count <= 0.0 || candidate.count >= node.count) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  const double lambda = config_.gradient_step_size;
+  const double left = ApproxCandidateLoss(candidate.loss, candidate.grad,
+                                          candidate.count, lambda);
+  const double right = ApproxComplementLoss(node.loss_sum, node.grad_sum,
+                                            node.count, candidate, lambda);
+  return reference_loss - left - right;  // Eqs. (3) / (4)
+}
+
+const CandidateStats* DynamicModelTree::BestCandidate(
+    const Node& node, double reference_loss, double* best_gain) const {
+  const CandidateStats* best = nullptr;
+  *best_gain = -std::numeric_limits<double>::infinity();
+  for (const CandidateStats& candidate : node.candidates) {
+    const double gain = CandidateGain(node, candidate, reference_loss);
+    if (gain > *best_gain) {
+      *best_gain = gain;
+      best = &candidate;
+    }
+  }
+  return best;
+}
+
+// --- Training ----------------------------------------------------------------
+
+void DynamicModelTree::PartialFit(const Batch& batch) {
+  DMT_CHECK(static_cast<int>(batch.num_features()) == config_.num_features);
+  ++time_step_;
+  std::vector<std::size_t> rows(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) rows[i] = i;
+  UpdateNode(root_.get(), batch, std::move(rows), 0);
+}
+
+void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
+                                  std::vector<std::size_t> rows,
+                                  std::size_t depth) {
+  if (rows.empty()) return;
+  if (!node->is_leaf()) {
+    std::vector<std::size_t> left_rows;
+    std::vector<std::size_t> right_rows;
+    for (std::size_t r : rows) {
+      if (batch.row(r)[node->split_feature] <= node->split_value) {
+        left_rows.push_back(r);
+      } else {
+        right_rows.push_back(r);
+      }
+    }
+    // Bottom-up: children update (and possibly restructure) first.
+    UpdateNode(node->left.get(), batch, std::move(left_rows), depth + 1);
+    UpdateNode(node->right.get(), batch, std::move(right_rows), depth + 1);
+  }
+
+  UpdateStatistics(node, batch, rows);
+
+  if (node->is_leaf()) {
+    CheckLeafSplit(node, depth);
+  } else {
+    CheckInnerReplacement(node, depth);
+  }
+}
+
+void DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
+                                        const std::vector<std::size_t>& rows) {
+  // 1. SGD update of the simple model (Eq. 1 via gradient descent).
+  node->model.FitRows(batch, rows);
+
+  // 2. Per-sample loss and gradient at the updated parameters.
+  const std::size_t n = rows.size();
+  const std::size_t k = static_cast<std::size_t>(model_params_);
+  std::vector<double> sample_loss(n);
+  std::vector<double> sample_grad(n * k);
+  double batch_loss = 0.0;
+  std::vector<double> batch_grad(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::span<double> g(sample_grad.data() + i * k, k);
+    sample_loss[i] = node->model.LossAndGradientOne(
+        batch.row(rows[i]), batch.label(rows[i]), g);
+    batch_loss += sample_loss[i];
+    AddInPlace(batch_grad, g);
+  }
+
+  // 3. Increment node statistics (Algorithm 1, lines 1-3).
+  node->loss_sum += batch_loss;
+  AddInPlace(node->grad_sum, batch_grad);
+  node->count += static_cast<double>(n);
+
+  // 4. Per feature: update stored candidates with this batch's left-child
+  //    contributions, and score fresh candidate proposals from the batch
+  //    (Algorithm 1, lines 6-11; Sec. V-D candidate management).
+  struct Proposal {
+    int feature;
+    double value;
+    double est_gain;
+    double loss;
+    std::vector<double> grad;
+    double count;
+  };
+  std::vector<Proposal> proposals;
+
+  // Sort row positions once per feature.
+  std::vector<std::size_t> order(n);
+  std::vector<double> prefix_grad(k);
+  for (int j = 0; j < config_.num_features; ++j) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return batch.row(rows[a])[j] < batch.row(rows[b])[j];
+    });
+
+    // Stored candidates of this feature, in ascending threshold order.
+    std::vector<CandidateStats*> stored;
+    for (CandidateStats& c : node->candidates) {
+      if (c.feature == j) stored.push_back(&c);
+    }
+    std::sort(stored.begin(), stored.end(),
+              [](const CandidateStats* a, const CandidateStats* b) {
+                return a->value < b->value;
+              });
+
+    // Which observed values to propose as new candidates.
+    std::size_t proposal_stride = 1;
+    if (config_.max_proposals_per_feature > 0 &&
+        n > config_.max_proposals_per_feature) {
+      proposal_stride = n / config_.max_proposals_per_feature;
+    }
+
+    double run_loss = 0.0;
+    std::fill(prefix_grad.begin(), prefix_grad.end(), 0.0);
+    double run_count = 0.0;
+    std::size_t stored_pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = rows[order[i]];
+      const double value = batch.row(row)[j];
+      // Stored candidates strictly below this value receive the prefix
+      // accumulated so far (their left side excludes this observation).
+      while (stored_pos < stored.size() &&
+             stored[stored_pos]->value < value) {
+        CandidateStats* c = stored[stored_pos];
+        c->loss += run_loss;
+        AddInPlace(c->grad, prefix_grad);
+        c->count += run_count;
+        ++stored_pos;
+      }
+      run_loss += sample_loss[order[i]];
+      AddInPlace(prefix_grad,
+                 {sample_grad.data() + order[i] * k, k});
+      run_count += 1.0;
+
+      // Value boundary: the split "x_j <= value" is a candidate.
+      const bool boundary =
+          i + 1 == n || batch.row(rows[order[i + 1]])[j] > value;
+      if (!boundary || i + 1 == n) continue;  // the full batch is no split
+      if ((i + 1) % proposal_stride != 0) continue;
+
+      // Estimated gain from this batch alone (Eq. 3 with Eq. 7 losses).
+      CandidateStats tentative(j, value, k);
+      tentative.loss = run_loss;
+      tentative.grad.assign(prefix_grad.begin(), prefix_grad.end());
+      tentative.count = run_count;
+      const double lambda = config_.gradient_step_size;
+      const double left_hat = ApproxCandidateLoss(run_loss, tentative.grad,
+                                                  run_count, lambda);
+      double right_norm_sq = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double g = batch_grad[p] - prefix_grad[p];
+        right_norm_sq += g * g;
+      }
+      const double right_count = static_cast<double>(n) - run_count;
+      const double right_hat =
+          (batch_loss - run_loss) -
+          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
+      const double est_gain = batch_loss - left_hat - right_hat;
+      proposals.push_back({j, value, est_gain, run_loss,
+                           std::move(tentative.grad), run_count});
+    }
+    // Remaining stored candidates (threshold >= max value) absorb the full
+    // batch on their left side.
+    while (stored_pos < stored.size()) {
+      CandidateStats* c = stored[stored_pos];
+      c->loss += batch_loss;
+      AddInPlace(c->grad, batch_grad);
+      c->count += static_cast<double>(n);
+      ++stored_pos;
+    }
+  }
+
+  // 5. Candidate replacement: keep the store bounded at max_candidates,
+  //    allowing at most replacement_rate of it to turn over per step.
+  std::sort(proposals.begin(), proposals.end(),
+            [](const Proposal& a, const Proposal& b) {
+              return a.est_gain > b.est_gain;
+            });
+  std::size_t budget = static_cast<std::size_t>(
+      config_.replacement_rate *
+      static_cast<double>(config_.max_candidates));
+  // Gain estimates of the stored candidates, computed once per step and
+  // maintained across replacements (recomputing per proposal would make the
+  // update quadratic in the store size).
+  std::vector<double> stored_gain(node->candidates.size());
+  for (std::size_t c = 0; c < node->candidates.size(); ++c) {
+    stored_gain[c] =
+        CandidateGain(*node, node->candidates[c], node->loss_sum);
+  }
+  for (Proposal& p : proposals) {
+    const bool exists =
+        std::any_of(node->candidates.begin(), node->candidates.end(),
+                    [&](const CandidateStats& c) {
+                      return c.feature == p.feature && c.value == p.value;
+                    });
+    if (exists) continue;
+    CandidateStats fresh(p.feature, p.value, k);
+    fresh.loss = p.loss;
+    fresh.grad = std::move(p.grad);
+    fresh.count = p.count;
+    if (node->candidates.size() < config_.max_candidates) {
+      node->candidates.push_back(std::move(fresh));
+      stored_gain.push_back(
+          CandidateGain(*node, node->candidates.back(), node->loss_sum));
+      continue;
+    }
+    if (budget == 0) break;
+    // Replace the stored candidate with the lowest current gain estimate,
+    // if the newcomer looks strictly better.
+    const std::size_t worst = static_cast<std::size_t>(
+        std::min_element(stored_gain.begin(), stored_gain.end()) -
+        stored_gain.begin());
+    if (p.est_gain > stored_gain[worst]) {
+      node->candidates[worst] = std::move(fresh);
+      stored_gain[worst] =
+          CandidateGain(*node, node->candidates[worst], node->loss_sum);
+      --budget;
+    }
+  }
+}
+
+void DynamicModelTree::CheckLeafSplit(Node* node, std::size_t depth) {
+  double gain = 0.0;
+  const CandidateStats* best =
+      BestCandidate(*node, node->loss_sum, &gain);  // Eq. (3)
+  if (best == nullptr || gain < SplitThreshold()) return;
+
+  const int feature = best->feature;
+  const double value = best->value;
+  node->split_feature = feature;
+  node->split_value = value;
+  node->left = MakeLeaf(&node->model);
+  node->right = MakeLeaf(&node->model);
+  // Restart this node's statistics window so the subtree comparisons of
+  // Eqs. (4)-(5) are made over aligned windows.
+  node->ResetStats();
+  ++splits_performed_;
+  RecordEvent({.kind = StructuralEvent::Kind::kSplit,
+               .time_step = time_step_,
+               .feature = feature,
+               .value = value,
+               .gain = gain,
+               .threshold = SplitThreshold(),
+               .depth = depth});
+}
+
+namespace {
+
+// Sum of accumulated leaf losses and leaf count of a subtree.
+template <typename NodeT>
+void SubtreeLeafLoss(const NodeT* node, double* loss, std::size_t* leaves) {
+  if (node->is_leaf()) {
+    *loss += node->loss_sum;
+    ++*leaves;
+    return;
+  }
+  SubtreeLeafLoss(node->left.get(), loss, leaves);
+  SubtreeLeafLoss(node->right.get(), loss, leaves);
+}
+
+}  // namespace
+
+void DynamicModelTree::CheckInnerReplacement(Node* node, std::size_t depth) {
+  double leaf_loss = 0.0;
+  std::size_t leaves = 0;
+  SubtreeLeafLoss(node, &leaf_loss, &leaves);
+
+  // Eq. (4): best alternate split candidate vs. the current subtree.
+  double replace_gain = 0.0;
+  const CandidateStats* best = BestCandidate(*node, leaf_loss, &replace_gain);
+  const bool candidate_is_current =
+      best != nullptr && best->feature == node->split_feature &&
+      best->value == node->split_value;
+  const bool replace_ok = best != nullptr && !candidate_is_current &&
+                          replace_gain >= ReplaceThreshold(leaves);
+
+  // Eq. (5): the inner node's own model vs. the subtree.
+  const double prune_gain = leaf_loss - node->loss_sum;
+  const bool prune_ok = prune_gain >= PruneThreshold(leaves);
+
+  if (!replace_ok && !prune_ok) return;
+
+  if (prune_ok && (!replace_ok || prune_gain >= replace_gain)) {
+    // Make the inner node a leaf: the smaller of the two alternatives
+    // (Sec. IV-A: "to obtain the overall smaller tree").
+    node->split_feature = -1;
+    node->left.reset();
+    node->right.reset();
+    ++prunes_;
+    RecordEvent({.kind = StructuralEvent::Kind::kPruneToLeaf,
+                 .time_step = time_step_,
+                 .feature = -1,
+                 .value = 0.0,
+                 .gain = prune_gain,
+                 .threshold = PruneThreshold(leaves),
+                 .depth = depth});
+    return;
+  }
+
+  node->split_feature = best->feature;
+  node->split_value = best->value;
+  node->left = MakeLeaf(&node->model);
+  node->right = MakeLeaf(&node->model);
+  node->ResetStats();
+  ++replacements_;
+  RecordEvent({.kind = StructuralEvent::Kind::kReplaceSplit,
+               .time_step = time_step_,
+               .feature = node->split_feature,
+               .value = node->split_value,
+               .gain = replace_gain,
+               .threshold = ReplaceThreshold(leaves),
+               .depth = depth});
+}
+
+void DynamicModelTree::RecordEvent(StructuralEvent event) {
+  if (events_.size() >= kMaxEvents) {
+    events_.erase(events_.begin(), events_.begin() + kMaxEvents / 2);
+  }
+  events_.push_back(event);
+}
+
+// --- Prediction ----------------------------------------------------------------
+
+std::vector<double> DynamicModelTree::PredictProba(
+    std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.PredictProba(x);
+}
+
+int DynamicModelTree::Predict(std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.Predict(x);
+}
+
+std::vector<double> DynamicModelTree::LeafFeatureWeights(
+    std::span<const double> x, int c) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.FeatureWeights(c);
+}
+
+// --- Introspection ---------------------------------------------------------------
+
+std::size_t DynamicModelTree::NumInnerNodes() const {
+  std::size_t inner = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) return;
+    ++inner;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return inner;
+}
+
+std::size_t DynamicModelTree::NumLeaves() const {
+  std::size_t leaves = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) {
+      ++leaves;
+      return;
+    }
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return leaves;
+}
+
+std::size_t DynamicModelTree::Depth() const {
+  auto walk = [&](auto&& self, const Node* node) -> std::size_t {
+    if (node->is_leaf()) return 0;
+    return 1 + std::max(self(self, node->left.get()),
+                        self(self, node->right.get()));
+  };
+  return walk(walk, root_.get());
+}
+
+DynamicModelTree::RootDiagnostics DynamicModelTree::DiagnoseRoot() const {
+  RootDiagnostics diagnostics;
+  diagnostics.count = root_->count;
+  diagnostics.num_candidates = root_->candidates.size();
+  double gain = 0.0;
+  if (BestCandidate(*root_, root_->loss_sum, &gain) != nullptr) {
+    diagnostics.best_gain = gain;
+  }
+  return diagnostics;
+}
+
+double DynamicModelTree::AccumulatedLeafLoss() const {
+  double loss = 0.0;
+  std::size_t leaves = 0;
+  SubtreeLeafLoss(root_.get(), &loss, &leaves);
+  return loss;
+}
+
+std::size_t DynamicModelTree::NumSplits() const {
+  // Paper Sec. VI-D2: inner nodes plus one split per model leaf (c splits
+  // for multiclass leaf classifiers).
+  const std::size_t per_leaf =
+      config_.num_classes == 2 ? 1
+                               : static_cast<std::size_t>(config_.num_classes);
+  return NumInnerNodes() + NumLeaves() * per_leaf;
+}
+
+std::size_t DynamicModelTree::NumParameters() const {
+  // 1 split value per inner node; m weights per class per leaf model
+  // (binary leaves count m, paper Sec. VI-D2).
+  const std::size_t per_leaf =
+      static_cast<std::size_t>(config_.num_features) *
+      (config_.num_classes == 2 ? 1 : config_.num_classes);
+  return NumInnerNodes() + NumLeaves() * per_leaf;
+}
+
+// --- Persistence ---------------------------------------------------------------
+
+namespace {
+
+// Doubles are persisted as their IEEE-754 bit patterns (hex), because
+// hexfloat round-trips are not supported by istream extraction.
+void WriteDouble(std::ostream& out, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  out << std::hex << bits << std::dec;
+}
+
+double ReadDouble(std::istream& in) {
+  std::uint64_t bits = 0;
+  in >> std::hex >> bits >> std::dec;
+  DMT_CHECK(!in.fail());
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void WriteDoubles(std::ostream& out, const std::vector<double>& values) {
+  out << values.size();
+  for (double v : values) {
+    out << ' ';
+    WriteDouble(out, v);
+  }
+  out << '\n';
+}
+
+std::vector<double> ReadDoubles(std::istream& in) {
+  std::size_t count = 0;
+  in >> count;
+  DMT_CHECK(!in.fail());
+  std::vector<double> values(count);
+  for (double& v : values) v = ReadDouble(in);
+  return values;
+}
+
+}  // namespace
+
+void DynamicModelTree::Save(std::ostream& out) const {
+  out << "DMTv1\n";
+  out << config_.num_features << ' ' << config_.num_classes << ' ';
+  WriteDouble(out, config_.learning_rate);
+  out << ' ';
+  WriteDouble(out, config_.gradient_step_size);
+  out << ' ';
+  WriteDouble(out, config_.epsilon);
+  out << ' ' << config_.max_candidates << ' ';
+  WriteDouble(out, config_.replacement_rate);
+  out << ' ' << config_.max_proposals_per_feature << ' ' << config_.seed
+      << '\n';
+  // RNG engine state (std::mt19937_64 supports textual (de)serialization).
+  out << rng_.engine() << '\n';
+  out << time_step_ << ' ' << splits_performed_ << ' ' << replacements_
+      << ' ' << prunes_ << '\n';
+
+  auto save_node = [&](auto&& self, const Node* node) -> void {
+    out << node->split_feature << ' ';
+    WriteDouble(out, node->split_value);
+    out << ' ';
+    WriteDouble(out, node->loss_sum);
+    out << ' ';
+    WriteDouble(out, node->count);
+    out << ' ' << node->model.steps() << '\n';
+    WriteDoubles(out, node->model.params());
+    WriteDoubles(out, node->grad_sum);
+    out << node->candidates.size() << '\n';
+    for (const CandidateStats& candidate : node->candidates) {
+      out << candidate.feature << ' ';
+      WriteDouble(out, candidate.value);
+      out << ' ';
+      WriteDouble(out, candidate.loss);
+      out << ' ';
+      WriteDouble(out, candidate.count);
+      out << '\n';
+      WriteDoubles(out, candidate.grad);
+    }
+    if (!node->is_leaf()) {
+      self(self, node->left.get());
+      self(self, node->right.get());
+    }
+  };
+  save_node(save_node, root_.get());
+}
+
+std::unique_ptr<DynamicModelTree> DynamicModelTree::Load(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  DMT_CHECK(magic == "DMTv1");
+  DmtConfig config;
+  in >> config.num_features >> config.num_classes;
+  config.learning_rate = ReadDouble(in);
+  config.gradient_step_size = ReadDouble(in);
+  config.epsilon = ReadDouble(in);
+  in >> config.max_candidates;
+  config.replacement_rate = ReadDouble(in);
+  in >> config.max_proposals_per_feature >> config.seed;
+  DMT_CHECK(in.good());
+  auto tree = std::make_unique<DynamicModelTree>(config);
+  in >> tree->rng_.engine();
+  in >> tree->time_step_ >> tree->splits_performed_ >> tree->replacements_ >>
+      tree->prunes_;
+  DMT_CHECK(in.good());
+
+  auto load_node = [&](auto&& self) -> std::unique_ptr<Node> {
+    std::unique_ptr<Node> node = tree->MakeLeaf(nullptr);
+    std::size_t model_steps = 0;
+    in >> node->split_feature;
+    node->split_value = ReadDouble(in);
+    node->loss_sum = ReadDouble(in);
+    node->count = ReadDouble(in);
+    in >> model_steps;
+    DMT_CHECK(!in.fail());
+    node->model.set_steps(model_steps);
+    node->model.mutable_params() = ReadDoubles(in);
+    DMT_CHECK(static_cast<int>(node->model.params().size()) ==
+              node->model.num_params());
+    node->grad_sum = ReadDoubles(in);
+    std::size_t num_candidates = 0;
+    in >> num_candidates;
+    DMT_CHECK(!in.fail());
+    for (std::size_t c = 0; c < num_candidates; ++c) {
+      CandidateStats candidate;
+      in >> candidate.feature;
+      candidate.value = ReadDouble(in);
+      candidate.loss = ReadDouble(in);
+      candidate.count = ReadDouble(in);
+      DMT_CHECK(!in.fail());
+      candidate.grad = ReadDoubles(in);
+      node->candidates.push_back(std::move(candidate));
+    }
+    if (node->split_feature >= 0) {
+      node->left = self(self);
+      node->right = self(self);
+    }
+    return node;
+  };
+  tree->root_ = load_node(load_node);
+  return tree;
+}
+
+std::string DynamicModelTree::Describe(int max_weights_per_leaf) const {
+  std::ostringstream out;
+  auto walk = [&](auto&& self, const Node* node, std::string indent) -> void {
+    if (!node->is_leaf()) {
+      out << indent << "if x[" << node->split_feature
+          << "] <= " << node->split_value << ":\n";
+      self(self, node->left.get(), indent + "  ");
+      out << indent << "else:\n";
+      self(self, node->right.get(), indent + "  ");
+      return;
+    }
+    out << indent << "leaf(n=" << node->count << "): ";
+    // Largest-magnitude feature weights of the model (class 1 for binary,
+    // the per-class blocks otherwise would be verbose, so class 1 is shown).
+    const std::vector<double> weights =
+        node->model.FeatureWeights(config_.num_classes == 2 ? 1 : 0);
+    std::vector<int> idx(weights.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int>(i);
+    std::sort(idx.begin(), idx.end(), [&](int a, int b) {
+      return std::abs(weights[a]) > std::abs(weights[b]);
+    });
+    const int shown = std::min<int>(max_weights_per_leaf,
+                                    static_cast<int>(idx.size()));
+    for (int i = 0; i < shown; ++i) {
+      out << (i == 0 ? "" : ", ") << "w[" << idx[i] << "]=" << weights[idx[i]];
+    }
+    out << "\n";
+  };
+  walk(walk, root_.get(), "");
+  return out.str();
+}
+
+}  // namespace dmt::core

@@ -1,0 +1,120 @@
+#include "dmt/drift/adwin.h"
+
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt::drift {
+
+Adwin::Adwin(double delta) : delta_(delta) {
+  DMT_CHECK(delta > 0.0 && delta < 1.0);
+  rows_.emplace_back();
+}
+
+bool Adwin::Update(double value) {
+  InsertBucket(value);
+  CompressBuckets();
+  const bool shrunk = DetectAndShrink();
+  if (shrunk) ++num_detections_;
+  return shrunk;
+}
+
+void Adwin::InsertBucket(double value) {
+  // New size-1 bucket is the newest element of row 0.
+  rows_[0].totals.push_back(value);
+  rows_[0].variances.push_back(0.0);
+  if (width_ > 0.0) {
+    const double diff = value - total_ / width_;
+    variance_sum_ += width_ * diff * diff / (width_ + 1.0);
+  }
+  width_ += 1.0;
+  total_ += value;
+}
+
+void Adwin::CompressBuckets() {
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    Row& row = rows_[r];
+    if (row.totals.size() <= static_cast<std::size_t>(kMaxBuckets)) break;
+    // Merge the two oldest buckets of this row into one bucket of the next.
+    if (r + 1 == rows_.size()) rows_.emplace_back();
+    const double n = std::pow(2.0, static_cast<double>(r));
+    const double t1 = row.totals[0];
+    const double t2 = row.totals[1];
+    const double u1 = t1 / n;
+    const double u2 = t2 / n;
+    const double merged_var = row.variances[0] + row.variances[1] +
+                              n * n * (u1 - u2) * (u1 - u2) / (2.0 * n);
+    rows_[r + 1].totals.push_back(t1 + t2);
+    rows_[r + 1].variances.push_back(merged_var);
+    row.totals.erase(row.totals.begin(), row.totals.begin() + 2);
+    row.variances.erase(row.variances.begin(), row.variances.begin() + 2);
+  }
+}
+
+void Adwin::DeleteOldestBucket() {
+  // The oldest bucket lives at the front of the deepest non-empty row.
+  std::size_t r = rows_.size();
+  while (r > 0 && rows_[r - 1].totals.empty()) --r;
+  DMT_DCHECK(r > 0);
+  Row& row = rows_[r - 1];
+  const double n1 = std::pow(2.0, static_cast<double>(r - 1));
+  const double t1 = row.totals.front();
+  const double v1 = row.variances.front();
+  row.totals.erase(row.totals.begin());
+  row.variances.erase(row.variances.begin());
+  width_ -= n1;
+  total_ -= t1;
+  if (width_ > 0.0) {
+    const double u1 = t1 / n1;
+    const double diff = u1 - total_ / width_;
+    variance_sum_ -= v1 + n1 * width_ * diff * diff / (n1 + width_);
+    if (variance_sum_ < 0.0) variance_sum_ = 0.0;
+  } else {
+    variance_sum_ = 0.0;
+  }
+  while (rows_.size() > 1 && rows_.back().totals.empty()) rows_.pop_back();
+}
+
+bool Adwin::DetectAndShrink() {
+  ++ticks_;
+  if (ticks_ % kMinClock != 0 || width_ <= kMinWindow) return false;
+
+  bool any_cut = false;
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    double n0 = 0.0;
+    double u0 = 0.0;
+    // Walk cut points from oldest to newest element.
+    for (std::size_t r = rows_.size(); r-- > 0 && !reduced;) {
+      const Row& row = rows_[r];
+      const double bucket_size = std::pow(2.0, static_cast<double>(r));
+      for (std::size_t b = 0; b < row.totals.size(); ++b) {
+        n0 += bucket_size;
+        u0 += row.totals[b];
+        const double n1 = width_ - n0;
+        if (n1 < kMinSubWindow) break;
+        if (n0 < kMinSubWindow) continue;
+        const double u1 = total_ - u0;
+        const double mean_diff = std::abs(u0 / n0 - u1 / n1);
+        const double dd = std::log(2.0 * std::log(width_) / delta_);
+        const double v = variance();
+        const double m = 1.0 / (n0 - kMinSubWindow + 1.0) +
+                         1.0 / (n1 - kMinSubWindow + 1.0);
+        const double eps =
+            std::sqrt(2.0 * m * v * dd) + 2.0 / 3.0 * dd * m;
+        if (mean_diff > eps) {
+          any_cut = true;
+          if (width_ > kMinWindow) {
+            DeleteOldestBucket();
+            reduced = true;  // restart the scan on the shrunk window
+          }
+          break;
+        }
+      }
+    }
+  }
+  return any_cut;
+}
+
+}  // namespace dmt::drift

@@ -1,0 +1,61 @@
+// ADWIN (ADaptive WINdowing) change detector, Bifet & Gavalda 2007.
+//
+// Maintains a variable-length window over a real-valued input stream using
+// an exponential histogram of buckets, and shrinks the window whenever two
+// sufficiently large sub-windows exhibit distinct enough means. This is the
+// detector inside the Hoeffding Adaptive Tree (HT-Ada), Leveraging Bagging
+// and the Adaptive Random Forest baselines.
+#ifndef DMT_DRIFT_ADWIN_H_
+#define DMT_DRIFT_ADWIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace dmt::drift {
+
+class Adwin {
+ public:
+  // `delta` is the confidence parameter of the cut test (MOA default 0.002).
+  explicit Adwin(double delta = 0.002);
+
+  // Feeds one value; returns true iff the window was shrunk (drift).
+  bool Update(double value);
+
+  double mean() const { return width_ > 0 ? total_ / width_ : 0.0; }
+  double variance() const { return width_ > 0 ? variance_sum_ / width_ : 0.0; }
+  std::size_t width() const { return static_cast<std::size_t>(width_); }
+  std::size_t num_detections() const { return num_detections_; }
+
+ private:
+  // One row of the exponential histogram; buckets in row r aggregate 2^r
+  // elements each. A row holds at most kMaxBuckets+1 buckets before the two
+  // oldest are merged into the next row.
+  struct Row {
+    std::vector<double> totals;
+    std::vector<double> variances;
+  };
+
+  static constexpr int kMaxBuckets = 5;
+  static constexpr int kMinClock = 32;        // cut checks every 32 inserts
+  static constexpr int kMinWindow = 10;       // no checks below this width
+  static constexpr int kMinSubWindow = 5;     // min size of each sub-window
+
+  void InsertBucket(double value);
+  void CompressBuckets();
+  void DeleteOldestBucket();
+  bool DetectAndShrink();
+
+  double delta_;
+  std::deque<Row> rows_;  // rows_[0] holds size-1 buckets (newest elements)
+  double total_ = 0.0;
+  double variance_sum_ = 0.0;
+  double width_ = 0.0;
+  std::int64_t ticks_ = 0;
+  std::size_t num_detections_ = 0;
+};
+
+}  // namespace dmt::drift
+
+#endif  // DMT_DRIFT_ADWIN_H_

@@ -1,0 +1,35 @@
+#include "dmt/drift/ddm.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dmt::drift {
+
+void Ddm::Reset() {
+  n_ = 0;
+  p_ = 1.0;
+  min_p_plus_s_ = std::numeric_limits<double>::max();
+  min_p_ = std::numeric_limits<double>::max();
+  min_s_ = std::numeric_limits<double>::max();
+}
+
+Ddm::State Ddm::Update(bool error) {
+  ++n_;
+  p_ += (static_cast<double>(error) - p_) / static_cast<double>(n_);
+  const double s = std::sqrt(p_ * (1.0 - p_) / static_cast<double>(n_));
+  if (n_ < min_instances_) return State::kStable;
+  if (p_ + s <= min_p_plus_s_) {
+    min_p_plus_s_ = p_ + s;
+    min_p_ = p_;
+    min_s_ = s;
+  }
+  if (p_ + s > min_p_ + 3.0 * min_s_) {
+    ++num_detections_;
+    Reset();
+    return State::kDrift;
+  }
+  if (p_ + s > min_p_ + 2.0 * min_s_) return State::kWarning;
+  return State::kStable;
+}
+
+}  // namespace dmt::drift

@@ -1,0 +1,42 @@
+// DDM (Drift Detection Method), Gama et al. 2004.
+//
+// Monitors a Bernoulli error stream; signals warning when the error rate
+// rises two standard deviations above its running minimum and drift at three.
+// Included as an additional detector for experimentation (the paper's
+// baselines use ADWIN and Page-Hinkley).
+#ifndef DMT_DRIFT_DDM_H_
+#define DMT_DRIFT_DDM_H_
+
+#include <cstddef>
+
+namespace dmt::drift {
+
+class Ddm {
+ public:
+  enum class State { kStable, kWarning, kDrift };
+
+  explicit Ddm(std::size_t min_instances = 30)
+      : min_instances_(min_instances) {
+    Reset();
+  }
+
+  // Feeds one error indicator (1 = misclassified). Returns the new state;
+  // internal statistics reset after a drift signal.
+  State Update(bool error);
+
+  void Reset();
+  std::size_t num_detections() const { return num_detections_; }
+
+ private:
+  std::size_t min_instances_;
+  std::size_t n_ = 0;
+  double p_ = 1.0;
+  double min_p_plus_s_ = 0.0;
+  double min_p_ = 0.0;
+  double min_s_ = 0.0;
+  std::size_t num_detections_ = 0;
+};
+
+}  // namespace dmt::drift
+
+#endif  // DMT_DRIFT_DDM_H_

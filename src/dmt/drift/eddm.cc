@@ -1,0 +1,42 @@
+#include "dmt/drift/eddm.h"
+
+#include <cmath>
+
+namespace dmt::drift {
+
+void Eddm::Reset() {
+  since_last_error_ = 0;
+  num_errors_ = 0;
+  mean_distance_ = 0.0;
+  m2_ = 0.0;
+  max_score_ = 0.0;
+}
+
+Eddm::State Eddm::Update(bool error) {
+  ++since_last_error_;
+  if (!error) return State::kStable;
+
+  const double distance = static_cast<double>(since_last_error_);
+  since_last_error_ = 0;
+  ++num_errors_;
+  const double delta = distance - mean_distance_;
+  mean_distance_ += delta / static_cast<double>(num_errors_);
+  m2_ += delta * (distance - mean_distance_);
+  if (num_errors_ < 2) return State::kStable;
+  const double std =
+      std::sqrt(m2_ / static_cast<double>(num_errors_));
+  const double score = mean_distance_ + 2.0 * std;
+  if (score > max_score_) max_score_ = score;
+  if (num_errors_ < kMinErrors || max_score_ <= 0.0) return State::kStable;
+
+  const double ratio = score / max_score_;
+  if (ratio < kDriftLevel) {
+    ++num_detections_;
+    Reset();
+    return State::kDrift;
+  }
+  if (ratio < kWarningLevel) return State::kWarning;
+  return State::kStable;
+}
+
+}  // namespace dmt::drift

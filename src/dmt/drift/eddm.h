@@ -1,0 +1,41 @@
+// EDDM (Early Drift Detection Method), Baena-Garcia et al. 2006.
+//
+// Monitors the DISTANCE (number of observations) between consecutive
+// classification errors instead of the error rate itself, which makes it
+// more sensitive to slow, gradual drift than DDM. Warning at 95% of the
+// peak mean+2std distance, drift at 90%.
+#ifndef DMT_DRIFT_EDDM_H_
+#define DMT_DRIFT_EDDM_H_
+
+#include <cstddef>
+
+namespace dmt::drift {
+
+class Eddm {
+ public:
+  enum class State { kStable, kWarning, kDrift };
+
+  Eddm() { Reset(); }
+
+  // Feeds one error indicator (1 = misclassified); returns the new state.
+  State Update(bool error);
+
+  void Reset();
+  std::size_t num_detections() const { return num_detections_; }
+
+ private:
+  static constexpr double kWarningLevel = 0.95;
+  static constexpr double kDriftLevel = 0.90;
+  static constexpr std::size_t kMinErrors = 30;
+
+  std::size_t since_last_error_ = 0;
+  std::size_t num_errors_ = 0;
+  double mean_distance_ = 0.0;
+  double m2_ = 0.0;
+  double max_score_ = 0.0;
+  std::size_t num_detections_ = 0;
+};
+
+}  // namespace dmt::drift
+
+#endif  // DMT_DRIFT_EDDM_H_

@@ -1,0 +1,66 @@
+#include "dmt/drift/kswin.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt::drift {
+
+Kswin::Kswin(const KswinConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.window_size >= 2 * config.stat_size);
+  DMT_CHECK(config.alpha > 0.0 && config.alpha < 1.0);
+}
+
+double Kswin::KsStatistic(std::vector<double> a, std::vector<double> b) const {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  double d = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] <= b[ib]) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+    const double fa = static_cast<double>(ia) / a.size();
+    const double fb = static_cast<double>(ib) / b.size();
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+bool Kswin::Update(double value) {
+  window_.push_back(value);
+  if (window_.size() > config_.window_size) window_.pop_front();
+  if (window_.size() < config_.window_size) return false;
+
+  // Recent portion: last stat_size values. History sample: stat_size values
+  // drawn uniformly from the remainder.
+  const std::size_t n = config_.stat_size;
+  std::vector<double> recent(window_.end() - n, window_.end());
+  std::vector<double> history;
+  const std::size_t history_size = window_.size() - n;
+  history.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    history.push_back(
+        window_[rng_.UniformInt(0, static_cast<int>(history_size) - 1)]);
+  }
+
+  const double d = KsStatistic(std::move(history), std::move(recent));
+  // KS critical value for equal sample sizes n: c(alpha) * sqrt(2/n).
+  const double critical =
+      std::sqrt(-0.5 * std::log(config_.alpha / 2.0)) * std::sqrt(2.0 / n);
+  if (d > critical) {
+    ++num_detections_;
+    // Restart from the recent portion.
+    std::deque<double> rest(window_.end() - n, window_.end());
+    window_ = std::move(rest);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dmt::drift

@@ -1,0 +1,49 @@
+// KSWIN (Kolmogorov-Smirnov WINdowing), Raab, Heusinger & Schleif 2020.
+//
+// Keeps a sliding window of recent values and tests, via the two-sample
+// Kolmogorov-Smirnov statistic, whether a uniformly subsampled "history"
+// portion and the most recent portion come from the same distribution.
+// Works on arbitrary real inputs (error indicators, losses, raw features).
+#ifndef DMT_DRIFT_KSWIN_H_
+#define DMT_DRIFT_KSWIN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dmt/common/random.h"
+
+namespace dmt::drift {
+
+struct KswinConfig {
+  double alpha = 0.005;           // significance of the KS test
+  std::size_t window_size = 100;  // full sliding window
+  std::size_t stat_size = 30;     // size of the recent / sampled portions
+  std::uint64_t seed = 42;
+};
+
+class Kswin {
+ public:
+  explicit Kswin(const KswinConfig& config = {});
+
+  // Feeds one value; returns true iff the KS test rejects equality of the
+  // sampled history and the recent portion (drift). The window is reset to
+  // the recent portion on detection.
+  bool Update(double value);
+
+  std::size_t num_detections() const { return num_detections_; }
+  std::size_t window_fill() const { return window_.size(); }
+
+ private:
+  double KsStatistic(std::vector<double> a, std::vector<double> b) const;
+
+  KswinConfig config_;
+  Rng rng_;
+  std::deque<double> window_;
+  std::size_t num_detections_ = 0;
+};
+
+}  // namespace dmt::drift
+
+#endif  // DMT_DRIFT_KSWIN_H_

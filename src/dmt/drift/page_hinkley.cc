@@ -1,0 +1,28 @@
+#include "dmt/drift/page_hinkley.h"
+
+#include <algorithm>
+
+namespace dmt::drift {
+
+PageHinkley::PageHinkley(const PageHinkleyConfig& config) : config_(config) {}
+
+void PageHinkley::Reset() {
+  n_ = 0;
+  mean_ = 0.0;
+  sum_ = 0.0;
+}
+
+bool PageHinkley::Update(double value) {
+  ++n_;
+  mean_ += (value - mean_) / static_cast<double>(n_);
+  sum_ = std::max(0.0, config_.alpha * sum_ + (value - mean_ - config_.delta));
+  if (n_ < config_.min_instances) return false;
+  if (sum_ > config_.threshold) {
+    ++num_detections_;
+    Reset();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dmt::drift

@@ -1,0 +1,47 @@
+// Page-Hinkley test for detecting increases in the mean of a stream.
+//
+// FIMT-DD (Ikonomovska et al., 2011) runs this test on per-node absolute
+// errors and prunes the subtree when it raises an alert (the paper's "second
+// drift adjustment strategy" which we reproduce, Sec. VI-C).
+#ifndef DMT_DRIFT_PAGE_HINKLEY_H_
+#define DMT_DRIFT_PAGE_HINKLEY_H_
+
+#include <cstddef>
+
+namespace dmt::drift {
+
+struct PageHinkleyConfig {
+  // Minimum observations before alerts are possible.
+  std::size_t min_instances = 30;
+  // Magnitude of tolerated changes.
+  double delta = 0.005;
+  // Alert threshold lambda.
+  double threshold = 50.0;
+  // Forgetting factor applied to the cumulative statistic.
+  double alpha = 0.9999;
+};
+
+class PageHinkley {
+ public:
+  explicit PageHinkley(const PageHinkleyConfig& config = {});
+
+  // Feeds one value; returns true iff the test alerts. The internal state
+  // resets after an alert.
+  bool Update(double value);
+
+  void Reset();
+
+  std::size_t num_detections() const { return num_detections_; }
+  double cumulative_sum() const { return sum_; }
+
+ private:
+  PageHinkleyConfig config_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double sum_ = 0.0;
+  std::size_t num_detections_ = 0;
+};
+
+}  // namespace dmt::drift
+
+#endif  // DMT_DRIFT_PAGE_HINKLEY_H_

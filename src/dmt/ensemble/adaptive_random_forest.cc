@@ -1,0 +1,105 @@
+#include "dmt/ensemble/adaptive_random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt::ensemble {
+
+AdaptiveRandomForest::AdaptiveRandomForest(
+    const AdaptiveRandomForestConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  DMT_CHECK(config.num_learners >= 1);
+  if (config_.subspace_size <= 0) {
+    config_.subspace_size = static_cast<int>(std::sqrt(
+                                static_cast<double>(config.num_features))) +
+                            1;
+  }
+  for (int i = 0; i < config_.num_learners; ++i) {
+    Member member(config_.warning_delta, config_.drift_delta);
+    member.tree = MakeTree();
+    members_.push_back(std::move(member));
+  }
+}
+
+std::unique_ptr<trees::Vfdt> AdaptiveRandomForest::MakeTree() {
+  trees::VfdtConfig base = config_.base;
+  base.num_features = config_.num_features;
+  base.num_classes = config_.num_classes;
+  base.subspace_size = config_.subspace_size;
+  base.seed = rng_.Fork().engine()();
+  return std::make_unique<trees::Vfdt>(base);
+}
+
+void AdaptiveRandomForest::TrainInstance(std::span<const double> x, int y) {
+  for (Member& member : members_) {
+    const double error = member.tree->Predict(x) == y ? 0.0 : 1.0;
+    const bool warn = member.warning.Update(error);
+    const bool drift = member.drift.Update(error);
+
+    if (warn && member.background == nullptr) {
+      member.background = MakeTree();
+    }
+    if (drift) {
+      // Promote the background tree (or restart from scratch).
+      member.tree = member.background != nullptr ? std::move(member.background)
+                                                 : MakeTree();
+      member.background.reset();
+      member.warning = drift::Adwin(config_.warning_delta);
+      member.drift = drift::Adwin(config_.drift_delta);
+      ++num_promotions_;
+    }
+
+    const int weight = rng_.Poisson(config_.poisson_lambda);
+    for (int w = 0; w < weight; ++w) {
+      member.tree->TrainInstance(x, y);
+      if (member.background != nullptr) member.background->TrainInstance(x, y);
+    }
+  }
+}
+
+void AdaptiveRandomForest::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainInstance(batch.row(i), batch.label(i));
+  }
+}
+
+std::vector<double> AdaptiveRandomForest::PredictProba(
+    std::span<const double> x) const {
+  std::vector<double> sum(config_.num_classes, 0.0);
+  for (const Member& member : members_) {
+    const std::vector<double> proba = member.tree->PredictProba(x);
+    for (int c = 0; c < config_.num_classes; ++c) sum[c] += proba[c];
+  }
+  for (double& v : sum) v /= static_cast<double>(members_.size());
+  return sum;
+}
+
+int AdaptiveRandomForest::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::size_t AdaptiveRandomForest::NumSplits() const {
+  std::size_t total = 0;
+  for (const Member& member : members_) total += member.tree->NumSplits();
+  return total;
+}
+
+std::size_t AdaptiveRandomForest::NumParameters() const {
+  std::size_t total = 0;
+  for (const Member& member : members_) total += member.tree->NumParameters();
+  return total;
+}
+
+std::size_t AdaptiveRandomForest::num_background_trees() const {
+  std::size_t total = 0;
+  for (const Member& member : members_) total += member.background != nullptr;
+  return total;
+}
+
+}  // namespace dmt::ensemble

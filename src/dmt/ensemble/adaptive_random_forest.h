@@ -1,0 +1,73 @@
+// Adaptive Random Forest (Gomes et al., 2017).
+//
+// An online forest of Hoeffding trees where (i) each tree considers only a
+// random subset of sqrt(m)+1 features per split, (ii) training uses online
+// bagging with Poisson(6) weights, and (iii) each member carries a warning
+// and a drift ADWIN detector: a warning starts a background tree that is
+// trained in parallel and promoted when the drift detector fires. The paper
+// runs it with 3 members configured like the stand-alone VFDT (Sec. VI-C).
+#ifndef DMT_ENSEMBLE_ADAPTIVE_RANDOM_FOREST_H_
+#define DMT_ENSEMBLE_ADAPTIVE_RANDOM_FOREST_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/common/random.h"
+#include "dmt/drift/adwin.h"
+#include "dmt/trees/vfdt.h"
+
+namespace dmt::ensemble {
+
+struct AdaptiveRandomForestConfig {
+  int num_features = 0;
+  int num_classes = 2;
+  int num_learners = 3;  // as in the paper's experiments
+  double poisson_lambda = 6.0;
+  double warning_delta = 0.01;
+  double drift_delta = 0.001;
+  // 0 derives sqrt(num_features) + 1.
+  int subspace_size = 0;
+  trees::VfdtConfig base;
+  std::uint64_t seed = 42;
+};
+
+class AdaptiveRandomForest : public Classifier {
+ public:
+  explicit AdaptiveRandomForest(const AdaptiveRandomForestConfig& config);
+
+  void PartialFit(const Batch& batch) override;
+  int Predict(std::span<const double> x) const override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::size_t NumSplits() const override;
+  std::size_t NumParameters() const override;
+  std::string name() const override { return "ARF"; }
+
+  std::size_t num_promotions() const { return num_promotions_; }
+  std::size_t num_background_trees() const;
+
+ private:
+  struct Member {
+    std::unique_ptr<trees::Vfdt> tree;
+    std::unique_ptr<trees::Vfdt> background;
+    drift::Adwin warning;
+    drift::Adwin drift;
+
+    Member(double warning_delta, double drift_delta)
+        : warning(warning_delta), drift(drift_delta) {}
+  };
+
+  std::unique_ptr<trees::Vfdt> MakeTree();
+  void TrainInstance(std::span<const double> x, int y);
+
+  AdaptiveRandomForestConfig config_;
+  Rng rng_;
+  std::vector<Member> members_;
+  std::size_t num_promotions_ = 0;
+};
+
+}  // namespace dmt::ensemble
+
+#endif  // DMT_ENSEMBLE_ADAPTIVE_RANDOM_FOREST_H_

@@ -1,0 +1,84 @@
+#include "dmt/ensemble/leveraging_bagging.h"
+
+#include <algorithm>
+
+#include "dmt/common/check.h"
+
+namespace dmt::ensemble {
+
+LeveragingBagging::LeveragingBagging(const LeveragingBaggingConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  DMT_CHECK(config.num_learners >= 1);
+  for (int i = 0; i < config_.num_learners; ++i) {
+    members_.push_back(MakeMember());
+    detectors_.emplace_back(config_.adwin_delta);
+  }
+}
+
+std::unique_ptr<trees::Vfdt> LeveragingBagging::MakeMember() {
+  trees::VfdtConfig base = config_.base;
+  base.num_features = config_.num_features;
+  base.num_classes = config_.num_classes;
+  base.seed = rng_.Fork().engine()();
+  return std::make_unique<trees::Vfdt>(base);
+}
+
+void LeveragingBagging::TrainInstance(std::span<const double> x, int y) {
+  bool change = false;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    // Monitor each member's own prequential error.
+    const double error = members_[i]->Predict(x) == y ? 0.0 : 1.0;
+    change |= detectors_[i].Update(error);
+    const int weight = rng_.Poisson(config_.poisson_lambda);
+    for (int w = 0; w < weight; ++w) members_[i]->TrainInstance(x, y);
+  }
+  if (change) {
+    // Reset the member with the highest windowed error.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < members_.size(); ++i) {
+      if (detectors_[i].mean() > detectors_[worst].mean()) worst = i;
+    }
+    members_[worst] = MakeMember();
+    detectors_[worst] = drift::Adwin(config_.adwin_delta);
+    ++num_resets_;
+  }
+}
+
+void LeveragingBagging::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainInstance(batch.row(i), batch.label(i));
+  }
+}
+
+std::vector<double> LeveragingBagging::PredictProba(
+    std::span<const double> x) const {
+  std::vector<double> sum(config_.num_classes, 0.0);
+  for (const auto& member : members_) {
+    const std::vector<double> proba = member->PredictProba(x);
+    for (int c = 0; c < config_.num_classes; ++c) sum[c] += proba[c];
+  }
+  for (double& v : sum) v /= static_cast<double>(members_.size());
+  return sum;
+}
+
+int LeveragingBagging::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::size_t LeveragingBagging::NumSplits() const {
+  std::size_t total = 0;
+  for (const auto& member : members_) total += member->NumSplits();
+  return total;
+}
+
+std::size_t LeveragingBagging::NumParameters() const {
+  std::size_t total = 0;
+  for (const auto& member : members_) total += member->NumParameters();
+  return total;
+}
+
+}  // namespace dmt::ensemble

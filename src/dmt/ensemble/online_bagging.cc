@@ -1,0 +1,63 @@
+#include "dmt/ensemble/online_bagging.h"
+
+#include <algorithm>
+
+#include "dmt/common/check.h"
+
+namespace dmt::ensemble {
+
+OnlineBagging::OnlineBagging(const OnlineBaggingConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  DMT_CHECK(config.num_learners >= 1);
+  for (int i = 0; i < config_.num_learners; ++i) {
+    trees::VfdtConfig base = config_.base;
+    base.num_features = config_.num_features;
+    base.num_classes = config_.num_classes;
+    base.seed = rng_.Fork().engine()();
+    members_.push_back(std::make_unique<trees::Vfdt>(base));
+  }
+}
+
+void OnlineBagging::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (auto& member : members_) {
+      const int weight = rng_.Poisson(config_.poisson_lambda);
+      for (int w = 0; w < weight; ++w) {
+        member->TrainInstance(batch.row(i), batch.label(i));
+      }
+    }
+  }
+}
+
+std::vector<double> OnlineBagging::PredictProba(
+    std::span<const double> x) const {
+  std::vector<double> sum(config_.num_classes, 0.0);
+  for (const auto& member : members_) {
+    const std::vector<double> proba = member->PredictProba(x);
+    for (int c = 0; c < config_.num_classes; ++c) sum[c] += proba[c];
+  }
+  for (double& v : sum) v /= static_cast<double>(members_.size());
+  return sum;
+}
+
+int OnlineBagging::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::size_t OnlineBagging::NumSplits() const {
+  std::size_t total = 0;
+  for (const auto& member : members_) total += member->NumSplits();
+  return total;
+}
+
+std::size_t OnlineBagging::NumParameters() const {
+  std::size_t total = 0;
+  for (const auto& member : members_) total += member->NumParameters();
+  return total;
+}
+
+}  // namespace dmt::ensemble

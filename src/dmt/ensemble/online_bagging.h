@@ -1,0 +1,47 @@
+// Online (Oza) Bagging, Oza & Russell 2001: each incoming observation is
+// presented to every base learner k ~ Poisson(1) times, which converges to
+// bootstrap resampling as the stream grows. The plain, drift-oblivious
+// baseline that Leveraging Bagging extends with Poisson(6) and ADWIN.
+#ifndef DMT_ENSEMBLE_ONLINE_BAGGING_H_
+#define DMT_ENSEMBLE_ONLINE_BAGGING_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/common/random.h"
+#include "dmt/trees/vfdt.h"
+
+namespace dmt::ensemble {
+
+struct OnlineBaggingConfig {
+  int num_features = 0;
+  int num_classes = 2;
+  int num_learners = 3;
+  double poisson_lambda = 1.0;
+  trees::VfdtConfig base;
+  std::uint64_t seed = 42;
+};
+
+class OnlineBagging : public Classifier {
+ public:
+  explicit OnlineBagging(const OnlineBaggingConfig& config);
+
+  void PartialFit(const Batch& batch) override;
+  int Predict(std::span<const double> x) const override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::size_t NumSplits() const override;
+  std::size_t NumParameters() const override;
+  std::string name() const override { return "OzaBag"; }
+
+ private:
+  OnlineBaggingConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<trees::Vfdt>> members_;
+};
+
+}  // namespace dmt::ensemble
+
+#endif  // DMT_ENSEMBLE_ONLINE_BAGGING_H_

@@ -1,0 +1,87 @@
+#include "dmt/ensemble/online_boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt::ensemble {
+
+OnlineBoosting::OnlineBoosting(const OnlineBoostingConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  DMT_CHECK(config.num_learners >= 1);
+  for (int i = 0; i < config_.num_learners; ++i) {
+    trees::VfdtConfig base = config_.base;
+    base.num_features = config_.num_features;
+    base.num_classes = config_.num_classes;
+    base.seed = rng_.Fork().engine()();
+    members_.push_back({std::make_unique<trees::Vfdt>(base), 0.0, 0.0});
+  }
+}
+
+void OnlineBoosting::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::span<const double> x = batch.row(i);
+    const int y = batch.label(i);
+    double lambda = 1.0;
+    for (Member& member : members_) {
+      const int weight = rng_.Poisson(lambda);
+      for (int w = 0; w < weight; ++w) member.tree->TrainInstance(x, y);
+      if (member.tree->Predict(x) == y) {
+        member.correct_weight += lambda;
+        // Scale down: this part of the stream is already handled.
+        const double total = member.correct_weight + member.wrong_weight;
+        lambda *= total / (2.0 * member.correct_weight);
+      } else {
+        member.wrong_weight += lambda;
+        const double total = member.correct_weight + member.wrong_weight;
+        lambda *= total / (2.0 * member.wrong_weight);
+      }
+      lambda = std::min(lambda, 100.0);  // keep Poisson sane
+    }
+  }
+}
+
+std::vector<double> OnlineBoosting::PredictProba(
+    std::span<const double> x) const {
+  std::vector<double> votes(config_.num_classes, 0.0);
+  double vote_sum = 0.0;
+  for (const Member& member : members_) {
+    const double total = member.correct_weight + member.wrong_weight;
+    if (total <= 0.0) continue;
+    const double error =
+        std::clamp(member.wrong_weight / total, 1e-6, 0.5 - 1e-6);
+    const double beta = error / (1.0 - error);
+    const double weight = std::log(1.0 / beta);
+    votes[member.tree->Predict(x)] += weight;
+    vote_sum += weight;
+  }
+  if (vote_sum <= 0.0) {
+    std::fill(votes.begin(), votes.end(), 1.0 / config_.num_classes);
+    return votes;
+  }
+  for (double& v : votes) v /= vote_sum;
+  return votes;
+}
+
+int OnlineBoosting::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::size_t OnlineBoosting::NumSplits() const {
+  std::size_t total = 0;
+  for (const Member& member : members_) total += member.tree->NumSplits();
+  return total;
+}
+
+std::size_t OnlineBoosting::NumParameters() const {
+  std::size_t total = 0;
+  for (const Member& member : members_) total += member.tree->NumParameters();
+  return total;
+}
+
+}  // namespace dmt::ensemble

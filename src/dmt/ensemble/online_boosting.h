@@ -1,0 +1,53 @@
+// Online Boosting (Oza & Russell, 2001): the streaming analogue of AdaBoost.
+// Each base learner k sees the instance with a Poisson(lambda_k) weight,
+// where lambda_k is scaled up if the previous learners misclassified the
+// instance and down otherwise; prediction combines the learners with
+// log(1/beta) weights derived from their running error rates.
+#ifndef DMT_ENSEMBLE_ONLINE_BOOSTING_H_
+#define DMT_ENSEMBLE_ONLINE_BOOSTING_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/common/random.h"
+#include "dmt/trees/vfdt.h"
+
+namespace dmt::ensemble {
+
+struct OnlineBoostingConfig {
+  int num_features = 0;
+  int num_classes = 2;
+  int num_learners = 3;
+  trees::VfdtConfig base;
+  std::uint64_t seed = 42;
+};
+
+class OnlineBoosting : public Classifier {
+ public:
+  explicit OnlineBoosting(const OnlineBoostingConfig& config);
+
+  void PartialFit(const Batch& batch) override;
+  int Predict(std::span<const double> x) const override;
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::size_t NumSplits() const override;
+  std::size_t NumParameters() const override;
+  std::string name() const override { return "OzaBoost"; }
+
+ private:
+  struct Member {
+    std::unique_ptr<trees::Vfdt> tree;
+    double correct_weight = 0.0;  // lambda mass classified correctly
+    double wrong_weight = 0.0;    // lambda mass misclassified
+  };
+
+  OnlineBoostingConfig config_;
+  Rng rng_;
+  std::vector<Member> members_;
+};
+
+}  // namespace dmt::ensemble
+
+#endif  // DMT_ENSEMBLE_ONLINE_BOOSTING_H_

@@ -1,0 +1,141 @@
+#include "dmt/eval/metrics.h"
+
+#include <algorithm>
+
+#include "dmt/common/check.h"
+
+namespace dmt::eval {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  DMT_CHECK(num_classes >= 2);
+}
+
+void ConfusionMatrix::Add(int predicted, int actual) {
+  DMT_DCHECK(predicted >= 0 &&
+             predicted < static_cast<int>(num_classes_));
+  DMT_DCHECK(actual >= 0 && actual < static_cast<int>(num_classes_));
+  ++counts_[static_cast<std::size_t>(predicted) * num_classes_ + actual];
+  ++total_;
+}
+
+void ConfusionMatrix::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+std::size_t ConfusionMatrix::count(int predicted, int actual) const {
+  return counts_[static_cast<std::size_t>(predicted) * num_classes_ + actual];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    correct += counts_[c * num_classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int c) const {
+  std::size_t tp = count(c, c);
+  std::size_t predicted = 0;
+  for (std::size_t a = 0; a < num_classes_; ++a) {
+    predicted += count(c, static_cast<int>(a));
+  }
+  return predicted == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int c) const {
+  std::size_t tp = count(c, c);
+  std::size_t actual = 0;
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    actual += count(static_cast<int>(p), c);
+  }
+  return actual == 0 ? 0.0
+                     : static_cast<double>(tp) / static_cast<double>(actual);
+}
+
+double ConfusionMatrix::F1(int c) const {
+  const double precision = Precision(c);
+  const double recall = Recall(c);
+  return precision + recall == 0.0
+             ? 0.0
+             : 2.0 * precision * recall / (precision + recall);
+}
+
+double ConfusionMatrix::WeightedF1() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    std::size_t actual = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      actual += count(static_cast<int>(p), static_cast<int>(c));
+    }
+    if (actual == 0) continue;
+    sum += static_cast<double>(actual) * F1(static_cast<int>(c));
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::CohensKappa() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  double observed = 0.0;
+  double expected = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    observed += static_cast<double>(count(static_cast<int>(c),
+                                          static_cast<int>(c)));
+    double row = 0.0;
+    double col = 0.0;
+    for (std::size_t k = 0; k < num_classes_; ++k) {
+      row += static_cast<double>(count(static_cast<int>(c),
+                                       static_cast<int>(k)));
+      col += static_cast<double>(count(static_cast<int>(k),
+                                       static_cast<int>(c)));
+    }
+    expected += row * col / n;
+  }
+  observed /= n;
+  expected /= n;
+  return expected >= 1.0 ? 0.0 : (observed - expected) / (1.0 - expected);
+}
+
+double ConfusionMatrix::KappaM() const {
+  if (total_ == 0) return 0.0;
+  const double n = static_cast<double>(total_);
+  double correct = 0.0;
+  double majority = 0.0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    correct += static_cast<double>(count(static_cast<int>(c),
+                                         static_cast<int>(c)));
+    double support = 0.0;
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      support += static_cast<double>(count(static_cast<int>(p),
+                                           static_cast<int>(c)));
+    }
+    majority = std::max(majority, support);
+  }
+  const double p0 = correct / n;
+  const double pm = majority / n;
+  return pm >= 1.0 ? 0.0 : (p0 - pm) / (1.0 - pm);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  std::size_t supported = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    std::size_t actual = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p) {
+      actual += count(static_cast<int>(p), static_cast<int>(c));
+    }
+    if (actual == 0) continue;
+    ++supported;
+    sum += F1(static_cast<int>(c));
+  }
+  return supported == 0 ? 0.0 : sum / static_cast<double>(supported);
+}
+
+}  // namespace dmt::eval

@@ -1,0 +1,65 @@
+#include "dmt/eval/prequential.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "dmt/common/check.h"
+#include "dmt/eval/metrics.h"
+#include "dmt/streams/scaler.h"
+
+namespace dmt::eval {
+
+PrequentialResult RunPrequential(streams::Stream* stream,
+                                 Classifier* classifier,
+                                 const PrequentialConfig& config) {
+  DMT_CHECK(stream != nullptr);
+  DMT_CHECK(classifier != nullptr);
+  std::size_t batch_size = config.batch_size;
+  if (batch_size == 0) {
+    DMT_CHECK(config.expected_samples > 0);
+    batch_size = std::max<std::size_t>(
+        1, static_cast<std::size_t>(0.001 *
+                                    static_cast<double>(
+                                        config.expected_samples)));
+  }
+
+  PrequentialResult result;
+  streams::OnlineMinMaxScaler scaler(stream->num_features());
+  ConfusionMatrix confusion(stream->num_classes());
+  Batch batch(stream->num_features(), batch_size);
+
+  while (true) {
+    batch.clear();
+    if (stream->FillBatch(batch_size, &batch) == 0) break;
+
+    const auto start = std::chrono::steady_clock::now();
+    if (config.normalize) scaler.FitTransform(&batch);
+
+    // Test.
+    confusion.Reset();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      confusion.Add(classifier->Predict(batch.row(i)), batch.label(i));
+    }
+    // Train.
+    classifier->PartialFit(batch);
+    const auto end = std::chrono::steady_clock::now();
+
+    const double f1 = confusion.WeightedF1();
+    const double splits = static_cast<double>(classifier->NumSplits());
+    result.f1.Add(f1);
+    result.accuracy.Add(confusion.Accuracy());
+    result.num_splits.Add(splits);
+    result.num_params.Add(static_cast<double>(classifier->NumParameters()));
+    result.iteration_seconds.Add(
+        std::chrono::duration<double>(end - start).count());
+    if (config.keep_series) {
+      result.f1_series.push_back(f1);
+      result.splits_series.push_back(splits);
+    }
+    result.total_samples += batch.size();
+    ++result.num_batches;
+  }
+  return result;
+}
+
+}  // namespace dmt::eval

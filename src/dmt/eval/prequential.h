@@ -1,0 +1,48 @@
+// Prequential (test-then-train) evaluation, the paper's protocol (Sec.
+// VI-A): each batch (0.1% of the stream) is first scored against the current
+// model, then used to train it. Per-batch F1, complexity and wall-clock time
+// are aggregated into the mean +- std figures of Tables II-V and into the
+// sliding-window series of Figure 3.
+#ifndef DMT_EVAL_PREQUENTIAL_H_
+#define DMT_EVAL_PREQUENTIAL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/common/stats.h"
+#include "dmt/streams/stream.h"
+
+namespace dmt::eval {
+
+struct PrequentialConfig {
+  // Observations per test-then-train iteration; 0 derives it as 0.1% of
+  // `expected_samples` (minimum 1).
+  std::size_t batch_size = 0;
+  std::size_t expected_samples = 0;
+  // Apply online min-max normalization (the paper normalizes all features).
+  bool normalize = true;
+  // Record per-batch series (needed for Figures 3 and 4).
+  bool keep_series = false;
+};
+
+struct PrequentialResult {
+  RunningStats f1;
+  RunningStats accuracy;
+  RunningStats num_splits;
+  RunningStats num_params;
+  RunningStats iteration_seconds;
+  std::size_t total_samples = 0;
+  std::size_t num_batches = 0;
+  // Per-batch series (only when keep_series).
+  std::vector<double> f1_series;
+  std::vector<double> splits_series;
+};
+
+PrequentialResult RunPrequential(streams::Stream* stream,
+                                 Classifier* classifier,
+                                 const PrequentialConfig& config);
+
+}  // namespace dmt::eval
+
+#endif  // DMT_EVAL_PREQUENTIAL_H_

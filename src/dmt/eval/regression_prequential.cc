@@ -1,0 +1,102 @@
+#include "dmt/eval/regression_prequential.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "dmt/common/check.h"
+
+namespace dmt::eval {
+
+namespace {
+
+// Min-max scaler over RegressionBatch features (targets left untouched).
+class BatchScaler {
+ public:
+  explicit BatchScaler(std::size_t num_features)
+      : mins_(num_features, std::numeric_limits<double>::max()),
+        maxs_(num_features, std::numeric_limits<double>::lowest()) {}
+
+  void FitTransform(linear::RegressionBatch* batch) {
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      const std::span<const double> row = batch->row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        mins_[j] = std::min(mins_[j], row[j]);
+        maxs_[j] = std::max(maxs_[j], row[j]);
+      }
+    }
+    for (std::size_t i = 0; i < batch->size(); ++i) {
+      std::span<double> row = batch->mutable_row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        const double range = maxs_[j] - mins_[j];
+        row[j] = range <= 0.0
+                     ? 0.5
+                     : std::clamp((row[j] - mins_[j]) / range, 0.0, 1.0);
+      }
+    }
+  }
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace
+
+RegressionPrequentialResult RunRegressionPrequential(
+    streams::RegressionStream* stream, const RegressorApi& model,
+    const RegressionPrequentialConfig& config) {
+  DMT_CHECK(stream != nullptr);
+  std::size_t batch_size = config.batch_size;
+  if (batch_size == 0) {
+    DMT_CHECK(config.expected_samples > 0);
+    batch_size = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               0.001 * static_cast<double>(config.expected_samples)));
+  }
+
+  RegressionPrequentialResult result;
+  BatchScaler scaler(stream->num_features());
+  linear::RegressionBatch batch(stream->num_features());
+
+  // For the global R^2: sums of residuals and of targets.
+  double sse = 0.0;
+  RunningStats target_stats;
+
+  while (true) {
+    batch.clear();
+    if (stream->FillBatch(batch_size, &batch) == 0) break;
+    const auto start = std::chrono::steady_clock::now();
+    if (config.normalize) scaler.FitTransform(&batch);
+
+    double abs_sum = 0.0;
+    double sq_sum = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double err = model.predict(batch.row(i)) - batch.target(i);
+      abs_sum += std::abs(err);
+      sq_sum += err * err;
+      sse += err * err;
+      target_stats.Add(batch.target(i));
+    }
+    model.partial_fit(batch);
+    const auto end = std::chrono::steady_clock::now();
+
+    const double n = static_cast<double>(batch.size());
+    result.mae.Add(abs_sum / n);
+    result.rmse.Add(std::sqrt(sq_sum / n));
+    result.num_splits.Add(static_cast<double>(model.num_splits()));
+    result.iteration_seconds.Add(
+        std::chrono::duration<double>(end - start).count());
+    if (config.keep_series) result.mae_series.push_back(abs_sum / n);
+    result.total_samples += batch.size();
+    ++result.num_batches;
+  }
+
+  const double sst = target_stats.variance() *
+                     static_cast<double>(target_stats.count());
+  result.r_squared = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+  return result;
+}
+
+}  // namespace dmt::eval

@@ -1,0 +1,266 @@
+#include "dmt/linear/glm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::linear {
+
+namespace {
+
+std::size_t ParamCount(int num_features, int num_classes) {
+  return num_classes == 2
+             ? static_cast<std::size_t>(num_features + 1)
+             : static_cast<std::size_t>(num_classes) * (num_features + 1);
+}
+
+}  // namespace
+
+Glm::Glm(const GlmConfig& config)
+    : config_(config),
+      num_features_(config.num_features),
+      num_classes_(config.num_classes) {
+  DMT_CHECK(num_features_ >= 1);
+  DMT_CHECK(num_classes_ >= 2);
+  DMT_CHECK(config.l1_penalty >= 0.0);
+  Rng rng(config.seed);
+  params_.resize(ParamCount(num_features_, num_classes_));
+  for (double& p : params_) p = rng.Gaussian(0.0, config.init_scale);
+  logits_scratch_.resize(num_classes_);
+}
+
+Glm::Glm(const GlmConfig& config, Rng* rng)
+    : config_(config),
+      num_features_(config.num_features),
+      num_classes_(config.num_classes) {
+  DMT_CHECK(num_features_ >= 1);
+  DMT_CHECK(num_classes_ >= 2);
+  DMT_CHECK(config.l1_penalty >= 0.0);
+  DMT_CHECK(rng != nullptr);
+  params_.resize(ParamCount(num_features_, num_classes_));
+  for (double& p : params_) p = rng->Gaussian(0.0, config.init_scale);
+  logits_scratch_.resize(num_classes_);
+}
+
+void Glm::Fit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SgdStep(batch.row(i), batch.label(i));
+  }
+  if (config_.l1_penalty > 0.0 && !batch.empty()) ApplyL1Prox();
+}
+
+void Glm::FitRows(const Batch& batch, std::span<const std::size_t> rows) {
+  for (std::size_t i : rows) {
+    SgdStep(batch.row(i), batch.label(i));
+  }
+  if (config_.l1_penalty > 0.0 && !rows.empty()) ApplyL1Prox();
+}
+
+void Glm::ApplyL1Prox() {
+  const double shrink = CurrentLearningRate() * config_.l1_penalty;
+  const int stride = num_features_ + 1;
+  const int blocks = is_binary() ? 1 : num_classes_;
+  for (int c = 0; c < blocks; ++c) {
+    for (int j = 0; j < num_features_; ++j) {
+      double& w = params_[c * stride + j];
+      if (w > shrink) {
+        w -= shrink;
+      } else if (w < -shrink) {
+        w += shrink;
+      } else {
+        w = 0.0;
+      }
+    }
+  }
+}
+
+double Glm::CurrentLearningRate() const {
+  if (config_.schedule == LearningRateSchedule::kInverseSqrt) {
+    return config_.learning_rate /
+           std::sqrt(1.0 + static_cast<double>(steps_) / 1000.0);
+  }
+  return config_.learning_rate;
+}
+
+double Glm::Sparsity() const {
+  const int stride = num_features_ + 1;
+  std::size_t zeros = 0;
+  std::size_t weights = 0;
+  const int blocks = is_binary() ? 1 : num_classes_;
+  for (int c = 0; c < blocks; ++c) {
+    for (int j = 0; j < num_features_; ++j) {
+      ++weights;
+      zeros += params_[c * stride + j] == 0.0;
+    }
+  }
+  return weights == 0 ? 0.0 : static_cast<double>(zeros) / weights;
+}
+
+void Glm::ApplyUpdate(std::size_t p, double g, double lr) {
+  switch (config_.optimizer) {
+    case Optimizer::kSgd:
+      params_[p] -= lr * g;
+      return;
+    case Optimizer::kMomentum:
+      if (velocity_.empty()) velocity_.assign(params_.size(), 0.0);
+      velocity_[p] = config_.momentum_beta * velocity_[p] + g;
+      params_[p] -= lr * velocity_[p];
+      return;
+    case Optimizer::kAdagrad:
+      if (grad_accum_.empty()) grad_accum_.assign(params_.size(), 0.0);
+      grad_accum_[p] += g * g;
+      params_[p] -= lr * g / std::sqrt(grad_accum_[p] + 1e-8);
+      return;
+  }
+}
+
+void Glm::SgdStep(std::span<const double> x, int y) {
+  DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
+  const double lr = CurrentLearningRate();
+  ++steps_;
+  const int stride = num_features_ + 1;
+  if (is_binary()) {
+    const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
+    const double err = Sigmoid(z) - (y == 1 ? 1.0 : 0.0);
+    for (int j = 0; j < num_features_; ++j) {
+      ApplyUpdate(j, err * x[j], lr);
+    }
+    ApplyUpdate(params_.size() - 1, err, lr);
+    return;
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = params_.data() + c * stride;
+    logits_scratch_[c] = Dot(x, {w, x.size()}) + w[num_features_];
+  }
+  SoftmaxInPlace(logits_scratch_);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
+    for (int j = 0; j < num_features_; ++j) {
+      ApplyUpdate(c * stride + j, err * x[j], lr);
+    }
+    ApplyUpdate(c * stride + num_features_, err, lr);
+  }
+}
+
+std::vector<double> Glm::PredictProba(std::span<const double> x) const {
+  DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
+  std::vector<double> proba(num_classes_);
+  if (is_binary()) {
+    const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
+    proba[1] = Sigmoid(z);
+    proba[0] = 1.0 - proba[1];
+    return proba;
+  }
+  const int stride = num_features_ + 1;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = params_.data() + c * stride;
+    proba[c] = Dot(x, {w, x.size()}) + w[num_features_];
+  }
+  SoftmaxInPlace(proba);
+  return proba;
+}
+
+int Glm::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+double Glm::LossOne(std::span<const double> x, int y) const {
+  const std::vector<double> proba = PredictProba(x);
+  DMT_DCHECK(y >= 0 && y < num_classes_);
+  return -SafeLog(proba[y]);
+}
+
+double Glm::Loss(const Batch& batch) const {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    loss += LossOne(batch.row(i), batch.label(i));
+  }
+  return loss;
+}
+
+double Glm::LossAndGradient(const Batch& batch, const std::vector<char>* mask,
+                            std::span<double> grad_out) const {
+  DMT_DCHECK(grad_out.size() == params_.size());
+  double loss = 0.0;
+  const int stride = num_features_ + 1;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (mask != nullptr && !(*mask)[i]) continue;
+    const std::span<const double> x = batch.row(i);
+    const int y = batch.label(i);
+    if (is_binary()) {
+      const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
+      const double p = Sigmoid(z);
+      loss += -(y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
+      const double err = p - (y == 1 ? 1.0 : 0.0);
+      for (int j = 0; j < num_features_; ++j) grad_out[j] += err * x[j];
+      grad_out[num_features_] += err;
+    } else {
+      for (int c = 0; c < num_classes_; ++c) {
+        const double* w = params_.data() + c * stride;
+        logits_scratch_[c] = Dot(x, {w, x.size()}) + w[num_features_];
+      }
+      SoftmaxInPlace(logits_scratch_);
+      loss += -SafeLog(logits_scratch_[y]);
+      for (int c = 0; c < num_classes_; ++c) {
+        const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
+        double* g = grad_out.data() + c * stride;
+        for (int j = 0; j < num_features_; ++j) g[j] += err * x[j];
+        g[num_features_] += err;
+      }
+    }
+  }
+  return loss;
+}
+
+double Glm::LossAndGradientOne(std::span<const double> x, int y,
+                               std::span<double> grad_out) const {
+  DMT_DCHECK(grad_out.size() == params_.size());
+  const int stride = num_features_ + 1;
+  if (is_binary()) {
+    const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
+    const double p = Sigmoid(z);
+    const double err = p - (y == 1 ? 1.0 : 0.0);
+    for (int j = 0; j < num_features_; ++j) grad_out[j] = err * x[j];
+    grad_out[num_features_] = err;
+    return -(y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
+  }
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = params_.data() + c * stride;
+    logits_scratch_[c] = Dot(x, {w, x.size()}) + w[num_features_];
+  }
+  SoftmaxInPlace(logits_scratch_);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
+    double* g = grad_out.data() + c * stride;
+    for (int j = 0; j < num_features_; ++j) g[j] = err * x[j];
+    g[num_features_] = err;
+  }
+  return -SafeLog(logits_scratch_[y]);
+}
+
+void Glm::WarmStartFrom(const Glm& parent) {
+  DMT_CHECK(parent.params_.size() == params_.size());
+  params_ = parent.params_;
+}
+
+std::vector<double> Glm::FeatureWeights(int c) const {
+  DMT_CHECK(c >= 0 && c < num_classes_);
+  std::vector<double> weights(num_features_);
+  if (is_binary()) {
+    for (int j = 0; j < num_features_; ++j) {
+      weights[j] = (c == 1 ? params_[j] : -params_[j]);
+    }
+    return weights;
+  }
+  const int stride = num_features_ + 1;
+  for (int j = 0; j < num_features_; ++j) {
+    weights[j] = params_[c * stride + j];
+  }
+  return weights;
+}
+
+}  // namespace dmt::linear

@@ -1,0 +1,143 @@
+// Generalized linear "simple models" used at every node of a Dynamic Model
+// Tree (paper Sec. V-A): a binary logit model for two classes and a
+// multinomial logit (softmax) model otherwise, trained by constant-rate SGD
+// and scored with the negative log-likelihood loss (Sec. V-B).
+//
+// Besides fitting and prediction, the model exposes loss and gradient
+// evaluation at the *current* parameters over (subsets of) a batch. These
+// are the statistics Algorithm 1 accumulates per node and per split
+// candidate, and they feed the gradient-based candidate loss approximation
+// of Eqs. (6)-(7).
+#ifndef DMT_LINEAR_GLM_H_
+#define DMT_LINEAR_GLM_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/common/types.h"
+
+namespace dmt::linear {
+
+// Learning-rate schedule for the SGD updates. The paper trains with a
+// constant rate (Sec. V-A) and names dynamic rates as future work; the
+// inverse-sqrt schedule implements that hook.
+enum class LearningRateSchedule {
+  kConstant,
+  kInverseSqrt,  // lr_t = lr / sqrt(1 + t / 1000), t = observations seen
+};
+
+// Update rule for the SGD steps (the paper trains plain SGD, Sec. V-A, and
+// names alternative optimization strategies as future work).
+enum class Optimizer {
+  kSgd,
+  kMomentum,  // velocity = beta * velocity + grad; w -= lr * velocity
+  kAdagrad,   // w -= lr * grad / sqrt(accum + eps), per-coordinate
+};
+
+struct GlmConfig {
+  int num_features = 0;
+  int num_classes = 2;
+  // Base SGD learning rate; the paper proposes 0.05 for the DMT models.
+  double learning_rate = 0.05;
+  LearningRateSchedule schedule = LearningRateSchedule::kConstant;
+  Optimizer optimizer = Optimizer::kSgd;
+  double momentum_beta = 0.9;
+  // L1 penalty applied by soft-thresholding the weights once per Fit call
+  // (truncated-gradient style); > 0 sparsifies the models (the paper's
+  // "online feature selection" future-work hook, Sec. V-A). Biases are
+  // never thresholded.
+  double l1_penalty = 0.0;
+  // Standard deviation of the random weight initialization.
+  double init_scale = 0.1;
+  std::uint64_t seed = 42;
+};
+
+class Glm {
+ public:
+  explicit Glm(const GlmConfig& config);
+  explicit Glm(const GlmConfig& config, Rng* rng);
+
+  // Number of free parameters k: m+1 for the binary logit, c*(m+1) for the
+  // softmax model. This is the k of the AIC threshold (Eq. 11).
+  int num_params() const { return static_cast<int>(params_.size()); }
+  int num_features() const { return num_features_; }
+  int num_classes() const { return num_classes_; }
+  double learning_rate() const { return config_.learning_rate; }
+  // Effective learning rate at the current step (schedule applied).
+  double CurrentLearningRate() const;
+  // Fraction of (non-bias) weights that are exactly zero.
+  double Sparsity() const;
+
+  // One SGD epoch over the batch (per-sample updates in stream order).
+  void Fit(const Batch& batch);
+  // SGD over the rows of `batch` selected by `rows`.
+  void FitRows(const Batch& batch, std::span<const std::size_t> rows);
+
+  // Class probabilities for one observation (size num_classes).
+  std::vector<double> PredictProba(std::span<const double> x) const;
+  int Predict(std::span<const double> x) const;
+
+  // Negative log-likelihood of the batch at the current parameters.
+  double Loss(const Batch& batch) const;
+  // NLL of one observation at the current parameters.
+  double LossOne(std::span<const double> x, int y) const;
+
+  // Accumulates loss and gradient (w.r.t. the current parameters) of every
+  // row of `batch`; `grad_out` must have num_params() entries and is added
+  // to, not overwritten. Returns the summed loss. A null `mask` selects all
+  // rows; otherwise row i contributes iff mask[i] is true. This single pass
+  // produces the node statistic and (with masks) each candidate's left-child
+  // statistic of Algorithm 1, lines 1-2 and 8-9.
+  double LossAndGradient(const Batch& batch, const std::vector<char>* mask,
+                         std::span<double> grad_out) const;
+
+  // Loss and gradient of a single observation at the current parameters;
+  // `grad_out` (num_params() entries) is overwritten. Used by the DMT to
+  // build per-sample statistics that are then aggregated per candidate.
+  double LossAndGradientOne(std::span<const double> x, int y,
+                            std::span<double> grad_out) const;
+
+  // Warm start: copies the parameters of `parent` (child nodes of a DMT are
+  // initialized from the optimized parent model, Sec. IV-E).
+  void WarmStartFrom(const Glm& parent);
+
+  // Flat parameter vector. Binary: [w_0..w_{m-1}, b]. Multinomial:
+  // class-major [W_0(.), b_0, W_1(.), b_1, ...].
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double>& mutable_params() { return params_; }
+
+  // SGD step counter (drives the learning-rate schedule). The setter exists
+  // for model persistence only.
+  std::size_t steps() const { return steps_; }
+  void set_steps(std::size_t steps) { steps_ = steps; }
+
+  // Per-feature weights for class `c` (interpretability surface: local
+  // feature-based explanations, paper Sec. I-C). For the binary model, class
+  // 1 weights are the parameters and class 0 weights their negation.
+  std::vector<double> FeatureWeights(int c) const;
+
+ private:
+  bool is_binary() const { return num_classes_ == 2; }
+  void SgdStep(std::span<const double> x, int y);
+  void ApplyL1Prox();
+
+  // Applies one optimizer step for parameter p with raw gradient g.
+  void ApplyUpdate(std::size_t p, double g, double lr);
+
+  GlmConfig config_;
+  int num_features_;
+  int num_classes_;
+  std::size_t steps_ = 0;  // observations consumed by SGD
+  std::vector<double> params_;
+  // Optimizer state (allocated lazily for non-SGD optimizers).
+  std::vector<double> velocity_;
+  std::vector<double> grad_accum_;
+  // Scratch buffer reused across per-sample probability computations.
+  mutable std::vector<double> logits_scratch_;
+};
+
+}  // namespace dmt::linear
+
+#endif  // DMT_LINEAR_GLM_H_

@@ -1,0 +1,47 @@
+// A plain online GLM exposed through the Classifier interface. This is the
+// degenerate one-node Dynamic Model Tree (a single leaf) and serves as a
+// sanity baseline in examples and tests.
+#ifndef DMT_LINEAR_GLM_CLASSIFIER_H_
+#define DMT_LINEAR_GLM_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/linear/glm.h"
+
+namespace dmt::linear {
+
+class GlmClassifier : public Classifier {
+ public:
+  explicit GlmClassifier(const GlmConfig& config) : model_(config) {}
+
+  void PartialFit(const Batch& batch) override { model_.Fit(batch); }
+  int Predict(std::span<const double> x) const override {
+    return model_.Predict(x);
+  }
+  std::vector<double> PredictProba(std::span<const double> x) const override {
+    return model_.PredictProba(x);
+  }
+  // A single model leaf: 1 split (binary) or c splits (multiclass), m
+  // parameters per class, per the paper's counting rules.
+  std::size_t NumSplits() const override {
+    return model_.num_classes() == 2 ? 1 : model_.num_classes();
+  }
+  std::size_t NumParameters() const override {
+    return model_.num_classes() == 2
+               ? model_.num_features()
+               : static_cast<std::size_t>(model_.num_classes()) *
+                     model_.num_features();
+  }
+  std::string name() const override { return "GLM"; }
+
+  const Glm& model() const { return model_; }
+
+ private:
+  Glm model_;
+};
+
+}  // namespace dmt::linear
+
+#endif  // DMT_LINEAR_GLM_CLASSIFIER_H_

@@ -1,0 +1,79 @@
+#include "dmt/linear/linear_regressor.h"
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::linear {
+
+LinearRegressor::LinearRegressor(const LinearRegressorConfig& config)
+    : num_features_(config.num_features),
+      learning_rate_(config.learning_rate) {
+  DMT_CHECK(num_features_ >= 1);
+  Rng rng(config.seed);
+  params_.resize(num_features_ + 1);
+  for (double& p : params_) p = rng.Gaussian(0.0, config.init_scale);
+}
+
+LinearRegressor::LinearRegressor(const LinearRegressorConfig& config,
+                                 Rng* rng)
+    : num_features_(config.num_features),
+      learning_rate_(config.learning_rate) {
+  DMT_CHECK(num_features_ >= 1);
+  DMT_CHECK(rng != nullptr);
+  params_.resize(num_features_ + 1);
+  for (double& p : params_) p = rng->Gaussian(0.0, config.init_scale);
+}
+
+void LinearRegressor::SgdStep(std::span<const double> x, double y) {
+  const double err = Predict(x) - y;
+  for (int j = 0; j < num_features_; ++j) {
+    params_[j] -= learning_rate_ * err * x[j];
+  }
+  params_.back() -= learning_rate_ * err;
+}
+
+void LinearRegressor::Fit(const RegressionBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    SgdStep(batch.row(i), batch.target(i));
+  }
+}
+
+void LinearRegressor::FitRows(const RegressionBatch& batch,
+                              std::span<const std::size_t> rows) {
+  for (std::size_t i : rows) SgdStep(batch.row(i), batch.target(i));
+}
+
+double LinearRegressor::Predict(std::span<const double> x) const {
+  DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
+  return Dot(x, {params_.data(), x.size()}) + params_.back();
+}
+
+double LinearRegressor::LossOne(std::span<const double> x, double y) const {
+  const double err = Predict(x) - y;
+  return 0.5 * err * err;
+}
+
+double LinearRegressor::Loss(const RegressionBatch& batch) const {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    loss += LossOne(batch.row(i), batch.target(i));
+  }
+  return loss;
+}
+
+double LinearRegressor::LossAndGradientOne(std::span<const double> x,
+                                           double y,
+                                           std::span<double> grad_out) const {
+  DMT_DCHECK(grad_out.size() == params_.size());
+  const double err = Predict(x) - y;
+  for (int j = 0; j < num_features_; ++j) grad_out[j] = err * x[j];
+  grad_out[num_features_] = err;
+  return 0.5 * err * err;
+}
+
+void LinearRegressor::WarmStartFrom(const LinearRegressor& parent) {
+  DMT_CHECK(parent.params_.size() == params_.size());
+  params_ = parent.params_;
+}
+
+}  // namespace dmt::linear

@@ -1,0 +1,101 @@
+// Incremental linear regression under a Gaussian likelihood -- the "simple
+// model" of the regression Dynamic Model Tree (the paper's framework is
+// generic in the model/loss choice, Sec. V; FIMT-DD, its main competitor,
+// is natively a regression method).
+//
+// The loss is the Gaussian negative log-likelihood with unit variance,
+// L = 0.5 * (y - w.x - b)^2 + const; we drop the constant so the loss is
+// exactly half the squared error, keeping the DMT gain machinery (candidate
+// gradients, Eqs. 6-7) unchanged.
+#ifndef DMT_LINEAR_LINEAR_REGRESSOR_H_
+#define DMT_LINEAR_LINEAR_REGRESSOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/common/types.h"
+
+namespace dmt::linear {
+
+// A batch of regression observations: features plus real-valued targets.
+class RegressionBatch {
+ public:
+  explicit RegressionBatch(std::size_t num_features)
+      : num_features_(num_features) {}
+
+  std::size_t size() const { return targets_.size(); }
+  bool empty() const { return targets_.empty(); }
+  std::size_t num_features() const { return num_features_; }
+
+  void Add(std::span<const double> x, double y) {
+    data_.insert(data_.end(), x.begin(), x.end());
+    targets_.push_back(y);
+  }
+  std::span<const double> row(std::size_t i) const {
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  std::span<double> mutable_row(std::size_t i) {
+    return {data_.data() + i * num_features_, num_features_};
+  }
+  double target(std::size_t i) const { return targets_[i]; }
+
+  void clear() {
+    data_.clear();
+    targets_.clear();
+  }
+
+ private:
+  std::size_t num_features_;
+  std::vector<double> data_;
+  std::vector<double> targets_;
+};
+
+struct LinearRegressorConfig {
+  int num_features = 0;
+  double learning_rate = 0.01;
+  double init_scale = 0.1;
+  std::uint64_t seed = 42;
+};
+
+class LinearRegressor {
+ public:
+  explicit LinearRegressor(const LinearRegressorConfig& config);
+  LinearRegressor(const LinearRegressorConfig& config, Rng* rng);
+
+  int num_params() const { return static_cast<int>(params_.size()); }
+  int num_features() const { return num_features_; }
+
+  void Fit(const RegressionBatch& batch);
+  void FitRows(const RegressionBatch& batch,
+               std::span<const std::size_t> rows);
+
+  double Predict(std::span<const double> x) const;
+
+  // Half squared error of one observation / a batch at current parameters.
+  double LossOne(std::span<const double> x, double y) const;
+  double Loss(const RegressionBatch& batch) const;
+
+  // Loss and gradient of one observation; `grad_out` is overwritten.
+  double LossAndGradientOne(std::span<const double> x, double y,
+                            std::span<double> grad_out) const;
+
+  void WarmStartFrom(const LinearRegressor& parent);
+
+  const std::vector<double>& params() const { return params_; }
+  std::vector<double> FeatureWeights() const {
+    return {params_.begin(), params_.end() - 1};
+  }
+
+ private:
+  void SgdStep(std::span<const double> x, double y);
+
+  int num_features_;
+  double learning_rate_;
+  std::vector<double> params_;  // [w_0..w_{m-1}, b]
+};
+
+}  // namespace dmt::linear
+
+#endif  // DMT_LINEAR_LINEAR_REGRESSOR_H_

@@ -1,0 +1,180 @@
+#include "dmt/streams/agrawal.h"
+
+#include <algorithm>
+
+#include "dmt/common/check.h"
+
+namespace dmt::streams {
+
+namespace {
+// Feature indices in the generated vector.
+enum : int {
+  kSalary = 0,
+  kCommission = 1,
+  kAge = 2,
+  kElevel = 3,
+  kCar = 4,
+  kZipcode = 5,
+  kHvalue = 6,
+  kHyears = 7,
+  kLoan = 8,
+};
+}  // namespace
+
+AgrawalGenerator::AgrawalGenerator(const AgrawalConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      function_(config.initial_function % 10),
+      next_function_((function_ + 1) % 10) {
+  DMT_CHECK(config.perturbation >= 0.0 && config.perturbation <= 1.0);
+}
+
+void AgrawalGenerator::Sample(std::vector<double>* x) {
+  x->resize(9);
+  double& salary = (*x)[kSalary];
+  double& commission = (*x)[kCommission];
+  salary = rng_.Uniform(20'000.0, 150'000.0);
+  commission = salary >= 75'000.0 ? 0.0 : rng_.Uniform(10'000.0, 75'000.0);
+  (*x)[kAge] = rng_.UniformInt(20, 80);
+  (*x)[kElevel] = rng_.UniformInt(0, 4);
+  (*x)[kCar] = rng_.UniformInt(1, 20);
+  const int zipcode = rng_.UniformInt(0, 8);
+  (*x)[kZipcode] = zipcode;
+  // House value depends on the zipcode "region", as in the original paper.
+  (*x)[kHvalue] = rng_.Uniform(0.5, 1.5) * 100'000.0 * (zipcode + 1);
+  (*x)[kHyears] = rng_.UniformInt(1, 30);
+  (*x)[kLoan] = rng_.Uniform(0.0, 500'000.0);
+}
+
+double AgrawalGenerator::Perturb(double value, double range_lo,
+                                 double range_hi) {
+  if (config_.perturbation <= 0.0) return value;
+  const double range = range_hi - range_lo;
+  value += config_.perturbation * range * rng_.Uniform(-1.0, 1.0);
+  return std::clamp(value, range_lo, range_hi);
+}
+
+int AgrawalGenerator::Classify(int function, const std::vector<double>& x) {
+  const double salary = x[kSalary];
+  const double commission = x[kCommission];
+  const double age = x[kAge];
+  const double elevel = x[kElevel];
+  const double zipcode = x[kZipcode];
+  const double hvalue = x[kHvalue];
+  const double hyears = x[kHyears];
+  const double loan = x[kLoan];
+  auto in = [](double v, double lo, double hi) { return v >= lo && v < hi; };
+
+  switch (function) {
+    case 0:
+      return (age < 40.0 || age >= 60.0) ? 0 : 1;
+    case 1:
+      if (age < 40.0) return in(salary, 50e3, 100e3) ? 0 : 1;
+      if (age < 60.0) return in(salary, 75e3, 125e3) ? 0 : 1;
+      return in(salary, 25e3, 75e3) ? 0 : 1;
+    case 2:
+      if (age < 40.0) return (elevel == 0 || elevel == 1) ? 0 : 1;
+      if (age < 60.0) return (elevel >= 1 && elevel <= 3) ? 0 : 1;
+      return (elevel >= 2 && elevel <= 4) ? 0 : 1;
+    case 3:
+      if (age < 40.0) {
+        return (elevel == 0 || elevel == 1) ? (in(salary, 25e3, 75e3) ? 0 : 1)
+                                            : (in(salary, 50e3, 100e3) ? 0 : 1);
+      }
+      if (age < 60.0) {
+        return (elevel >= 1 && elevel <= 3) ? (in(salary, 50e3, 100e3) ? 0 : 1)
+                                            : (in(salary, 75e3, 125e3) ? 0 : 1);
+      }
+      return (elevel >= 2 && elevel <= 4) ? (in(salary, 50e3, 100e3) ? 0 : 1)
+                                          : (in(salary, 25e3, 75e3) ? 0 : 1);
+    case 4:
+      if (age < 40.0) {
+        return in(salary, 50e3, 100e3) ? (in(loan, 100e3, 300e3) ? 0 : 1)
+                                       : (in(loan, 200e3, 400e3) ? 0 : 1);
+      }
+      if (age < 60.0) {
+        return in(salary, 75e3, 125e3) ? (in(loan, 200e3, 400e3) ? 0 : 1)
+                                       : (in(loan, 300e3, 500e3) ? 0 : 1);
+      }
+      return in(salary, 25e3, 75e3) ? (in(loan, 300e3, 500e3) ? 0 : 1)
+                                    : (in(loan, 100e3, 300e3) ? 0 : 1);
+    case 5: {
+      const double total = salary + commission;
+      if (age < 40.0) return in(total, 50e3, 100e3) ? 0 : 1;
+      if (age < 60.0) return in(total, 75e3, 125e3) ? 0 : 1;
+      return in(total, 25e3, 75e3) ? 0 : 1;
+    }
+    case 6: {
+      const double disposable =
+          2.0 * (salary + commission) / 3.0 - loan / 5.0 - 20e3;
+      return disposable > 0.0 ? 0 : 1;
+    }
+    case 7: {
+      const double disposable =
+          2.0 * (salary + commission) / 3.0 - 5e3 * elevel - 20e3;
+      return disposable > 0.0 ? 0 : 1;
+    }
+    case 8: {
+      const double disposable = 2.0 * (salary + commission) / 3.0 -
+                                5e3 * elevel - loan / 5.0 - 10e3;
+      return disposable > 0.0 ? 0 : 1;
+    }
+    case 9: {
+      const double equity =
+          hyears < 20.0 ? 0.0 : hvalue * (hyears - 20.0) / 10.0;
+      const double disposable = 2.0 * (salary + commission) / 3.0 -
+                                5e3 * elevel + equity / 5.0 - 10e3;
+      return disposable > 0.0 ? 0 : 1;
+    }
+    default:
+      DMT_CHECK(false);
+      return 0;
+  }
+  (void)zipcode;
+}
+
+bool AgrawalGenerator::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+
+  // Incremental drift: inside a window, emit from the next function with a
+  // probability ramping linearly from 0 to 1; past the window the switch is
+  // complete and the next window targets the function after that.
+  double p_new = 0.0;
+  for (const AgrawalDriftWindow& w : config_.drift_windows) {
+    if (position_ >= w.end) {
+      // handled below by committed switches
+    } else if (position_ >= w.begin) {
+      p_new = static_cast<double>(position_ - w.begin) /
+              static_cast<double>(w.end - w.begin);
+    }
+  }
+  // Commit fully completed windows exactly once.
+  for (const AgrawalDriftWindow& w : config_.drift_windows) {
+    if (position_ == w.end) {
+      function_ = next_function_;
+      next_function_ = (function_ + 1) % 10;
+    }
+  }
+  ++position_;
+
+  std::vector<double> raw;
+  Sample(&raw);
+  const int active =
+      (p_new > 0.0 && rng_.Bernoulli(p_new)) ? next_function_ : function_;
+  out->y = Classify(active, raw);
+
+  // Perturb numeric features after classification (the label reflects the
+  // clean concept; perturbation acts as feature noise, as in MOA).
+  out->x = raw;
+  out->x[kSalary] = Perturb(raw[kSalary], 20e3, 150e3);
+  if (raw[kCommission] > 0.0) {
+    out->x[kCommission] = Perturb(raw[kCommission], 10e3, 75e3);
+  }
+  out->x[kAge] = Perturb(raw[kAge], 20.0, 80.0);
+  out->x[kHvalue] = Perturb(raw[kHvalue], 50e3, 1.5 * 9.0 * 100e3);
+  out->x[kHyears] = Perturb(raw[kHyears], 1.0, 30.0);
+  out->x[kLoan] = Perturb(raw[kLoan], 0.0, 500e3);
+  return true;
+}
+
+}  // namespace dmt::streams

@@ -1,0 +1,134 @@
+#include "dmt/streams/classic_generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt::streams {
+
+RandomRbfGenerator::RandomRbfGenerator(const RandomRbfConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  DMT_CHECK(config.num_centroids >= config.num_classes);
+  centroids_.resize(config_.num_centroids);
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    Centroid& centroid = centroids_[c];
+    centroid.center.resize(config_.num_features);
+    centroid.direction.resize(config_.num_features);
+    double norm = 0.0;
+    for (std::size_t j = 0; j < config_.num_features; ++j) {
+      centroid.center[j] = rng_.Uniform();
+      centroid.direction[j] = rng_.Gaussian();
+      norm += centroid.direction[j] * centroid.direction[j];
+    }
+    norm = std::sqrt(norm);
+    for (double& d : centroid.direction) d /= norm;
+    // Round-robin labels guarantee every class has at least one centroid.
+    centroid.label = static_cast<int>(c % config_.num_classes);
+    centroid.stddev = rng_.Uniform(0.05, 0.15);
+    centroid.weight = rng_.Uniform(0.2, 1.0);
+    centroid_weights_.push_back(centroid.weight);
+  }
+}
+
+bool RandomRbfGenerator::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+  ++position_;
+  Centroid& centroid = centroids_[rng_.Categorical(centroid_weights_)];
+  out->x.resize(config_.num_features);
+  for (std::size_t j = 0; j < config_.num_features; ++j) {
+    out->x[j] = centroid.center[j] + rng_.Gaussian(0.0, centroid.stddev);
+  }
+  out->y = centroid.label;
+
+  if (config_.drift_speed > 0.0) {
+    for (Centroid& c : centroids_) {
+      for (std::size_t j = 0; j < config_.num_features; ++j) {
+        c.center[j] += c.direction[j] * config_.drift_speed;
+        // Bounce off the unit cube.
+        if (c.center[j] < 0.0 || c.center[j] > 1.0) {
+          c.direction[j] = -c.direction[j];
+          c.center[j] = std::clamp(c.center[j], 0.0, 1.0);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+StaggerGenerator::StaggerGenerator(const StaggerConfig& config)
+    : config_(config), rng_(config.seed), rule_(config.initial_rule % 3) {
+  std::sort(config_.drift_points.begin(), config_.drift_points.end());
+}
+
+int StaggerGenerator::Classify(int rule, double size, double color,
+                               double shape) {
+  // Attribute encodings: size {0 small, 1 medium, 2 large}, color {0 red,
+  // 1 green, 2 blue}, shape {0 circle, 1 square, 2 triangle}.
+  switch (rule) {
+    case 0:
+      return (size == 0.0 && color == 0.0) ? 1 : 0;
+    case 1:
+      return (color == 1.0 || shape == 0.0) ? 1 : 0;
+    default:
+      return (size == 1.0 || size == 2.0) ? 1 : 0;
+  }
+}
+
+bool StaggerGenerator::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+  for (std::size_t p : config_.drift_points) {
+    if (p == position_) rule_ = (rule_ + 1) % 3;
+  }
+  ++position_;
+  out->x = {static_cast<double>(rng_.UniformInt(0, 2)),
+            static_cast<double>(rng_.UniformInt(0, 2)),
+            static_cast<double>(rng_.UniformInt(0, 2))};
+  out->y = Classify(rule_, out->x[0], out->x[1], out->x[2]);
+  if (config_.noise > 0.0 && rng_.Bernoulli(config_.noise)) {
+    out->y = 1 - out->y;
+  }
+  return true;
+}
+
+namespace {
+// Segment patterns of the digits 0-9 (segments a-g).
+constexpr int kLedSegments[10][7] = {
+    {1, 1, 1, 0, 1, 1, 1},  // 0
+    {0, 0, 1, 0, 0, 1, 0},  // 1
+    {1, 0, 1, 1, 1, 0, 1},  // 2
+    {1, 0, 1, 1, 0, 1, 1},  // 3
+    {0, 1, 1, 1, 0, 1, 0},  // 4
+    {1, 1, 0, 1, 0, 1, 1},  // 5
+    {1, 1, 0, 1, 1, 1, 1},  // 6
+    {1, 0, 1, 0, 0, 1, 0},  // 7
+    {1, 1, 1, 1, 1, 1, 1},  // 8
+    {1, 1, 1, 1, 0, 1, 1},  // 9
+};
+}  // namespace
+
+LedGenerator::LedGenerator(const LedConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.noise >= 0.0 && config.noise <= 1.0);
+}
+
+bool LedGenerator::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+  ++position_;
+  const int digit = rng_.UniformInt(0, 9);
+  out->x.resize(num_features());
+  for (int s = 0; s < 7; ++s) {
+    int bit = kLedSegments[digit][s];
+    if (config_.noise > 0.0 && rng_.Bernoulli(config_.noise)) bit = 1 - bit;
+    out->x[s] = static_cast<double>(bit);
+  }
+  for (std::size_t j = 7; j < num_features(); ++j) {
+    out->x[j] = static_cast<double>(rng_.UniformInt(0, 1));
+  }
+  out->y = digit;
+  return true;
+}
+
+}  // namespace dmt::streams

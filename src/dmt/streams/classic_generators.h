@@ -1,0 +1,115 @@
+// Three further classic stream-learning generators (MOA / scikit-multiflow
+// standards), rounding out the benchmark suite beyond the paper's three:
+//
+//  * RandomRbfGenerator -- labeled Gaussian blobs whose centroids move with
+//    a configurable speed (incremental drift over P(X) and P(Y|X)).
+//  * StaggerGenerator -- the STAGGER boolean concepts (three categorical
+//    features, three abruptly interchangeable rules).
+//  * LedGenerator -- the 7-segment LED digit problem with a configurable
+//    number of noisy/irrelevant attributes.
+#ifndef DMT_STREAMS_CLASSIC_GENERATORS_H_
+#define DMT_STREAMS_CLASSIC_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/streams/stream.h"
+
+namespace dmt::streams {
+
+struct RandomRbfConfig {
+  std::size_t num_features = 10;
+  std::size_t num_classes = 4;
+  std::size_t num_centroids = 20;
+  // Distance each centroid moves per emitted instance (0 = stationary).
+  double drift_speed = 0.0;
+  std::size_t total_samples = 100'000;
+  std::uint64_t seed = 42;
+};
+
+class RandomRbfGenerator : public Stream {
+ public:
+  explicit RandomRbfGenerator(const RandomRbfConfig& config);
+
+  bool NextInstance(Instance* out) override;
+  std::size_t num_features() const override { return config_.num_features; }
+  std::size_t num_classes() const override { return config_.num_classes; }
+  std::string name() const override { return "RandomRBF"; }
+
+ private:
+  struct Centroid {
+    std::vector<double> center;
+    std::vector<double> direction;
+    int label = 0;
+    double stddev = 0.1;
+    double weight = 1.0;
+  };
+
+  RandomRbfConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+  std::vector<Centroid> centroids_;
+  std::vector<double> centroid_weights_;
+};
+
+struct StaggerConfig {
+  // Active rule: 0: (size=small AND color=red); 1: (color=green OR
+  // shape=circle); 2: (size=medium OR size=large).
+  int initial_rule = 0;
+  std::vector<std::size_t> drift_points;  // rule cycles at these indices
+  double noise = 0.0;
+  std::size_t total_samples = 100'000;
+  std::uint64_t seed = 42;
+};
+
+class StaggerGenerator : public Stream {
+ public:
+  explicit StaggerGenerator(const StaggerConfig& config);
+
+  bool NextInstance(Instance* out) override;
+  std::size_t num_features() const override { return 3; }
+  std::size_t num_classes() const override { return 2; }
+  std::string name() const override { return "STAGGER"; }
+
+  int active_rule() const { return rule_; }
+  // Classification rule, exposed for tests. Features are size (0-2),
+  // color (0-2), shape (0-2).
+  static int Classify(int rule, double size, double color, double shape);
+
+ private:
+  StaggerConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+  int rule_;
+};
+
+struct LedConfig {
+  // Probability that each of the 7 segment attributes is inverted.
+  double noise = 0.1;
+  // Additional irrelevant binary attributes appended to the 7 segments.
+  std::size_t num_irrelevant = 17;
+  std::size_t total_samples = 100'000;
+  std::uint64_t seed = 42;
+};
+
+class LedGenerator : public Stream {
+ public:
+  explicit LedGenerator(const LedConfig& config);
+
+  bool NextInstance(Instance* out) override;
+  std::size_t num_features() const override {
+    return 7 + config_.num_irrelevant;
+  }
+  std::size_t num_classes() const override { return 10; }
+  std::string name() const override { return "LED"; }
+
+ private:
+  LedConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace dmt::streams
+
+#endif  // DMT_STREAMS_CLASSIC_GENERATORS_H_

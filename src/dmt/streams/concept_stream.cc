@@ -1,0 +1,310 @@
+#include "dmt/streams/concept_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+
+namespace dmt::streams {
+
+// A hidden concept: maps x in [0,1]^m to a class distribution.
+class ConceptStream::Teacher {
+ public:
+  // Random axis-aligned tree teacher. Each leaf has a dominant class drawn
+  // from `priors` with `leaf_purity` mass; the remaining mass is spread
+  // proportionally to the priors, so the marginal P(Y) tracks the priors.
+  static std::unique_ptr<Teacher> MakeTree(std::size_t num_features,
+                                           std::size_t num_classes, int depth,
+                                           const std::vector<double>& priors,
+                                           double leaf_purity, Rng* rng);
+  // Random linear softmax teacher with prior-tilted biases.
+  static std::unique_ptr<Teacher> MakeLinear(std::size_t num_features,
+                                             std::size_t num_classes,
+                                             const std::vector<double>& priors,
+                                             Rng* rng);
+
+  // Hybrid teacher: mixture of a tree and a linear part.
+  static std::unique_ptr<Teacher> MakeHybrid(std::unique_ptr<Teacher> tree,
+                                             std::unique_ptr<Teacher> linear,
+                                             double linear_weight);
+
+  std::vector<double> Posterior(std::span<const double> x) const;
+
+ private:
+  bool is_tree_ = true;
+  // Hybrid parts (non-null only for hybrid teachers).
+  std::unique_ptr<Teacher> hybrid_tree_;
+  std::unique_ptr<Teacher> hybrid_linear_;
+  double hybrid_linear_weight_ = 0.0;
+  std::size_t num_features_ = 0;
+  std::size_t num_classes_ = 0;
+  // Tree teacher: a perfect binary tree in array form. Node i has children
+  // 2i+1, 2i+2; nodes at depth `depth_` are leaves.
+  int depth_ = 0;
+  std::vector<int> split_feature_;
+  std::vector<double> split_value_;
+  std::vector<std::vector<double>> leaf_dist_;
+  // Linear teacher: class-major weights [w_c(0..m-1), b_c].
+  std::vector<double> weights_;
+};
+
+std::unique_ptr<ConceptStream::Teacher> ConceptStream::Teacher::MakeTree(
+    std::size_t num_features, std::size_t num_classes, int depth,
+    const std::vector<double>& priors, double leaf_purity, Rng* rng) {
+  auto teacher = std::make_unique<Teacher>();
+  teacher->is_tree_ = true;
+  teacher->num_features_ = num_features;
+  teacher->num_classes_ = num_classes;
+  teacher->depth_ = depth;
+  const std::size_t num_inner = (std::size_t{1} << depth) - 1;
+  const std::size_t num_leaves = std::size_t{1} << depth;
+  teacher->split_feature_.resize(num_inner);
+  teacher->split_value_.resize(num_inner);
+
+  // Build splits top-down tracking each feature's conditional interval so
+  // that thresholds land strictly inside their region (no empty leaves) and
+  // the probability mass of each leaf under X ~ U[0,1]^m is known exactly.
+  std::vector<double> leaf_mass(num_leaves, 0.0);
+  std::vector<std::pair<double, double>> intervals(num_features, {0.0, 1.0});
+  auto build = [&](auto&& self, std::size_t node,
+                   std::vector<std::pair<double, double>>& bounds) -> void {
+    if (node >= num_inner) {
+      double mass = 1.0;
+      for (const auto& [lo, hi] : bounds) mass *= hi - lo;
+      leaf_mass[node - num_inner] = mass;
+      return;
+    }
+    const int feature = rng->UniformInt(0, static_cast<int>(num_features) - 1);
+    auto& [lo, hi] = bounds[feature];
+    const double threshold = lo + rng->Uniform(0.3, 0.7) * (hi - lo);
+    teacher->split_feature_[node] = feature;
+    teacher->split_value_[node] = threshold;
+    const double saved_hi = hi;
+    hi = threshold;
+    self(self, 2 * node + 1, bounds);
+    hi = saved_hi;
+    const double saved_lo = lo;
+    lo = threshold;
+    self(self, 2 * node + 2, bounds);
+    lo = saved_lo;
+  };
+  build(build, 0, intervals);
+
+  // Assign dominant classes to leaves so that the aggregate dominated mass
+  // tracks the desired priors: repeatedly give the heaviest unassigned leaf
+  // to the class with the largest remaining prior deficit.
+  std::vector<std::size_t> by_mass(num_leaves);
+  for (std::size_t l = 0; l < num_leaves; ++l) by_mass[l] = l;
+  std::sort(by_mass.begin(), by_mass.end(), [&](std::size_t a, std::size_t b) {
+    return leaf_mass[a] > leaf_mass[b];
+  });
+  std::vector<double> deficit = priors;
+  std::vector<int> dominant(num_leaves, 0);
+  for (std::size_t l : by_mass) {
+    const int best = static_cast<int>(
+        std::max_element(deficit.begin(), deficit.end()) - deficit.begin());
+    dominant[l] = best;
+    deficit[best] -= leaf_mass[l];
+  }
+
+  teacher->leaf_dist_.resize(num_leaves);
+  for (std::size_t l = 0; l < num_leaves; ++l) {
+    std::vector<double>& dist = teacher->leaf_dist_[l];
+    dist.resize(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      dist[c] = (1.0 - leaf_purity) * priors[c];
+    }
+    dist[dominant[l]] += leaf_purity;
+    double sum = 0.0;
+    for (double v : dist) sum += v;
+    for (double& v : dist) v /= sum;
+  }
+  return teacher;
+}
+
+std::unique_ptr<ConceptStream::Teacher> ConceptStream::Teacher::MakeLinear(
+    std::size_t num_features, std::size_t num_classes,
+    const std::vector<double>& priors, Rng* rng) {
+  auto teacher = std::make_unique<Teacher>();
+  teacher->is_tree_ = false;
+  teacher->num_features_ = num_features;
+  teacher->num_classes_ = num_classes;
+  const std::size_t stride = num_features + 1;
+  teacher->weights_.resize(num_classes * stride);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double* w = teacher->weights_.data() + c * stride;
+    double mean_w = 0.0;
+    for (std::size_t j = 0; j < num_features; ++j) {
+      w[j] = rng->Gaussian(0.0, 4.0);
+      mean_w += w[j];
+    }
+    // Center the activation around zero over x ~ U[0,1]^m; the bias is then
+    // calibrated below so the marginal P(Y) matches `priors`.
+    w[num_features] = -0.5 * mean_w;
+  }
+
+  // Calibrate the biases against the desired priors: estimate the marginal
+  // class distribution on a probe sample and shift each bias by the log
+  // ratio, iterating to convergence. (A plain log-prior tilt is swamped by
+  // the weight magnitude and would leave the marginals near-uniform.)
+  std::vector<std::vector<double>> probes(512);
+  for (auto& probe : probes) {
+    probe.resize(num_features);
+    for (double& v : probe) v = rng->Uniform();
+  }
+  for (int iteration = 0; iteration < 30; ++iteration) {
+    std::vector<double> marginal(num_classes, 1e-6);
+    for (const auto& probe : probes) {
+      const std::vector<double> posterior = teacher->Posterior(probe);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        marginal[c] += posterior[c];
+      }
+    }
+    double total = 0.0;
+    for (double v : marginal) total += v;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      teacher->weights_[c * stride + num_features] +=
+          std::log(priors[c] / (marginal[c] / total));
+    }
+  }
+  return teacher;
+}
+
+std::unique_ptr<ConceptStream::Teacher> ConceptStream::Teacher::MakeHybrid(
+    std::unique_ptr<Teacher> tree, std::unique_ptr<Teacher> linear,
+    double linear_weight) {
+  auto teacher = std::make_unique<Teacher>();
+  teacher->hybrid_tree_ = std::move(tree);
+  teacher->hybrid_linear_ = std::move(linear);
+  teacher->hybrid_linear_weight_ = linear_weight;
+  return teacher;
+}
+
+std::vector<double> ConceptStream::Teacher::Posterior(
+    std::span<const double> x) const {
+  if (hybrid_tree_ != nullptr) {
+    std::vector<double> p = hybrid_linear_->Posterior(x);
+    const std::vector<double> q = hybrid_tree_->Posterior(x);
+    const double w = hybrid_linear_weight_;
+    for (std::size_t c = 0; c < p.size(); ++c) {
+      p[c] = w * p[c] + (1.0 - w) * q[c];
+    }
+    return p;
+  }
+  if (is_tree_) {
+    std::size_t node = 0;
+    const std::size_t num_inner = split_feature_.size();
+    while (node < num_inner) {
+      const bool left = x[split_feature_[node]] <= split_value_[node];
+      node = 2 * node + (left ? 1 : 2);
+    }
+    return leaf_dist_[node - num_inner];
+  }
+  const std::size_t stride = num_features_ + 1;
+  std::vector<double> logits(num_classes_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double* w = weights_.data() + c * stride;
+    logits[c] = Dot(x, {w, num_features_}) + w[num_features_];
+  }
+  SoftmaxInPlace(logits);
+  return logits;
+}
+
+ConceptStream::ConceptStream(const ConceptStreamConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config_.num_features >= 1);
+  DMT_CHECK(config_.num_classes >= 2);
+  if (config_.class_priors.empty()) {
+    config_.class_priors.assign(config_.num_classes,
+                                1.0 / config_.num_classes);
+  }
+  DMT_CHECK(config_.class_priors.size() == config_.num_classes);
+  if (config_.tree_depth <= 0) {
+    // Enough leaves that every class can dominate several regions.
+    config_.tree_depth =
+        std::max(3, static_cast<int>(
+                        std::ceil(std::log2(config_.num_classes)) + 2));
+  }
+  std::sort(config_.drift_events.begin(), config_.drift_events.end(),
+            [](const DriftEvent& a, const DriftEvent& b) {
+              return a.begin < b.begin;
+            });
+  current_ = MakeTeacher();
+}
+
+ConceptStream::~ConceptStream() = default;
+
+std::unique_ptr<ConceptStream::Teacher> ConceptStream::MakeTeacher() {
+  if (config_.teacher == TeacherKind::kTree) {
+    return Teacher::MakeTree(config_.num_features, config_.num_classes,
+                             config_.tree_depth, config_.class_priors,
+                             config_.leaf_purity, &rng_);
+  }
+  if (config_.teacher == TeacherKind::kLinear) {
+    return Teacher::MakeLinear(config_.num_features, config_.num_classes,
+                               config_.class_priors, &rng_);
+  }
+  auto tree = Teacher::MakeTree(config_.num_features, config_.num_classes,
+                                config_.tree_depth, config_.class_priors,
+                                config_.leaf_purity, &rng_);
+  auto linear = Teacher::MakeLinear(config_.num_features, config_.num_classes,
+                                    config_.class_priors, &rng_);
+  return Teacher::MakeHybrid(std::move(tree), std::move(linear),
+                             config_.hybrid_linear_weight);
+}
+
+double ConceptStream::NextTeacherWeight() const {
+  if (next_event_ >= config_.drift_events.size()) return 0.0;
+  const DriftEvent& e = config_.drift_events[next_event_];
+  const auto begin = static_cast<std::size_t>(
+      e.begin * static_cast<double>(config_.total_samples));
+  const auto end = static_cast<std::size_t>(
+      e.end * static_cast<double>(config_.total_samples));
+  if (position_ < begin) return 0.0;
+  if (end <= begin || position_ >= end) return 1.0;
+  return static_cast<double>(position_ - begin) /
+         static_cast<double>(end - begin);
+}
+
+std::vector<double> ConceptStream::Posterior(std::span<const double> x) const {
+  std::vector<double> p = current_->Posterior(x);
+  const double alpha = NextTeacherWeight();
+  if (alpha > 0.0 && next_ != nullptr) {
+    const std::vector<double> q = next_->Posterior(x);
+    for (std::size_t c = 0; c < p.size(); ++c) {
+      p[c] = (1.0 - alpha) * p[c] + alpha * q[c];
+    }
+  }
+  return p;
+}
+
+bool ConceptStream::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+
+  // Enter / commit drift events.
+  if (next_event_ < config_.drift_events.size()) {
+    const DriftEvent& e = config_.drift_events[next_event_];
+    const auto begin = static_cast<std::size_t>(
+        e.begin * static_cast<double>(config_.total_samples));
+    const auto end = static_cast<std::size_t>(
+        e.end * static_cast<double>(config_.total_samples));
+    if (position_ >= begin && next_ == nullptr) next_ = MakeTeacher();
+    if (position_ >= std::max(begin + 1, end) && next_ != nullptr) {
+      current_ = std::move(next_);
+      ++next_event_;
+    }
+  }
+
+  out->x.resize(config_.num_features);
+  for (double& v : out->x) v = rng_.Uniform(0.0, 1.0);
+  const std::vector<double> posterior = Posterior(out->x);
+  out->y = rng_.Categorical(posterior);
+  if (config_.noise > 0.0 && rng_.Bernoulli(config_.noise)) {
+    out->y = rng_.UniformInt(0, static_cast<int>(config_.num_classes) - 1);
+  }
+  ++position_;
+  return true;
+}
+
+}  // namespace dmt::streams

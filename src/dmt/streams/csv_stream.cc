@@ -1,0 +1,175 @@
+#include "dmt/streams/csv_stream.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "dmt/common/check.h"
+
+namespace dmt::streams {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream stream(line);
+  while (std::getline(stream, cell, delimiter)) {
+    // Trim surrounding whitespace and optional quotes.
+    std::size_t begin = cell.find_first_not_of(" \t\r\"");
+    std::size_t end = cell.find_last_not_of(" \t\r\"");
+    cells.push_back(begin == std::string::npos
+                        ? std::string()
+                        : cell.substr(begin, end - begin + 1));
+  }
+  return cells;
+}
+
+[[noreturn]] void Fail(const std::string& path, std::size_t line,
+                       const std::string& message) {
+  std::fprintf(stderr, "CsvStream(%s:%zu): %s\n", path.c_str(), line,
+               message.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+CsvStream::CsvStream(const CsvStreamConfig& config) : config_(config) {
+  name_ = std::filesystem::path(config.path).stem().string();
+
+  // Pass 1: resolve the header / label column, and enumerate classes if
+  // they were not given.
+  std::ifstream scan(config_.path);
+  if (!scan) Fail(config_.path, 0, "cannot open file");
+  std::string line;
+  std::vector<std::string> header;
+  if (config_.has_header) {
+    if (!std::getline(scan, line)) Fail(config_.path, 0, "empty file");
+    header = SplitLine(line, config_.delimiter);
+  } else {
+    // Peek the first row to learn the column count.
+    const auto position = scan.tellg();
+    if (!std::getline(scan, line)) Fail(config_.path, 0, "empty file");
+    header.resize(SplitLine(line, config_.delimiter).size());
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      header[c] = "x" + std::to_string(c);
+    }
+    scan.seekg(position);
+  }
+  if (header.size() < 2) Fail(config_.path, 1, "need at least 2 columns");
+
+  if (!config_.label_column.empty()) {
+    bool found = false;
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == config_.label_column) {
+        label_position_ = c;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Fail(config_.path, 1, "label column '" + config_.label_column +
+                                "' not in header");
+    }
+  } else if (config_.label_index >= 0) {
+    if (static_cast<std::size_t>(config_.label_index) >= header.size()) {
+      Fail(config_.path, 1, "label index out of range");
+    }
+    label_position_ = static_cast<std::size_t>(config_.label_index);
+  } else {
+    label_position_ = header.size() - 1;
+  }
+  num_features_ = header.size() - 1;
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (c != label_position_) feature_names_.push_back(header[c]);
+  }
+  factor_levels_.resize(num_features_);
+
+  if (config_.num_classes == 0) {
+    std::size_t row = config_.has_header ? 1 : 0;
+    while (std::getline(scan, line)) {
+      ++row;
+      if (line.empty()) continue;
+      const std::vector<std::string> cells =
+          SplitLine(line, config_.delimiter);
+      if (cells.size() != header.size()) {
+        Fail(config_.path, row, "inconsistent column count");
+      }
+      classes_.emplace(cells[label_position_],
+                       static_cast<int>(classes_.size()));
+    }
+    if (classes_.size() < 2) {
+      Fail(config_.path, row, "label column has fewer than 2 classes");
+    }
+  }
+
+  OpenAndSkipHeader();
+}
+
+void CsvStream::OpenAndSkipHeader() {
+  file_.open(config_.path);
+  if (!file_) Fail(config_.path, 0, "cannot open file");
+  line_number_ = 0;
+  if (config_.has_header) {
+    std::string line;
+    std::getline(file_, line);
+    line_number_ = 1;
+  }
+}
+
+bool CsvStream::ParseRow(const std::string& line, Instance* out) {
+  const std::vector<std::string> cells = SplitLine(line, config_.delimiter);
+  if (cells.size() != num_features_ + 1) {
+    Fail(config_.path, line_number_, "inconsistent column count");
+  }
+  out->x.resize(num_features_);
+  std::size_t feature = 0;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (c == label_position_) continue;
+    const std::string& cell = cells[c];
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() && *end == '\0') {
+      out->x[feature] = value;
+    } else {
+      // Categorical string: factorize in order of first appearance (the
+      // paper's preprocessing for categorical variables).
+      auto [it, inserted] = factor_levels_[feature].try_emplace(
+          cell, static_cast<double>(factor_levels_[feature].size()));
+      out->x[feature] = it->second;
+    }
+    ++feature;
+  }
+  const std::string& label = cells[label_position_];
+  auto it = classes_.find(label);
+  if (it == classes_.end()) {
+    if (config_.num_classes > 0 && classes_.size() < config_.num_classes) {
+      it = classes_.emplace(label, static_cast<int>(classes_.size())).first;
+    } else {
+      Fail(config_.path, line_number_, "unseen class label '" + label + "'");
+    }
+  }
+  out->y = it->second;
+  return true;
+}
+
+bool CsvStream::NextInstance(Instance* out) {
+  std::string line;
+  while (std::getline(file_, line)) {
+    ++line_number_;
+    if (line.empty()) continue;
+    return ParseRow(line, out);
+  }
+  return false;
+}
+
+std::vector<std::string> CsvStream::class_names() const {
+  std::vector<std::string> names(classes_.size());
+  for (const auto& [name, index] : classes_) {
+    names[index] = name;
+  }
+  return names;
+}
+
+}  // namespace dmt::streams

@@ -1,0 +1,46 @@
+#include "dmt/streams/hyperplane.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "dmt/common/check.h"
+
+namespace dmt::streams {
+
+HyperplaneGenerator::HyperplaneGenerator(const HyperplaneConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  config_.num_drift_features =
+      std::min(config_.num_drift_features, config_.num_features);
+  weights_.resize(config_.num_features);
+  directions_.assign(config_.num_features, 1.0);
+  for (double& w : weights_) w = rng_.Uniform(0.0, 1.0);
+}
+
+bool HyperplaneGenerator::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+  ++position_;
+
+  out->x.resize(config_.num_features);
+  double activation = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t j = 0; j < config_.num_features; ++j) {
+    out->x[j] = rng_.Uniform(0.0, 1.0);
+    activation += weights_[j] * out->x[j];
+    weight_sum += weights_[j];
+  }
+  int label = activation >= 0.5 * weight_sum ? 1 : 0;
+  if (config_.noise > 0.0 && rng_.Bernoulli(config_.noise)) label = 1 - label;
+  out->y = label;
+
+  // Incremental rotation of the decision boundary.
+  for (std::size_t j = 0; j < config_.num_drift_features; ++j) {
+    weights_[j] += directions_[j] * config_.mag_change;
+    if (config_.sigma > 0.0 && rng_.Bernoulli(config_.sigma)) {
+      directions_[j] = -directions_[j];
+    }
+  }
+  return true;
+}
+
+}  // namespace dmt::streams

@@ -1,0 +1,52 @@
+// Rotating hyperplane generator (Hulten et al., 2001), after the
+// scikit-multiflow HyperplaneGenerator used by the paper.
+//
+// Observations are uniform in [0,1]^m; the label tells which side of the
+// hyperplane sum_i w_i x_i = 0.5 * sum_i w_i the observation falls on. A
+// subset of the weights changes by `mag_change` per emitted instance, each
+// with probability `sigma` of reversing its drift direction, yielding the
+// continuous incremental drift of the paper's Hyperplane stream (50
+// features, 10% noise).
+#ifndef DMT_STREAMS_HYPERPLANE_H_
+#define DMT_STREAMS_HYPERPLANE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/streams/stream.h"
+
+namespace dmt::streams {
+
+struct HyperplaneConfig {
+  std::size_t num_features = 50;
+  std::size_t num_drift_features = 50;
+  double mag_change = 0.001;
+  double sigma = 0.1;  // probability of flipping a weight's drift direction
+  double noise = 0.1;  // probability of flipping the label
+  std::size_t total_samples = 500'000;
+  std::uint64_t seed = 42;
+};
+
+class HyperplaneGenerator : public Stream {
+ public:
+  explicit HyperplaneGenerator(const HyperplaneConfig& config);
+
+  bool NextInstance(Instance* out) override;
+  std::size_t num_features() const override { return config_.num_features; }
+  std::size_t num_classes() const override { return 2; }
+  std::string name() const override { return "Hyperplane"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  HyperplaneConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+  std::vector<double> weights_;
+  std::vector<double> directions_;
+};
+
+}  // namespace dmt::streams
+
+#endif  // DMT_STREAMS_HYPERPLANE_H_

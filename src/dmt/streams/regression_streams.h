@@ -1,0 +1,92 @@
+// Synthetic regression streams for the regression instantiation of the
+// Dynamic Model Tree and for FIMT-DD's native (regression) setting:
+//
+//  * FriedGenerator -- the Friedman #1 benchmark used in the FIMT-DD paper:
+//    x ~ U[0,1]^10, y = 10 sin(pi x0 x1) + 20 (x2 - 0.5)^2 + 10 x3 + 5 x4
+//    + N(0, sigma), with abrupt "global recurring" drift realized by
+//    permuting which features play which role.
+//  * PlaneGenerator -- a drifting linear target (a regression analogue of
+//    the Hyperplane stream): y = w.x + b with incrementally rotating w.
+#ifndef DMT_STREAMS_REGRESSION_STREAMS_H_
+#define DMT_STREAMS_REGRESSION_STREAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/linear/linear_regressor.h"
+
+namespace dmt::streams {
+
+// A labeled regression observation.
+struct RegressionInstance {
+  std::vector<double> x;
+  double y = 0.0;
+};
+
+class RegressionStream {
+ public:
+  virtual ~RegressionStream() = default;
+  virtual bool NextInstance(RegressionInstance* out) = 0;
+  virtual std::size_t num_features() const = 0;
+  virtual std::string name() const = 0;
+
+  std::size_t FillBatch(std::size_t n, linear::RegressionBatch* batch);
+};
+
+struct FriedConfig {
+  double noise_sigma = 1.0;
+  // Indices at which the feature roles are permuted (abrupt drift).
+  std::vector<std::size_t> drift_points;
+  std::size_t total_samples = 100'000;
+  std::uint64_t seed = 42;
+};
+
+class FriedGenerator : public RegressionStream {
+ public:
+  explicit FriedGenerator(const FriedConfig& config);
+
+  bool NextInstance(RegressionInstance* out) override;
+  std::size_t num_features() const override { return 10; }
+  std::string name() const override { return "Fried"; }
+
+  // Clean target under the currently active feature-role permutation.
+  double CleanTarget(const std::vector<double>& x) const;
+
+ private:
+  FriedConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+  std::vector<int> roles_;  // roles_[k]: feature index playing role k
+};
+
+struct PlaneConfig {
+  std::size_t num_features = 10;
+  double mag_change = 0.001;
+  double noise_sigma = 0.1;
+  std::size_t total_samples = 100'000;
+  std::uint64_t seed = 42;
+};
+
+class PlaneGenerator : public RegressionStream {
+ public:
+  explicit PlaneGenerator(const PlaneConfig& config);
+
+  bool NextInstance(RegressionInstance* out) override;
+  std::size_t num_features() const override { return config_.num_features; }
+  std::string name() const override { return "Plane"; }
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  PlaneConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+  std::vector<double> weights_;
+  std::vector<double> directions_;
+};
+
+}  // namespace dmt::streams
+
+#endif  // DMT_STREAMS_REGRESSION_STREAMS_H_

@@ -1,0 +1,36 @@
+#include "dmt/streams/scaler.h"
+
+#include <algorithm>
+
+#include "dmt/common/check.h"
+
+namespace dmt::streams {
+
+void OnlineMinMaxScaler::FitTransform(Batch* batch) {
+  DMT_CHECK(batch != nullptr);
+  DMT_CHECK(batch->num_features() == mins_.size());
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    const std::span<const double> row = batch->row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      mins_[j] = std::min(mins_[j], row[j]);
+      maxs_[j] = std::max(maxs_[j], row[j]);
+    }
+  }
+  for (std::size_t i = 0; i < batch->size(); ++i) {
+    Transform(batch->mutable_row(i));
+  }
+}
+
+void OnlineMinMaxScaler::Transform(std::span<double> x) const {
+  DMT_DCHECK(x.size() == mins_.size());
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double range = maxs_[j] - mins_[j];
+    if (range <= 0.0) {
+      x[j] = 0.5;  // constant feature so far: map to the range midpoint
+    } else {
+      x[j] = std::clamp((x[j] - mins_[j]) / range, 0.0, 1.0);
+    }
+  }
+}
+
+}  // namespace dmt::streams

@@ -1,0 +1,36 @@
+// Online min-max normalization to [0, 1].
+//
+// The paper normalizes all features to [0, 1] before use (Sec. VI-B). In a
+// true stream the full range is unknown upfront, so the scaler tracks the
+// running per-feature min/max and rescales with the ranges seen so far.
+#ifndef DMT_STREAMS_SCALER_H_
+#define DMT_STREAMS_SCALER_H_
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "dmt/common/types.h"
+
+namespace dmt::streams {
+
+class OnlineMinMaxScaler {
+ public:
+  explicit OnlineMinMaxScaler(std::size_t num_features)
+      : mins_(num_features, std::numeric_limits<double>::max()),
+        maxs_(num_features, std::numeric_limits<double>::lowest()) {}
+
+  // Updates ranges with the batch, then rescales it in place.
+  void FitTransform(Batch* batch);
+
+  // Rescales one observation with the current ranges (no update).
+  void Transform(std::span<double> x) const;
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace dmt::streams
+
+#endif  // DMT_STREAMS_SCALER_H_

@@ -1,0 +1,29 @@
+#include "dmt/streams/sea.h"
+
+#include <algorithm>
+
+namespace dmt::streams {
+
+SeaGenerator::SeaGenerator(const SeaConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      function_(config.initial_function % 4) {
+  std::sort(config_.drift_points.begin(), config_.drift_points.end());
+}
+
+bool SeaGenerator::NextInstance(Instance* out) {
+  if (position_ >= config_.total_samples) return false;
+  for (std::size_t p : config_.drift_points) {
+    if (p == position_) function_ = (function_ + 1) % 4;
+  }
+  ++position_;
+
+  out->x.resize(3);
+  for (double& v : out->x) v = rng_.Uniform(0.0, 10.0);
+  int label = (out->x[0] + out->x[1] <= kThetas[function_]) ? 1 : 0;
+  if (config_.noise > 0.0 && rng_.Bernoulli(config_.noise)) label = 1 - label;
+  out->y = label;
+  return true;
+}
+
+}  // namespace dmt::streams

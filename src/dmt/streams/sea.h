@@ -1,0 +1,52 @@
+// SEA concepts generator (Street & Kim, 2001), after the scikit-multiflow
+// SEAGenerator used by the paper.
+//
+// Three features uniform in [0, 10]; only the first two are relevant. The
+// label is 1 iff f0 + f1 <= theta, where theta depends on the active
+// classification function (0: 8, 1: 9, 2: 7, 3: 9.5). The paper's SEA stream
+// has abrupt drifts at observations 200k, 400k, 600k and 800k of a 1M-sample
+// stream and 10% label noise.
+#ifndef DMT_STREAMS_SEA_H_
+#define DMT_STREAMS_SEA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/streams/stream.h"
+
+namespace dmt::streams {
+
+struct SeaConfig {
+  // Indices (observation counts) at which the classification function
+  // switches to the next one (cyclically).
+  std::vector<std::size_t> drift_points;
+  int initial_function = 0;
+  double noise = 0.1;  // probability of flipping the label
+  std::size_t total_samples = 1'000'000;
+  std::uint64_t seed = 42;
+};
+
+class SeaGenerator : public Stream {
+ public:
+  explicit SeaGenerator(const SeaConfig& config);
+
+  bool NextInstance(Instance* out) override;
+  std::size_t num_features() const override { return 3; }
+  std::size_t num_classes() const override { return 2; }
+  std::string name() const override { return "SEA"; }
+
+  int active_function() const { return function_; }
+
+ private:
+  static constexpr double kThetas[4] = {8.0, 9.0, 7.0, 9.5};
+
+  SeaConfig config_;
+  Rng rng_;
+  std::size_t position_ = 0;
+  int function_;
+};
+
+}  // namespace dmt::streams
+
+#endif  // DMT_STREAMS_SEA_H_

@@ -1,0 +1,15 @@
+#include "dmt/streams/stream.h"
+
+namespace dmt::streams {
+
+std::size_t Stream::FillBatch(std::size_t n, Batch* batch) {
+  std::size_t produced = 0;
+  Instance instance;
+  while (produced < n && NextInstance(&instance)) {
+    batch->Add(instance);
+    ++produced;
+  }
+  return produced;
+}
+
+}  // namespace dmt::streams

@@ -1,0 +1,32 @@
+// Abstract data stream interface. Generators emit one labeled instance at a
+// time; the evaluation harness groups instances into prequential batches
+// (0.1% of the stream per iteration in the paper's setup).
+#ifndef DMT_STREAMS_STREAM_H_
+#define DMT_STREAMS_STREAM_H_
+
+#include <cstddef>
+#include <string>
+
+#include "dmt/common/types.h"
+
+namespace dmt::streams {
+
+class Stream {
+ public:
+  virtual ~Stream() = default;
+
+  // Writes the next instance into `out`; returns false when exhausted.
+  // Generators are typically unbounded; dataset wrappers impose a length.
+  virtual bool NextInstance(Instance* out) = 0;
+
+  virtual std::size_t num_features() const = 0;
+  virtual std::size_t num_classes() const = 0;
+  virtual std::string name() const = 0;
+
+  // Fills `batch` with up to `n` instances; returns the number produced.
+  std::size_t FillBatch(std::size_t n, Batch* batch);
+};
+
+}  // namespace dmt::streams
+
+#endif  // DMT_STREAMS_STREAM_H_

@@ -1,0 +1,309 @@
+#include "dmt/trees/fimtdd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+
+namespace dmt::trees {
+
+namespace {
+
+// Per-class counts of one histogram bin. The classification adaptation of
+// FIMT-DD treats the one-hot encoded label as a multi-target regression
+// problem: the SDR of a split is the summed standard-deviation reduction
+// over the per-class indicator targets (a Bernoulli indicator's sufficient
+// statistic is just its count). A raw class *index* as the numeric target
+// would make the criterion depend on the arbitrary label encoding and fail
+// beyond binary problems.
+struct BinCounts {
+  std::vector<double> class_counts;
+  double n = 0.0;
+};
+
+// Aggregated per-class statistics of a candidate side.
+struct SideCounts {
+  std::vector<double> class_counts;
+  double n = 0.0;
+
+  explicit SideCounts(int num_classes) : class_counts(num_classes, 0.0) {}
+  void Merge(const BinCounts& bin) {
+    for (std::size_t c = 0; c < class_counts.size(); ++c) {
+      class_counts[c] += bin.class_counts[c];
+    }
+    n += bin.n;
+  }
+  // Summed standard deviation of the per-class Bernoulli indicators.
+  double SummedStdDev() const {
+    if (n <= 1.0) return 0.0;
+    double sum = 0.0;
+    for (double count : class_counts) {
+      const double p = count / n;
+      const double var = p * (1.0 - p);
+      sum += var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    return sum;
+  }
+};
+
+// Per-feature histogram of one-hot target statistics, used to score SDR
+// split candidates at bin boundaries. This is the bounded-memory stand-in
+// for FIMT-DD's binary search trees.
+class FeatureTargetHistogram {
+ public:
+  FeatureTargetHistogram(int num_bins, int num_classes, double lo, double hi)
+      : lo_(lo),
+        width_((hi - lo) / num_bins),
+        num_classes_(num_classes),
+        bins_(num_bins) {
+    for (BinCounts& bin : bins_) bin.class_counts.resize(num_classes, 0.0);
+  }
+
+  void Add(double value, int y) {
+    BinCounts& bin = bins_[BinOf(value)];
+    bin.class_counts[y] += 1.0;
+    bin.n += 1.0;
+  }
+
+  // Best binary split "x <= boundary" by multi-target SDR.
+  void BestSplit(const SideCounts& parent, double* best_sdr,
+                 double* best_threshold) const {
+    *best_sdr = 0.0;
+    *best_threshold = lo_;
+    const double parent_sd = parent.SummedStdDev();
+    SideCounts left(num_classes_);
+    for (std::size_t b = 0; b + 1 < bins_.size(); ++b) {
+      left.Merge(bins_[b]);
+      const double n_right = parent.n - left.n;
+      if (left.n < 1.0 || n_right < 1.0) continue;
+      SideCounts right(num_classes_);
+      for (int c = 0; c < num_classes_; ++c) {
+        right.class_counts[c] = parent.class_counts[c] - left.class_counts[c];
+      }
+      right.n = n_right;
+      const double sdr = parent_sd -
+                         (left.n / parent.n) * left.SummedStdDev() -
+                         (right.n / parent.n) * right.SummedStdDev();
+      if (sdr > *best_sdr) {
+        *best_sdr = sdr;
+        *best_threshold = lo_ + width_ * static_cast<double>(b + 1);
+      }
+    }
+  }
+
+ private:
+  int BinOf(double value) const {
+    const int bin = static_cast<int>((value - lo_) / width_);
+    return std::clamp(bin, 0, static_cast<int>(bins_.size()) - 1);
+  }
+
+  double lo_;
+  double width_;
+  int num_classes_;
+  std::vector<BinCounts> bins_;
+};
+
+}  // namespace
+
+struct FimtDd::Node {
+  int split_feature = -1;  // < 0 marks a leaf
+  double split_value = 0.0;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  // Leaf statistics for split finding.
+  std::vector<FeatureTargetHistogram> histograms;
+  SideCounts target_stats;
+  double weight_seen = 0.0;
+  double weight_at_last_attempt = 0.0;
+
+  // The simple (linear) leaf model; inner nodes stop updating theirs, which
+  // is one of the documented differences to the DMT.
+  linear::Glm model;
+  // Per-node Page-Hinkley drift test on the 0/1 error of the subtree.
+  drift::PageHinkley drift_test;
+
+  Node(const FimtDdConfig& config, Rng* rng)
+      : histograms(config.num_features,
+                   FeatureTargetHistogram(config.num_bins, config.num_classes,
+                                          config.feature_lo,
+                                          config.feature_hi)),
+        target_stats(config.num_classes),
+        model({.num_features = config.num_features,
+               .num_classes = config.num_classes,
+               .learning_rate = config.leaf_learning_rate},
+              rng),
+        drift_test(config.page_hinkley) {}
+
+  bool is_leaf() const { return split_feature < 0; }
+};
+
+FimtDd::FimtDd(const FimtDdConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  root_ = std::make_unique<Node>(config_, &rng_);
+}
+
+FimtDd::~FimtDd() = default;
+
+void FimtDd::TrainInstance(std::span<const double> x, int y) {
+  // Route to the leaf, remembering the path for drift monitoring.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (true) {
+    path.push_back(node);
+    if (node->is_leaf()) break;
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  Node* leaf = path.back();
+
+  // Page-Hinkley on the 0/1 error of the active leaf model, checked at
+  // every node of the path; an alert prunes that node's subtree (the
+  // "second adjustment strategy": delete the branch and relearn).
+  const double error = leaf->model.Predict(x) == y ? 0.0 : 1.0;
+  for (Node* n : path) {
+    if (!n->is_leaf() && n->drift_test.Update(error)) {
+      n->split_feature = -1;
+      n->left.reset();
+      n->right.reset();
+      n->histograms.assign(
+          config_.num_features,
+          FeatureTargetHistogram(config_.num_bins, config_.num_classes,
+                                 config_.feature_lo, config_.feature_hi));
+      n->target_stats = SideCounts(config_.num_classes);
+      n->weight_seen = 0.0;
+      n->weight_at_last_attempt = 0.0;
+      ++num_prunes_;
+      leaf = n;
+      break;
+    }
+  }
+
+  // Update leaf statistics and the leaf model.
+  leaf->target_stats.class_counts[y] += 1.0;
+  leaf->target_stats.n += 1.0;
+  leaf->weight_seen += 1.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    leaf->histograms[j].Add(x[j], y);
+  }
+  Batch one(config_.num_features);
+  one.Add(x, y);
+  leaf->model.Fit(one);
+
+  if (leaf->weight_seen - leaf->weight_at_last_attempt >=
+      static_cast<double>(config_.grace_period)) {
+    leaf->weight_at_last_attempt = leaf->weight_seen;
+    AttemptSplit(leaf);
+  }
+}
+
+void FimtDd::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainInstance(batch.row(i), batch.label(i));
+  }
+}
+
+void FimtDd::AttemptSplit(Node* leaf) {
+  double best_sdr = 0.0;
+  double second_sdr = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    double sdr = 0.0;
+    double threshold = 0.0;
+    leaf->histograms[j].BestSplit(leaf->target_stats, &sdr, &threshold);
+    if (sdr > best_sdr) {
+      second_sdr = best_sdr;
+      best_sdr = sdr;
+      best_feature = j;
+      best_threshold = threshold;
+    } else if (sdr > second_sdr) {
+      second_sdr = sdr;
+    }
+  }
+  if (best_feature < 0 || best_sdr <= 0.0) return;
+
+  // FIMT-DD's ratio test: split when the second-best SDR is significantly
+  // smaller than the best (ratio in [0,1], range 1). Once the Hoeffding
+  // bound undercuts the tie threshold, the tie threshold takes over as the
+  // required margin -- a plain "epsilon < tie -> always split" rule would
+  // split every grace period regardless of merit and grow without bound.
+  const double ratio = second_sdr / best_sdr;
+  const double epsilon =
+      HoeffdingBound(1.0, config_.split_confidence, leaf->weight_seen);
+  if (ratio < 1.0 - std::min(epsilon, config_.tie_threshold)) {
+    leaf->split_feature = best_feature;
+    leaf->split_value = best_threshold;
+    leaf->left = std::make_unique<Node>(config_, &rng_);
+    leaf->right = std::make_unique<Node>(config_, &rng_);
+    // Children warm-start from the parent's optimized model.
+    leaf->left->model.WarmStartFrom(leaf->model);
+    leaf->right->model.WarmStartFrom(leaf->model);
+    leaf->histograms.clear();
+  }
+}
+
+std::vector<double> FimtDd::PredictProba(std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.PredictProba(x);
+}
+
+int FimtDd::Predict(std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.Predict(x);
+}
+
+std::size_t FimtDd::NumInnerNodes() const {
+  std::size_t inner = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) return;
+    ++inner;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return inner;
+}
+
+std::size_t FimtDd::NumLeaves() const {
+  std::size_t leaves = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) {
+      ++leaves;
+      return;
+    }
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return leaves;
+}
+
+std::size_t FimtDd::NumSplits() const {
+  // Model leaves: +1 split each for binary targets, +c for multiclass
+  // (paper Sec. VI-D2).
+  const std::size_t per_leaf =
+      config_.num_classes == 2 ? 1
+                               : static_cast<std::size_t>(config_.num_classes);
+  return NumInnerNodes() + NumLeaves() * per_leaf;
+}
+
+std::size_t FimtDd::NumParameters() const {
+  // 1 split value per inner node; m weights per class (binary: m) per leaf.
+  const std::size_t per_leaf =
+      static_cast<std::size_t>(config_.num_features) *
+      (config_.num_classes == 2 ? 1 : config_.num_classes);
+  return NumInnerNodes() + NumLeaves() * per_leaf;
+}
+
+}  // namespace dmt::trees

@@ -1,0 +1,229 @@
+#include "dmt/trees/fimtdd_regressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+#include "dmt/trees/split_criteria.h"
+
+namespace dmt::trees {
+
+namespace {
+
+// Per-feature histogram of numeric-target sufficient statistics; candidate
+// thresholds at bin boundaries (bounded-memory stand-in for E-BSTs).
+class RegressionHistogram {
+ public:
+  RegressionHistogram(int num_bins, double lo, double hi)
+      : lo_(lo), width_((hi - lo) / num_bins), bins_(num_bins) {}
+
+  void Add(double value, double target) { bins_[BinOf(value)].Add(target); }
+
+  void BestSplit(const TargetStats& parent, double* best_sdr,
+                 double* best_threshold) const {
+    *best_sdr = 0.0;
+    *best_threshold = lo_;
+    TargetStats left;
+    for (std::size_t b = 0; b + 1 < bins_.size(); ++b) {
+      left.Merge(bins_[b]);
+      if (left.n < 1.0 || parent.n - left.n < 1.0) continue;
+      TargetStats right;
+      right.n = parent.n - left.n;
+      right.sum = parent.sum - left.sum;
+      right.sum_sq = parent.sum_sq - left.sum_sq;
+      const double sdr = StdDevReduction(parent, left, right);
+      if (sdr > *best_sdr) {
+        *best_sdr = sdr;
+        *best_threshold = lo_ + width_ * static_cast<double>(b + 1);
+      }
+    }
+  }
+
+ private:
+  int BinOf(double value) const {
+    return std::clamp(static_cast<int>((value - lo_) / width_), 0,
+                      static_cast<int>(bins_.size()) - 1);
+  }
+
+  double lo_;
+  double width_;
+  std::vector<TargetStats> bins_;
+};
+
+}  // namespace
+
+struct FimtDdRegressor::Node {
+  int split_feature = -1;
+  double split_value = 0.0;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  std::vector<RegressionHistogram> histograms;
+  TargetStats target_stats;
+  double weight_seen = 0.0;
+  double weight_at_last_attempt = 0.0;
+
+  linear::LinearRegressor model;
+  drift::PageHinkley drift_test;
+  // Running scale of absolute residuals, so the Page-Hinkley input is
+  // normalized (the PH deltas are calibrated for O(1) inputs).
+  double abs_error_mean = 0.0;
+  double abs_error_count = 0.0;
+
+  Node(const FimtDdRegressorConfig& config, Rng* rng)
+      : histograms(config.num_features,
+                   RegressionHistogram(config.num_bins, config.feature_lo,
+                                       config.feature_hi)),
+        model({.num_features = config.num_features,
+               .learning_rate = config.leaf_learning_rate},
+              rng),
+        drift_test(config.page_hinkley) {}
+
+  bool is_leaf() const { return split_feature < 0; }
+};
+
+FimtDdRegressor::FimtDdRegressor(const FimtDdRegressorConfig& config)
+    : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  root_ = std::make_unique<Node>(config_, &rng_);
+}
+
+FimtDdRegressor::~FimtDdRegressor() = default;
+
+void FimtDdRegressor::TrainInstance(std::span<const double> x, double y) {
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (true) {
+    path.push_back(node);
+    if (node->is_leaf()) break;
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  Node* leaf = path.back();
+
+  // Page-Hinkley on the normalized absolute residual at every node on the
+  // path; an alert deletes that node's subtree.
+  const double abs_error = std::abs(leaf->model.Predict(x) - y);
+  for (Node* n : path) {
+    n->abs_error_count += 1.0;
+    n->abs_error_mean +=
+        (abs_error - n->abs_error_mean) / n->abs_error_count;
+    const double scale = std::max(n->abs_error_mean, 1e-9);
+    if (!n->is_leaf() && n->drift_test.Update(abs_error / scale)) {
+      n->split_feature = -1;
+      n->left.reset();
+      n->right.reset();
+      n->histograms.assign(
+          config_.num_features,
+          RegressionHistogram(config_.num_bins, config_.feature_lo,
+                              config_.feature_hi));
+      n->target_stats = TargetStats();
+      n->weight_seen = 0.0;
+      n->weight_at_last_attempt = 0.0;
+      ++num_prunes_;
+      leaf = n;
+      break;
+    }
+  }
+
+  leaf->target_stats.Add(y);
+  leaf->weight_seen += 1.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    leaf->histograms[j].Add(x[j], y);
+  }
+  linear::RegressionBatch one(config_.num_features);
+  one.Add(x, y);
+  leaf->model.Fit(one);
+
+  if (leaf->weight_seen - leaf->weight_at_last_attempt >=
+      static_cast<double>(config_.grace_period)) {
+    leaf->weight_at_last_attempt = leaf->weight_seen;
+    AttemptSplit(leaf);
+  }
+}
+
+void FimtDdRegressor::PartialFit(const linear::RegressionBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainInstance(batch.row(i), batch.target(i));
+  }
+}
+
+void FimtDdRegressor::AttemptSplit(Node* leaf) {
+  double best_sdr = 0.0;
+  double second_sdr = 0.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    double sdr = 0.0;
+    double threshold = 0.0;
+    leaf->histograms[j].BestSplit(leaf->target_stats, &sdr, &threshold);
+    if (sdr > best_sdr) {
+      second_sdr = best_sdr;
+      best_sdr = sdr;
+      best_feature = j;
+      best_threshold = threshold;
+    } else if (sdr > second_sdr) {
+      second_sdr = sdr;
+    }
+  }
+  if (best_feature < 0 || best_sdr <= 0.0) return;
+
+  const double ratio = second_sdr / best_sdr;
+  const double epsilon =
+      HoeffdingBound(1.0, config_.split_confidence, leaf->weight_seen);
+  if (ratio < 1.0 - std::min(epsilon, config_.tie_threshold)) {
+    leaf->split_feature = best_feature;
+    leaf->split_value = best_threshold;
+    leaf->left = std::make_unique<Node>(config_, &rng_);
+    leaf->right = std::make_unique<Node>(config_, &rng_);
+    leaf->left->model.WarmStartFrom(leaf->model);
+    leaf->right->model.WarmStartFrom(leaf->model);
+    leaf->histograms.clear();
+  }
+}
+
+double FimtDdRegressor::Predict(std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->model.Predict(x);
+}
+
+std::size_t FimtDdRegressor::NumInnerNodes() const {
+  std::size_t inner = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) return;
+    ++inner;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return inner;
+}
+
+std::size_t FimtDdRegressor::NumLeaves() const {
+  std::size_t leaves = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) {
+      ++leaves;
+      return;
+    }
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return leaves;
+}
+
+std::size_t FimtDdRegressor::NumSplits() const {
+  return NumInnerNodes() + NumLeaves();
+}
+
+std::size_t FimtDdRegressor::NumParameters() const {
+  return NumInnerNodes() +
+         NumLeaves() * static_cast<std::size_t>(config_.num_features);
+}
+
+}  // namespace dmt::trees

@@ -1,0 +1,69 @@
+// FIMT-DD in its ORIGINAL form (Ikonomovska, Gama & Dzeroski, 2011):
+// an incremental regression model tree. Splits maximize the standard
+// deviation reduction of the numeric target, accepted through the
+// Hoeffding-bound ratio test; leaves carry incremental linear models; a
+// Page-Hinkley test per inner node monitors the absolute residual and
+// deletes the subtree on alert (the drift adjustment strategy the paper's
+// classification adaptation also uses).
+//
+// This is the natural head-to-head competitor of the regression Dynamic
+// Model Tree (core/dmt_regressor.h).
+#ifndef DMT_TREES_FIMTDD_REGRESSOR_H_
+#define DMT_TREES_FIMTDD_REGRESSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dmt/common/random.h"
+#include "dmt/drift/page_hinkley.h"
+#include "dmt/linear/linear_regressor.h"
+
+namespace dmt::trees {
+
+struct FimtDdRegressorConfig {
+  int num_features = 0;
+  std::size_t grace_period = 200;
+  double split_confidence = 0.01;
+  double tie_threshold = 0.05;
+  double leaf_learning_rate = 0.01;
+  int num_bins = 64;
+  double feature_lo = 0.0;
+  double feature_hi = 1.0;
+  drift::PageHinkleyConfig page_hinkley;
+  std::uint64_t seed = 42;
+};
+
+class FimtDdRegressor {
+ public:
+  explicit FimtDdRegressor(const FimtDdRegressorConfig& config);
+  ~FimtDdRegressor();
+
+  void PartialFit(const linear::RegressionBatch& batch);
+  void TrainInstance(std::span<const double> x, double y);
+  double Predict(std::span<const double> x) const;
+
+  std::size_t NumSplits() const;
+  std::size_t NumParameters() const;
+  std::string name() const { return "FIMT-DD-R"; }
+
+  std::size_t NumInnerNodes() const;
+  std::size_t NumLeaves() const;
+  std::size_t NumPrunes() const { return num_prunes_; }
+
+ private:
+  struct Node;
+
+  void AttemptSplit(Node* leaf);
+
+  FimtDdRegressorConfig config_;
+  Rng rng_;
+  std::unique_ptr<Node> root_;
+  std::size_t num_prunes_ = 0;
+};
+
+}  // namespace dmt::trees
+
+#endif  // DMT_TREES_FIMTDD_REGRESSOR_H_

@@ -1,0 +1,250 @@
+#include "dmt/trees/hoeffding_adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+#include "dmt/drift/adwin.h"
+#include "dmt/trees/split_criteria.h"
+
+namespace dmt::trees {
+
+struct HoeffdingAdaptiveTree::Node {
+  int split_feature = -1;  // < 0 marks a leaf
+  double split_value = 0.0;
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  // Leaf statistics.
+  std::vector<double> class_counts;
+  std::vector<NumericObserver> observers;
+  double weight_seen = 0.0;
+  double weight_at_last_attempt = 0.0;
+
+  // Error monitor of the subtree rooted here, and the alternate subtree
+  // grown after a detected change.
+  drift::Adwin error_monitor;
+  std::unique_ptr<Node> alternate;
+
+  Node(int num_features, int num_classes, double adwin_delta)
+      : class_counts(num_classes, 0.0),
+        observers(num_features, NumericObserver(num_classes)),
+        error_monitor(adwin_delta) {}
+
+  bool is_leaf() const { return split_feature < 0; }
+
+  int MajorityClass() const {
+    return static_cast<int>(
+        std::max_element(class_counts.begin(), class_counts.end()) -
+        class_counts.begin());
+  }
+};
+
+HoeffdingAdaptiveTree::HoeffdingAdaptiveTree(const HatConfig& config)
+    : config_(config) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  root_ = std::make_unique<Node>(config.num_features, config.num_classes,
+                                 config.adwin_delta);
+}
+
+HoeffdingAdaptiveTree::~HoeffdingAdaptiveTree() = default;
+
+int HoeffdingAdaptiveTree::SubtreePredict(const Node* node,
+                                          std::span<const double> x) const {
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  return node->MajorityClass();
+}
+
+void HoeffdingAdaptiveTree::TrainAt(Node* node, std::span<const double> x,
+                                    int y) {
+  // Monitor the error of the subtree rooted at this node.
+  const bool error = SubtreePredict(node, x) != y;
+  const bool drift = node->error_monitor.Update(error ? 1.0 : 0.0);
+
+  if (drift && node->alternate == nullptr && !node->is_leaf()) {
+    node->alternate = std::make_unique<Node>(
+        config_.num_features, config_.num_classes, config_.adwin_delta);
+  }
+
+  if (node->alternate != nullptr) {
+    TrainAt(node->alternate.get(), x, y);
+    // Swap test: once both branches carry enough evidence, adopt the
+    // alternate if it is significantly more accurate, or drop it if the
+    // original branch is.
+    const double w_old = static_cast<double>(node->error_monitor.width());
+    const double w_alt =
+        static_cast<double>(node->alternate->error_monitor.width());
+    if (w_old >= static_cast<double>(config_.min_swap_width) &&
+        w_alt >= static_cast<double>(config_.min_swap_width)) {
+      const double err_old = node->error_monitor.mean();
+      const double err_alt = node->alternate->error_monitor.mean();
+      const double bound = std::sqrt(
+          2.0 * err_old * (1.0 - err_old) *
+          std::log(2.0 / config_.swap_confidence) *
+          (1.0 / w_old + 1.0 / w_alt));
+      if (err_old - err_alt > bound) {
+        std::unique_ptr<Node> alternate = std::move(node->alternate);
+        *node = std::move(*alternate);
+        // The adopted branch already consumed this instance via the
+        // recursive call above.
+        return;
+      } else if (err_alt - err_old > bound) {
+        node->alternate.reset();
+      }
+    }
+  }
+
+  if (node->is_leaf()) {
+    node->class_counts[y] += 1.0;
+    node->weight_seen += 1.0;
+    for (int j = 0; j < config_.num_features; ++j) {
+      node->observers[j].Add(x[j], y);
+    }
+    if (node->weight_seen - node->weight_at_last_attempt >=
+        static_cast<double>(config_.grace_period)) {
+      node->weight_at_last_attempt = node->weight_seen;
+      AttemptSplit(node);
+    }
+    return;
+  }
+  Node* child = x[node->split_feature] <= node->split_value
+                    ? node->left.get()
+                    : node->right.get();
+  TrainAt(child, x, y);
+}
+
+void HoeffdingAdaptiveTree::TrainInstance(std::span<const double> x, int y) {
+  TrainAt(root_.get(), x, y);
+}
+
+void HoeffdingAdaptiveTree::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainInstance(batch.row(i), batch.label(i));
+  }
+}
+
+void HoeffdingAdaptiveTree::AttemptSplit(Node* leaf) {
+  double nonzero = 0.0;
+  for (double c : leaf->class_counts) nonzero += c > 0.0 ? 1.0 : 0.0;
+  if (nonzero < 2.0) return;
+
+  SplitSuggestion best;
+  SplitSuggestion second;
+  for (int j = 0; j < config_.num_features; ++j) {
+    SplitSuggestion s = leaf->observers[j].BestSplit(
+        j, leaf->class_counts, config_.num_split_candidates);
+    if (s.merit > best.merit) {
+      second = std::move(best);
+      best = std::move(s);
+    } else if (s.merit > second.merit) {
+      second = std::move(s);
+    }
+  }
+  if (best.feature < 0 || best.merit <= 0.0) return;
+
+  const double range = std::log2(static_cast<double>(config_.num_classes));
+  const double epsilon =
+      HoeffdingBound(range, config_.split_confidence, leaf->weight_seen);
+  if (best.merit - std::max(0.0, second.merit) > epsilon ||
+      epsilon < config_.tie_threshold) {
+    leaf->split_feature = best.feature;
+    leaf->split_value = best.threshold;
+    leaf->left = std::make_unique<Node>(
+        config_.num_features, config_.num_classes, config_.adwin_delta);
+    leaf->right = std::make_unique<Node>(
+        config_.num_features, config_.num_classes, config_.adwin_delta);
+    leaf->observers.clear();
+  }
+}
+
+std::vector<double> HoeffdingAdaptiveTree::PredictProba(
+    std::span<const double> x) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf()) {
+    node = x[node->split_feature] <= node->split_value ? node->left.get()
+                                                       : node->right.get();
+  }
+  std::vector<double> proba(config_.num_classes, 0.0);
+  if (node->weight_seen <= 0.0) {
+    std::fill(proba.begin(), proba.end(), 1.0 / config_.num_classes);
+    return proba;
+  }
+  for (int c = 0; c < config_.num_classes; ++c) {
+    proba[c] = node->class_counts[c] / node->weight_seen;
+  }
+  return proba;
+}
+
+int HoeffdingAdaptiveTree::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+namespace {
+
+struct HatShape {
+  std::size_t inner = 0;
+  std::size_t leaves = 0;
+  std::size_t alternates = 0;
+};
+
+}  // namespace
+
+std::size_t HoeffdingAdaptiveTree::NumInnerNodes() const {
+  HatShape shape;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->alternate != nullptr) ++shape.alternates;
+    if (node->is_leaf()) {
+      ++shape.leaves;
+      return;
+    }
+    ++shape.inner;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return shape.inner;
+}
+
+std::size_t HoeffdingAdaptiveTree::NumLeaves() const {
+  HatShape shape;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->is_leaf()) {
+      ++shape.leaves;
+      return;
+    }
+    ++shape.inner;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return shape.leaves;
+}
+
+std::size_t HoeffdingAdaptiveTree::NumAlternateTrees() const {
+  std::size_t alternates = 0;
+  auto walk = [&](auto&& self, const Node* node) -> void {
+    if (node->alternate != nullptr) ++alternates;
+    if (node->is_leaf()) return;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+  return alternates;
+}
+
+std::size_t HoeffdingAdaptiveTree::NumSplits() const {
+  // Majority-class leaves: only (main-tree) inner nodes count.
+  return NumInnerNodes();
+}
+
+std::size_t HoeffdingAdaptiveTree::NumParameters() const {
+  return NumInnerNodes() + NumLeaves();
+}
+
+}  // namespace dmt::trees

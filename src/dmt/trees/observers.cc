@@ -1,0 +1,113 @@
+#include "dmt/trees/observers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+#include "dmt/trees/split_criteria.h"
+
+namespace dmt::trees {
+
+namespace {
+
+// Standard normal CDF.
+double NormalCdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+NumericObserver::NumericObserver(int num_classes)
+    : num_classes_(num_classes),
+      per_class_(num_classes),
+      class_weights_(num_classes, 0.0) {
+  DMT_CHECK(num_classes >= 2);
+}
+
+void NumericObserver::Add(double value, int y, double weight) {
+  DMT_DCHECK(y >= 0 && y < num_classes_);
+  // The Gaussian estimator is unweighted; integer weights (Poisson sampling
+  // in the ensembles) are applied by repetition.
+  const int repeats = std::max(1, static_cast<int>(std::lround(weight)));
+  for (int r = 0; r < repeats; ++r) per_class_[y].Add(value);
+  class_weights_[y] += repeats;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::vector<double> NumericObserver::CountsBelow(double threshold) const {
+  std::vector<double> counts(num_classes_, 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    const bayes::GaussianEstimator& est = per_class_[c];
+    if (est.n == 0) continue;
+    const double sd = std::sqrt(std::max(est.variance(), 1e-12));
+    counts[c] = class_weights_[c] * NormalCdf((threshold - est.mean) / sd);
+  }
+  return counts;
+}
+
+SplitSuggestion NumericObserver::BestSplit(
+    int feature, const std::vector<double>& parent_counts,
+    int num_candidates) const {
+  SplitSuggestion best;
+  best.feature = feature;
+  if (!has_range()) return best;
+  for (int i = 1; i <= num_candidates; ++i) {
+    const double t =
+        min_ + (max_ - min_) * static_cast<double>(i) /
+                   static_cast<double>(num_candidates + 1);
+    std::vector<double> left = CountsBelow(t);
+    std::vector<double> right(num_classes_);
+    bool valid = true;
+    double n_left = 0.0;
+    double n_right = 0.0;
+    for (int c = 0; c < num_classes_; ++c) {
+      right[c] = std::max(0.0, parent_counts[c] - left[c]);
+      n_left += left[c];
+      n_right += right[c];
+    }
+    if (n_left < 1.0 || n_right < 1.0) valid = false;
+    if (!valid) continue;
+    const double merit = InfoGain(parent_counts, left, right);
+    if (merit > best.merit) {
+      best.threshold = t;
+      best.merit = merit;
+      best.left_counts = std::move(left);
+      best.right_counts = std::move(right);
+    }
+  }
+  return best;
+}
+
+NominalObserver::NominalObserver(int num_classes)
+    : num_classes_(num_classes) {
+  DMT_CHECK(num_classes >= 2);
+}
+
+void NominalObserver::Add(double value, int y, double weight) {
+  DMT_DCHECK(y >= 0 && y < num_classes_);
+  auto [it, inserted] =
+      value_counts_.try_emplace(value, std::vector<double>(num_classes_, 0.0));
+  it->second[y] += weight;
+}
+
+SplitSuggestion NominalObserver::BestSplit(
+    int feature, const std::vector<double>& parent_counts) const {
+  SplitSuggestion best;
+  best.feature = feature;
+  best.is_equality = true;
+  for (const auto& [value, counts] : value_counts_) {
+    std::vector<double> right(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+      right[c] = std::max(0.0, parent_counts[c] - counts[c]);
+    }
+    const double merit = InfoGain(parent_counts, counts, right);
+    if (merit > best.merit) {
+      best.threshold = value;
+      best.merit = merit;
+      best.left_counts = counts;
+      best.right_counts = std::move(right);
+    }
+  }
+  return best;
+}
+
+}  // namespace dmt::trees

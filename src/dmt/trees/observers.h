@@ -1,0 +1,82 @@
+// Per-feature attribute observers that accumulate class-conditional
+// statistics at tree leaves and propose binary split candidates.
+//
+// The numeric observer keeps one Gaussian per class plus the observed range
+// and scores equally spaced candidate thresholds through the Gaussian CDF
+// (the standard MOA/scikit-multiflow approach). The nominal observer keeps
+// exact per-value class counts and proposes equality splits. All paper
+// experiments use binary splits only (Sec. VI-C).
+#ifndef DMT_TREES_OBSERVERS_H_
+#define DMT_TREES_OBSERVERS_H_
+
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "dmt/bayes/gaussian_nb.h"
+
+namespace dmt::trees {
+
+// A scored binary split proposal for one feature.
+struct SplitSuggestion {
+  int feature = -1;
+  double threshold = 0.0;   // numeric: x <= threshold; nominal: x == value
+  bool is_equality = false; // true for nominal equality splits
+  double merit = -std::numeric_limits<double>::infinity();
+  std::vector<double> left_counts;
+  std::vector<double> right_counts;
+};
+
+class NumericObserver {
+ public:
+  explicit NumericObserver(int num_classes);
+
+  void Add(double value, int y, double weight = 1.0);
+
+  // Best split for this feature by `criterion` merit, where the criterion
+  // is information gain over the projected class distributions.
+  // `num_candidates` thresholds are probed uniformly inside (min, max).
+  SplitSuggestion BestSplit(int feature,
+                            const std::vector<double>& parent_counts,
+                            int num_candidates = 10) const;
+
+  // Class counts estimated to fall at or below `threshold` (Gaussian CDF).
+  std::vector<double> CountsBelow(double threshold) const;
+
+  bool has_range() const { return max_ > min_; }
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+
+  // Class-conditional Gaussian of this feature (reused for Naive Bayes leaf
+  // prediction in VFDT-NBA) and the weight seen for that class.
+  const bayes::GaussianEstimator& estimator(int c) const {
+    return per_class_[c];
+  }
+  double class_weight(int c) const { return class_weights_[c]; }
+
+ private:
+  int num_classes_;
+  std::vector<bayes::GaussianEstimator> per_class_;
+  std::vector<double> class_weights_;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+class NominalObserver {
+ public:
+  explicit NominalObserver(int num_classes);
+
+  void Add(double value, int y, double weight = 1.0);
+
+  // Best equality split "x == v vs x != v" over observed values.
+  SplitSuggestion BestSplit(int feature,
+                            const std::vector<double>& parent_counts) const;
+
+ private:
+  int num_classes_;
+  std::map<double, std::vector<double>> value_counts_;
+};
+
+}  // namespace dmt::trees
+
+#endif  // DMT_TREES_OBSERVERS_H_

@@ -1,0 +1,264 @@
+#include "dmt/trees/vfdt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
+#include "dmt/trees/split_criteria.h"
+
+namespace dmt::trees {
+
+struct Vfdt::Node {
+  // Inner-node state; split_feature < 0 marks a leaf.
+  int split_feature = -1;
+  double split_value = 0.0;
+  bool split_is_equality = false;  // nominal split: x == value goes left
+  std::unique_ptr<Node> left;
+  std::unique_ptr<Node> right;
+
+  // Leaf state. Numeric features use Gaussian observers; nominal features
+  // (flagged in the config) use exact per-value counts.
+  std::vector<double> class_counts;
+  std::vector<NumericObserver> observers;
+  std::vector<NominalObserver> nominal_observers;  // parallel, sparse-used
+  double weight_seen = 0.0;
+  double weight_at_last_attempt = 0.0;
+  // Adaptive Naive Bayes bookkeeping (VFDT-NBA).
+  double mc_correct = 0.0;
+  double nb_correct = 0.0;
+
+  Node(int num_features, int num_classes)
+      : class_counts(num_classes, 0.0),
+        observers(num_features, NumericObserver(num_classes)),
+        nominal_observers(num_features, NominalObserver(num_classes)) {}
+
+  bool is_leaf() const { return split_feature < 0; }
+
+  int MajorityClass() const {
+    return static_cast<int>(
+        std::max_element(class_counts.begin(), class_counts.end()) -
+        class_counts.begin());
+  }
+
+  std::vector<double> NaiveBayesProba(std::span<const double> x) const {
+    const int num_classes = static_cast<int>(class_counts.size());
+    std::vector<double> log_post(num_classes);
+    for (int c = 0; c < num_classes; ++c) {
+      log_post[c] = std::log((class_counts[c] + 1.0) /
+                             (weight_seen + num_classes));
+      if (class_counts[c] <= 0.0) continue;
+      for (std::size_t j = 0; j < observers.size(); ++j) {
+        log_post[c] += observers[j].estimator(c).LogPdf(x[j]);
+      }
+    }
+    SoftmaxInPlace(log_post);
+    return log_post;
+  }
+};
+
+Vfdt::Vfdt(const VfdtConfig& config) : config_(config), rng_(config.seed) {
+  DMT_CHECK(config.num_features >= 1);
+  DMT_CHECK(config.num_classes >= 2);
+  root_ = std::make_unique<Node>(config.num_features, config.num_classes);
+}
+
+Vfdt::~Vfdt() = default;
+
+bool Vfdt::IsNominal(int feature) const {
+  return std::find(config_.nominal_features.begin(),
+                   config_.nominal_features.end(),
+                   feature) != config_.nominal_features.end();
+}
+
+Vfdt::Node* Vfdt::RouteToLeaf(std::span<const double> x) const {
+  Node* node = root_.get();
+  while (!node->is_leaf()) {
+    const double v = x[node->split_feature];
+    const bool go_left = node->split_is_equality ? v == node->split_value
+                                                 : v <= node->split_value;
+    node = go_left ? node->left.get() : node->right.get();
+  }
+  return node;
+}
+
+void Vfdt::TrainInstance(std::span<const double> x, int y) {
+  Node* leaf = RouteToLeaf(x);
+  if (config_.leaf_prediction == LeafPrediction::kNaiveBayesAdaptive &&
+      leaf->weight_seen > 0.0) {
+    // Track which of MC / NB would have been right, before learning x.
+    if (leaf->MajorityClass() == y) leaf->mc_correct += 1.0;
+    const std::vector<double> nb = leaf->NaiveBayesProba(x);
+    const int nb_pred = static_cast<int>(
+        std::max_element(nb.begin(), nb.end()) - nb.begin());
+    if (nb_pred == y) leaf->nb_correct += 1.0;
+  }
+  leaf->class_counts[y] += 1.0;
+  leaf->weight_seen += 1.0;
+  for (int j = 0; j < config_.num_features; ++j) {
+    if (IsNominal(j)) {
+      leaf->nominal_observers[j].Add(x[j], y);
+    } else {
+      leaf->observers[j].Add(x[j], y);
+    }
+  }
+  if (leaf->weight_seen - leaf->weight_at_last_attempt >=
+      static_cast<double>(config_.grace_period)) {
+    leaf->weight_at_last_attempt = leaf->weight_seen;
+    AttemptSplit(leaf);
+  }
+}
+
+void Vfdt::PartialFit(const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainInstance(batch.row(i), batch.label(i));
+  }
+}
+
+void Vfdt::AttemptSplit(Node* leaf) {
+  // A pure leaf cannot be improved by splitting.
+  double nonzero = 0.0;
+  for (double c : leaf->class_counts) nonzero += c > 0.0 ? 1.0 : 0.0;
+  if (nonzero < 2.0) return;
+
+  // Feature pool: all features, or a random subspace (Adaptive Random
+  // Forest member trees).
+  std::vector<int> features(config_.num_features);
+  for (int j = 0; j < config_.num_features; ++j) features[j] = j;
+  if (config_.subspace_size > 0 &&
+      config_.subspace_size < config_.num_features) {
+    std::shuffle(features.begin(), features.end(), rng_.engine());
+    features.resize(config_.subspace_size);
+  }
+
+  SplitSuggestion best;
+  SplitSuggestion second;
+  for (int j : features) {
+    SplitSuggestion s =
+        IsNominal(j)
+            ? leaf->nominal_observers[j].BestSplit(j, leaf->class_counts)
+            : leaf->observers[j].BestSplit(j, leaf->class_counts,
+                                           config_.num_split_candidates);
+    if (s.merit > best.merit) {
+      second = std::move(best);
+      best = std::move(s);
+    } else if (s.merit > second.merit) {
+      second = std::move(s);
+    }
+  }
+  if (best.feature < 0 || best.merit <= 0.0) return;
+
+  const double range = std::log2(static_cast<double>(config_.num_classes));
+  const double epsilon =
+      HoeffdingBound(range, config_.split_confidence, leaf->weight_seen);
+  const double second_merit = std::max(0.0, second.merit);
+  if (best.merit - second_merit > epsilon ||
+      epsilon < config_.tie_threshold) {
+    leaf->split_feature = best.feature;
+    leaf->split_value = best.threshold;
+    leaf->split_is_equality = best.is_equality;
+    leaf->left =
+        std::make_unique<Node>(config_.num_features, config_.num_classes);
+    leaf->right =
+        std::make_unique<Node>(config_.num_features, config_.num_classes);
+    leaf->observers.clear();
+    leaf->nominal_observers.clear();
+  }
+}
+
+std::vector<double> Vfdt::LeafProba(const Node& leaf,
+                                    std::span<const double> x) const {
+  const int num_classes = config_.num_classes;
+  std::vector<double> proba(num_classes, 0.0);
+  if (leaf.weight_seen <= 0.0) {
+    std::fill(proba.begin(), proba.end(), 1.0 / num_classes);
+    return proba;
+  }
+  const bool use_nb =
+      config_.leaf_prediction == LeafPrediction::kNaiveBayesAdaptive &&
+      leaf.nb_correct >= leaf.mc_correct && !leaf.observers.empty();
+  if (use_nb) return leaf.NaiveBayesProba(x);
+  for (int c = 0; c < num_classes; ++c) {
+    proba[c] = leaf.class_counts[c] / leaf.weight_seen;
+  }
+  return proba;
+}
+
+std::vector<double> Vfdt::PredictProba(std::span<const double> x) const {
+  return LeafProba(*RouteToLeaf(x), x);
+}
+
+int Vfdt::Predict(std::span<const double> x) const {
+  const std::vector<double> proba = PredictProba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+namespace {
+
+struct TreeShape {
+  std::size_t inner = 0;
+  std::size_t leaves = 0;
+  std::size_t depth = 0;
+};
+
+}  // namespace
+
+template <typename NodeT>
+static void Walk(const NodeT* node, std::size_t depth, TreeShape* shape) {
+  shape->depth = std::max(shape->depth, depth);
+  if (node->is_leaf()) {
+    ++shape->leaves;
+    return;
+  }
+  ++shape->inner;
+  Walk(node->left.get(), depth + 1, shape);
+  Walk(node->right.get(), depth + 1, shape);
+}
+
+std::size_t Vfdt::NumInnerNodes() const {
+  TreeShape shape;
+  Walk(root_.get(), 0, &shape);
+  return shape.inner;
+}
+
+std::size_t Vfdt::NumLeaves() const {
+  TreeShape shape;
+  Walk(root_.get(), 0, &shape);
+  return shape.leaves;
+}
+
+std::size_t Vfdt::Depth() const {
+  TreeShape shape;
+  Walk(root_.get(), 0, &shape);
+  return shape.depth;
+}
+
+std::size_t Vfdt::NumSplits() const {
+  TreeShape shape;
+  Walk(root_.get(), 0, &shape);
+  // Paper Sec. VI-D2: inner nodes are splits; MC leaves add nothing; model
+  // (NB) leaves add one split for binary targets and c for multiclass.
+  if (config_.leaf_prediction == LeafPrediction::kMajorityClass) {
+    return shape.inner;
+  }
+  const std::size_t per_leaf =
+      config_.num_classes == 2 ? 1
+                               : static_cast<std::size_t>(config_.num_classes);
+  return shape.inner + shape.leaves * per_leaf;
+}
+
+std::size_t Vfdt::NumParameters() const {
+  TreeShape shape;
+  Walk(root_.get(), 0, &shape);
+  // One parameter (split value) per inner node; 1 per MC leaf; m per class
+  // for NB leaves (conditional probabilities), m for binary.
+  std::size_t per_leaf = 1;
+  if (config_.leaf_prediction == LeafPrediction::kNaiveBayesAdaptive) {
+    per_leaf = static_cast<std::size_t>(config_.num_features) *
+               (config_.num_classes == 2 ? 1 : config_.num_classes);
+  }
+  return shape.inner + shape.leaves * per_leaf;
+}
+
+}  // namespace dmt::trees

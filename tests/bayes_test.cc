@@ -1,0 +1,82 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/bayes/gaussian_nb.h"
+#include "dmt/common/random.h"
+#include "dmt/common/types.h"
+
+namespace dmt::bayes {
+namespace {
+
+TEST(GaussianEstimatorTest, MeanAndVariance) {
+  GaussianEstimator est;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) est.Add(v);
+  EXPECT_DOUBLE_EQ(est.mean, 3.0);
+  EXPECT_NEAR(est.variance(), 2.0, 1e-12);  // population variance
+}
+
+TEST(GaussianEstimatorTest, LogPdfPeaksAtMean) {
+  GaussianEstimator est;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) est.Add(rng.Gaussian(0.5, 0.1));
+  EXPECT_GT(est.LogPdf(0.5), est.LogPdf(0.9));
+  EXPECT_GT(est.LogPdf(0.5), est.LogPdf(0.1));
+}
+
+TEST(GaussianNbTest, UniformBeforeAnyData) {
+  GaussianNaiveBayes nb(3, 4);
+  std::vector<double> x = {0.1, 0.2, 0.3};
+  const std::vector<double> proba = nb.PredictProba(x);
+  for (double p : proba) EXPECT_NEAR(p, 0.25, 1e-9);
+}
+
+TEST(GaussianNbTest, SeparatesGaussianClusters) {
+  GaussianNaiveBayes nb(2, 2);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const int c = rng.UniformInt(0, 1);
+    const double center = c == 0 ? 0.25 : 0.75;
+    std::vector<double> x = {rng.Gaussian(center, 0.05),
+                             rng.Gaussian(center, 0.05)};
+    nb.Update(x, c);
+  }
+  std::vector<double> lo = {0.25, 0.25};
+  std::vector<double> hi = {0.75, 0.75};
+  EXPECT_EQ(nb.Predict(lo), 0);
+  EXPECT_EQ(nb.Predict(hi), 1);
+}
+
+TEST(GaussianNbTest, MajorityClassFollowsCounts) {
+  GaussianNaiveBayes nb(1, 3);
+  std::vector<double> x = {0.5};
+  nb.Update(x, 2);
+  nb.Update(x, 2);
+  nb.Update(x, 0);
+  EXPECT_EQ(nb.MajorityClass(), 2);
+  EXPECT_EQ(nb.total_count(), 3u);
+}
+
+TEST(GaussianNbTest, HandlesConstantFeatureWithoutNan) {
+  GaussianNaiveBayes nb(1, 2);
+  std::vector<double> x = {0.5};
+  for (int i = 0; i < 100; ++i) nb.Update(x, i % 2);
+  const std::vector<double> proba = nb.PredictProba(x);
+  EXPECT_TRUE(std::isfinite(proba[0]));
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
+TEST(GaussianNbTest, PriorsDominateWhenFeaturesUninformative) {
+  GaussianNaiveBayes nb(1, 2);
+  Rng rng(3);
+  // 90/10 class split, identical feature distributions.
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<double> x = {rng.Uniform()};
+    nb.Update(x, rng.Bernoulli(0.9) ? 1 : 0);
+  }
+  std::vector<double> x = {0.5};
+  EXPECT_EQ(nb.Predict(x), 1);
+}
+
+}  // namespace
+}  // namespace dmt::bayes

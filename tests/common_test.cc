@@ -1,0 +1,135 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/math.h"
+#include "dmt/common/random.h"
+#include "dmt/common/stats.h"
+#include "dmt/common/table.h"
+#include "dmt/common/types.h"
+
+namespace dmt {
+namespace {
+
+TEST(MathTest, SigmoidMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_NEAR(Sigmoid(-2.0), 1.0 / (1.0 + std::exp(2.0)), 1e-12);
+}
+
+TEST(MathTest, SigmoidIsStableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+}
+
+TEST(MathTest, LogSumExpMatchesNaiveOnSmallValues) {
+  std::vector<double> z = {0.1, 0.2, 0.3};
+  double naive = std::log(std::exp(0.1) + std::exp(0.2) + std::exp(0.3));
+  EXPECT_NEAR(LogSumExp(z), naive, 1e-12);
+}
+
+TEST(MathTest, LogSumExpStableForLargeValues) {
+  std::vector<double> z = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(z), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, SoftmaxSumsToOneAndPreservesOrder) {
+  std::vector<double> z = {1.0, 3.0, 2.0};
+  SoftmaxInPlace(z);
+  EXPECT_NEAR(z[0] + z[1] + z[2], 1.0, 1e-12);
+  EXPECT_GT(z[1], z[2]);
+  EXPECT_GT(z[2], z[0]);
+}
+
+TEST(MathTest, SafeLogIsFiniteAtZeroAndOne) {
+  EXPECT_TRUE(std::isfinite(SafeLog(0.0)));
+  EXPECT_TRUE(std::isfinite(SafeLog(1.0)));
+}
+
+TEST(MathTest, DotAndNorm) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(SquaredNorm(a), 14.0);
+}
+
+TEST(RunningStatsTest, MeanAndVarianceMatchClosedForm) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 4.0, 1e-12);  // population variance
+  EXPECT_NEAR(stats.stddev(), 2.0, 1e-12);
+}
+
+TEST(RunningStatsTest, EmptyAndSingleValue) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  stats.Add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(SlidingWindowStatsTest, EvictsOldValues) {
+  SlidingWindowStats window(3);
+  window.Add(1.0);
+  window.Add(2.0);
+  window.Add(3.0);
+  EXPECT_DOUBLE_EQ(window.mean(), 2.0);
+  window.Add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(window.mean(), 5.0);
+  EXPECT_EQ(window.count(), 3u);
+}
+
+TEST(RngTest, SeedsAreReproducible) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusively) {
+  Rng rng(1);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(0, 3);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(2);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(weights), 1);
+}
+
+TEST(BatchTest, RowsRoundTrip) {
+  Batch batch(2);
+  batch.Add(std::vector<double>{1.0, 2.0}, 0);
+  batch.Add(std::vector<double>{3.0, 4.0}, 1);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_DOUBLE_EQ(batch.row(1)[0], 3.0);
+  EXPECT_EQ(batch.label(0), 0);
+  batch.mutable_row(0)[0] = 9.0;
+  EXPECT_DOUBLE_EQ(batch.row(0)[0], 9.0);
+}
+
+TEST(TableTest, RendersAlignedColumnsAndCsv) {
+  TextTable table({"model", "f1"});
+  table.AddRow({"DMT", MeanStdCell(0.781, 0.104)});
+  const std::string text = table.ToString();
+  EXPECT_NE(text.find("DMT"), std::string::npos);
+  EXPECT_NE(text.find("0.78 +- 0.10"), std::string::npos);
+  EXPECT_NE(table.ToCsv().find("DMT,0.78 +- 0.10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,0 +1,209 @@
+// Interface-conformance sweeps: every classifier must uphold the Classifier
+// contract on arbitrary inputs, and the DMT must beat the trivial
+// majority-class baseline on every surrogate stream family.
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/ensemble/adaptive_random_forest.h"
+#include "dmt/ensemble/leveraging_bagging.h"
+#include "dmt/ensemble/online_bagging.h"
+#include "dmt/eval/prequential.h"
+#include "dmt/linear/glm_classifier.h"
+#include "dmt/streams/datasets.h"
+#include "dmt/trees/efdt.h"
+#include "dmt/trees/fimtdd.h"
+#include "dmt/trees/hoeffding_adaptive.h"
+#include "dmt/trees/vfdt.h"
+
+namespace dmt {
+namespace {
+
+std::unique_ptr<Classifier> Make(const std::string& name, int m, int c) {
+  if (name == "DMT") {
+    return std::make_unique<core::DynamicModelTree>(
+        core::DmtConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "FIMT-DD") {
+    return std::make_unique<trees::FimtDd>(
+        trees::FimtDdConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "VFDT") {
+    return std::make_unique<trees::Vfdt>(
+        trees::VfdtConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "HT-Ada") {
+    return std::make_unique<trees::HoeffdingAdaptiveTree>(
+        trees::HatConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "EFDT") {
+    return std::make_unique<trees::Efdt>(
+        trees::EfdtConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "ARF") {
+    return std::make_unique<ensemble::AdaptiveRandomForest>(
+        ensemble::AdaptiveRandomForestConfig{.num_features = m,
+                                             .num_classes = c});
+  }
+  if (name == "LevBag") {
+    return std::make_unique<ensemble::LeveragingBagging>(
+        ensemble::LeveragingBaggingConfig{.num_features = m,
+                                          .num_classes = c});
+  }
+  if (name == "OzaBag") {
+    return std::make_unique<ensemble::OnlineBagging>(
+        ensemble::OnlineBaggingConfig{.num_features = m, .num_classes = c});
+  }
+  return std::make_unique<linear::GlmClassifier>(
+      linear::GlmConfig{.num_features = m, .num_classes = c});
+}
+
+// (model, num_classes) sweep.
+class ClassifierContractTest
+    : public ::testing::TestWithParam<std::tuple<const char*, int>> {};
+
+TEST_P(ClassifierContractTest, ProbabilitiesFormDistributionAndArgmax) {
+  const auto [name, num_classes] = GetParam();
+  const int m = 4;
+  std::unique_ptr<Classifier> model = Make(name, m, num_classes);
+  Rng rng(17);
+  Batch batch(m);
+  for (int i = 0; i < 600; ++i) {
+    std::vector<double> x(m);
+    for (double& v : x) v = rng.Uniform();
+    batch.Add(x, rng.UniformInt(0, num_classes - 1));
+  }
+  model->PartialFit(batch);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> x(m);
+    for (double& v : x) v = rng.Uniform();
+    const std::vector<double> proba = model->PredictProba(x);
+    ASSERT_EQ(static_cast<int>(proba.size()), num_classes);
+    double sum = 0.0;
+    for (double p : proba) {
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0 + 1e-9);
+      sum += p;
+    }
+    ASSERT_NEAR(sum, 1.0, 1e-6);
+    // Predict must be consistent with the probability argmax (ties allowed,
+    // so only require the predicted class to have maximal probability).
+    const int predicted = model->Predict(x);
+    double max_p = 0.0;
+    for (double p : proba) max_p = std::max(max_p, p);
+    ASSERT_NEAR(proba[predicted], max_p, 1e-9);
+  }
+  EXPECT_GT(model->NumParameters(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndClassCounts, ClassifierContractTest,
+    ::testing::Combine(::testing::Values("DMT", "FIMT-DD", "VFDT", "HT-Ada",
+                                         "EFDT", "ARF", "LevBag", "OzaBag",
+                                         "GLM"),
+                       ::testing::Values(2, 5)));
+
+// DMT must beat the always-majority baseline on every Table I stream at
+// small scale.
+class DmtBeatsBaselineTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DmtBeatsBaselineTest, WeightedF1AboveMajorityBaseline) {
+  const streams::DatasetSpec spec = streams::DatasetByName(GetParam());
+  const std::size_t samples = 8000;
+  std::unique_ptr<streams::Stream> stream = spec.make(samples, 11);
+  core::DynamicModelTree tree(
+      {.num_features = static_cast<int>(spec.num_features),
+       .num_classes = static_cast<int>(spec.num_classes)});
+  eval::PrequentialConfig config;
+  config.expected_samples = samples;
+  const eval::PrequentialResult result =
+      eval::RunPrequential(stream.get(), &tree, config);
+
+  // Majority baseline: F1(majority class) weighted by its share; a
+  // majority-only predictor has weighted F1 = p * 2p/(1+p) where p is the
+  // majority fraction. Estimate p from a fresh draw of the stream.
+  std::unique_ptr<streams::Stream> probe = spec.make(samples, 11);
+  std::vector<std::size_t> counts(spec.num_classes, 0);
+  Instance instance;
+  while (probe->NextInstance(&instance)) ++counts[instance.y];
+  std::size_t majority = 0;
+  for (std::size_t c : counts) majority = std::max(majority, c);
+  const double p = static_cast<double>(majority) / samples;
+  const double baseline = p * (2.0 * p / (1.0 + p));
+  EXPECT_GT(result.f1.mean(), baseline) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTableOneStreams, DmtBeatsBaselineTest,
+    ::testing::Values("Electricity", "Airlines", "Bank", "TueEyeQ", "Poker",
+                      "KDD", "Covertype", "Gas", "Insects-Abr", "Insects-Inc",
+                      "SEA", "Agrawal", "Hyperplane"));
+
+TEST(OnlineBaggingTest, LearnsSimpleConcept) {
+  ensemble::OnlineBagging ensemble(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  Rng rng(21);
+  Batch batch(2);
+  for (int i = 0; i < 4000; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    batch.Add(x, x[0] <= 0.5 ? 0 : 1);
+  }
+  ensemble.PartialFit(batch);
+  int correct = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    correct += ensemble.Predict(x) == (x[0] <= 0.5 ? 0 : 1);
+  }
+  EXPECT_GT(correct, 450);
+}
+
+TEST(VfdtNominalTest, EqualitySplitOnNominalFeature) {
+  // Feature 0 is nominal with 3 levels; level 2.0 determines the class.
+  trees::Vfdt tree({.num_features = 2,
+                    .num_classes = 2,
+                    .nominal_features = {0}});
+  Rng rng(22);
+  Batch batch(2);
+  for (int i = 0; i < 5000; ++i) {
+    const double level = rng.UniformInt(0, 2);
+    std::vector<double> x = {level, rng.Uniform()};
+    batch.Add(x, level == 2.0 ? 1 : 0);
+  }
+  tree.PartialFit(batch);
+  ASSERT_GE(tree.NumInnerNodes(), 1u);
+  // Exact classification on all three levels.
+  for (double level : {0.0, 1.0, 2.0}) {
+    std::vector<double> x = {level, 0.5};
+    EXPECT_EQ(tree.Predict(x), level == 2.0 ? 1 : 0);
+  }
+}
+
+TEST(VfdtNominalTest, MixedNominalAndNumericFeatures) {
+  // Nominal feature 0 is noise; numeric feature 1 carries the concept.
+  trees::Vfdt tree({.num_features = 2,
+                    .num_classes = 2,
+                    .nominal_features = {0}});
+  Rng rng(23);
+  Batch batch(2);
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<double> x = {static_cast<double>(rng.UniformInt(0, 4)),
+                             rng.Uniform()};
+    batch.Add(x, x[1] <= 0.5 ? 0 : 1);
+  }
+  tree.PartialFit(batch);
+  int correct = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x = {static_cast<double>(rng.UniformInt(0, 4)),
+                             rng.Uniform()};
+    correct += tree.Predict(x) == (x[1] <= 0.5 ? 0 : 1);
+  }
+  EXPECT_GT(correct, 460);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,0 +1,116 @@
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dmt/streams/csv_stream.h"
+
+namespace dmt::streams {
+namespace {
+
+class CsvStreamTest : public ::testing::Test {
+ protected:
+  void WriteFile(const std::string& content) {
+    path_ = ::testing::TempDir() + "csv_stream_test.csv";
+    std::ofstream out(path_);
+    out << content;
+  }
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(CsvStreamTest, ReadsNumericRowsWithHeader) {
+  WriteFile("a,b,label\n1.5,2.5,0\n3.0,4.0,1\n");
+  CsvStream stream({.path = path_, .label_column = "label"});
+  EXPECT_EQ(stream.num_features(), 2u);
+  EXPECT_EQ(stream.num_classes(), 2u);
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[0], 1.5);
+  EXPECT_DOUBLE_EQ(instance.x[1], 2.5);
+  EXPECT_EQ(instance.y, 0);
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_EQ(instance.y, 1);
+  EXPECT_FALSE(stream.NextInstance(&instance));
+}
+
+TEST_F(CsvStreamTest, LabelColumnInMiddle) {
+  WriteFile("a,label,b\n1,x,2\n3,y,4\n5,x,6\n");
+  CsvStream stream({.path = path_, .label_column = "label"});
+  EXPECT_EQ(stream.num_features(), 2u);
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(instance.x[1], 2.0);
+  EXPECT_EQ(instance.y, 0);  // "x" first seen
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_EQ(instance.y, 1);  // "y"
+}
+
+TEST_F(CsvStreamTest, FactorizesStringFeatures) {
+  WriteFile("color,label\nred,0\ngreen,1\nred,0\nblue,1\n");
+  CsvStream stream({.path = path_, .label_column = "label"});
+  Instance instance;
+  stream.NextInstance(&instance);
+  EXPECT_DOUBLE_EQ(instance.x[0], 0.0);  // red
+  stream.NextInstance(&instance);
+  EXPECT_DOUBLE_EQ(instance.x[0], 1.0);  // green
+  stream.NextInstance(&instance);
+  EXPECT_DOUBLE_EQ(instance.x[0], 0.0);  // red again
+  stream.NextInstance(&instance);
+  EXPECT_DOUBLE_EQ(instance.x[0], 2.0);  // blue
+}
+
+TEST_F(CsvStreamTest, StringLabelsAreFactorized) {
+  WriteFile("a,class\n1,neg\n2,pos\n3,neg\n");
+  CsvStream stream({.path = path_, .label_column = "class"});
+  const std::vector<std::string> names = stream.class_names();
+  ASSERT_EQ(names.size(), 2u);
+  Instance instance;
+  stream.NextInstance(&instance);
+  // Classes are enumerated by scan order of first appearance... the scan
+  // uses a sorted map keyed by string; the index mapping must round-trip.
+  stream.NextInstance(&instance);
+  EXPECT_EQ(names[instance.y], "pos");
+}
+
+TEST_F(CsvStreamTest, DefaultLabelIsLastColumn) {
+  WriteFile("a,b,c\n1,2,0\n3,4,1\n");
+  CsvStream stream({.path = path_});
+  EXPECT_EQ(stream.num_features(), 2u);
+  EXPECT_EQ(stream.feature_names()[0], "a");
+  EXPECT_EQ(stream.feature_names()[1], "b");
+}
+
+TEST_F(CsvStreamTest, SkipsEmptyLines) {
+  WriteFile("a,label\n1,0\n\n2,1\n\n");
+  CsvStream stream({.path = path_});
+  Instance instance;
+  int count = 0;
+  while (stream.NextInstance(&instance)) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(CsvStreamTest, HandlesQuotedCellsAndWhitespace) {
+  WriteFile("a,label\n \"1.5\" ,\"0\"\n2.5, 1 \n");
+  CsvStream stream({.path = path_});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[0], 1.5);
+}
+
+TEST_F(CsvStreamTest, NoHeaderMode) {
+  WriteFile("1,2,0\n3,4,1\n");
+  CsvStream stream({.path = path_, .has_header = false});
+  EXPECT_EQ(stream.num_features(), 2u);
+  Instance instance;
+  int count = 0;
+  while (stream.NextInstance(&instance)) ++count;
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace dmt::streams

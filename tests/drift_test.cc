@@ -1,0 +1,120 @@
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/drift/adwin.h"
+#include "dmt/drift/ddm.h"
+#include "dmt/drift/page_hinkley.h"
+
+namespace dmt::drift {
+namespace {
+
+TEST(AdwinTest, TracksMeanOfStationaryStream) {
+  Adwin adwin;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) adwin.Update(rng.Bernoulli(0.3) ? 1.0 : 0.0);
+  EXPECT_NEAR(adwin.mean(), 0.3, 0.05);
+}
+
+TEST(AdwinTest, NoFalseAlarmsOnConstantStream) {
+  Adwin adwin;
+  for (int i = 0; i < 5000; ++i) EXPECT_FALSE(adwin.Update(0.5));
+  EXPECT_EQ(adwin.num_detections(), 0u);
+}
+
+TEST(AdwinTest, DetectsAbruptMeanShift) {
+  Adwin adwin;
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) adwin.Update(rng.Gaussian(0.2, 0.05));
+  const std::size_t before = adwin.width();
+  bool detected = false;
+  for (int i = 0; i < 1000; ++i) {
+    detected |= adwin.Update(rng.Gaussian(0.8, 0.05));
+  }
+  EXPECT_TRUE(detected);
+  // The window must have dropped the pre-change segment.
+  EXPECT_LT(adwin.width(), before + 1000);
+  EXPECT_NEAR(adwin.mean(), 0.8, 0.1);
+}
+
+// Detection should hold across a range of shift magnitudes.
+class AdwinShiftTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdwinShiftTest, DetectsShiftOfGivenMagnitude) {
+  const double magnitude = GetParam();
+  Adwin adwin;
+  Rng rng(3);
+  for (int i = 0; i < 1500; ++i) adwin.Update(rng.Gaussian(0.2, 0.05));
+  bool detected = false;
+  for (int i = 0; i < 1500; ++i) {
+    detected |= adwin.Update(rng.Gaussian(0.2 + magnitude, 0.05));
+  }
+  EXPECT_TRUE(detected) << "magnitude " << magnitude;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, AdwinShiftTest,
+                         ::testing::Values(0.2, 0.4, 0.6));
+
+TEST(AdwinTest, LowFalseAlarmRateOnNoisyStationaryStream) {
+  Adwin adwin;
+  Rng rng(4);
+  std::size_t alarms = 0;
+  for (int i = 0; i < 20000; ++i) {
+    alarms += adwin.Update(rng.Bernoulli(0.5) ? 1.0 : 0.0);
+  }
+  EXPECT_LE(alarms, 3u);
+}
+
+TEST(PageHinkleyTest, NoAlertOnStationaryStream) {
+  PageHinkley ph;
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(ph.Update(rng.Gaussian(0.3, 0.1)));
+  }
+}
+
+TEST(PageHinkleyTest, AlertsOnMeanIncrease) {
+  PageHinkley ph({.threshold = 20.0});
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) ph.Update(rng.Gaussian(0.1, 0.05));
+  bool detected = false;
+  for (int i = 0; i < 2000; ++i) {
+    detected |= ph.Update(rng.Gaussian(0.7, 0.05));
+  }
+  EXPECT_TRUE(detected);
+  EXPECT_GE(ph.num_detections(), 1u);
+}
+
+TEST(PageHinkleyTest, ResetsAfterAlert) {
+  PageHinkley ph({.min_instances = 10, .threshold = 5.0});
+  for (int i = 0; i < 100; ++i) ph.Update(0.0);
+  bool detected = false;
+  for (int i = 0; i < 100 && !detected; ++i) detected = ph.Update(1.0);
+  ASSERT_TRUE(detected);
+  EXPECT_DOUBLE_EQ(ph.cumulative_sum(), 0.0);
+}
+
+TEST(DdmTest, SignalsDriftWhenErrorRateRises) {
+  Ddm ddm;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) ddm.Update(rng.Bernoulli(0.1));
+  bool drift = false;
+  for (int i = 0; i < 1000; ++i) {
+    drift |= ddm.Update(rng.Bernoulli(0.6)) == Ddm::State::kDrift;
+  }
+  EXPECT_TRUE(drift);
+}
+
+TEST(DdmTest, StaysStableOnConstantErrorRate) {
+  Ddm ddm;
+  Rng rng(8);
+  std::size_t drifts = 0;
+  for (int i = 0; i < 10000; ++i) {
+    drifts += ddm.Update(rng.Bernoulli(0.2)) == Ddm::State::kDrift;
+  }
+  EXPECT_LE(drifts, 1u);
+}
+
+}  // namespace
+}  // namespace dmt::drift

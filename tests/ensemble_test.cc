@@ -1,0 +1,141 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/common/types.h"
+#include "dmt/ensemble/adaptive_random_forest.h"
+#include "dmt/ensemble/leveraging_bagging.h"
+
+namespace dmt::ensemble {
+namespace {
+
+void FillAxisConcept(Rng* rng, Batch* batch, int n, bool flipped = false) {
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x = {rng->Uniform(), rng->Uniform()};
+    int y = x[0] <= 0.5 ? 0 : 1;
+    if (flipped) y = 1 - y;
+    batch->Add(x, y);
+  }
+}
+
+template <typename Model>
+double TestAccuracy(const Model& model, Rng* rng, int n,
+                    bool flipped = false) {
+  Batch test(2);
+  FillAxisConcept(rng, &test, n, flipped);
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += model.Predict(test.row(i)) == test.label(i);
+  }
+  return static_cast<double>(correct) / n;
+}
+
+TEST(LeveragingBaggingTest, LearnsSimpleConcept) {
+  LeveragingBagging ensemble(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  Rng rng(1);
+  for (int b = 0; b < 10; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500);
+    ensemble.PartialFit(batch);
+  }
+  EXPECT_GT(TestAccuracy(ensemble, &rng, 1000), 0.93);
+}
+
+TEST(LeveragingBaggingTest, ComplexitySumsOverMembers) {
+  LeveragingBagging ensemble(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  // Empty members: 0 splits, 3 leaves -> 3 parameters.
+  EXPECT_EQ(ensemble.NumSplits(), 0u);
+  EXPECT_EQ(ensemble.NumParameters(), 3u);
+}
+
+TEST(LeveragingBaggingTest, ResetsMemberAfterDrift) {
+  LeveragingBagging ensemble(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  Rng rng(2);
+  for (int b = 0; b < 10; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500);
+    ensemble.PartialFit(batch);
+  }
+  for (int b = 0; b < 20; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500, /*flipped=*/true);
+    ensemble.PartialFit(batch);
+  }
+  EXPECT_GE(ensemble.num_resets(), 1u);
+  EXPECT_GT(TestAccuracy(ensemble, &rng, 1000, /*flipped=*/true), 0.85);
+}
+
+TEST(ArfTest, LearnsSimpleConcept) {
+  AdaptiveRandomForest forest(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  Rng rng(3);
+  for (int b = 0; b < 10; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500);
+    forest.PartialFit(batch);
+  }
+  EXPECT_GT(TestAccuracy(forest, &rng, 1000), 0.9);
+}
+
+TEST(ArfTest, PromotesBackgroundTreeAfterDrift) {
+  AdaptiveRandomForest forest(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  Rng rng(4);
+  for (int b = 0; b < 10; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500);
+    forest.PartialFit(batch);
+  }
+  for (int b = 0; b < 20; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500, /*flipped=*/true);
+    forest.PartialFit(batch);
+  }
+  EXPECT_GE(forest.num_promotions(), 1u);
+  EXPECT_GT(TestAccuracy(forest, &rng, 1000, /*flipped=*/true), 0.85);
+}
+
+TEST(ArfTest, SubspaceSizeDefaultsToSqrtM) {
+  AdaptiveRandomForest forest({.num_features = 25, .num_classes = 2});
+  // sqrt(25) + 1 = 6; indirectly verified by construction succeeding and
+  // the forest still learning on a concept that uses one feature.
+  Rng rng(5);
+  for (int b = 0; b < 10; ++b) {
+    Batch batch(25);
+    for (int i = 0; i < 300; ++i) {
+      std::vector<double> x(25);
+      for (double& v : x) v = rng.Uniform();
+      batch.Add(x, x[0] <= 0.5 ? 0 : 1);
+    }
+    forest.PartialFit(batch);
+  }
+  Batch test(25);
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x(25);
+    for (double& v : x) v = rng.Uniform();
+    test.Add(x, x[0] <= 0.5 ? 0 : 1);
+  }
+  int correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    correct += forest.Predict(test.row(i)) == test.label(i);
+  }
+  EXPECT_GT(correct, 350);
+}
+
+TEST(ArfTest, ProbabilitiesAreAveraged) {
+  AdaptiveRandomForest forest(
+      {.num_features = 2, .num_classes = 3, .num_learners = 3});
+  std::vector<double> x = {0.5, 0.5};
+  const std::vector<double> proba = forest.PredictProba(x);
+  ASSERT_EQ(proba.size(), 3u);
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dmt::ensemble

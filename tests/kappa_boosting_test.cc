@@ -1,0 +1,88 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/ensemble/online_boosting.h"
+#include "dmt/eval/metrics.h"
+
+namespace dmt {
+namespace {
+
+TEST(KappaTest, PerfectAgreementIsOne) {
+  eval::ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i <= c; ++i) cm.Add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.CohensKappa(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.KappaM(), 1.0);
+}
+
+TEST(KappaTest, MajorityOnlyPredictorScoresZeroKappaM) {
+  // 80/20 binary stream, always predicting the majority class.
+  eval::ConfusionMatrix cm(2);
+  for (int i = 0; i < 80; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 20; ++i) cm.Add(0, 1);
+  EXPECT_DOUBLE_EQ(cm.KappaM(), 0.0);
+  // Cohen's kappa is also zero: no agreement beyond chance.
+  EXPECT_NEAR(cm.CohensKappa(), 0.0, 1e-12);
+}
+
+TEST(KappaTest, MatchesHandComputedExample) {
+  // Classic 2x2 example: a=20 (both yes), d=15 (both no), b=5, c=10.
+  eval::ConfusionMatrix cm(2);
+  for (int i = 0; i < 20; ++i) cm.Add(1, 1);
+  for (int i = 0; i < 5; ++i) cm.Add(1, 0);
+  for (int i = 0; i < 10; ++i) cm.Add(0, 1);
+  for (int i = 0; i < 15; ++i) cm.Add(0, 0);
+  // p0 = 35/50 = 0.7; pe = (25*30 + 25*20) / 50^2 = 0.5; kappa = 0.4.
+  EXPECT_NEAR(cm.CohensKappa(), 0.4, 1e-12);
+}
+
+TEST(KappaTest, BelowMajorityBaselineIsNegative) {
+  eval::ConfusionMatrix cm(2);
+  // 90% majority class but the model predicts the minority often and is
+  // right less often than majority voting would be.
+  for (int i = 0; i < 60; ++i) cm.Add(0, 0);
+  for (int i = 0; i < 30; ++i) cm.Add(1, 0);  // wrong on majority
+  for (int i = 0; i < 10; ++i) cm.Add(1, 1);
+  EXPECT_LT(cm.KappaM(), 0.0);
+}
+
+TEST(OnlineBoostingTest, LearnsSimpleConcept) {
+  ensemble::OnlineBoosting boost(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  Rng rng(1);
+  Batch batch(2);
+  for (int i = 0; i < 6000; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    batch.Add(x, x[0] <= 0.5 ? 0 : 1);
+  }
+  boost.PartialFit(batch);
+  int correct = 0;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    correct += boost.Predict(x) == (x[0] <= 0.5 ? 0 : 1);
+  }
+  EXPECT_GT(correct, 450);
+}
+
+TEST(OnlineBoostingTest, UniformBeforeTraining) {
+  ensemble::OnlineBoosting boost(
+      {.num_features = 2, .num_classes = 4, .num_learners = 2});
+  std::vector<double> x = {0.5, 0.5};
+  const std::vector<double> proba = boost.PredictProba(x);
+  double sum = 0.0;
+  for (double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(OnlineBoostingTest, ComplexitySumsMembers) {
+  ensemble::OnlineBoosting boost(
+      {.num_features = 2, .num_classes = 2, .num_learners = 3});
+  EXPECT_EQ(boost.NumSplits(), 0u);
+  EXPECT_EQ(boost.NumParameters(), 3u);  // 3 empty majority leaves
+}
+
+}  // namespace
+}  // namespace dmt

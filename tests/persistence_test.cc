@@ -1,0 +1,137 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/linear/glm.h"
+
+namespace dmt::core {
+namespace {
+
+void FillXor(Rng* rng, Batch* batch, int n) {
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> x = {rng->Uniform(), rng->Uniform()};
+    batch->Add(x, (x[0] > 0.5) != (x[1] > 0.5) ? 1 : 0);
+  }
+}
+
+TEST(PersistenceTest, RoundTripPreservesStructureAndPredictions) {
+  DynamicModelTree tree({.num_features = 2, .num_classes = 2});
+  Rng rng(1);
+  for (int b = 0; b < 100; ++b) {
+    Batch batch(2);
+    FillXor(&rng, &batch, 100);
+    tree.PartialFit(batch);
+  }
+  std::stringstream buffer;
+  tree.Save(buffer);
+  std::unique_ptr<DynamicModelTree> restored =
+      DynamicModelTree::Load(buffer);
+
+  EXPECT_EQ(restored->NumInnerNodes(), tree.NumInnerNodes());
+  EXPECT_EQ(restored->NumLeaves(), tree.NumLeaves());
+  EXPECT_EQ(restored->time_step(), tree.time_step());
+  EXPECT_EQ(restored->num_splits_performed(), tree.num_splits_performed());
+  Rng probe(2);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x = {probe.Uniform(), probe.Uniform()};
+    ASSERT_EQ(restored->Predict(x), tree.Predict(x));
+    const std::vector<double> pa = tree.PredictProba(x);
+    const std::vector<double> pb = restored->PredictProba(x);
+    ASSERT_DOUBLE_EQ(pa[1], pb[1]);
+  }
+}
+
+TEST(PersistenceTest, RestoredTreeContinuesTrainingIdentically) {
+  DynamicModelTree tree({.num_features = 2, .num_classes = 2, .seed = 7});
+  Rng rng(3);
+  for (int b = 0; b < 50; ++b) {
+    Batch batch(2);
+    FillXor(&rng, &batch, 100);
+    tree.PartialFit(batch);
+  }
+  std::stringstream buffer;
+  tree.Save(buffer);
+  std::unique_ptr<DynamicModelTree> restored =
+      DynamicModelTree::Load(buffer);
+
+  // Train both on the same continuation stream: everything (including RNG
+  // state for warm-started child initialization) must stay in lockstep.
+  for (int b = 0; b < 80; ++b) {
+    Batch batch(2);
+    FillXor(&rng, &batch, 100);
+    Batch copy = batch;
+    tree.PartialFit(batch);
+    restored->PartialFit(copy);
+  }
+  EXPECT_EQ(restored->NumInnerNodes(), tree.NumInnerNodes());
+  EXPECT_EQ(restored->num_splits_performed(), tree.num_splits_performed());
+  Rng probe(4);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x = {probe.Uniform(), probe.Uniform()};
+    ASSERT_EQ(restored->Predict(x), tree.Predict(x));
+  }
+}
+
+TEST(PersistenceTest, MulticlassRoundTrip) {
+  DynamicModelTree tree({.num_features = 3, .num_classes = 4});
+  Rng rng(5);
+  Batch batch(3);
+  for (int i = 0; i < 2000; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform(), rng.Uniform()};
+    batch.Add(x, static_cast<int>(x[0] * 3.999));
+  }
+  tree.PartialFit(batch);
+  std::stringstream buffer;
+  tree.Save(buffer);
+  std::unique_ptr<DynamicModelTree> restored =
+      DynamicModelTree::Load(buffer);
+  std::vector<double> x = {0.2, 0.5, 0.9};
+  EXPECT_EQ(restored->Predict(x), tree.Predict(x));
+  EXPECT_EQ(restored->NumParameters(), tree.NumParameters());
+}
+
+TEST(GlmScheduleTest, InverseSqrtDecaysLearningRate) {
+  linear::Glm model({.num_features = 2,
+                     .num_classes = 2,
+                     .learning_rate = 0.1,
+                     .schedule = linear::LearningRateSchedule::kInverseSqrt});
+  EXPECT_DOUBLE_EQ(model.CurrentLearningRate(), 0.1);
+  Rng rng(6);
+  Batch batch(2);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    batch.Add(x, x[0] > 0.5 ? 1 : 0);
+  }
+  model.Fit(batch);
+  EXPECT_LT(model.CurrentLearningRate(), 0.06);
+  EXPECT_GT(model.CurrentLearningRate(), 0.0);
+}
+
+TEST(GlmL1Test, SparsifiesIrrelevantFeatures) {
+  // Feature 0 drives the label; features 1..4 are noise. With L1 the noise
+  // weights should be driven to exactly zero.
+  linear::Glm plain({.num_features = 5, .num_classes = 2,
+                     .learning_rate = 0.1, .seed = 9});
+  linear::Glm sparse({.num_features = 5, .num_classes = 2,
+                      .learning_rate = 0.1, .l1_penalty = 0.5, .seed = 9});
+  Rng rng(7);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    Batch batch(5);
+    for (int i = 0; i < 200; ++i) {
+      std::vector<double> x(5);
+      for (double& v : x) v = rng.Uniform();
+      batch.Add(x, x[0] > 0.5 ? 1 : 0);
+    }
+    plain.Fit(batch);
+    sparse.Fit(batch);
+  }
+  EXPECT_GT(sparse.Sparsity(), plain.Sparsity());
+  EXPECT_GE(sparse.Sparsity(), 0.4);  // at least 2 of 5 weights exactly 0
+  // The informative weight must survive.
+  EXPECT_GT(std::abs(sparse.params()[0]), 0.5);
+}
+
+}  // namespace
+}  // namespace dmt::core

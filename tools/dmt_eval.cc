@@ -1,0 +1,122 @@
+// dmt_eval: command-line prequential evaluation of any model in this
+// library on (a) a CSV file -- e.g. the paper's actual data sets downloaded
+// from https://www.openml.org -- or (b) one of the built-in streams.
+//
+//   dmt_eval --csv electricity.csv --label class --model DMT
+//   dmt_eval --dataset SEA --samples 100000 --model "VFDT(NBA)"
+//   dmt_eval --csv bank.csv --label y --model DMT --describe
+//
+// Prints the paper's metrics (prequential F1 mean +- std, splits,
+// parameters, time per iteration) and, with --describe, the learned DMT.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/eval/prequential.h"
+#include "dmt/streams/csv_stream.h"
+#include "dmt/streams/datasets.h"
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  std::string csv_path;
+  std::string label_column;
+  std::string dataset;
+  std::string model_name = "DMT";
+  std::size_t samples = 0;
+  std::size_t batch_size = 0;
+  std::uint64_t seed = 42;
+  bool normalize = true;
+  bool describe = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--csv") csv_path = next();
+    else if (arg == "--label") label_column = next();
+    else if (arg == "--dataset") dataset = next();
+    else if (arg == "--model") model_name = next();
+    else if (arg == "--samples") samples = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--batch") batch_size = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--no-normalize") normalize = false;
+    else if (arg == "--describe") describe = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: dmt_eval (--csv FILE [--label COL] | --dataset "
+                   "NAME) [--model NAME] [--samples N] [--batch N] [--seed "
+                   "S] [--no-normalize] [--describe]\n"
+                   "models: DMT FIMT-DD VFDT(MC) VFDT(NBA) HT-Ada EFDT "
+                   "ForestEns BaggingEns SGT GLM\n");
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+  if (csv_path.empty() == dataset.empty()) {
+    std::fprintf(stderr, "exactly one of --csv / --dataset is required "
+                         "(--help for usage)\n");
+    return 1;
+  }
+
+  std::unique_ptr<streams::Stream> stream;
+  std::size_t expected_samples = samples;
+  if (!csv_path.empty()) {
+    streams::CsvStreamConfig config;
+    config.path = csv_path;
+    config.label_column = label_column;
+    stream = std::make_unique<streams::CsvStream>(config);
+    if (expected_samples == 0 && batch_size == 0) batch_size = 100;
+  } else {
+    const streams::DatasetSpec spec = streams::DatasetByName(dataset);
+    expected_samples =
+        streams::EffectiveSamples(spec, samples == 0 ? 50'000 : samples);
+    stream = spec.make(expected_samples, seed);
+  }
+
+  std::unique_ptr<Classifier> model = bench::MakeModel(
+      model_name, static_cast<int>(stream->num_features()),
+      static_cast<int>(stream->num_classes()), seed);
+
+  eval::PrequentialConfig config;
+  config.batch_size = batch_size;
+  config.expected_samples = expected_samples;
+  config.normalize = normalize;
+  const eval::PrequentialResult result =
+      eval::RunPrequential(stream.get(), model.get(), config);
+
+  std::printf("stream      : %s (%zu features, %zu classes, %zu "
+              "observations)\n",
+              stream->name().c_str(), stream->num_features(),
+              stream->num_classes(), result.total_samples);
+  std::printf("model       : %s\n", model->name().c_str());
+  std::printf("F1          : %.4f +- %.4f\n", result.f1.mean(),
+              result.f1.stddev());
+  std::printf("accuracy    : %.4f +- %.4f\n", result.accuracy.mean(),
+              result.accuracy.stddev());
+  std::printf("splits      : %.1f +- %.1f\n", result.num_splits.mean(),
+              result.num_splits.stddev());
+  std::printf("parameters  : %.0f +- %.0f\n", result.num_params.mean(),
+              result.num_params.stddev());
+  std::printf("sec/iter    : %.5f +- %.5f (%zu batches)\n",
+              result.iteration_seconds.mean(),
+              result.iteration_seconds.stddev(), result.num_batches);
+
+  if (describe) {
+    if (auto* dmt = dynamic_cast<core::DynamicModelTree*>(model.get())) {
+      std::printf("\n%s\n", dmt->Describe().c_str());
+      std::printf("lifetime: %zu splits, %zu replacements, %zu prunes\n",
+                  dmt->num_splits_performed(),
+                  dmt->num_subtree_replacements(), dmt->num_prunes());
+    } else {
+      std::printf("\n(--describe is only available for the DMT)\n");
+    }
+  }
+  return 0;
+}
