@@ -1,13 +1,16 @@
 #include "harness.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
+#include <future>
+#include <mutex>
 #include <sstream>
 
+#include "dmt/common/random.h"
+#include "dmt/common/thread_pool.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
 #include "dmt/ensemble/leveraging_bagging.h"
@@ -17,6 +20,7 @@
 #include "dmt/trees/hoeffding_adaptive.h"
 #include "dmt/trees/sgt.h"
 #include "dmt/trees/vfdt.h"
+#include "sweep_cache.h"
 
 namespace dmt::bench {
 
@@ -30,13 +34,6 @@ std::vector<std::string> SplitCsv(const std::string& text) {
     if (!item.empty()) parts.push_back(item);
   }
   return parts;
-}
-
-std::string CachePath(const Options& options) {
-  std::ostringstream path;
-  path << "bench_cache/sweep_s" << options.max_samples << "_r" << options.seed
-       << ".csv";
-  return path.str();
 }
 
 }  // namespace
@@ -60,12 +57,16 @@ Options ParseOptions(int argc, char** argv) {
       options.datasets = SplitCsv(next());
     } else if (arg == "--models") {
       options.models = SplitCsv(next());
+    } else if (arg == "--jobs") {
+      options.jobs = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--no-cache") {
       options.use_cache = false;
+    } else if (arg == "--cache-dir") {
+      options.cache_dir = next();
     } else if (arg == "--help") {
       std::fprintf(stderr,
                    "options: --samples N --seed S --datasets a,b --models "
-                   "a,b --no-cache\n");
+                   "a,b --jobs N --no-cache --cache-dir D\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -169,10 +170,13 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
                    const Options& options) {
   const std::size_t samples =
       streams::EffectiveSamples(spec, options.max_samples);
-  std::unique_ptr<streams::Stream> stream = spec.make(samples, options.seed);
+  // Seeded from data identity only, so a cell computes the same numbers no
+  // matter which worker thread runs it, or in what order.
+  const std::uint64_t cell_seed = DeriveSeed(options.seed, spec.name, model);
+  std::unique_ptr<streams::Stream> stream = spec.make(samples, cell_seed);
   std::unique_ptr<Classifier> classifier =
       MakeModel(model, static_cast<int>(spec.num_features),
-                static_cast<int>(spec.num_classes), options.seed);
+                static_cast<int>(spec.num_classes), cell_seed);
 
   eval::PrequentialConfig config;
   config.expected_samples = samples;
@@ -196,53 +200,6 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   return cell;
 }
 
-namespace {
-
-bool LoadCache(const std::string& path, std::vector<CellResult>* cells) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::string line;
-  std::getline(in, line);  // header
-  while (std::getline(in, line)) {
-    std::stringstream stream(line);
-    CellResult cell;
-    std::string field;
-    std::getline(stream, cell.dataset, ',');
-    std::getline(stream, cell.model, ',');
-    auto read_double = [&](double* out) {
-      std::getline(stream, field, ',');
-      *out = std::strtod(field.c_str(), nullptr);
-    };
-    read_double(&cell.f1_mean);
-    read_double(&cell.f1_std);
-    read_double(&cell.splits_mean);
-    read_double(&cell.splits_std);
-    read_double(&cell.params_mean);
-    read_double(&cell.params_std);
-    read_double(&cell.time_mean);
-    read_double(&cell.time_std);
-    cells->push_back(std::move(cell));
-  }
-  return true;
-}
-
-void SaveCache(const std::string& path, const std::vector<CellResult>& cells) {
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  if (!parent.empty()) std::filesystem::create_directories(parent);
-  std::ofstream out(path);
-  out << "dataset,model,f1_mean,f1_std,splits_mean,splits_std,params_mean,"
-         "params_std,time_mean,time_std\n";
-  for (const CellResult& cell : cells) {
-    out << cell.dataset << ',' << cell.model << ',' << cell.f1_mean << ','
-        << cell.f1_std << ',' << cell.splits_mean << ',' << cell.splits_std
-        << ',' << cell.params_mean << ',' << cell.params_std << ','
-        << cell.time_mean << ',' << cell.time_std << '\n';
-  }
-}
-
-}  // namespace
-
 const CellResult* FindCell(const std::vector<CellResult>& cells,
                            const std::string& dataset,
                            const std::string& model) {
@@ -259,35 +216,72 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   const std::vector<streams::DatasetSpec> datasets =
       SelectedDatasets(options);
 
-  std::vector<CellResult> cache;
-  const std::string cache_path = CachePath(options);
-  if (options.use_cache && !options.keep_series) {
-    LoadCache(cache_path, &cache);
-  }
+  // Series runs bypass the cache entirely (cells never store series).
+  const bool cache_enabled = options.use_cache && !options.keep_series;
+  SweepCache cache(options.cache_dir);
 
-  std::vector<CellResult> results;
-  bool cache_dirty = false;
+  struct Pending {
+    const streams::DatasetSpec* spec;
+    const std::string* model;
+    std::size_t index;  // slot in `results` -> output order is fixed up
+                        // front, independent of completion order
+  };
+  std::vector<CellResult> results(datasets.size() * wanted.size());
+  std::vector<Pending> pending;
+  std::size_t index = 0;
   for (const streams::DatasetSpec& spec : datasets) {
     for (const std::string& model : wanted) {
-      if (const CellResult* hit = FindCell(cache, spec.name, model);
-          hit != nullptr && !options.keep_series) {
-        results.push_back(*hit);
-        continue;
+      const CellKey key{spec.name, model, options.max_samples, options.seed};
+      if (cache_enabled) {
+        if (std::optional<CellResult> hit = cache.Load(key)) {
+          results[index++] = std::move(*hit);
+          continue;
+        }
       }
-      std::fprintf(stderr, "[sweep] %s / %s ...\n", spec.name.c_str(),
-                   model.c_str());
-      CellResult cell = RunCell(spec, model, options);
-      results.push_back(cell);
-      if (!options.keep_series) {
-        cell.f1_series.clear();
-        cell.splits_series.clear();
-        cache.push_back(std::move(cell));
-        cache_dirty = true;
-      }
+      pending.push_back({&spec, &model, index++});
     }
   }
-  if (options.use_cache && cache_dirty && !options.keep_series) {
-    SaveCache(cache_path, cache);
+  if (pending.empty()) return results;
+
+  const std::size_t jobs = std::min<std::size_t>(
+      options.jobs == 0 ? ThreadPool::DefaultThreads() : options.jobs,
+      pending.size());
+  std::fprintf(stderr, "[sweep] %zu cells cached, computing %zu with %zu %s\n",
+               results.size() - pending.size(), pending.size(), jobs,
+               jobs == 1 ? "thread" : "threads");
+
+  std::mutex progress_mutex;
+  std::atomic<std::size_t> done{0};
+  auto run_one = [&](const Pending& task) {
+    CellResult cell = RunCell(*task.spec, *task.model, options);
+    if (cache_enabled) {
+      CellResult stripped = cell;
+      stripped.f1_series.clear();
+      stripped.splits_series.clear();
+      cache.Store({task.spec->name, *task.model, options.max_samples,
+                   options.seed},
+                  stripped);
+    }
+    results[task.index] = std::move(cell);
+    const std::size_t finished = ++done;
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    std::fprintf(stderr, "[sweep] %zu/%zu %s / %s done\n", finished,
+                 pending.size(), task.spec->name.c_str(),
+                 task.model->c_str());
+  };
+
+  if (jobs <= 1) {
+    // Inline path: identical results by construction (per-cell seeds),
+    // friendlier stack traces, no pool overhead.
+    for (const Pending& task : pending) run_one(task);
+  } else {
+    ThreadPool pool(jobs);
+    std::vector<std::future<void>> futures;
+    futures.reserve(pending.size());
+    for (const Pending& task : pending) {
+      futures.push_back(pool.Submit([&run_one, task]() { run_one(task); }));
+    }
+    for (std::future<void>& future : futures) future.get();
   }
   return results;
 }

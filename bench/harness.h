@@ -2,16 +2,27 @@
 // (one binary per table / figure, see DESIGN.md Sec. 3).
 //
 // All binaries accept:
-//   --samples N    cap on observations per data set (default 50000; 0 = the
-//                  full Table I sizes -- slow on one core)
-//   --seed S       RNG seed (default 42)
-//   --datasets a,b comma-separated data-set filter (default: all 13)
-//   --models a,b   comma-separated model filter (default: per-table set)
-//   --no-cache     recompute even if a cached sweep exists
+//   --samples N     cap on observations per data set (default 50000; 0 = the
+//                   full Table I sizes)
+//   --seed S        RNG seed (default 42)
+//   --datasets a,b  comma-separated data-set filter (default: all 13)
+//   --models a,b    comma-separated model filter (default: per-table set)
+//   --jobs N        worker threads for the sweep (default 0 = hardware
+//                   concurrency; 1 = run inline on the calling thread)
+//   --no-cache      recompute even if cached cells exist
+//   --cache-dir D   cache root (default bench_cache/)
+//
+// Parallelism and determinism: RunSweep dispatches every (dataset, model)
+// cell as an independent task on a work-stealing thread pool. Each cell's
+// RNG seed is derived by hashing (base seed, dataset name, model name) --
+// never from thread identity or scheduling order -- so the numbers are
+// bit-identical at any --jobs value, including --jobs 1.
 //
 // Because Tables II-VI all derive from the same prequential sweep, the
-// harness caches sweep results under bench_cache/ keyed by (samples, seed);
-// the first table binary computes, the rest reuse.
+// harness caches each finished cell under bench_cache/cells/, one file per
+// (dataset, model, samples, seed) written via atomic rename (safe under
+// concurrent sweeps); the first table binary computes, the rest reuse, and
+// a filtered run can never poison a later full run. See sweep_cache.h.
 #ifndef DMT_BENCH_HARNESS_H_
 #define DMT_BENCH_HARNESS_H_
 
@@ -31,8 +42,11 @@ struct Options {
   std::uint64_t seed = 42;
   std::vector<std::string> datasets;  // empty = all
   std::vector<std::string> models;    // empty = caller default
+  // Sweep worker threads: 0 = hardware concurrency, 1 = inline.
+  std::size_t jobs = 0;
   bool use_cache = true;
   bool keep_series = false;
+  std::string cache_dir = "bench_cache";
 };
 
 Options ParseOptions(int argc, char** argv);
@@ -64,12 +78,15 @@ struct CellResult {
   std::vector<double> splits_series;
 };
 
-// Runs one model over one data set prequentially.
+// Runs one model over one data set prequentially. The cell's RNG seed is
+// DeriveSeed(options.seed, dataset, model), independent of every other cell.
 CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
                    const Options& options);
 
 // Runs (or loads from cache) the full sweep over the given models and the
-// data-set filter in `options`. Prints progress to stderr.
+// data-set filter in `options`, fanning the cells out over `options.jobs`
+// worker threads; results are bit-identical at any thread count. Prints
+// mutex-serialized progress to stderr.
 std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
                                  const Options& options);
 

@@ -1,0 +1,120 @@
+#include "sweep_cache.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "dmt/common/random.h"
+
+namespace dmt::bench {
+
+namespace {
+
+// Keeps file names readable; uniqueness comes from the appended hash.
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    out.push_back(std::isalnum(u) || c == '.' || c == '-' ? c : '_');
+  }
+  return out;
+}
+
+bool ReadCellFile(const std::string& path, CellResult* cell) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  std::getline(in, line);  // header
+  if (!std::getline(in, line)) return false;
+  std::stringstream stream(line);
+  std::string field;
+  std::getline(stream, cell->dataset, ',');
+  std::getline(stream, cell->model, ',');
+  auto read_double = [&](double* out) {
+    std::getline(stream, field, ',');
+    *out = std::strtod(field.c_str(), nullptr);
+  };
+  read_double(&cell->f1_mean);
+  read_double(&cell->f1_std);
+  read_double(&cell->splits_mean);
+  read_double(&cell->splits_std);
+  read_double(&cell->params_mean);
+  read_double(&cell->params_std);
+  read_double(&cell->time_mean);
+  read_double(&cell->time_std);
+  return true;
+}
+
+}  // namespace
+
+SweepCache::SweepCache(std::string root) : root_(std::move(root)) {}
+
+std::string SweepCache::CellFileName(const CellKey& key) {
+  // 0 is a fixed salt: this hash names files, it never seeds an RNG.
+  const std::uint64_t hash = DeriveSeed(0, key.dataset, key.model);
+  std::ostringstream name;
+  name << "cells/" << Sanitize(key.dataset) << "__" << Sanitize(key.model)
+       << "__s" << key.samples << "_r" << key.seed << "_h" << std::hex
+       << (hash & 0xffffffffULL) << ".csv";
+  return name.str();
+}
+
+std::string SweepCache::CellPath(const CellKey& key) const {
+  return root_ + "/" + CellFileName(key);
+}
+
+std::optional<CellResult> SweepCache::Load(const CellKey& key) {
+  const std::string path = CellPath(key);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = index_.find(path); it != index_.end()) {
+      return it->second;
+    }
+  }
+  CellResult cell;
+  if (!ReadCellFile(path, &cell)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  index_.emplace(path, cell);
+  return cell;
+}
+
+void SweepCache::Store(const CellKey& key, const CellResult& cell) {
+  const std::string path = CellPath(key);
+  const std::filesystem::path target(path);
+  std::error_code ec;
+  std::filesystem::create_directories(target.parent_path(), ec);
+
+  std::uint64_t temp_id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    temp_id = ++temp_counter_;
+    index_.insert_or_assign(path, cell);
+  }
+  // Unique temp name per writer, then an atomic rename publishes the cell;
+  // readers never observe a half-written file.
+  std::ostringstream temp_name;
+  temp_name << path << ".tmp." << ::getpid() << "." << temp_id;
+  {
+    std::ofstream out(temp_name.str());
+    // max_digits10: doubles survive the text round-trip bit-exactly, so
+    // cache hits are indistinguishable from recomputation.
+    out << std::setprecision(17);
+    out << "dataset,model,f1_mean,f1_std,splits_mean,splits_std,params_mean,"
+           "params_std,time_mean,time_std\n";
+    out << cell.dataset << ',' << cell.model << ',' << cell.f1_mean << ','
+        << cell.f1_std << ',' << cell.splits_mean << ',' << cell.splits_std
+        << ',' << cell.params_mean << ',' << cell.params_std << ','
+        << cell.time_mean << ',' << cell.time_std << '\n';
+  }
+  std::filesystem::rename(temp_name.str(), target, ec);
+  if (ec) std::filesystem::remove(temp_name.str(), ec);
+}
+
+}  // namespace dmt::bench

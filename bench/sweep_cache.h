@@ -1,0 +1,59 @@
+// Concurrency-safe per-cell result cache for the prequential sweep.
+//
+// One file per (dataset, model, samples, seed) cell under
+// `<root>/cells/`, so partial sweeps (e.g. runs restricted with
+// --datasets/--models) can never poison later full runs: a missing cell is
+// simply recomputed and added. Writers are safe under parallel sweeps and
+// even across processes: each cell is written to a temp file and published
+// with an atomic rename; the in-memory index is mutex-guarded.
+//
+// (The pre-parallel harness kept one monolithic sweep_s<S>_r<R>.csv keyed
+// only by (samples, seed); such files are obsolete and ignored.)
+#ifndef DMT_BENCH_SWEEP_CACHE_H_
+#define DMT_BENCH_SWEEP_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "harness.h"
+
+namespace dmt::bench {
+
+struct CellKey {
+  std::string dataset;
+  std::string model;
+  std::size_t samples = 0;  // the --samples cap, 0 = full Table I sizes
+  std::uint64_t seed = 0;
+};
+
+class SweepCache {
+ public:
+  explicit SweepCache(std::string root);
+
+  // Returns the cached cell, from the index or disk; nullopt on miss.
+  // Cached cells never carry series (series runs bypass the cache).
+  std::optional<CellResult> Load(const CellKey& key);
+
+  // Publishes `cell` under `key`: temp file + atomic rename, then index.
+  void Store(const CellKey& key, const CellResult& cell);
+
+  // Relative file name of a cell, e.g.
+  // cells/Agrawal__VFDT_MC__s50000_r42_h1a2b3c4d.csv (a short hash of the
+  // raw names keeps sanitized names collision-free).
+  static std::string CellFileName(const CellKey& key);
+
+ private:
+  std::string CellPath(const CellKey& key) const;
+
+  std::string root_;
+  std::mutex mutex_;  // guards index_ and temp-name counter
+  std::map<std::string, CellResult> index_;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace dmt::bench
+
+#endif  // DMT_BENCH_SWEEP_CACHE_H_

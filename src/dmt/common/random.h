@@ -8,9 +8,40 @@
 
 #include <cstdint>
 #include <random>
+#include <string_view>
 #include <vector>
 
 namespace dmt {
+
+// SplitMix64 finalizer (Steele, Lea & Flood 2014): bijective avalanche mix
+// used to turn structured seed material into well-distributed engine seeds.
+inline std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Derives an independent seed from a base seed and up to two string tags
+// (FNV-1a over the tag bytes, SplitMix64-finalized). The parallel sweep
+// seeds every (dataset, model) cell this way -- from data identity, never
+// from thread identity or scheduling order -- so results are bit-identical
+// at any thread count.
+inline std::uint64_t DeriveSeed(std::uint64_t base, std::string_view tag1,
+                                std::string_view tag2 = {}) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ SplitMix64(base);
+  auto mix = [&h](std::string_view tag) {
+    for (const char c : tag) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+    h ^= tag.size();  // length-delimits the tags: ("ab","c") != ("a","bc")
+    h *= 0x100000001b3ULL;
+  };
+  mix(tag1);
+  mix(tag2);
+  return SplitMix64(h);
+}
 
 class Rng {
  public:

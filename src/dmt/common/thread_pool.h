@@ -1,0 +1,82 @@
+// Fixed-size work-stealing thread pool.
+//
+// Backbone of the parallel prequential sweep (bench/harness.cc) and of the
+// optional parallel ensemble training (ensemble/, `num_threads` config
+// knob). The pool never influences results: every task must carry its own
+// deterministic RNG state (seeded from data identity, never from thread
+// identity or scheduling order), so outputs are bit-identical at any pool
+// size.
+//
+// Design: each worker owns a deque; Submit() distributes round-robin,
+// workers pop from the front of their own deque and steal from the back of
+// a sibling's when theirs runs dry. A single mutex guards the deques --
+// tasks here are coarse (a full prequential run, a member's batch), so
+// queue contention is irrelevant next to task cost.
+#ifndef DMT_COMMON_THREAD_POOL_H_
+#define DMT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dmt {
+
+class ThreadPool {
+ public:
+  // `num_threads` 0 picks DefaultThreads(). The workers start immediately
+  // and live until destruction; the pool is reusable after Wait().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `fn` and returns a future for its result; exceptions thrown by
+  // the task are captured and rethrown from future::get().
+  template <typename F>
+  auto Submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    Post([task]() { (*task)(); });
+    return future;
+  }
+
+  // Blocks until every submitted task has finished (queues empty and no
+  // task running). The pool accepts new work afterwards.
+  void Wait();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  // Hardware concurrency, clamped to at least 1.
+  static std::size_t DefaultThreads();
+
+ private:
+  void Post(std::function<void()> fn);
+  void WorkerLoop(std::size_t worker_index);
+  // Pops the next task for `worker_index` (own front, else steal a sibling's
+  // back). Requires `mutex_` held; returns an empty function if none.
+  std::function<void()> TakeTask(std::size_t worker_index);
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::vector<std::deque<std::function<void()>>> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t next_queue_ = 0;   // round-robin submission cursor
+  std::size_t in_flight_ = 0;    // queued + currently running tasks
+  bool shutting_down_ = false;
+};
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_THREAD_POOL_H_

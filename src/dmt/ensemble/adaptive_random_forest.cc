@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <future>
 
 #include "dmt/common/check.h"
 
@@ -19,51 +20,76 @@ AdaptiveRandomForest::AdaptiveRandomForest(
                             1;
   }
   for (int i = 0; i < config_.num_learners; ++i) {
-    Member member(config_.warning_delta, config_.drift_delta);
-    member.tree = MakeTree();
+    Member member(config_.warning_delta, config_.drift_delta, rng_.Fork());
+    member.tree = MakeTree(&member.rng);
     members_.push_back(std::move(member));
   }
 }
 
-std::unique_ptr<trees::Vfdt> AdaptiveRandomForest::MakeTree() {
+std::unique_ptr<trees::Vfdt> AdaptiveRandomForest::MakeTree(Rng* rng) {
   trees::VfdtConfig base = config_.base;
   base.num_features = config_.num_features;
   base.num_classes = config_.num_classes;
   base.subspace_size = config_.subspace_size;
-  base.seed = rng_.Fork().engine()();
+  base.seed = rng->Fork().engine()();
   return std::make_unique<trees::Vfdt>(base);
 }
 
-void AdaptiveRandomForest::TrainInstance(std::span<const double> x, int y) {
-  for (Member& member : members_) {
-    const double error = member.tree->Predict(x) == y ? 0.0 : 1.0;
-    const bool warn = member.warning.Update(error);
-    const bool drift = member.drift.Update(error);
+void AdaptiveRandomForest::TrainMemberInstance(Member* member,
+                                               std::span<const double> x,
+                                               int y) {
+  const double error = member->tree->Predict(x) == y ? 0.0 : 1.0;
+  const bool warn = member->warning.Update(error);
+  const bool drift = member->drift.Update(error);
 
-    if (warn && member.background == nullptr) {
-      member.background = MakeTree();
-    }
-    if (drift) {
-      // Promote the background tree (or restart from scratch).
-      member.tree = member.background != nullptr ? std::move(member.background)
-                                                 : MakeTree();
-      member.background.reset();
-      member.warning = drift::Adwin(config_.warning_delta);
-      member.drift = drift::Adwin(config_.drift_delta);
-      ++num_promotions_;
-    }
+  if (warn && member->background == nullptr) {
+    member->background = MakeTree(&member->rng);
+  }
+  if (drift) {
+    // Promote the background tree (or restart from scratch).
+    member->tree = member->background != nullptr
+                       ? std::move(member->background)
+                       : MakeTree(&member->rng);
+    member->background.reset();
+    member->warning = drift::Adwin(config_.warning_delta);
+    member->drift = drift::Adwin(config_.drift_delta);
+    ++member->promotions;
+  }
 
-    const int weight = rng_.Poisson(config_.poisson_lambda);
-    for (int w = 0; w < weight; ++w) {
-      member.tree->TrainInstance(x, y);
-      if (member.background != nullptr) member.background->TrainInstance(x, y);
-    }
+  const int weight = member->rng.Poisson(config_.poisson_lambda);
+  for (int w = 0; w < weight; ++w) {
+    member->tree->TrainInstance(x, y);
+    if (member->background != nullptr) member->background->TrainInstance(x, y);
+  }
+}
+
+void AdaptiveRandomForest::TrainMemberBatch(Member* member,
+                                            const Batch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    TrainMemberInstance(member, batch.row(i), batch.label(i));
   }
 }
 
 void AdaptiveRandomForest::PartialFit(const Batch& batch) {
+  if (config_.num_threads > 1 && members_.size() > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(
+          std::min<std::size_t>(config_.num_threads, members_.size()));
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(members_.size());
+    for (Member& member : members_) {
+      Member* m = &member;
+      futures.push_back(
+          pool_->Submit([this, m, &batch]() { TrainMemberBatch(m, batch); }));
+    }
+    for (std::future<void>& future : futures) future.get();
+    return;
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    TrainInstance(batch.row(i), batch.label(i));
+    for (Member& member : members_) {
+      TrainMemberInstance(&member, batch.row(i), batch.label(i));
+    }
   }
 }
 
@@ -93,6 +119,12 @@ std::size_t AdaptiveRandomForest::NumSplits() const {
 std::size_t AdaptiveRandomForest::NumParameters() const {
   std::size_t total = 0;
   for (const Member& member : members_) total += member.tree->NumParameters();
+  return total;
+}
+
+std::size_t AdaptiveRandomForest::num_promotions() const {
+  std::size_t total = 0;
+  for (const Member& member : members_) total += member.promotions;
   return total;
 }
 

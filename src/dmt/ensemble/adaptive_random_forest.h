@@ -16,6 +16,7 @@
 
 #include "dmt/common/classifier.h"
 #include "dmt/common/random.h"
+#include "dmt/common/thread_pool.h"
 #include "dmt/drift/adwin.h"
 #include "dmt/trees/vfdt.h"
 
@@ -30,6 +31,10 @@ struct AdaptiveRandomForestConfig {
   double drift_delta = 0.001;
   // 0 derives sqrt(num_features) + 1.
   int subspace_size = 0;
+  // >1 trains members on a thread pool, one task per member and batch.
+  // Off by default. Results are identical to sequential training: each
+  // member owns its RNG, so training is order- and schedule-independent.
+  int num_threads = 1;
   trees::VfdtConfig base;
   std::uint64_t seed = 42;
 };
@@ -45,27 +50,33 @@ class AdaptiveRandomForest : public Classifier {
   std::size_t NumParameters() const override;
   std::string name() const override { return "ARF"; }
 
-  std::size_t num_promotions() const { return num_promotions_; }
+  std::size_t num_promotions() const;
   std::size_t num_background_trees() const;
 
  private:
+  // Members are fully independent of one another: each owns its trees, its
+  // detectors and its RNG (forked deterministically at construction), which
+  // is what makes parallel member training bit-equal to sequential.
   struct Member {
     std::unique_ptr<trees::Vfdt> tree;
     std::unique_ptr<trees::Vfdt> background;
     drift::Adwin warning;
     drift::Adwin drift;
+    Rng rng;
+    std::size_t promotions = 0;
 
-    Member(double warning_delta, double drift_delta)
-        : warning(warning_delta), drift(drift_delta) {}
+    Member(double warning_delta, double drift_delta, Rng member_rng)
+        : warning(warning_delta), drift(drift_delta), rng(member_rng) {}
   };
 
-  std::unique_ptr<trees::Vfdt> MakeTree();
-  void TrainInstance(std::span<const double> x, int y);
+  std::unique_ptr<trees::Vfdt> MakeTree(Rng* rng);
+  void TrainMemberInstance(Member* member, std::span<const double> x, int y);
+  void TrainMemberBatch(Member* member, const Batch& batch);
 
   AdaptiveRandomForestConfig config_;
   Rng rng_;
   std::vector<Member> members_;
-  std::size_t num_promotions_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built when num_threads > 1
 };
 
 }  // namespace dmt::ensemble

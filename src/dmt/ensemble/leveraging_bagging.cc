@@ -1,6 +1,7 @@
 #include "dmt/ensemble/leveraging_bagging.h"
 
 #include <algorithm>
+#include <future>
 
 #include "dmt/common/check.h"
 
@@ -12,17 +13,29 @@ LeveragingBagging::LeveragingBagging(const LeveragingBaggingConfig& config)
   DMT_CHECK(config.num_classes >= 2);
   DMT_CHECK(config.num_learners >= 1);
   for (int i = 0; i < config_.num_learners; ++i) {
-    members_.push_back(MakeMember());
+    member_rngs_.push_back(rng_.Fork());
+    members_.push_back(MakeMember(&member_rngs_.back()));
     detectors_.emplace_back(config_.adwin_delta);
   }
 }
 
-std::unique_ptr<trees::Vfdt> LeveragingBagging::MakeMember() {
+std::unique_ptr<trees::Vfdt> LeveragingBagging::MakeMember(Rng* rng) {
   trees::VfdtConfig base = config_.base;
   base.num_features = config_.num_features;
   base.num_classes = config_.num_classes;
-  base.seed = rng_.Fork().engine()();
+  base.seed = rng->Fork().engine()();
   return std::make_unique<trees::Vfdt>(base);
+}
+
+void LeveragingBagging::ResetWorstMember() {
+  // Reset the member with the highest windowed error.
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < members_.size(); ++i) {
+    if (detectors_[i].mean() > detectors_[worst].mean()) worst = i;
+  }
+  members_[worst] = MakeMember(&member_rngs_[worst]);
+  detectors_[worst] = drift::Adwin(config_.adwin_delta);
+  ++num_resets_;
 }
 
 void LeveragingBagging::TrainInstance(std::span<const double> x, int y) {
@@ -31,22 +44,47 @@ void LeveragingBagging::TrainInstance(std::span<const double> x, int y) {
     // Monitor each member's own prequential error.
     const double error = members_[i]->Predict(x) == y ? 0.0 : 1.0;
     change |= detectors_[i].Update(error);
-    const int weight = rng_.Poisson(config_.poisson_lambda);
+    const int weight = member_rngs_[i].Poisson(config_.poisson_lambda);
     for (int w = 0; w < weight; ++w) members_[i]->TrainInstance(x, y);
   }
-  if (change) {
-    // Reset the member with the highest windowed error.
-    std::size_t worst = 0;
-    for (std::size_t i = 1; i < members_.size(); ++i) {
-      if (detectors_[i].mean() > detectors_[worst].mean()) worst = i;
-    }
-    members_[worst] = MakeMember();
-    detectors_[worst] = drift::Adwin(config_.adwin_delta);
-    ++num_resets_;
+  if (change) ResetWorstMember();
+}
+
+bool LeveragingBagging::TrainMemberBatch(std::size_t m, const Batch& batch) {
+  bool fired = false;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::span<const double> x = batch.row(i);
+    const int y = batch.label(i);
+    const double error = members_[m]->Predict(x) == y ? 0.0 : 1.0;
+    fired |= detectors_[m].Update(error);
+    const int weight = member_rngs_[m].Poisson(config_.poisson_lambda);
+    for (int w = 0; w < weight; ++w) members_[m]->TrainInstance(x, y);
   }
+  return fired;
 }
 
 void LeveragingBagging::PartialFit(const Batch& batch) {
+  if (config_.num_threads > 1 && members_.size() > 1) {
+    // Parallel scaffolding (off by default): member training is
+    // independent, only the worst-member reset couples members, so the
+    // reset decision is deferred to the batch boundary.
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(
+          std::min<std::size_t>(config_.num_threads, members_.size()));
+    }
+    std::vector<std::future<bool>> futures;
+    futures.reserve(members_.size());
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      futures.push_back(
+          pool_->Submit([this, m, &batch]() {
+            return TrainMemberBatch(m, batch);
+          }));
+    }
+    bool change = false;
+    for (std::future<bool>& future : futures) change |= future.get();
+    if (change) ResetWorstMember();
+    return;
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     TrainInstance(batch.row(i), batch.label(i));
   }

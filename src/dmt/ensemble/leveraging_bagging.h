@@ -15,6 +15,7 @@
 
 #include "dmt/common/classifier.h"
 #include "dmt/common/random.h"
+#include "dmt/common/thread_pool.h"
 #include "dmt/drift/adwin.h"
 #include "dmt/trees/vfdt.h"
 
@@ -26,6 +27,11 @@ struct LeveragingBaggingConfig {
   int num_learners = 3;  // as in the paper's experiments
   double poisson_lambda = 6.0;
   double adwin_delta = 0.002;
+  // >1 trains members on a thread pool, one task per member and batch. Off
+  // by default. Each member owns its RNG, so member state is deterministic
+  // at any thread count; the worst-member reset (which couples members)
+  // moves from per-instance to per-batch granularity in parallel mode.
+  int num_threads = 1;
   trees::VfdtConfig base;  // num_features/num_classes are filled in
   std::uint64_t seed = 42;
 };
@@ -46,14 +52,20 @@ class LeveragingBagging : public Classifier {
   std::size_t num_resets() const { return num_resets_; }
 
  private:
-  std::unique_ptr<trees::Vfdt> MakeMember();
+  std::unique_ptr<trees::Vfdt> MakeMember(Rng* rng);
   void TrainInstance(std::span<const double> x, int y);
+  // Trains member `m` on the whole batch; returns true if its detector
+  // fired at least once (parallel path only).
+  bool TrainMemberBatch(std::size_t m, const Batch& batch);
+  void ResetWorstMember();
 
   LeveragingBaggingConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<trees::Vfdt>> members_;
   std::vector<drift::Adwin> detectors_;
+  std::vector<Rng> member_rngs_;  // forked per member at construction
   std::size_t num_resets_ = 0;
+  std::unique_ptr<ThreadPool> pool_;  // lazily built when num_threads > 1
 };
 
 }  // namespace dmt::ensemble

@@ -95,6 +95,93 @@ TEST(PageHinkleyTest, ResetsAfterAlert) {
   EXPECT_DOUBLE_EQ(ph.cumulative_sum(), 0.0);
 }
 
+// ------------------------------------------------------- edge-case battery
+
+TEST(AdwinTest, NoFalsePositivesOverHundredThousandConstantSamples) {
+  Adwin adwin;
+  for (int i = 0; i < 100'000; ++i) {
+    ASSERT_FALSE(adwin.Update(0.7)) << "false positive at sample " << i;
+  }
+  EXPECT_EQ(adwin.num_detections(), 0u);
+  // Bucket merging accumulates in floating point; exactness is not promised.
+  EXPECT_NEAR(adwin.mean(), 0.7, 1e-9);
+}
+
+TEST(AdwinTest, DetectsAbruptShiftWithinBoundedDelay) {
+  Adwin adwin;
+  for (int i = 0; i < 2'000; ++i) adwin.Update(0.1);
+  int delay = -1;
+  for (int i = 0; i < 2'000; ++i) {
+    if (adwin.Update(0.9)) {
+      delay = i + 1;
+      break;
+    }
+  }
+  ASSERT_NE(delay, -1) << "no detection within 2000 post-shift samples";
+  // A clean 0.1 -> 0.9 jump must be caught quickly (cut checks run every
+  // 32 inserts; leave headroom so bucket-boundary effects don't flake).
+  EXPECT_LE(delay, 512);
+}
+
+TEST(AdwinTest, WindowStateResetsAfterDetection) {
+  Adwin adwin;
+  for (int i = 0; i < 4'000; ++i) adwin.Update(0.2);
+  const std::size_t width_before = adwin.width();
+  bool detected = false;
+  std::size_t width_at_detection = 0;
+  for (int i = 0; i < 2'000 && !detected; ++i) {
+    detected = adwin.Update(0.8);
+    if (detected) width_at_detection = adwin.width();
+  }
+  ASSERT_TRUE(detected);
+  // The shrink must have dropped (most of) the pre-change window...
+  EXPECT_LT(width_at_detection, width_before);
+  EXPECT_GE(adwin.num_detections(), 1u);
+  // ...and after settling on the new concept the mean tracks it.
+  for (int i = 0; i < 2'000; ++i) adwin.Update(0.8);
+  EXPECT_NEAR(adwin.mean(), 0.8, 0.05);
+}
+
+TEST(PageHinkleyTest, DetectsAbruptShiftWithinBoundedDelay) {
+  PageHinkley ph;  // defaults: threshold 50, delta 0.005, min_instances 30
+  for (int i = 0; i < 1'000; ++i) ph.Update(0.1);
+  int delay = -1;
+  for (int i = 0; i < 2'000; ++i) {
+    if (ph.Update(1.0)) {
+      delay = i + 1;
+      break;
+    }
+  }
+  ASSERT_NE(delay, -1) << "no detection within 2000 post-shift samples";
+  // The cumulative statistic gains roughly (1.0 - mean - delta) per
+  // sample, so threshold 50 must be crossed in well under 300 samples.
+  EXPECT_LE(delay, 300);
+}
+
+TEST(PageHinkleyTest, RearmsAfterReset) {
+  // After an alert the statistic resets and the running mean re-adapts, so
+  // a second mean increase must raise a second, independent alert.
+  PageHinkley ph({.min_instances = 10, .threshold = 5.0});
+  for (int i = 0; i < 200; ++i) ph.Update(0.0);
+  std::size_t first = 0;
+  for (int i = 0; i < 500; ++i) first += ph.Update(1.0);
+  EXPECT_EQ(first, 1u);  // one alert, then the mean absorbs the new level
+  for (int i = 0; i < 500; ++i) ph.Update(0.0);
+  std::size_t second = 0;
+  for (int i = 0; i < 500; ++i) second += ph.Update(1.0);
+  EXPECT_GE(second, 1u);
+  EXPECT_EQ(ph.num_detections(), first + second);
+}
+
+TEST(PageHinkleyTest, ManualResetClearsState) {
+  PageHinkley ph({.min_instances = 10, .threshold = 5.0});
+  for (int i = 0; i < 50; ++i) ph.Update(1.0);
+  ph.Reset();
+  EXPECT_DOUBLE_EQ(ph.cumulative_sum(), 0.0);
+  // min_instances applies afresh after the reset: no instant re-alert.
+  EXPECT_FALSE(ph.Update(1.0));
+}
+
 TEST(DdmTest, SignalsDriftWhenErrorRateRises) {
   Ddm ddm;
   Rng rng(7);

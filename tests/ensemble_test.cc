@@ -126,6 +126,57 @@ TEST(ArfTest, SubspaceSizeDefaultsToSqrtM) {
   EXPECT_GT(correct, 350);
 }
 
+TEST(ArfTest, ParallelTrainingBitIdenticalToSequential) {
+  // ARF members are fully independent (each owns its RNG and detectors),
+  // so training them on the pool must reproduce the sequential forest
+  // exactly: same splits, same parameters, same predictions.
+  const AdaptiveRandomForestConfig base{
+      .num_features = 2, .num_classes = 2, .num_learners = 4, .seed = 11};
+  AdaptiveRandomForestConfig parallel_config = base;
+  parallel_config.num_threads = 4;
+  AdaptiveRandomForest sequential(base);
+  AdaptiveRandomForest parallel(parallel_config);
+
+  Rng rng(6);
+  for (int b = 0; b < 12; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 400, /*flipped=*/b >= 8);
+    sequential.PartialFit(batch);
+    parallel.PartialFit(batch);
+  }
+  EXPECT_EQ(sequential.NumSplits(), parallel.NumSplits());
+  EXPECT_EQ(sequential.NumParameters(), parallel.NumParameters());
+  EXPECT_EQ(sequential.num_promotions(), parallel.num_promotions());
+  Rng test_rng(7);
+  Batch test(2);
+  FillAxisConcept(&test_rng, &test, 500, /*flipped=*/true);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    ASSERT_EQ(sequential.Predict(test.row(i)), parallel.Predict(test.row(i)))
+        << "prediction diverged at test instance " << i;
+  }
+}
+
+TEST(LeveragingBaggingTest, ParallelTrainingLearnsAndAdapts) {
+  // LevBag couples members through the worst-member reset, which moves to
+  // batch granularity in parallel mode -- so assert behavior, not bits.
+  LeveragingBagging ensemble({.num_features = 2, .num_classes = 2,
+                              .num_learners = 3, .num_threads = 3});
+  Rng rng(9);
+  for (int b = 0; b < 10; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500);
+    ensemble.PartialFit(batch);
+  }
+  EXPECT_GT(TestAccuracy(ensemble, &rng, 1000), 0.93);
+  for (int b = 0; b < 20; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 500, /*flipped=*/true);
+    ensemble.PartialFit(batch);
+  }
+  EXPECT_GE(ensemble.num_resets(), 1u);
+  EXPECT_GT(TestAccuracy(ensemble, &rng, 1000, /*flipped=*/true), 0.85);
+}
+
 TEST(ArfTest, ProbabilitiesAreAveraged) {
   AdaptiveRandomForest forest(
       {.num_features = 2, .num_classes = 3, .num_learners = 3});

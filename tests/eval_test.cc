@@ -132,6 +132,82 @@ TEST(PrequentialTest, DmtRunsEndToEndOnSea) {
   EXPECT_GT(result.iteration_seconds.mean(), 0.0);
 }
 
+// --------------------------------------------- protocol-accounting battery
+
+TEST(PrequentialTest, DerivedBatchSizeHasMinimumOne) {
+  // 0.1% of 500 samples rounds to zero; the protocol clamps to 1, so the
+  // run degenerates to pure test-then-train per instance.
+  streams::SeaConfig sea;
+  sea.total_samples = 500;
+  sea.drift_points = {};
+  streams::SeaGenerator stream(sea);
+  linear::GlmClassifier model({.num_features = 3, .num_classes = 2});
+  PrequentialConfig config;
+  config.expected_samples = 500;
+  const PrequentialResult result = RunPrequential(&stream, &model, config);
+  EXPECT_EQ(result.total_samples, 500u);
+  EXPECT_EQ(result.num_batches, 500u);  // batch size 1
+}
+
+TEST(PrequentialTest, FinalPartialBatchIsProcessed) {
+  // 1050 samples at batch size 100 -> 10 full batches + one of 50; the
+  // trailing remainder must be scored and trained, not dropped.
+  streams::SeaConfig sea;
+  sea.total_samples = 1'050;
+  sea.drift_points = {};
+  streams::SeaGenerator stream(sea);
+  linear::GlmClassifier model({.num_features = 3, .num_classes = 2});
+  PrequentialConfig config;
+  config.batch_size = 100;
+  const PrequentialResult result = RunPrequential(&stream, &model, config);
+  EXPECT_EQ(result.total_samples, 1'050u);
+  EXPECT_EQ(result.num_batches, 11u);
+}
+
+TEST(PrequentialTest, AccountingExactWhenBatchDerived) {
+  // Derived batch size: 0.1% of 12'345 -> 12; 12'345 = 1028 * 12 + 9, so
+  // 1029 batches with the last one partial.
+  streams::SeaConfig sea;
+  sea.total_samples = 12'345;
+  sea.drift_points = {};
+  streams::SeaGenerator stream(sea);
+  linear::GlmClassifier model({.num_features = 3, .num_classes = 2});
+  PrequentialConfig config;
+  config.expected_samples = 12'345;
+  const PrequentialResult result = RunPrequential(&stream, &model, config);
+  EXPECT_EQ(result.total_samples, 12'345u);
+  EXPECT_EQ(result.num_batches, 1'029u);
+  // Aggregates saw exactly one observation per batch.
+  EXPECT_EQ(result.f1.count(), result.num_batches);
+  EXPECT_EQ(result.num_splits.count(), result.num_batches);
+}
+
+TEST(PrequentialTest, SeriesLengthsEqualNumBatches) {
+  streams::SeaConfig sea;
+  sea.total_samples = 3'000;
+  streams::SeaGenerator stream(sea);
+  linear::GlmClassifier model({.num_features = 3, .num_classes = 2});
+  PrequentialConfig config;
+  config.batch_size = 70;  // 42 full batches + a 60-sample remainder
+  config.keep_series = true;
+  const PrequentialResult result = RunPrequential(&stream, &model, config);
+  EXPECT_EQ(result.num_batches, 43u);
+  EXPECT_EQ(result.f1_series.size(), result.num_batches);
+  EXPECT_EQ(result.splits_series.size(), result.num_batches);
+}
+
+TEST(PrequentialTest, SeriesEmptyWhenNotKept) {
+  streams::SeaConfig sea;
+  sea.total_samples = 1'000;
+  streams::SeaGenerator stream(sea);
+  linear::GlmClassifier model({.num_features = 3, .num_classes = 2});
+  PrequentialConfig config;
+  config.batch_size = 100;
+  const PrequentialResult result = RunPrequential(&stream, &model, config);
+  EXPECT_TRUE(result.f1_series.empty());
+  EXPECT_TRUE(result.splits_series.empty());
+}
+
 TEST(PrequentialTest, NormalizationCanBeDisabled) {
   streams::SeaConfig sea;
   sea.total_samples = 2'000;

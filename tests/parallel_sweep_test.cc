@@ -1,0 +1,295 @@
+// Determinism and safety of the parallel sweep engine: the ThreadPool, the
+// per-cell seed derivation, the per-cell cache, and RunSweep itself. Built
+// as its own binary (dmt_parallel_sweep_test) because it links the bench
+// harness; it is also the designated TSan target (see tests/CMakeLists.txt).
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <filesystem>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/common/thread_pool.h"
+#include "harness.h"
+#include "sweep_cache.h"
+
+namespace dmt {
+namespace {
+
+// --------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kTasks = 200;
+  std::vector<int> hits(kTasks, 0);
+  std::vector<std::future<void>> futures;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    futures.push_back(pool.Submit([&hits, i]() { ++hits[i]; }));
+  }
+  for (auto& future : futures) future.get();
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i], 1) << i;
+}
+
+TEST(ThreadPoolTest, ResultOrderIndependentOfSchedulingOrder) {
+  // Each task computes a pure function of its index; collected through the
+  // futures, the results must be identical however the pool schedules them.
+  ThreadPool pool(4);
+  std::vector<std::future<std::uint64_t>> futures;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    futures.push_back(pool.Submit([i]() {
+      if (i % 7 == 0) {  // stagger finish times to shuffle completion order
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return SplitMix64(i);
+    }));
+  }
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(futures[i].get(), SplitMix64(i));
+  }
+}
+
+TEST(ThreadPoolTest, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([]() { return 7; });
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([]() { return 8; }).get(), 8);
+}
+
+TEST(ThreadPoolTest, ReusableAfterDrain) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter]() { ++counter; });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([]() { return 41 + 1; }).get(), 42);
+}
+
+// ------------------------------------------------------------ DeriveSeed
+
+TEST(DeriveSeedTest, StableAndTagSensitive) {
+  const std::uint64_t a = DeriveSeed(42, "Agrawal", "DMT");
+  EXPECT_EQ(a, DeriveSeed(42, "Agrawal", "DMT"));  // pure function
+  EXPECT_NE(a, DeriveSeed(43, "Agrawal", "DMT"));  // base seed matters
+  EXPECT_NE(a, DeriveSeed(42, "SEA", "DMT"));      // dataset matters
+  EXPECT_NE(a, DeriveSeed(42, "Agrawal", "GLM"));  // model matters
+}
+
+TEST(DeriveSeedTest, TagBoundariesAreDelimited) {
+  EXPECT_NE(DeriveSeed(1, "ab", "c"), DeriveSeed(1, "a", "bc"));
+  EXPECT_NE(DeriveSeed(1, "ab", ""), DeriveSeed(1, "a", "b"));
+}
+
+// ------------------------------------------------------- sweep determinism
+
+bench::Options SmallSweepOptions(const std::string& cache_dir = {}) {
+  bench::Options options;
+  options.max_samples = 1'500;
+  options.seed = 42;
+  options.datasets = {"SEA", "Agrawal", "Hyperplane"};
+  options.models = {"GLM", "VFDT(MC)", "DMT"};
+  if (cache_dir.empty()) {
+    options.use_cache = false;
+  } else {
+    options.cache_dir = cache_dir;
+  }
+  return options;
+}
+
+// Bit-identical comparison of everything deterministic in a cell (the
+// wall-clock time fields are inherently run-dependent and excluded).
+void ExpectCellsBitIdentical(const std::vector<bench::CellResult>& a,
+                             const std::vector<bench::CellResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].dataset + " / " + a[i].model);
+    EXPECT_EQ(a[i].dataset, b[i].dataset);
+    EXPECT_EQ(a[i].model, b[i].model);
+    EXPECT_EQ(a[i].f1_mean, b[i].f1_mean);
+    EXPECT_EQ(a[i].f1_std, b[i].f1_std);
+    EXPECT_EQ(a[i].splits_mean, b[i].splits_mean);
+    EXPECT_EQ(a[i].splits_std, b[i].splits_std);
+    EXPECT_EQ(a[i].params_mean, b[i].params_mean);
+    EXPECT_EQ(a[i].params_std, b[i].params_std);
+    EXPECT_EQ(a[i].f1_series, b[i].f1_series);
+    EXPECT_EQ(a[i].splits_series, b[i].splits_series);
+  }
+}
+
+TEST(ParallelSweepTest, BitIdenticalAtAnyJobCount) {
+  bench::Options options = SmallSweepOptions();
+  options.keep_series = true;  // series must match element-for-element too
+
+  options.jobs = 1;
+  const std::vector<bench::CellResult> sequential =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(sequential.size(), 9u);
+
+  options.jobs = 4;
+  const std::vector<bench::CellResult> parallel =
+      bench::RunSweep(options.models, options);
+
+  ExpectCellsBitIdentical(sequential, parallel);
+}
+
+TEST(ParallelSweepTest, CellSeedIndependentOfSweepComposition) {
+  // A cell computed inside a full sweep equals the same cell computed alone:
+  // its seed depends only on (base seed, dataset, model).
+  bench::Options options = SmallSweepOptions();
+  options.jobs = 2;
+  const std::vector<bench::CellResult> sweep =
+      bench::RunSweep(options.models, options);
+
+  bench::Options solo = SmallSweepOptions();
+  solo.datasets = {"Agrawal"};
+  solo.models = {"VFDT(MC)"};
+  solo.jobs = 1;
+  const std::vector<bench::CellResult> alone =
+      bench::RunSweep(solo.models, solo);
+  ASSERT_EQ(alone.size(), 1u);
+
+  const bench::CellResult* cell =
+      bench::FindCell(sweep, "Agrawal", "VFDT(MC)");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->f1_mean, alone[0].f1_mean);
+  EXPECT_EQ(cell->splits_mean, alone[0].splits_mean);
+  EXPECT_EQ(cell->params_mean, alone[0].params_mean);
+}
+
+// ------------------------------------------------------------- cache layer
+
+class SweepCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("dmt_sweep_cache_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(SweepCacheTest, KeyIncludesDatasetModelSamplesAndSeed) {
+  bench::SweepCache cache(dir_);
+  bench::CellResult cell;
+  cell.dataset = "SEA";
+  cell.model = "GLM";
+  cell.f1_mean = 0.5;
+  cache.Store({"SEA", "GLM", 1000, 42}, cell);
+
+  EXPECT_TRUE(cache.Load({"SEA", "GLM", 1000, 42}).has_value());
+  // Any differing key component is a miss.
+  EXPECT_FALSE(cache.Load({"Agrawal", "GLM", 1000, 42}).has_value());
+  EXPECT_FALSE(cache.Load({"SEA", "DMT", 1000, 42}).has_value());
+  EXPECT_FALSE(cache.Load({"SEA", "GLM", 2000, 42}).has_value());
+  EXPECT_FALSE(cache.Load({"SEA", "GLM", 1000, 43}).has_value());
+}
+
+TEST_F(SweepCacheTest, RoundTripsThroughDisk) {
+  bench::CellResult cell;
+  cell.dataset = "SEA";
+  cell.model = "VFDT(MC)";
+  cell.f1_mean = 0.625;
+  cell.f1_std = 0.125;
+  cell.splits_mean = 3.0;
+  cell.params_mean = 17.5;
+  {
+    bench::SweepCache writer(dir_);
+    writer.Store({"SEA", "VFDT(MC)", 1000, 7}, cell);
+  }
+  bench::SweepCache reader(dir_);  // fresh instance: must come from disk
+  const auto loaded = reader.Load({"SEA", "VFDT(MC)", 1000, 7});
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->dataset, "SEA");
+  EXPECT_EQ(loaded->model, "VFDT(MC)");
+  EXPECT_DOUBLE_EQ(loaded->f1_mean, 0.625);
+  EXPECT_DOUBLE_EQ(loaded->f1_std, 0.125);
+  EXPECT_DOUBLE_EQ(loaded->splits_mean, 3.0);
+  EXPECT_DOUBLE_EQ(loaded->params_mean, 17.5);
+}
+
+TEST_F(SweepCacheTest, ConcurrentStoresAndLoadsAreSafe) {
+  bench::SweepCache cache(dir_);
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 4; ++t) {
+    futures.push_back(pool.Submit([&cache, t]() {
+      for (int i = 0; i < 25; ++i) {
+        bench::CellResult cell;
+        cell.dataset = "ds" + std::to_string(i);
+        cell.model = "m" + std::to_string(t);
+        cell.f1_mean = t + i;
+        cache.Store({cell.dataset, cell.model, 100, 1}, cell);
+        cache.Load({cell.dataset, cell.model, 100, 1});
+      }
+    }));
+  }
+  for (auto& future : futures) future.get();
+  for (int t = 0; t < 4; ++t) {
+    for (int i = 0; i < 25; ++i) {
+      const auto hit =
+          cache.Load({"ds" + std::to_string(i), "m" + std::to_string(t),
+                      100, 1});
+      ASSERT_TRUE(hit.has_value());
+      EXPECT_DOUBLE_EQ(hit->f1_mean, t + i);
+    }
+  }
+}
+
+// Regression for the pre-parallel cache bug: the sweep cache was one file
+// keyed only by (samples, seed), so a --datasets/--models-filtered first
+// run poisoned every later full run (missing cells silently dropped). With
+// per-cell files a later full run recomputes exactly the missing cells.
+TEST_F(SweepCacheTest, FilteredRunDoesNotPoisonLaterFullRun) {
+  bench::Options filtered = SmallSweepOptions(dir_);
+  filtered.datasets = {"SEA"};
+  filtered.models = {"GLM"};
+  filtered.jobs = 1;
+  const auto first = bench::RunSweep(filtered.models, filtered);
+  ASSERT_EQ(first.size(), 1u);
+
+  bench::Options full = SmallSweepOptions(dir_);
+  full.datasets = {"SEA", "Agrawal"};
+  full.models = {"GLM", "VFDT(MC)"};
+  full.jobs = 2;
+  const auto cells = bench::RunSweep(full.models, full);
+  ASSERT_EQ(cells.size(), 4u);
+  for (const auto& dataset : {"SEA", "Agrawal"}) {
+    for (const auto& model : {"GLM", "VFDT(MC)"}) {
+      EXPECT_NE(bench::FindCell(cells, dataset, model), nullptr)
+          << dataset << " / " << model;
+    }
+  }
+
+  // And the cache-assembled results equal a cache-free recomputation.
+  bench::Options fresh = full;
+  fresh.use_cache = false;
+  fresh.jobs = 1;
+  ExpectCellsBitIdentical(cells, bench::RunSweep(fresh.models, fresh));
+}
+
+}  // namespace
+}  // namespace dmt
