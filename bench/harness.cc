@@ -14,6 +14,8 @@
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
 #include "dmt/ensemble/leveraging_bagging.h"
+#include "dmt/ensemble/online_bagging.h"
+#include "dmt/ensemble/online_boosting.h"
 #include "dmt/linear/glm_classifier.h"
 #include "dmt/trees/efdt.h"
 #include "dmt/trees/fimtdd.h"
@@ -61,12 +63,15 @@ Options ParseOptions(int argc, char** argv) {
       options.jobs = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--no-cache") {
       options.use_cache = false;
+    } else if (arg == "--member-parallel") {
+      options.member_parallel = true;
     } else if (arg == "--cache-dir") {
       options.cache_dir = next();
     } else if (arg == "--help") {
       std::fprintf(stderr,
                    "options: --samples N --seed S --datasets a,b --models "
-                   "a,b --jobs N --no-cache --cache-dir D\n");
+                   "a,b --jobs N --no-cache --member-parallel "
+                   "--cache-dir D\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -89,7 +94,7 @@ std::vector<std::string> AllModels() {
 
 std::unique_ptr<Classifier> MakeModel(const std::string& name,
                                       int num_features, int num_classes,
-                                      std::uint64_t seed) {
+                                      std::uint64_t seed, ThreadPool* pool) {
   if (name == "DMT") {
     core::DmtConfig config;
     config.num_features = num_features;
@@ -131,6 +136,7 @@ std::unique_ptr<Classifier> MakeModel(const std::string& name,
     config.num_features = num_features;
     config.num_classes = num_classes;
     config.seed = seed;
+    config.pool = pool;
     return std::make_unique<ensemble::AdaptiveRandomForest>(config);
   }
   if (name == "BaggingEns") {
@@ -138,7 +144,22 @@ std::unique_ptr<Classifier> MakeModel(const std::string& name,
     config.num_features = num_features;
     config.num_classes = num_classes;
     config.seed = seed;
+    config.pool = pool;
     return std::make_unique<ensemble::LeveragingBagging>(config);
+  }
+  if (name == "OzaBag") {
+    ensemble::OnlineBaggingConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<ensemble::OnlineBagging>(config);
+  }
+  if (name == "OzaBoost") {
+    ensemble::OnlineBoostingConfig config;
+    config.num_features = num_features;
+    config.num_classes = num_classes;
+    config.seed = seed;
+    return std::make_unique<ensemble::OnlineBoosting>(config);
   }
   if (name == "SGT") {
     trees::SgtConfig config;
@@ -167,7 +188,7 @@ std::vector<streams::DatasetSpec> SelectedDatasets(const Options& options) {
 }
 
 CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
-                   const Options& options) {
+                   const Options& options, ThreadPool* pool) {
   const std::size_t samples =
       streams::EffectiveSamples(spec, options.max_samples);
   // Seeded from data identity only, so a cell computes the same numbers no
@@ -176,7 +197,7 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   std::unique_ptr<streams::Stream> stream = spec.make(samples, cell_seed);
   std::unique_ptr<Classifier> classifier =
       MakeModel(model, static_cast<int>(spec.num_features),
-                static_cast<int>(spec.num_classes), cell_seed);
+                static_cast<int>(spec.num_classes), cell_seed, pool);
 
   eval::PrequentialConfig config;
   config.expected_samples = samples;
@@ -216,8 +237,11 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   const std::vector<streams::DatasetSpec> datasets =
       SelectedDatasets(options);
 
-  // Series runs bypass the cache entirely (cells never store series).
-  const bool cache_enabled = options.use_cache && !options.keep_series;
+  // Series runs bypass the cache entirely (cells never store series), and
+  // so do member-parallel runs: LevBag's reset granularity differs in
+  // parallel mode, so those cells must never mix with sequential ones.
+  const bool cache_enabled =
+      options.use_cache && !options.keep_series && !options.member_parallel;
   SweepCache cache(options.cache_dir);
 
   struct Pending {
@@ -250,10 +274,21 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
                results.size() - pending.size(), pending.size(), jobs,
                jobs == 1 ? "thread" : "threads");
 
+  // In member-parallel mode one pool serves both layers: sweep cells are
+  // its coarse tasks and the ensembles inside a cell push member tasks onto
+  // the same queues (helping waits keep that deadlock-free). Otherwise the
+  // pool exists only when fanning out cells, and models never see it.
+  std::unique_ptr<ThreadPool> pool;
+  if (jobs > 1 || (options.member_parallel && pending.size() > 0)) {
+    pool = std::make_unique<ThreadPool>(
+        options.member_parallel ? std::max<std::size_t>(jobs, 2) : jobs);
+  }
+  ThreadPool* member_pool = options.member_parallel ? pool.get() : nullptr;
+
   std::mutex progress_mutex;
   std::atomic<std::size_t> done{0};
   auto run_one = [&](const Pending& task) {
-    CellResult cell = RunCell(*task.spec, *task.model, options);
+    CellResult cell = RunCell(*task.spec, *task.model, options, member_pool);
     if (cache_enabled) {
       CellResult stripped = cell;
       stripped.f1_series.clear();
@@ -272,16 +307,16 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
 
   if (jobs <= 1) {
     // Inline path: identical results by construction (per-cell seeds),
-    // friendlier stack traces, no pool overhead.
+    // friendlier stack traces, no pool overhead for the cells themselves
+    // (ensembles may still borrow `member_pool`).
     for (const Pending& task : pending) run_one(task);
   } else {
-    ThreadPool pool(jobs);
     std::vector<std::future<void>> futures;
     futures.reserve(pending.size());
     for (const Pending& task : pending) {
-      futures.push_back(pool.Submit([&run_one, task]() { run_one(task); }));
+      futures.push_back(pool->Submit([&run_one, task]() { run_one(task); }));
     }
-    for (std::future<void>& future : futures) future.get();
+    for (std::future<void>& future : futures) GetHelping(pool.get(), &future);
   }
   return results;
 }

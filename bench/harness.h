@@ -11,6 +11,13 @@
 //                   concurrency; 1 = run inline on the calling thread)
 //   --no-cache      recompute even if cached cells exist
 //   --cache-dir D   cache root (default bench_cache/)
+//   --member-parallel
+//                   share the sweep thread pool with ensemble member
+//                   training and batch scoring (ARF / LevBag). Opt-in
+//                   because LevBag's worst-member reset moves to batch
+//                   granularity in parallel mode, so its numbers can differ
+//                   from the sequential defaults; such runs bypass the
+//                   sweep cache entirely.
 //
 // Parallelism and determinism: RunSweep dispatches every (dataset, model)
 // cell as an independent task on a work-stealing thread pool. Each cell's
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "dmt/common/classifier.h"
+#include "dmt/common/thread_pool.h"
 #include "dmt/eval/prequential.h"
 #include "dmt/streams/datasets.h"
 
@@ -46,6 +54,8 @@ struct Options {
   std::size_t jobs = 0;
   bool use_cache = true;
   bool keep_series = false;
+  // Share the sweep pool with ensemble members (see the flag doc above).
+  bool member_parallel = false;
   std::string cache_dir = "bench_cache";
 };
 
@@ -57,10 +67,14 @@ std::vector<std::string> StandaloneModels();
 std::vector<std::string> AllModels();
 
 // Builds a classifier by paper row name: "DMT", "FIMT-DD", "VFDT(MC)",
-// "VFDT(NBA)", "HT-Ada", "EFDT", "ForestEns", "BaggingEns", "GLM".
+// "VFDT(NBA)", "HT-Ada", "EFDT", "ForestEns", "BaggingEns", "OzaBag",
+// "OzaBoost", "SGT", "GLM". A non-null `pool` is lent to the ensembles
+// (ForestEns / BaggingEns) for member training and batch scoring; it must
+// outlive the returned model.
 std::unique_ptr<Classifier> MakeModel(const std::string& name,
                                       int num_features, int num_classes,
-                                      std::uint64_t seed);
+                                      std::uint64_t seed,
+                                      ThreadPool* pool = nullptr);
 
 struct CellResult {
   std::string dataset;
@@ -80,8 +94,9 @@ struct CellResult {
 
 // Runs one model over one data set prequentially. The cell's RNG seed is
 // DeriveSeed(options.seed, dataset, model), independent of every other cell.
+// `pool` (optional) is lent to ensemble models, see MakeModel.
 CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
-                   const Options& options);
+                   const Options& options, ThreadPool* pool = nullptr);
 
 // Runs (or loads from cache) the full sweep over the given models and the
 // data-set filter in `options`, fanning the cells out over `options.jobs`

@@ -46,33 +46,41 @@ void GaussianNaiveBayes::Update(const Batch& batch) {
   }
 }
 
-std::vector<double> GaussianNaiveBayes::PredictProba(
-    std::span<const double> x) const {
-  std::vector<double> log_post(num_classes_);
+void GaussianNaiveBayes::PredictProbaInto(std::span<const double> x,
+                                          std::span<double> out) const {
+  DMT_DCHECK(static_cast<int>(out.size()) == num_classes_);
   if (total_count_ == 0) {
-    std::fill(log_post.begin(), log_post.end(), 1.0 / num_classes_);
-    return log_post;
+    std::fill(out.begin(), out.end(), 1.0 / num_classes_);
+    return;
   }
   for (int c = 0; c < num_classes_; ++c) {
     // Laplace-smoothed log prior.
-    log_post[c] = std::log(
+    out[c] = std::log(
         (class_counts_[c] + 1.0) /
         (static_cast<double>(total_count_) + num_classes_));
     if (class_counts_[c] == 0) continue;
     const GaussianEstimator* row =
         &estimators_[static_cast<std::size_t>(c) * num_features_];
     for (int j = 0; j < num_features_; ++j) {
-      log_post[c] += row[j].LogPdf(x[j]);
+      out[c] += row[j].LogPdf(x[j]);
     }
   }
-  SoftmaxInPlace(log_post);
-  return log_post;
+  SoftmaxInPlace(out);
+}
+
+std::vector<double> GaussianNaiveBayes::PredictProba(
+    std::span<const double> x) const {
+  std::vector<double> proba(num_classes_);
+  PredictProbaInto(x, proba);
+  return proba;
 }
 
 int GaussianNaiveBayes::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  if (proba_scratch_.size() != static_cast<std::size_t>(num_classes_)) {
+    proba_scratch_.resize(num_classes_);
+  }
+  PredictProbaInto(x, proba_scratch_);
+  return ArgMax(proba_scratch_);
 }
 
 int GaussianNaiveBayes::MajorityClass() const {

@@ -41,7 +41,13 @@ class GaussianNaiveBayes {
   void Update(std::span<const double> x, int y);
   void Update(const Batch& batch);
 
+  // Writes the posterior class probabilities into `out` (num_classes
+  // entries, overwritten); uniform until any data has been seen. The
+  // allocation-free scoring primitive.
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const;
   // Posterior class probabilities; uniform until any data has been seen.
+  // Allocates the result; hot paths should use PredictProbaInto.
   std::vector<double> PredictProba(std::span<const double> x) const;
   int Predict(std::span<const double> x) const;
 
@@ -62,6 +68,8 @@ class GaussianNaiveBayes {
   std::vector<std::size_t> class_counts_;
   // estimators_[c * num_features_ + j]: feature j under class c.
   std::vector<GaussianEstimator> estimators_;
+  // Reused by Predict so the argmax path allocates nothing per call.
+  mutable std::vector<double> proba_scratch_;
 };
 
 }  // namespace dmt::bayes

@@ -1,6 +1,25 @@
 // Common interface implemented by every online classifier in this library
 // (DMT, the Hoeffding-tree family, FIMT-DD, and the ensembles), consumed by
 // the prequential evaluation harness.
+//
+// The scoring core is batch-first and buffer-reusing (see DESIGN.md,
+// "Scoring core"): models implement PredictProbaInto, which writes the
+// class distribution into a caller-owned span, and optionally override
+// PredictBatch to score a whole batch into a reusable ProbaMatrix. The
+// value-returning Predict / PredictProba calls are thin non-virtual
+// wrappers kept for convenience and API compatibility; steady-state
+// scoring through the Into/Batch path performs zero heap allocations.
+//
+// Buffer-ownership rules:
+//  * `out` spans/matrices are owned by the caller; PredictProbaInto must
+//    overwrite all num_classes() entries (never read them).
+//  * PredictProbaInto is const and touches no per-classifier mutable
+//    scratch in the stand-alone models, so it is safe to call concurrently
+//    on one instance. Ensembles accumulate member distributions through a
+//    single mutable scratch row, so concurrent scoring of one *ensemble*
+//    must go through PredictBatch (which gives each worker its own row)
+//    or use distinct instances. The Predict wrapper also uses per-instance
+//    scratch and is therefore not concurrency-safe on a shared instance.
 #ifndef DMT_COMMON_CLASSIFIER_H_
 #define DMT_COMMON_CLASSIFIER_H_
 
@@ -9,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "dmt/common/check.h"
+#include "dmt/common/math.h"
 #include "dmt/common/types.h"
 
 namespace dmt {
@@ -22,11 +43,46 @@ class Classifier {
   // instance-incremental training is a batch of size one.
   virtual void PartialFit(const Batch& batch) = 0;
 
-  // Predicts the class index for a single observation.
-  virtual int Predict(std::span<const double> x) const = 0;
+  // Number of classes of the scored distribution (the required size of
+  // every `out` buffer below).
+  virtual int num_classes() const = 0;
 
-  // Class-probability estimates (size num_classes, sums to ~1).
-  virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
+  // Writes the class-probability estimates for one observation into `out`
+  // (exactly num_classes() entries, sums to ~1). This is the scoring
+  // primitive every model implements natively, with no per-call heap
+  // allocation.
+  virtual void PredictProbaInto(std::span<const double> x,
+                                std::span<double> out) const = 0;
+
+  // Scores every row of `batch` into `out` (reshaped to
+  // batch.size() x num_classes()). The default loops PredictProbaInto;
+  // ensembles may override to fan the rows over a shared thread pool.
+  virtual void PredictBatch(const Batch& batch, ProbaMatrix* out) const {
+    out->Reshape(batch.size(), static_cast<std::size_t>(num_classes()));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PredictProbaInto(batch.row(i), out->row(i));
+    }
+  }
+
+  // Predicts the class index for a single observation: the argmax of
+  // PredictProbaInto, computed through a reusable per-instance scratch row
+  // (zero allocations in steady state, but not concurrency-safe on a
+  // shared instance).
+  int Predict(std::span<const double> x) const {
+    const std::size_t c = static_cast<std::size_t>(num_classes());
+    if (predict_scratch_.size() != c) predict_scratch_.resize(c);
+    PredictProbaInto(x, predict_scratch_);
+    return ArgMax(predict_scratch_);
+  }
+
+  // Class-probability estimates (size num_classes, sums to ~1). Legacy
+  // value-returning wrapper: allocates the result vector per call; hot
+  // paths should use PredictProbaInto / PredictBatch instead.
+  std::vector<double> PredictProba(std::span<const double> x) const {
+    std::vector<double> proba(static_cast<std::size_t>(num_classes()));
+    PredictProbaInto(x, proba);
+    return proba;
+  }
 
   // Complexity measures with the paper's counting rules (Sec. VI-D2):
   // every inner node is one split; majority-class leaves add nothing; model
@@ -37,6 +93,9 @@ class Classifier {
   virtual std::size_t NumParameters() const = 0;
 
   virtual std::string name() const = 0;
+
+ private:
+  mutable std::vector<double> predict_scratch_;  // Predict() argmax buffer
 };
 
 }  // namespace dmt

@@ -22,6 +22,12 @@ inline double Sigmoid(double z) {
   return e / (1.0 + e);
 }
 
+// Index of the first maximum of `v` (std::max_element tie-breaking); the
+// canonical probability-to-label reduction of the scoring core.
+inline int ArgMax(std::span<const double> v) {
+  return static_cast<int>(std::max_element(v.begin(), v.end()) - v.begin());
+}
+
 inline double ClampProb(double p) {
   return std::clamp(p, kProbEpsilon, 1.0 - kProbEpsilon);
 }

@@ -62,6 +62,24 @@ std::function<void()> ThreadPool::TakeTask(std::size_t worker_index) {
   return {};
 }
 
+bool ThreadPool::RunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Queue 0's front first, then steal from the others -- same policy a
+    // worker with index 0 would apply.
+    task = TakeTask(0);
+    if (!task) return false;
+  }
+  task();  // packaged_task: exceptions land in the future, never escape
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (in_flight_ == 0) all_done_.notify_all();
+  }
+  return true;
+}
+
 void ThreadPool::WorkerLoop(std::size_t worker_index) {
   while (true) {
     std::function<void()> task;

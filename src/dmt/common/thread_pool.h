@@ -15,6 +15,7 @@
 #ifndef DMT_COMMON_THREAD_POOL_H_
 #define DMT_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -55,6 +56,13 @@ class ThreadPool {
   // task running). The pool accepts new work afterwards.
   void Wait();
 
+  // Pops one queued task (if any) and runs it on the calling thread;
+  // returns whether a task was run. This is what makes a single pool
+  // shareable across layers (sweep cells and ensemble member work): a task
+  // that blocks on futures of sibling tasks helps drain the queue instead
+  // of idling a worker, so nested submission can never deadlock the pool.
+  bool RunOneTask();
+
   std::size_t num_threads() const { return workers_.size(); }
 
   // Hardware concurrency, clamped to at least 1.
@@ -76,6 +84,24 @@ class ThreadPool {
   std::size_t in_flight_ = 0;    // queued + currently running tasks
   bool shutting_down_ = false;
 };
+
+// Blocks until `future` is ready, running queued tasks of `pool` on the
+// calling thread in the meantime. Use instead of future::get() whenever the
+// waiting code may itself be running inside a pool task (shared-pool
+// reentrancy). Safe: when the queue is empty and the future is still
+// pending, the task producing it is already executing on some thread, so
+// the plain wait() cannot deadlock.
+template <typename T>
+T GetHelping(ThreadPool* pool, std::future<T>* future) {
+  while (future->wait_for(std::chrono::seconds(0)) !=
+         std::future_status::ready) {
+    if (!pool->RunOneTask()) {
+      future->wait();
+      break;
+    }
+  }
+  return future->get();
+}
 
 }  // namespace dmt
 

@@ -69,6 +69,42 @@ class Batch {
   std::vector<int> labels_;
 };
 
+// Row-major reusable class-probability buffer: one row per observation,
+// one column per class. The scoring core (Classifier::PredictBatch) writes
+// into a caller-owned ProbaMatrix; Reshape never shrinks the backing
+// allocation, so a loop that reuses one matrix across equally-sized batches
+// performs zero heap allocations in steady state.
+class ProbaMatrix {
+ public:
+  ProbaMatrix() = default;
+  ProbaMatrix(std::size_t rows, std::size_t cols) { Reshape(rows, cols); }
+
+  // Sets the logical shape. Grows the backing store when needed, never
+  // shrinks it. Row contents are unspecified until written.
+  void Reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    if (data_.size() < rows * cols) data_.resize(rows * cols);
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  std::span<double> row(std::size_t i) {
+    DMT_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t i) const {
+    DMT_DCHECK(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
 }  // namespace dmt
 
 #endif  // DMT_COMMON_TYPES_H_

@@ -442,23 +442,14 @@ void DynamicModelTree::RecordEvent(StructuralEvent event) {
 
 // --- Prediction ----------------------------------------------------------------
 
-std::vector<double> DynamicModelTree::PredictProba(
-    std::span<const double> x) const {
+void DynamicModelTree::PredictProbaInto(std::span<const double> x,
+                                        std::span<double> out) const {
   const Node* node = root_.get();
   while (!node->is_leaf()) {
     node = x[node->split_feature] <= node->split_value ? node->left.get()
                                                        : node->right.get();
   }
-  return node->model.PredictProba(x);
-}
-
-int DynamicModelTree::Predict(std::span<const double> x) const {
-  const Node* node = root_.get();
-  while (!node->is_leaf()) {
-    node = x[node->split_feature] <= node->split_value ? node->left.get()
-                                                       : node->right.get();
-  }
-  return node->model.Predict(x);
+  node->model.PredictProbaInto(x, out);
 }
 
 std::vector<double> DynamicModelTree::LeafFeatureWeights(

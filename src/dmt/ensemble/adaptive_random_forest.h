@@ -31,10 +31,17 @@ struct AdaptiveRandomForestConfig {
   double drift_delta = 0.001;
   // 0 derives sqrt(num_features) + 1.
   int subspace_size = 0;
-  // >1 trains members on a thread pool, one task per member and batch.
-  // Off by default. Results are identical to sequential training: each
-  // member owns its RNG, so training is order- and schedule-independent.
+  // >1 trains members on an internally owned thread pool, one task per
+  // member and batch. Off by default. Results are identical to sequential
+  // training: each member owns its RNG, so training is order- and
+  // schedule-independent.
   int num_threads = 1;
+  // Optional borrowed pool shared with the caller (e.g. the sweep engine).
+  // When set it takes precedence over `num_threads` and no pool is owned;
+  // waits use helping (ThreadPool::RunOneTask) so that nesting ensemble
+  // tasks inside a task running on the same pool cannot deadlock. The pool
+  // must outlive the ensemble.
+  ThreadPool* pool = nullptr;
   trees::VfdtConfig base;
   std::uint64_t seed = 42;
 };
@@ -44,8 +51,10 @@ class AdaptiveRandomForest : public Classifier {
   explicit AdaptiveRandomForest(const AdaptiveRandomForestConfig& config);
 
   void PartialFit(const Batch& batch) override;
-  int Predict(std::span<const double> x) const override;
-  std::vector<double> PredictProba(std::span<const double> x) const override;
+  int num_classes() const override { return config_.num_classes; }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override;
+  void PredictBatch(const Batch& batch, ProbaMatrix* out) const override;
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "ARF"; }
@@ -72,11 +81,18 @@ class AdaptiveRandomForest : public Classifier {
   std::unique_ptr<trees::Vfdt> MakeTree(Rng* rng);
   void TrainMemberInstance(Member* member, std::span<const double> x, int y);
   void TrainMemberBatch(Member* member, const Batch& batch);
+  // The borrowed pool if one was injected, else the lazily built owned
+  // pool, else nullptr (sequential).
+  ThreadPool* WorkerPool() const;
 
   AdaptiveRandomForestConfig config_;
   Rng rng_;
   std::vector<Member> members_;
-  std::unique_ptr<ThreadPool> pool_;  // lazily built when num_threads > 1
+  mutable std::unique_ptr<ThreadPool> pool_;  // lazy, when num_threads > 1
+  // One member-probability row reused across PredictProbaInto calls; makes
+  // single-instance scoring allocation-free but not concurrency-safe on a
+  // shared instance (PredictBatch gives each worker task its own row).
+  mutable std::vector<double> member_scratch_;
 };
 
 }  // namespace dmt::ensemble

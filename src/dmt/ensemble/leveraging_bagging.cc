@@ -63,25 +63,34 @@ bool LeveragingBagging::TrainMemberBatch(std::size_t m, const Batch& batch) {
   return fired;
 }
 
-void LeveragingBagging::PartialFit(const Batch& batch) {
+ThreadPool* LeveragingBagging::WorkerPool() const {
+  if (config_.pool != nullptr) return config_.pool;
   if (config_.num_threads > 1 && members_.size() > 1) {
-    // Parallel scaffolding (off by default): member training is
-    // independent, only the worst-member reset couples members, so the
-    // reset decision is deferred to the batch boundary.
     if (pool_ == nullptr) {
       pool_ = std::make_unique<ThreadPool>(
           std::min<std::size_t>(config_.num_threads, members_.size()));
     }
+    return pool_.get();
+  }
+  return nullptr;
+}
+
+void LeveragingBagging::PartialFit(const Batch& batch) {
+  ThreadPool* pool = WorkerPool();
+  if (pool != nullptr && members_.size() > 1) {
+    // Parallel mode (off by default): member training is independent, only
+    // the worst-member reset couples members, so the reset decision is
+    // deferred to the batch boundary.
     std::vector<std::future<bool>> futures;
     futures.reserve(members_.size());
     for (std::size_t m = 0; m < members_.size(); ++m) {
       futures.push_back(
-          pool_->Submit([this, m, &batch]() {
+          pool->Submit([this, m, &batch]() {
             return TrainMemberBatch(m, batch);
           }));
     }
     bool change = false;
-    for (std::future<bool>& future : futures) change |= future.get();
+    for (std::future<bool>& future : futures) change |= GetHelping(pool, &future);
     if (change) ResetWorstMember();
     return;
   }
@@ -90,21 +99,50 @@ void LeveragingBagging::PartialFit(const Batch& batch) {
   }
 }
 
-std::vector<double> LeveragingBagging::PredictProba(
-    std::span<const double> x) const {
-  std::vector<double> sum(config_.num_classes, 0.0);
+void LeveragingBagging::PredictProbaInto(std::span<const double> x,
+                                         std::span<double> out) const {
+  const std::size_t c = static_cast<std::size_t>(config_.num_classes);
+  if (member_scratch_.size() != c) member_scratch_.resize(c);
+  std::fill(out.begin(), out.end(), 0.0);
   for (const auto& member : members_) {
-    const std::vector<double> proba = member->PredictProba(x);
-    for (int c = 0; c < config_.num_classes; ++c) sum[c] += proba[c];
+    member->PredictProbaInto(x, member_scratch_);
+    for (std::size_t k = 0; k < c; ++k) out[k] += member_scratch_[k];
   }
-  for (double& v : sum) v /= static_cast<double>(members_.size());
-  return sum;
+  for (double& v : out) v /= static_cast<double>(members_.size());
 }
 
-int LeveragingBagging::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+void LeveragingBagging::PredictBatch(const Batch& batch,
+                                     ProbaMatrix* out) const {
+  const std::size_t c = static_cast<std::size_t>(config_.num_classes);
+  out->Reshape(batch.size(), c);
+  ThreadPool* pool = WorkerPool();
+  if (pool == nullptr || batch.size() < 2) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      PredictProbaInto(batch.row(i), out->row(i));
+    }
+    return;
+  }
+  const std::size_t num_chunks =
+      std::min(batch.size(), pool->num_threads() + 1);
+  const std::size_t chunk = (batch.size() + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_chunks);
+  for (std::size_t begin = 0; begin < batch.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, batch.size());
+    futures.push_back(pool->Submit([this, &batch, out, begin, end, c]() {
+      std::vector<double> scratch(c);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::span<double> row = out->row(i);
+        std::fill(row.begin(), row.end(), 0.0);
+        for (const auto& member : members_) {
+          member->PredictProbaInto(batch.row(i), scratch);
+          for (std::size_t k = 0; k < c; ++k) row[k] += scratch[k];
+        }
+        for (double& v : row) v /= static_cast<double>(members_.size());
+      }
+    }));
+  }
+  for (std::future<void>& future : futures) GetHelping(pool, &future);
 }
 
 std::size_t LeveragingBagging::NumSplits() const {

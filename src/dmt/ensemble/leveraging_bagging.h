@@ -27,11 +27,16 @@ struct LeveragingBaggingConfig {
   int num_learners = 3;  // as in the paper's experiments
   double poisson_lambda = 6.0;
   double adwin_delta = 0.002;
-  // >1 trains members on a thread pool, one task per member and batch. Off
-  // by default. Each member owns its RNG, so member state is deterministic
-  // at any thread count; the worst-member reset (which couples members)
-  // moves from per-instance to per-batch granularity in parallel mode.
+  // >1 trains members on an internally owned thread pool, one task per
+  // member and batch. Off by default. Each member owns its RNG, so member
+  // state is deterministic at any thread count; the worst-member reset
+  // (which couples members) moves from per-instance to per-batch
+  // granularity in parallel mode.
   int num_threads = 1;
+  // Optional borrowed pool shared with the caller; overrides `num_threads`
+  // (same contract as AdaptiveRandomForestConfig::pool). Note that any
+  // parallel mode changes the reset granularity as described above.
+  ThreadPool* pool = nullptr;
   trees::VfdtConfig base;  // num_features/num_classes are filled in
   std::uint64_t seed = 42;
 };
@@ -41,8 +46,10 @@ class LeveragingBagging : public Classifier {
   explicit LeveragingBagging(const LeveragingBaggingConfig& config);
 
   void PartialFit(const Batch& batch) override;
-  int Predict(std::span<const double> x) const override;
-  std::vector<double> PredictProba(std::span<const double> x) const override;
+  int num_classes() const override { return config_.num_classes; }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override;
+  void PredictBatch(const Batch& batch, ProbaMatrix* out) const override;
   // Complexity sums over the members (each member counted like a
   // stand-alone VFDT).
   std::size_t NumSplits() const override;
@@ -58,6 +65,7 @@ class LeveragingBagging : public Classifier {
   // fired at least once (parallel path only).
   bool TrainMemberBatch(std::size_t m, const Batch& batch);
   void ResetWorstMember();
+  ThreadPool* WorkerPool() const;
 
   LeveragingBaggingConfig config_;
   Rng rng_;
@@ -65,7 +73,10 @@ class LeveragingBagging : public Classifier {
   std::vector<drift::Adwin> detectors_;
   std::vector<Rng> member_rngs_;  // forked per member at construction
   std::size_t num_resets_ = 0;
-  std::unique_ptr<ThreadPool> pool_;  // lazily built when num_threads > 1
+  mutable std::unique_ptr<ThreadPool> pool_;  // lazy, when num_threads > 1
+  // Member-probability row reused by PredictProbaInto (not concurrency-safe
+  // on a shared instance; PredictBatch tasks use their own rows).
+  mutable std::vector<double> member_scratch_;
 };
 
 }  // namespace dmt::ensemble

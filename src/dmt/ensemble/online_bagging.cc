@@ -31,21 +31,16 @@ void OnlineBagging::PartialFit(const Batch& batch) {
   }
 }
 
-std::vector<double> OnlineBagging::PredictProba(
-    std::span<const double> x) const {
-  std::vector<double> sum(config_.num_classes, 0.0);
+void OnlineBagging::PredictProbaInto(std::span<const double> x,
+                                     std::span<double> out) const {
+  const std::size_t c = static_cast<std::size_t>(config_.num_classes);
+  if (member_scratch_.size() != c) member_scratch_.resize(c);
+  std::fill(out.begin(), out.end(), 0.0);
   for (const auto& member : members_) {
-    const std::vector<double> proba = member->PredictProba(x);
-    for (int c = 0; c < config_.num_classes; ++c) sum[c] += proba[c];
+    member->PredictProbaInto(x, member_scratch_);
+    for (std::size_t k = 0; k < c; ++k) out[k] += member_scratch_[k];
   }
-  for (double& v : sum) v /= static_cast<double>(members_.size());
-  return sum;
-}
-
-int OnlineBagging::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  for (double& v : out) v /= static_cast<double>(members_.size());
 }
 
 std::size_t OnlineBagging::NumSplits() const {

@@ -30,8 +30,9 @@ class OnlineBagging : public Classifier {
   explicit OnlineBagging(const OnlineBaggingConfig& config);
 
   void PartialFit(const Batch& batch) override;
-  int Predict(std::span<const double> x) const override;
-  std::vector<double> PredictProba(std::span<const double> x) const override;
+  int num_classes() const override { return config_.num_classes; }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override;
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "OzaBag"; }
@@ -40,6 +41,9 @@ class OnlineBagging : public Classifier {
   OnlineBaggingConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<trees::Vfdt>> members_;
+  // Member-probability row reused by PredictProbaInto (not concurrency-safe
+  // on a shared instance).
+  mutable std::vector<double> member_scratch_;
 };
 
 }  // namespace dmt::ensemble

@@ -44,9 +44,9 @@ void OnlineBoosting::PartialFit(const Batch& batch) {
   }
 }
 
-std::vector<double> OnlineBoosting::PredictProba(
-    std::span<const double> x) const {
-  std::vector<double> votes(config_.num_classes, 0.0);
+void OnlineBoosting::PredictProbaInto(std::span<const double> x,
+                                      std::span<double> out) const {
+  std::fill(out.begin(), out.end(), 0.0);
   double vote_sum = 0.0;
   for (const Member& member : members_) {
     const double total = member.correct_weight + member.wrong_weight;
@@ -55,21 +55,14 @@ std::vector<double> OnlineBoosting::PredictProba(
         std::clamp(member.wrong_weight / total, 1e-6, 0.5 - 1e-6);
     const double beta = error / (1.0 - error);
     const double weight = std::log(1.0 / beta);
-    votes[member.tree->Predict(x)] += weight;
+    out[member.tree->Predict(x)] += weight;
     vote_sum += weight;
   }
   if (vote_sum <= 0.0) {
-    std::fill(votes.begin(), votes.end(), 1.0 / config_.num_classes);
-    return votes;
+    std::fill(out.begin(), out.end(), 1.0 / config_.num_classes);
+    return;
   }
-  for (double& v : votes) v /= vote_sum;
-  return votes;
-}
-
-int OnlineBoosting::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  for (double& v : out) v /= vote_sum;
 }
 
 std::size_t OnlineBoosting::NumSplits() const {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dmt/common/check.h"
+#include "dmt/common/math.h"
 
 namespace dmt::eval {
 
@@ -17,6 +18,14 @@ void ConfusionMatrix::Add(int predicted, int actual) {
   DMT_DCHECK(actual >= 0 && actual < static_cast<int>(num_classes_));
   ++counts_[static_cast<std::size_t>(predicted) * num_classes_ + actual];
   ++total_;
+}
+
+void ConfusionMatrix::AddBatch(const ProbaMatrix& proba, const Batch& batch) {
+  DMT_DCHECK(proba.rows() == batch.size());
+  DMT_DCHECK(proba.cols() == num_classes_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Add(ArgMax(proba.row(i)), batch.label(i));
+  }
 }
 
 void ConfusionMatrix::Reset() {

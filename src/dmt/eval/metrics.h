@@ -6,6 +6,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "dmt/common/types.h"
+
 namespace dmt::eval {
 
 class ConfusionMatrix {
@@ -13,6 +15,9 @@ class ConfusionMatrix {
   explicit ConfusionMatrix(std::size_t num_classes);
 
   void Add(int predicted, int actual);
+  // Accumulates one prediction per probability row (argmax, first-maximum
+  // tie-break like Classifier::Predict) against the batch labels.
+  void AddBatch(const ProbaMatrix& proba, const Batch& batch);
   void Reset();
 
   std::size_t total() const { return total_; }

@@ -144,34 +144,39 @@ void Glm::SgdStep(std::span<const double> x, int y) {
   }
 }
 
-std::vector<double> Glm::PredictProba(std::span<const double> x) const {
+void Glm::PredictProbaInto(std::span<const double> x,
+                           std::span<double> out) const {
   DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
-  std::vector<double> proba(num_classes_);
+  DMT_DCHECK(static_cast<int>(out.size()) == num_classes_);
   if (is_binary()) {
     const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
-    proba[1] = Sigmoid(z);
-    proba[0] = 1.0 - proba[1];
-    return proba;
+    out[1] = Sigmoid(z);
+    out[0] = 1.0 - out[1];
+    return;
   }
   const int stride = num_features_ + 1;
   for (int c = 0; c < num_classes_; ++c) {
     const double* w = params_.data() + c * stride;
-    proba[c] = Dot(x, {w, x.size()}) + w[num_features_];
+    out[c] = Dot(x, {w, x.size()}) + w[num_features_];
   }
-  SoftmaxInPlace(proba);
+  SoftmaxInPlace(out);
+}
+
+std::vector<double> Glm::PredictProba(std::span<const double> x) const {
+  std::vector<double> proba(num_classes_);
+  PredictProbaInto(x, proba);
   return proba;
 }
 
 int Glm::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  PredictProbaInto(x, logits_scratch_);
+  return ArgMax(logits_scratch_);
 }
 
 double Glm::LossOne(std::span<const double> x, int y) const {
-  const std::vector<double> proba = PredictProba(x);
   DMT_DCHECK(y >= 0 && y < num_classes_);
-  return -SafeLog(proba[y]);
+  PredictProbaInto(x, logits_scratch_);
+  return -SafeLog(logits_scratch_[y]);
 }
 
 double Glm::Loss(const Batch& batch) const {

@@ -75,7 +75,13 @@ class Glm {
   // SGD over the rows of `batch` selected by `rows`.
   void FitRows(const Batch& batch, std::span<const std::size_t> rows);
 
-  // Class probabilities for one observation (size num_classes).
+  // Writes the class probabilities for one observation into `out`
+  // (num_classes() entries, overwritten). The allocation-free scoring
+  // primitive; PredictProba / Predict / LossOne route through it.
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const;
+  // Class probabilities for one observation (size num_classes). Allocates
+  // the result; hot paths should use PredictProbaInto.
   std::vector<double> PredictProba(std::span<const double> x) const;
   int Predict(std::span<const double> x) const;
 

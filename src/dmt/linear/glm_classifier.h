@@ -17,11 +17,10 @@ class GlmClassifier : public Classifier {
   explicit GlmClassifier(const GlmConfig& config) : model_(config) {}
 
   void PartialFit(const Batch& batch) override { model_.Fit(batch); }
-  int Predict(std::span<const double> x) const override {
-    return model_.Predict(x);
-  }
-  std::vector<double> PredictProba(std::span<const double> x) const override {
-    return model_.PredictProba(x);
+  int num_classes() const override { return model_.num_classes(); }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override {
+    model_.PredictProbaInto(x, out);
   }
   // A single model leaf: 1 split (binary) or c splits (multiclass), m
   // parameters per class, per the paper's counting rules.

@@ -147,27 +147,20 @@ void Efdt::ReevaluateSplit(Node* inner) {
 
 // Prediction uses majority class at the routed leaf (the paper configures
 // majority voting in the Hoeffding-tree baselines).
-std::vector<double> Efdt::PredictProba(std::span<const double> x) const {
+void Efdt::PredictProbaInto(std::span<const double> x,
+                            std::span<double> out) const {
   const Node* node = root_.get();
   while (!node->is_leaf()) {
     node = x[node->split_feature] <= node->split_value ? node->left.get()
                                                        : node->right.get();
   }
-  std::vector<double> proba(config_.num_classes, 0.0);
   if (node->weight_seen <= 0.0) {
-    std::fill(proba.begin(), proba.end(), 1.0 / config_.num_classes);
-    return proba;
+    std::fill(out.begin(), out.end(), 1.0 / config_.num_classes);
+    return;
   }
   for (int c = 0; c < config_.num_classes; ++c) {
-    proba[c] = node->class_counts[c] / node->weight_seen;
+    out[c] = node->class_counts[c] / node->weight_seen;
   }
-  return proba;
-}
-
-int Efdt::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
 }
 
 std::size_t Efdt::NumInnerNodes() const {

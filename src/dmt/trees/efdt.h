@@ -38,8 +38,9 @@ class Efdt : public Classifier {
   ~Efdt() override;
 
   void PartialFit(const Batch& batch) override;
-  int Predict(std::span<const double> x) const override;
-  std::vector<double> PredictProba(std::span<const double> x) const override;
+  int num_classes() const override { return config_.num_classes; }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override;
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "EFDT"; }

@@ -245,22 +245,14 @@ void FimtDd::AttemptSplit(Node* leaf) {
   }
 }
 
-std::vector<double> FimtDd::PredictProba(std::span<const double> x) const {
+void FimtDd::PredictProbaInto(std::span<const double> x,
+                              std::span<double> out) const {
   const Node* node = root_.get();
   while (!node->is_leaf()) {
     node = x[node->split_feature] <= node->split_value ? node->left.get()
                                                        : node->right.get();
   }
-  return node->model.PredictProba(x);
-}
-
-int FimtDd::Predict(std::span<const double> x) const {
-  const Node* node = root_.get();
-  while (!node->is_leaf()) {
-    node = x[node->split_feature] <= node->split_value ? node->left.get()
-                                                       : node->right.get();
-  }
-  return node->model.Predict(x);
+  node->model.PredictProbaInto(x, out);
 }
 
 std::size_t FimtDd::NumInnerNodes() const {

@@ -205,7 +205,10 @@ void SgtClassifier::PartialFit(const Batch& batch) {
       continue;
     }
     // One-vs-rest with softmax-normalized scores.
-    std::vector<double> scores(num_classes_);
+    if (train_scores_.size() != static_cast<std::size_t>(num_classes_)) {
+      train_scores_.resize(num_classes_);
+    }
+    std::span<double> scores(train_scores_);
     for (int c = 0; c < num_classes_; ++c) scores[c] = trees_[c]->Score(x);
     SoftmaxInPlace(scores);
     for (int c = 0; c < num_classes_; ++c) {
@@ -216,23 +219,15 @@ void SgtClassifier::PartialFit(const Batch& batch) {
   }
 }
 
-std::vector<double> SgtClassifier::PredictProba(
-    std::span<const double> x) const {
-  std::vector<double> proba(num_classes_);
+void SgtClassifier::PredictProbaInto(std::span<const double> x,
+                                     std::span<double> out) const {
   if (num_classes_ == 2) {
-    proba[1] = Sigmoid(trees_[0]->Score(x));
-    proba[0] = 1.0 - proba[1];
-    return proba;
+    out[1] = Sigmoid(trees_[0]->Score(x));
+    out[0] = 1.0 - out[1];
+    return;
   }
-  for (int c = 0; c < num_classes_; ++c) proba[c] = trees_[c]->Score(x);
-  SoftmaxInPlace(proba);
-  return proba;
-}
-
-int SgtClassifier::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  for (int c = 0; c < num_classes_; ++c) out[c] = trees_[c]->Score(x);
+  SoftmaxInPlace(out);
 }
 
 std::size_t SgtClassifier::NumSplits() const {

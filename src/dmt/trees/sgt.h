@@ -75,8 +75,9 @@ class SgtClassifier : public Classifier {
   SgtClassifier(const SgtConfig& config, int num_classes);
 
   void PartialFit(const Batch& batch) override;
-  int Predict(std::span<const double> x) const override;
-  std::vector<double> PredictProba(std::span<const double> x) const override;
+  int num_classes() const override { return num_classes_; }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override;
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "SGT"; }
@@ -85,6 +86,8 @@ class SgtClassifier : public Classifier {
   SgtConfig config_;
   int num_classes_;
   std::vector<std::unique_ptr<StochasticGradientTree>> trees_;
+  // Softmax scratch for the one-vs-rest training loop (multiclass only).
+  std::vector<double> train_scores_;
 };
 
 }  // namespace dmt::trees

@@ -41,19 +41,18 @@ struct Vfdt::Node {
         class_counts.begin());
   }
 
-  std::vector<double> NaiveBayesProba(std::span<const double> x) const {
+  void NaiveBayesProbaInto(std::span<const double> x,
+                           std::span<double> out) const {
     const int num_classes = static_cast<int>(class_counts.size());
-    std::vector<double> log_post(num_classes);
     for (int c = 0; c < num_classes; ++c) {
-      log_post[c] = std::log((class_counts[c] + 1.0) /
-                             (weight_seen + num_classes));
+      out[c] = std::log((class_counts[c] + 1.0) /
+                        (weight_seen + num_classes));
       if (class_counts[c] <= 0.0) continue;
       for (std::size_t j = 0; j < observers.size(); ++j) {
-        log_post[c] += observers[j].estimator(c).LogPdf(x[j]);
+        out[c] += observers[j].estimator(c).LogPdf(x[j]);
       }
     }
-    SoftmaxInPlace(log_post);
-    return log_post;
+    SoftmaxInPlace(out);
   }
 };
 
@@ -88,10 +87,11 @@ void Vfdt::TrainInstance(std::span<const double> x, int y) {
       leaf->weight_seen > 0.0) {
     // Track which of MC / NB would have been right, before learning x.
     if (leaf->MajorityClass() == y) leaf->mc_correct += 1.0;
-    const std::vector<double> nb = leaf->NaiveBayesProba(x);
-    const int nb_pred = static_cast<int>(
-        std::max_element(nb.begin(), nb.end()) - nb.begin());
-    if (nb_pred == y) leaf->nb_correct += 1.0;
+    if (nb_scratch_.size() != static_cast<std::size_t>(config_.num_classes)) {
+      nb_scratch_.resize(config_.num_classes);
+    }
+    leaf->NaiveBayesProbaInto(x, nb_scratch_);
+    if (ArgMax(nb_scratch_) == y) leaf->nb_correct += 1.0;
   }
   leaf->class_counts[y] += 1.0;
   leaf->weight_seen += 1.0;
@@ -166,32 +166,28 @@ void Vfdt::AttemptSplit(Node* leaf) {
   }
 }
 
-std::vector<double> Vfdt::LeafProba(const Node& leaf,
-                                    std::span<const double> x) const {
+void Vfdt::LeafProbaInto(const Node& leaf, std::span<const double> x,
+                         std::span<double> out) const {
   const int num_classes = config_.num_classes;
-  std::vector<double> proba(num_classes, 0.0);
   if (leaf.weight_seen <= 0.0) {
-    std::fill(proba.begin(), proba.end(), 1.0 / num_classes);
-    return proba;
+    std::fill(out.begin(), out.end(), 1.0 / num_classes);
+    return;
   }
   const bool use_nb =
       config_.leaf_prediction == LeafPrediction::kNaiveBayesAdaptive &&
       leaf.nb_correct >= leaf.mc_correct && !leaf.observers.empty();
-  if (use_nb) return leaf.NaiveBayesProba(x);
-  for (int c = 0; c < num_classes; ++c) {
-    proba[c] = leaf.class_counts[c] / leaf.weight_seen;
+  if (use_nb) {
+    leaf.NaiveBayesProbaInto(x, out);
+    return;
   }
-  return proba;
+  for (int c = 0; c < num_classes; ++c) {
+    out[c] = leaf.class_counts[c] / leaf.weight_seen;
+  }
 }
 
-std::vector<double> Vfdt::PredictProba(std::span<const double> x) const {
-  return LeafProba(*RouteToLeaf(x), x);
-}
-
-int Vfdt::Predict(std::span<const double> x) const {
-  const std::vector<double> proba = PredictProba(x);
-  return static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
+void Vfdt::PredictProbaInto(std::span<const double> x,
+                            std::span<double> out) const {
+  LeafProbaInto(*RouteToLeaf(x), x, out);
 }
 
 namespace {

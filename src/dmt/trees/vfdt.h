@@ -56,8 +56,9 @@ class Vfdt : public Classifier {
   ~Vfdt() override;
 
   void PartialFit(const Batch& batch) override;
-  int Predict(std::span<const double> x) const override;
-  std::vector<double> PredictProba(std::span<const double> x) const override;
+  int num_classes() const override { return config_.num_classes; }
+  void PredictProbaInto(std::span<const double> x,
+                        std::span<double> out) const override;
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override {
@@ -80,12 +81,15 @@ class Vfdt : public Classifier {
   Node* RouteToLeaf(std::span<const double> x) const;
   void AttemptSplit(Node* leaf);
   bool IsNominal(int feature) const;
-  std::vector<double> LeafProba(const Node& leaf,
-                                std::span<const double> x) const;
+  void LeafProbaInto(const Node& leaf, std::span<const double> x,
+                     std::span<double> out) const;
 
   VfdtConfig config_;
   Rng rng_;
   std::unique_ptr<Node> root_;
+  // Reused by the NBA bookkeeping in TrainInstance (one NB scoring per
+  // observation) so training allocates nothing per sample either.
+  std::vector<double> nb_scratch_;
 };
 
 }  // namespace dmt::trees

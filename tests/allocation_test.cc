@@ -1,0 +1,117 @@
+// Allocation-regression tests for the batch-first scoring core: once the
+// scratch buffers are warm, scoring must not touch the heap. Guards the
+// zero-allocation property that PR "batch-first scoring core" introduced
+// for DMT, VFDT and ARF (and, via the same code paths, the other models).
+//
+// This test replaces the global allocator, so it builds as its own binary
+// (dmt_allocation_test) and must never join the dmt_tests glob.
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/alloc_count.h"
+#include "dmt/common/random.h"
+#include "dmt/common/types.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/ensemble/adaptive_random_forest.h"
+#include "dmt/trees/vfdt.h"
+
+DMT_DEFINE_COUNTING_ALLOCATOR();
+
+// Sanitizers interpose their own allocator and bookkeeping; the counters
+// would measure the sanitizer runtime, not the scoring core.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DMT_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define DMT_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace dmt {
+namespace {
+
+constexpr int kFeatures = 5;
+constexpr int kClasses = 3;
+
+// Trains `model` on a few thousand synthetic observations so trees grow
+// real structure, then returns a probe batch drawn from the same concept.
+Batch TrainAndMakeProbe(Classifier* model, std::uint64_t seed) {
+  Rng rng(seed);
+  Batch batch(kFeatures, 500);
+  for (int round = 0; round < 6; ++round) {
+    batch.clear();
+    for (int i = 0; i < 500; ++i) {
+      std::vector<double> x(kFeatures);
+      for (double& v : x) v = rng.Uniform();
+      const int y = x[0] <= 0.3 ? 0 : (x[1] <= 0.6 ? 1 : 2);
+      batch.Add(x, y);
+    }
+    model->PartialFit(batch);
+  }
+  return batch;  // the last training batch doubles as the scoring probe
+}
+
+void ExpectZeroAllocScoring(Classifier* model, const Batch& probe) {
+#ifdef DMT_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting is meaningless under sanitizers";
+#else
+  // Warm-up: sizes the Predict scratch, the ensemble member scratch and the
+  // ProbaMatrix backing store.
+  std::vector<double> proba_row(kClasses);
+  ProbaMatrix proba;
+  model->PredictProbaInto(probe.row(0), proba_row);
+  (void)model->Predict(probe.row(0));
+  model->PredictBatch(probe, &proba);
+
+  // Steady state: every scoring entry point must be allocation-free.
+  alloc_count::Reset();
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    model->PredictProbaInto(probe.row(i), proba_row);
+  }
+  EXPECT_EQ(alloc_count::allocations, 0u) << "PredictProbaInto allocated";
+
+  alloc_count::Reset();
+  for (std::size_t i = 0; i < probe.size(); ++i) {
+    (void)model->Predict(probe.row(i));
+  }
+  EXPECT_EQ(alloc_count::allocations, 0u) << "Predict allocated";
+
+  alloc_count::Reset();
+  model->PredictBatch(probe, &proba);
+  EXPECT_EQ(alloc_count::allocations, 0u) << "PredictBatch allocated";
+#endif
+}
+
+TEST(AllocationRegressionTest, DmtScoresWithoutAllocating) {
+  core::DynamicModelTree model(
+      {.num_features = kFeatures, .num_classes = kClasses});
+  const Batch probe = TrainAndMakeProbe(&model, 101);
+  ExpectZeroAllocScoring(&model, probe);
+}
+
+TEST(AllocationRegressionTest, VfdtMcScoresWithoutAllocating) {
+  trees::Vfdt model({.num_features = kFeatures, .num_classes = kClasses});
+  const Batch probe = TrainAndMakeProbe(&model, 102);
+  ExpectZeroAllocScoring(&model, probe);
+}
+
+TEST(AllocationRegressionTest, VfdtNbaScoresWithoutAllocating) {
+  trees::Vfdt model(
+      {.num_features = kFeatures,
+       .num_classes = kClasses,
+       .leaf_prediction = trees::LeafPrediction::kNaiveBayesAdaptive});
+  const Batch probe = TrainAndMakeProbe(&model, 103);
+  ExpectZeroAllocScoring(&model, probe);
+}
+
+TEST(AllocationRegressionTest, ArfScoresWithoutAllocating) {
+  ensemble::AdaptiveRandomForest model(
+      {.num_features = kFeatures, .num_classes = kClasses});
+  const Batch probe = TrainAndMakeProbe(&model, 104);
+  ExpectZeroAllocScoring(&model, probe);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -7,17 +7,20 @@
 
 #include <gtest/gtest.h>
 
+#include "dmt/common/math.h"
 #include "dmt/common/random.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
 #include "dmt/ensemble/leveraging_bagging.h"
 #include "dmt/ensemble/online_bagging.h"
+#include "dmt/ensemble/online_boosting.h"
 #include "dmt/eval/prequential.h"
 #include "dmt/linear/glm_classifier.h"
 #include "dmt/streams/datasets.h"
 #include "dmt/trees/efdt.h"
 #include "dmt/trees/fimtdd.h"
 #include "dmt/trees/hoeffding_adaptive.h"
+#include "dmt/trees/sgt.h"
 #include "dmt/trees/vfdt.h"
 
 namespace dmt {
@@ -35,6 +38,12 @@ std::unique_ptr<Classifier> Make(const std::string& name, int m, int c) {
   if (name == "VFDT") {
     return std::make_unique<trees::Vfdt>(
         trees::VfdtConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "VFDT-NBA") {
+    return std::make_unique<trees::Vfdt>(trees::VfdtConfig{
+        .num_features = m,
+        .num_classes = c,
+        .leaf_prediction = trees::LeafPrediction::kNaiveBayesAdaptive});
   }
   if (name == "HT-Ada") {
     return std::make_unique<trees::HoeffdingAdaptiveTree>(
@@ -57,6 +66,14 @@ std::unique_ptr<Classifier> Make(const std::string& name, int m, int c) {
   if (name == "OzaBag") {
     return std::make_unique<ensemble::OnlineBagging>(
         ensemble::OnlineBaggingConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "OzaBoost") {
+    return std::make_unique<ensemble::OnlineBoosting>(
+        ensemble::OnlineBoostingConfig{.num_features = m, .num_classes = c});
+  }
+  if (name == "SGT") {
+    return std::make_unique<trees::SgtClassifier>(
+        trees::SgtConfig{.num_features = m}, c);
   }
   return std::make_unique<linear::GlmClassifier>(
       linear::GlmConfig{.num_features = m, .num_classes = c});
@@ -103,10 +120,62 @@ TEST_P(ClassifierContractTest, ProbabilitiesFormDistributionAndArgmax) {
 
 INSTANTIATE_TEST_SUITE_P(
     ModelsAndClassCounts, ClassifierContractTest,
-    ::testing::Combine(::testing::Values("DMT", "FIMT-DD", "VFDT", "HT-Ada",
-                                         "EFDT", "ARF", "LevBag", "OzaBag",
-                                         "GLM"),
+    ::testing::Combine(::testing::Values("DMT", "FIMT-DD", "VFDT", "VFDT-NBA",
+                                         "HT-Ada", "EFDT", "ARF", "LevBag",
+                                         "OzaBag", "OzaBoost", "SGT", "GLM"),
                        ::testing::Values(2, 5)));
+
+// The batch-first scoring core (PredictProbaInto / PredictBatch) must
+// reproduce the legacy value-returning path bit-exactly: the Into methods
+// perform the same floating-point operations into caller buffers, and
+// Predict is argmax with first-maximum tie-breaking. Swept over every
+// classifier on prefixes of two synthetic Table I streams, interleaved with
+// training so grown trees and drift-reset ensembles are covered too.
+class BatchScoringEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<const char*, const char*>> {
+};
+
+TEST_P(BatchScoringEquivalenceTest, IntoAndBatchMatchLegacyBitExact) {
+  const auto [model_name, dataset] = GetParam();
+  const streams::DatasetSpec spec = streams::DatasetByName(dataset);
+  const int m = static_cast<int>(spec.num_features);
+  const int c = static_cast<int>(spec.num_classes);
+  std::unique_ptr<Classifier> model = Make(model_name, m, c);
+  ASSERT_EQ(model->num_classes(), c);
+
+  std::unique_ptr<streams::Stream> stream = spec.make(3000, 7);
+  const std::size_t batch_size = 250;
+  Batch batch(static_cast<std::size_t>(m), batch_size);
+  ProbaMatrix proba;
+  std::vector<double> into(c);
+  while (true) {
+    batch.clear();
+    if (stream->FillBatch(batch_size, &batch) == 0) break;
+    model->PredictBatch(batch, &proba);
+    ASSERT_EQ(proba.rows(), batch.size());
+    ASSERT_EQ(proba.cols(), static_cast<std::size_t>(c));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const std::vector<double> legacy = model->PredictProba(batch.row(i));
+      model->PredictProbaInto(batch.row(i), into);
+      for (int k = 0; k < c; ++k) {
+        ASSERT_EQ(legacy[k], into[k]) << model_name << " Into row " << i;
+        ASSERT_EQ(legacy[k], proba.row(i)[k])
+            << model_name << " Batch row " << i;
+      }
+      ASSERT_EQ(model->Predict(batch.row(i)),
+                ArgMax(std::span<const double>(legacy)))
+          << model_name << " row " << i;
+    }
+    model->PartialFit(batch);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModelsOnStreams, BatchScoringEquivalenceTest,
+    ::testing::Combine(::testing::Values("DMT", "FIMT-DD", "VFDT", "VFDT-NBA",
+                                         "HT-Ada", "EFDT", "ARF", "LevBag",
+                                         "OzaBag", "OzaBoost", "SGT", "GLM"),
+                       ::testing::Values("SEA", "Agrawal")));
 
 // DMT must beat the always-majority baseline on every Table I stream at
 // small scale.

@@ -156,6 +156,42 @@ TEST(ArfTest, ParallelTrainingBitIdenticalToSequential) {
   }
 }
 
+TEST(ArfTest, InjectedPoolBitIdenticalToSequential) {
+  // A borrowed pool (shared with a caller, e.g. the sweep engine) must
+  // behave exactly like the owned pool: training stays bit-identical to
+  // sequential, and batch scoring over the pool matches row-by-row scoring.
+  const AdaptiveRandomForestConfig base{
+      .num_features = 2, .num_classes = 2, .num_learners = 4, .seed = 11};
+  ThreadPool pool(3);
+  AdaptiveRandomForestConfig injected_config = base;
+  injected_config.pool = &pool;
+  AdaptiveRandomForest sequential(base);
+  AdaptiveRandomForest injected(injected_config);
+
+  Rng rng(6);
+  for (int b = 0; b < 12; ++b) {
+    Batch batch(2);
+    FillAxisConcept(&rng, &batch, 400, /*flipped=*/b >= 8);
+    sequential.PartialFit(batch);
+    injected.PartialFit(batch);
+  }
+  EXPECT_EQ(sequential.NumSplits(), injected.NumSplits());
+  EXPECT_EQ(sequential.num_promotions(), injected.num_promotions());
+
+  Rng test_rng(7);
+  Batch test(2);
+  FillAxisConcept(&test_rng, &test, 500, /*flipped=*/true);
+  ProbaMatrix batched;
+  injected.PredictBatch(test, &batched);  // fans over the borrowed pool
+  ASSERT_EQ(batched.rows(), test.size());
+  std::vector<double> row(2);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    sequential.PredictProbaInto(test.row(i), row);
+    ASSERT_EQ(batched.row(i)[0], row[0]) << "row " << i;
+    ASSERT_EQ(batched.row(i)[1], row[1]) << "row " << i;
+  }
+}
+
 TEST(LeveragingBaggingTest, ParallelTrainingLearnsAndAdapts) {
   // LevBag couples members through the worst-member reset, which moves to
   // batch granularity in parallel mode -- so assert behavior, not bits.

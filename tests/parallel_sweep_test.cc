@@ -78,6 +78,45 @@ TEST(ThreadPoolTest, ReusableAfterDrain) {
   }
 }
 
+TEST(ThreadPoolTest, RunOneTaskDrainsQueueOnCallingThread) {
+  ThreadPool pool(1);
+  // Park the single worker so submitted tasks stay queued. Wait until the
+  // worker has dequeued the parking task: if it were still queued, the
+  // caller's RunOneTask() loop below could pick it up and spin forever.
+  std::atomic<bool> parked_started{false};
+  std::atomic<bool> release{false};
+  auto parked = pool.Submit([&parked_started, &release]() {
+    parked_started = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!parked_started.load()) std::this_thread::yield();
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 5; ++i) pool.Submit([&ran]() { ++ran; });
+  // The caller can steal and run the queued tasks itself.
+  while (pool.RunOneTask()) {
+  }
+  EXPECT_EQ(ran.load(), 5);
+  release = true;
+  parked.get();
+}
+
+TEST(ThreadPoolTest, HelpingWaitSurvivesNestedSubmission) {
+  // A task that submits to its own pool and waits would deadlock a
+  // 1-thread pool with a plain future.get(); GetHelping must drain the
+  // nested tasks on the blocked thread instead.
+  ThreadPool pool(1);
+  auto outer = pool.Submit([&pool]() {
+    std::vector<std::future<int>> inner;
+    for (int i = 0; i < 4; ++i) {
+      inner.push_back(pool.Submit([i]() { return i * i; }));
+    }
+    int sum = 0;
+    for (auto& future : inner) sum += GetHelping(&pool, &future);
+    return sum;
+  });
+  EXPECT_EQ(GetHelping(&pool, &outer), 0 + 1 + 4 + 9);
+}
+
 TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
   ThreadPool pool(1);
@@ -174,6 +213,26 @@ TEST(ParallelSweepTest, CellSeedIndependentOfSweepComposition) {
   EXPECT_EQ(cell->f1_mean, alone[0].f1_mean);
   EXPECT_EQ(cell->splits_mean, alone[0].splits_mean);
   EXPECT_EQ(cell->params_mean, alone[0].params_mean);
+}
+
+TEST(ParallelSweepTest, MemberParallelForestCellBitIdentical) {
+  // ARF member training and scoring are schedule-independent, so a sweep
+  // sharing its pool with the ensemble must reproduce the sequential
+  // numbers exactly (LevBag is excluded: its reset granularity changes).
+  bench::Options options = SmallSweepOptions();
+  options.datasets = {"SEA"};
+  options.models = {"ForestEns"};
+  options.jobs = 1;
+  const std::vector<bench::CellResult> sequential =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(sequential.size(), 1u);
+
+  options.member_parallel = true;
+  options.jobs = 3;
+  const std::vector<bench::CellResult> shared_pool =
+      bench::RunSweep(options.models, options);
+
+  ExpectCellsBitIdentical(sequential, shared_pool);
 }
 
 // ------------------------------------------------------------- cache layer
