@@ -1,0 +1,83 @@
+// Minimal machine-readable result emission for the micro-benchmarks.
+//
+// Each micro-bench binary writes one JSON document (BENCH_train.json /
+// BENCH_infer.json) next to its stdout table, so the perf trajectory of the
+// hot paths can be tracked across commits by tooling (CI uploads the file
+// as an artifact). The format is flat on purpose:
+//
+//   {
+//     "bench": "train",
+//     "samples": 50000,
+//     "seed": 42,
+//     "results": [
+//       {"dataset": "SEA", "model": "DMT", "ns_per_sample": 512.3,
+//        "allocs_per_sample": 0.0},
+//       ...
+//     ]
+//   }
+//
+// No external JSON dependency: the writer only ever emits strings it
+// controls (dataset/model names and finite doubles), so hand-rolled
+// escaping-free serialization is sufficient.
+#ifndef DMT_BENCH_BENCH_JSON_H_
+#define DMT_BENCH_BENCH_JSON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmt::bench {
+
+class JsonBenchWriter {
+ public:
+  JsonBenchWriter(std::string bench, std::size_t samples, std::uint64_t seed)
+      : bench_(std::move(bench)), samples_(samples), seed_(seed) {}
+
+  // One result row; metrics are (name, value) pairs appended verbatim.
+  void AddResult(
+      const std::string& dataset, const std::string& model,
+      const std::vector<std::pair<std::string, double>>& metrics) {
+    std::string row = "    {\"dataset\": \"" + dataset + "\", \"model\": \"" +
+                      model + "\"";
+    char buffer[64];
+    for (const auto& [name, value] : metrics) {
+      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      row += ", \"" + name + "\": " + buffer;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  // Writes the document to `path`; returns false (with a note on stderr) if
+  // the file cannot be opened.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"samples\": %zu,\n"
+                 "  \"seed\": %llu,\n  \"results\": [\n",
+                 bench_.c_str(), samples_,
+                 static_cast<unsigned long long>(seed_));
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(out, "%s%s\n", rows_[i].c_str(),
+                   i + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  std::string bench_;
+  std::size_t samples_;
+  std::uint64_t seed_;
+  std::vector<std::string> rows_;
+};
+
+}  // namespace dmt::bench
+
+#endif  // DMT_BENCH_BENCH_JSON_H_

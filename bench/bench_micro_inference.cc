@@ -20,6 +20,7 @@
 #include "dmt/common/alloc_count.h"
 #include "dmt/common/random.h"
 #include "dmt/streams/scaler.h"
+#include "bench_json.h"
 #include "harness.h"
 
 DMT_DEFINE_COUNTING_ALLOCATOR();
@@ -114,11 +115,20 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(options.seed));
   std::printf("%-12s %14s %16s %14s %16s\n", "Model", "into ns/sample",
               "into allocs/sam", "batch ns/sample", "batch allocs/sam");
+  JsonBenchWriter json("infer",
+                       streams::EffectiveSamples(spec, options.max_samples),
+                       options.seed);
   for (const std::string& name : models) {
     const Measurement m = MeasureModel(name, spec, options);
     std::printf("%-12s %14.1f %16.3f %14.1f %16.3f\n", name.c_str(),
                 m.into_ns, m.into_allocs, m.batch_ns, m.batch_allocs);
+    json.AddResult(spec.name, name,
+                   {{"into_ns_per_sample", m.into_ns},
+                    {"into_allocs_per_sample", m.into_allocs},
+                    {"batch_ns_per_sample", m.batch_ns},
+                    {"batch_allocs_per_sample", m.batch_allocs}});
   }
+  json.WriteTo("BENCH_infer.json");
   return 0;
 }
 

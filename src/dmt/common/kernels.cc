@@ -1,0 +1,69 @@
+#include "dmt/common/kernels.h"
+
+#ifdef DMT_ENABLE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace dmt::kernels {
+
+const char* IsaName() {
+#ifdef DMT_ENABLE_AVX2
+  return "avx2";
+#else
+  return "scalar";
+#endif
+}
+
+#ifdef DMT_ENABLE_AVX2
+namespace internal {
+
+// All four elementwise kernels keep one product and one add/sub per lane
+// with separate _mm256_mul_pd / _mm256_add_pd (no FMA contraction), so each
+// output element sees the exact scalar-path rounding sequence.
+
+void AxpyAvx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d vy = _mm256_loadu_pd(y + i);
+    _mm256_storeu_pd(y + i, _mm256_add_pd(vy, _mm256_mul_pd(va, vx)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ScaledCopyAvx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(y + i, _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] = a * x[i];
+}
+
+void SgdAxpyAvx2(double lr, double err, const double* x, double* w,
+                 std::size_t n) {
+  const __m256d vlr = _mm256_set1_pd(lr);
+  const __m256d verr = _mm256_set1_pd(err);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d grad = _mm256_mul_pd(verr, _mm256_loadu_pd(x + i));
+    const __m256d vw = _mm256_loadu_pd(w + i);
+    _mm256_storeu_pd(w + i, _mm256_sub_pd(vw, _mm256_mul_pd(vlr, grad)));
+  }
+  for (; i < n; ++i) w[i] -= lr * (err * x[i]);
+}
+
+void AddAvx2(double* y, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+}  // namespace internal
+#endif  // DMT_ENABLE_AVX2
+
+}  // namespace dmt::kernels

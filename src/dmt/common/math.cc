@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/common/kernels.h"
 
 namespace dmt {
 
@@ -21,21 +22,17 @@ void SoftmaxInPlace(std::span<double> z) {
 }
 
 double SquaredNorm(std::span<const double> v) {
-  double sum = 0.0;
-  for (double x : v) sum += x * x;
-  return sum;
+  return kernels::SquaredNorm(v);
 }
 
 void AddInPlace(std::span<double> v, std::span<const double> w) {
   DMT_DCHECK(v.size() == w.size());
-  for (std::size_t i = 0; i < v.size(); ++i) v[i] += w[i];
+  kernels::Add(v, w);
 }
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   DMT_DCHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
-  return sum;
+  return kernels::Dot(a, b);
 }
 
 }  // namespace dmt

@@ -1,29 +1,68 @@
 #include "dmt/core/candidate.h"
 
+#include <limits>
+
 #include "dmt/common/check.h"
-#include "dmt/common/math.h"
+#include "dmt/common/kernels.h"
 
 namespace dmt::core {
 
-double ApproxCandidateLoss(double loss, const std::vector<double>& grad,
+double ApproxCandidateLoss(double loss, std::span<const double> grad,
                            double count, double lambda) {
   if (count <= 0.0) return 0.0;
-  return loss - (lambda / count) * SquaredNorm(grad);
+  return loss - (lambda / count) * kernels::SquaredNorm(grad);
+}
+
+double ApproxComplementLoss(double parent_loss,
+                            std::span<const double> parent_grad,
+                            double parent_count, double left_loss,
+                            std::span<const double> left_grad,
+                            double left_count, double lambda) {
+  DMT_DCHECK(parent_grad.size() == left_grad.size());
+  const double count = parent_count - left_count;
+  if (count <= 0.0) return 0.0;
+  const double grad_norm_sq = kernels::SquaredNormDiff(parent_grad, left_grad);
+  return (parent_loss - left_loss) - (lambda / count) * grad_norm_sq;
 }
 
 double ApproxComplementLoss(double parent_loss,
                             const std::vector<double>& parent_grad,
                             double parent_count, const CandidateStats& left,
                             double lambda) {
-  DMT_DCHECK(parent_grad.size() == left.grad.size());
-  const double count = parent_count - left.count;
-  if (count <= 0.0) return 0.0;
-  double grad_norm_sq = 0.0;
-  for (std::size_t p = 0; p < parent_grad.size(); ++p) {
-    const double g = parent_grad[p] - left.grad[p];
-    grad_norm_sq += g * g;
+  return ApproxComplementLoss(parent_loss, parent_grad, parent_count,
+                              left.loss, left.grad, left.count, lambda);
+}
+
+double CandidateGain(const CandidateStore& store, std::size_t i,
+                     double node_loss, std::span<const double> node_grad,
+                     double node_count, double reference_loss, double lambda) {
+  const double count = store.count(i);
+  // Degenerate candidates (one empty side) cannot form a split.
+  if (count <= 0.0 || count >= node_count) {
+    return -std::numeric_limits<double>::infinity();
   }
-  return (parent_loss - left.loss) - (lambda / count) * grad_norm_sq;
+  const double left =
+      ApproxCandidateLoss(store.loss(i), store.grad(i), count, lambda);
+  const double right =
+      ApproxComplementLoss(node_loss, node_grad, node_count, store.loss(i),
+                           store.grad(i), count, lambda);
+  return reference_loss - left - right;  // Eqs. (3) / (4)
+}
+
+int BestCandidate(const CandidateStore& store, double node_loss,
+                  std::span<const double> node_grad, double node_count,
+                  double reference_loss, double lambda, double* best_gain) {
+  int best = -1;
+  *best_gain = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const double gain = CandidateGain(store, i, node_loss, node_grad,
+                                      node_count, reference_loss, lambda);
+    if (gain > *best_gain) {
+      *best_gain = gain;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
 }
 
 }  // namespace dmt::core

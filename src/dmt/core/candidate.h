@@ -10,10 +10,22 @@
 // The candidate's loss under its own (never materialized) warm-started
 // parameters is approximated by one gradient step from the parent model,
 // Eqs. (6)-(7):  L_hat = L - (lambda/n) * ||grad||^2.
+//
+// Storage layout. Candidates live in a per-node CandidateStore laid out
+// structure-of-arrays: one contiguous row-major gradient matrix
+// (max_candidates x num_params) plus parallel feature/value/loss/count
+// arrays. The per-batch update then touches each array sequentially --
+// the gradient scatter of Algorithm 1 line 9 is a kernels::Add into a
+// matrix row -- instead of chasing N independent heap vectors, and the
+// store is grow-only (Clear keeps capacity), so steady-state training
+// performs no allocations. The legacy AoS CandidateStats struct is kept
+// as the reference implementation for tests and the approximation bench.
 #ifndef DMT_CORE_CANDIDATE_H_
 #define DMT_CORE_CANDIDATE_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace dmt::core {
@@ -32,16 +44,108 @@ struct CandidateStats {
       : feature(feature_in), value(value_in), grad(num_params, 0.0) {}
 };
 
+// SoA candidate store of one node. Rows are stable under Append/Reset;
+// Clear only rewinds the logical size, so capacity reached once is never
+// re-allocated (the zero-allocation steady-state contract of training).
+class CandidateStore {
+ public:
+  CandidateStore() = default;
+  explicit CandidateStore(std::size_t num_params) : num_params_(num_params) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t num_params() const { return num_params_; }
+
+  int feature(std::size_t i) const { return feature_[i]; }
+  double value(std::size_t i) const { return value_[i]; }
+  double loss(std::size_t i) const { return loss_[i]; }
+  double count(std::size_t i) const { return count_[i]; }
+  double& loss(std::size_t i) { return loss_[i]; }
+  double& count(std::size_t i) { return count_[i]; }
+  std::span<double> grad(std::size_t i) {
+    return {grad_.data() + i * num_params_, num_params_};
+  }
+  std::span<const double> grad(std::size_t i) const {
+    return {grad_.data() + i * num_params_, num_params_};
+  }
+
+  // Appends a zeroed candidate keyed (feature, value); returns its row.
+  std::size_t Append(int feature, double value) {
+    const std::size_t i = size_++;
+    if (feature_.size() < size_) {
+      feature_.resize(size_);
+      value_.resize(size_);
+      loss_.resize(size_);
+      count_.resize(size_);
+      grad_.resize(size_ * num_params_);
+    }
+    Reset(i, feature, value);
+    return i;
+  }
+
+  // Re-keys row `i` and zeroes its statistics (candidate replacement).
+  void Reset(std::size_t i, int feature, double value) {
+    feature_[i] = feature;
+    value_[i] = value;
+    loss_[i] = 0.0;
+    count_[i] = 0.0;
+    std::fill_n(grad_.begin() + static_cast<std::ptrdiff_t>(i * num_params_),
+                num_params_, 0.0);
+  }
+
+  // Logical reset; capacity is retained.
+  void Clear() { size_ = 0; }
+
+  // True if some row is keyed exactly (feature, value).
+  bool Contains(int feature, double value) const {
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (feature_[i] == feature && value_[i] == value) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::size_t num_params_ = 0;
+  std::size_t size_ = 0;
+  std::vector<int> feature_;
+  std::vector<double> value_;
+  std::vector<double> loss_;
+  std::vector<double> count_;
+  std::vector<double> grad_;  // row-major size_ x num_params_
+};
+
 // Gradient-approximated loss of a split candidate (Eq. 7). `lambda` is the
 // warm-start step size of Eq. (6).
-double ApproxCandidateLoss(double loss, const std::vector<double>& grad,
+double ApproxCandidateLoss(double loss, std::span<const double> grad,
                            double count, double lambda);
 
-// Same, for the complementary (right) child given the parent statistics.
+// Same, for the complementary (right) child given the parent statistics;
+// the difference-gradient norm is fused into one pass (Eq. 7 applied to
+// parent-minus-left without materializing the difference vector).
+double ApproxComplementLoss(double parent_loss,
+                            std::span<const double> parent_grad,
+                            double parent_count, double left_loss,
+                            std::span<const double> left_grad,
+                            double left_count, double lambda);
+
+// Legacy AoS form, kept for tests/bench_micro_approx.
 double ApproxComplementLoss(double parent_loss,
                             const std::vector<double>& parent_grad,
                             double parent_count, const CandidateStats& left,
                             double lambda);
+
+// Gain (Eq. 3/4) of stored candidate `i` against `reference_loss`, given
+// the node's accumulated statistics. Degenerate candidates (one empty
+// side) yield -infinity.
+double CandidateGain(const CandidateStore& store, std::size_t i,
+                     double node_loss, std::span<const double> node_grad,
+                     double node_count, double reference_loss, double lambda);
+
+// Row of the best-gain candidate (or -1 if the store is empty / all
+// degenerate); the winning gain is returned through `best_gain`.
+int BestCandidate(const CandidateStore& store, double node_loss,
+                  std::span<const double> node_grad, double node_count,
+                  double reference_loss, double lambda, double* best_gain);
 
 }  // namespace dmt::core
 

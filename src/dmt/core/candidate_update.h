@@ -1,0 +1,364 @@
+// The shared per-node training engine of the Dynamic Model Trees
+// (classifier and regressor): Algorithm 1 lines 1-11 over the SoA
+// CandidateStore, allocation-free in steady state.
+//
+// Structure of one batch update (UpdateNodeStatistics):
+//
+//  1. SGD step of the node's simple model on the routed rows (Eq. 1).
+//  2. One loss/gradient evaluation per sample at the updated parameters
+//     (the "compute the sample gradient once" half of the SoA design).
+//  3. Node statistics increment (Algorithm 1, lines 1-3).
+//  4. Per feature: a prefix scan over the batch in ascending feature-value
+//     order. The running (loss, gradient, count) prefix is scattered into
+//     every stored candidate row whose threshold the scan passes -- a
+//     single kernels::Add into the store's gradient matrix -- and each
+//     value boundary becomes a fresh candidate proposal whose batch-local
+//     gain estimate is computed with the fused norm kernels (Eqs. 6-7).
+//  5. Bounded candidate replacement (Sec. V-D): proposals in descending
+//     estimated gain, at most replacement_rate * max_candidates
+//     replacements per step, each evicting the currently-worst stored row.
+//
+// The ascending-value order per feature is NOT re-sorted per node: the
+// caller sorts the whole batch once per feature per PartialFit
+// (ComputeFeatureOrders) with the deterministic key (value, row index),
+// and each node filters that order through its membership mask -- a
+// node's rows are a subset of the batch, so the filtered sequence is
+// exactly the node-local ascending order.
+//
+// All intermediate state lives in TrainScratch, which is reused across
+// nodes and batches: UpdateNodeStatistics runs strictly post-order (the
+// recursion of UpdateNode finishes both children before touching the
+// parent's statistics), so one shared instance is safe; only the row
+// partitions of the recursion itself need one buffer per tree depth.
+#ifndef DMT_CORE_CANDIDATE_UPDATE_H_
+#define DMT_CORE_CANDIDATE_UPDATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dmt/common/check.h"
+#include "dmt/common/kernels.h"
+#include "dmt/core/candidate.h"
+
+namespace dmt::core {
+
+// The DmtConfig/DmtRegressorConfig fields the engine needs.
+struct CandidateUpdateParams {
+  int num_features = 0;
+  std::size_t max_candidates = 0;
+  double replacement_rate = 0.5;
+  std::size_t max_proposals_per_feature = 0;
+  double gradient_step_size = 0.2;
+};
+
+// Grow-only SoA buffer of fresh-candidate proposals (one batch's worth);
+// the gradient rows live in one contiguous matrix like the store's.
+class ProposalBuffer {
+ public:
+  void Init(std::size_t num_params) { num_params_ = num_params; }
+  std::size_t size() const { return size_; }
+  void Clear() { size_ = 0; }
+
+  int feature(std::size_t i) const { return feature_[i]; }
+  double value(std::size_t i) const { return value_[i]; }
+  double est_gain(std::size_t i) const { return est_gain_[i]; }
+  double loss(std::size_t i) const { return loss_[i]; }
+  double count(std::size_t i) const { return count_[i]; }
+  std::span<const double> grad(std::size_t i) const {
+    return {grad_.data() + i * num_params_, num_params_};
+  }
+
+  void Push(int feature, double value, double est_gain, double loss,
+            std::span<const double> grad, double count) {
+    const std::size_t i = size_++;
+    if (feature_.size() < size_) {
+      feature_.resize(size_);
+      value_.resize(size_);
+      est_gain_.resize(size_);
+      loss_.resize(size_);
+      count_.resize(size_);
+      grad_.resize(size_ * num_params_);
+    }
+    feature_[i] = feature;
+    value_[i] = value;
+    est_gain_[i] = est_gain;
+    loss_[i] = loss;
+    count_[i] = count;
+    std::copy(grad.begin(), grad.end(),
+              grad_.begin() + static_cast<std::ptrdiff_t>(i * num_params_));
+  }
+
+ private:
+  std::size_t num_params_ = 0;
+  std::size_t size_ = 0;
+  std::vector<int> feature_;
+  std::vector<double> value_;
+  std::vector<double> est_gain_;
+  std::vector<double> loss_;
+  std::vector<double> count_;
+  std::vector<double> grad_;  // row-major size_ x num_params_
+};
+
+// Every buffer the batch update needs; all grow-only.
+struct TrainScratch {
+  // Whole-batch ascending-value sort orders, row-major [feature][pos],
+  // computed once per PartialFit (key: value, then row index).
+  std::vector<std::uint32_t> feature_order;
+  std::size_t order_size = 0;  // rows per feature of the current batch
+
+  // Root row list of the current batch (identity permutation).
+  std::vector<std::size_t> root_rows;
+
+  // Per-node buffers, reused across nodes (strictly post-order use).
+  std::vector<double> sample_loss;       // [batch row]
+  std::vector<double> sample_grad;       // [batch row][param], row-major
+  std::vector<double> batch_grad;        // num_params
+  std::vector<double> prefix_grad;       // num_params
+  std::vector<char> in_node;             // [batch row] membership mask
+  std::vector<std::uint32_t> node_order;  // filtered order, current feature
+  std::vector<std::uint32_t> stored_idx;  // store rows of current feature
+  ProposalBuffer proposals;
+  std::vector<double> stored_gain;
+  std::vector<std::uint32_t> proposal_order;
+
+  // Recursion scratch of UpdateNode: row partitions indexed by depth. The
+  // outer vectors grow when the tree deepens; the inner buffers keep their
+  // capacity, and spans into them survive outer-vector reallocation
+  // because vector moves preserve the heap buffer.
+  std::vector<std::vector<std::size_t>> left_rows;
+  std::vector<std::vector<std::size_t>> right_rows;
+};
+
+// Label (classification) or target (regression) of batch row `i`.
+template <typename BatchT>
+auto TargetOf(const BatchT& batch, std::size_t i) {
+  if constexpr (requires { batch.label(i); }) {
+    return batch.label(i);
+  } else {
+    return batch.target(i);
+  }
+}
+
+// Sorts every feature's whole-batch row order once; nodes filter it.
+template <typename BatchT>
+void ComputeFeatureOrders(const BatchT& batch, int num_features,
+                          TrainScratch* scratch) {
+  const std::size_t n = batch.size();
+  scratch->order_size = n;
+  scratch->feature_order.resize(static_cast<std::size_t>(num_features) * n);
+  for (int j = 0; j < num_features; ++j) {
+    std::uint32_t* order = scratch->feature_order.data() + j * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      order[i] = static_cast<std::uint32_t>(i);
+    }
+    std::sort(order, order + n, [&](std::uint32_t a, std::uint32_t b) {
+      const double va = batch.row(a)[j];
+      const double vb = batch.row(b)[j];
+      return va < vb || (va == vb && a < b);
+    });
+  }
+}
+
+// Algorithm 1 for one node and one batch; see the file comment. The node
+// is passed as its constituent statistics so the classifier and regressor
+// trees share the engine without sharing a node type.
+template <typename Model, typename BatchT>
+void UpdateNodeStatistics(const CandidateUpdateParams& params,
+                          const BatchT& batch,
+                          std::span<const std::size_t> rows, Model* model,
+                          double* loss_sum, std::span<double> grad_sum,
+                          double* count, CandidateStore* store,
+                          TrainScratch* scratch) {
+  // 1. SGD update of the simple model (Eq. 1 via gradient descent).
+  model->FitRows(batch, rows);
+
+  const std::size_t n = rows.size();
+  const std::size_t batch_rows = batch.size();
+  const std::size_t k = store->num_params();
+  const double lambda = params.gradient_step_size;
+
+  // 2. Per-sample loss and gradient at the updated parameters, indexed by
+  //    batch row so the feature-order scan can address them directly.
+  scratch->sample_loss.resize(batch_rows);
+  scratch->sample_grad.resize(batch_rows * k);
+  scratch->batch_grad.resize(k);
+  scratch->prefix_grad.resize(k);
+  std::fill(scratch->batch_grad.begin(), scratch->batch_grad.end(), 0.0);
+  double batch_loss = 0.0;
+  for (std::size_t r : rows) {
+    std::span<double> g(scratch->sample_grad.data() + r * k, k);
+    scratch->sample_loss[r] =
+        model->LossAndGradientOne(batch.row(r), TargetOf(batch, r), g);
+    batch_loss += scratch->sample_loss[r];
+    kernels::Add(std::span<double>(scratch->batch_grad), g);
+  }
+
+  // 3. Increment node statistics (Algorithm 1, lines 1-3).
+  *loss_sum += batch_loss;
+  kernels::Add(grad_sum, scratch->batch_grad);
+  *count += static_cast<double>(n);
+
+  // 4. Per-feature prefix scan: stored-candidate scatter plus fresh
+  //    proposals (Algorithm 1, lines 6-11; Sec. V-D).
+  scratch->in_node.resize(batch_rows);
+  std::fill(scratch->in_node.begin(), scratch->in_node.end(), 0);
+  for (std::size_t r : rows) scratch->in_node[r] = 1;
+  scratch->node_order.resize(n);
+  scratch->proposals.Init(k);
+  scratch->proposals.Clear();
+
+  std::size_t proposal_stride = 1;
+  if (params.max_proposals_per_feature > 0 &&
+      n > params.max_proposals_per_feature) {
+    proposal_stride = n / params.max_proposals_per_feature;
+  }
+
+  for (int j = 0; j < params.num_features; ++j) {
+    // Node-local ascending order = batch order filtered by membership.
+    const std::uint32_t* batch_order =
+        scratch->feature_order.data() + j * scratch->order_size;
+    std::size_t filled = 0;
+    for (std::size_t pos = 0; pos < scratch->order_size; ++pos) {
+      const std::uint32_t r = batch_order[pos];
+      if (scratch->in_node[r]) scratch->node_order[filled++] = r;
+    }
+    DMT_DCHECK(filled == n);
+
+    // Stored candidates of this feature, in ascending threshold order
+    // (thresholds are unique per feature: duplicates are never stored).
+    scratch->stored_idx.clear();
+    for (std::size_t c = 0; c < store->size(); ++c) {
+      if (store->feature(c) == j) {
+        scratch->stored_idx.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    std::sort(scratch->stored_idx.begin(), scratch->stored_idx.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return store->value(a) < store->value(b);
+              });
+
+    double run_loss = 0.0;
+    std::fill(scratch->prefix_grad.begin(), scratch->prefix_grad.end(), 0.0);
+    double run_count = 0.0;
+    std::size_t stored_pos = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = scratch->node_order[i];
+      const double value = batch.row(r)[j];
+      // Stored candidates strictly below this value receive the prefix
+      // accumulated so far (their left side excludes this observation).
+      while (stored_pos < scratch->stored_idx.size() &&
+             store->value(scratch->stored_idx[stored_pos]) < value) {
+        const std::size_t c = scratch->stored_idx[stored_pos];
+        store->loss(c) += run_loss;
+        kernels::Add(store->grad(c),
+                     std::span<const double>(scratch->prefix_grad));
+        store->count(c) += run_count;
+        ++stored_pos;
+      }
+      run_loss += scratch->sample_loss[r];
+      kernels::Add(std::span<double>(scratch->prefix_grad),
+                   {scratch->sample_grad.data() + r * k, k});
+      run_count += 1.0;
+
+      // Value boundary: the split "x_j <= value" is a candidate.
+      const bool boundary =
+          i + 1 == n || batch.row(scratch->node_order[i + 1])[j] > value;
+      if (!boundary || i + 1 == n) continue;  // the full batch is no split
+      if ((i + 1) % proposal_stride != 0) continue;
+
+      // Estimated gain from this batch alone (Eq. 3 with Eq. 7 losses).
+      const double left_hat = ApproxCandidateLoss(
+          run_loss, scratch->prefix_grad, run_count, lambda);
+      const double right_norm_sq = kernels::SquaredNormDiff(
+          std::span<const double>(scratch->batch_grad),
+          std::span<const double>(scratch->prefix_grad));
+      const double right_count = static_cast<double>(n) - run_count;
+      const double right_hat =
+          (batch_loss - run_loss) -
+          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
+      const double est_gain = batch_loss - left_hat - right_hat;
+      scratch->proposals.Push(j, value, est_gain, run_loss,
+                              scratch->prefix_grad, run_count);
+    }
+    // Remaining stored candidates (threshold >= max value) absorb the full
+    // batch on their left side.
+    while (stored_pos < scratch->stored_idx.size()) {
+      const std::size_t c = scratch->stored_idx[stored_pos];
+      store->loss(c) += batch_loss;
+      kernels::Add(store->grad(c),
+                   std::span<const double>(scratch->batch_grad));
+      store->count(c) += static_cast<double>(n);
+      ++stored_pos;
+    }
+  }
+
+  // 5. Candidate replacement: keep the store bounded at max_candidates,
+  //    allowing at most replacement_rate of it to turn over per step.
+  //    Proposals are visited in descending estimated gain (row index
+  //    breaks ties deterministically).
+  const ProposalBuffer& proposals = scratch->proposals;
+  scratch->proposal_order.resize(proposals.size());
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    scratch->proposal_order[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(scratch->proposal_order.begin(), scratch->proposal_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return proposals.est_gain(a) > proposals.est_gain(b) ||
+                     (proposals.est_gain(a) == proposals.est_gain(b) &&
+                      a < b);
+            });
+  std::size_t budget = static_cast<std::size_t>(
+      params.replacement_rate * static_cast<double>(params.max_candidates));
+  // Gain estimates of the stored candidates, computed once per step and
+  // maintained across replacements (recomputing per proposal would make
+  // the update quadratic in the store size).
+  scratch->stored_gain.resize(store->size());
+  for (std::size_t c = 0; c < store->size(); ++c) {
+    scratch->stored_gain[c] = CandidateGain(
+        *store, c, *loss_sum, grad_sum, *count, *loss_sum, lambda);
+  }
+  int worst = -1;  // argmin of stored_gain, recomputed after replacements
+  for (std::uint32_t p : scratch->proposal_order) {
+    if (store->Contains(proposals.feature(p), proposals.value(p))) continue;
+    if (store->size() < params.max_candidates) {
+      const std::size_t c =
+          store->Append(proposals.feature(p), proposals.value(p));
+      store->loss(c) = proposals.loss(p);
+      store->count(c) = proposals.count(p);
+      std::copy(proposals.grad(p).begin(), proposals.grad(p).end(),
+                store->grad(c).begin());
+      scratch->stored_gain.push_back(CandidateGain(
+          *store, c, *loss_sum, grad_sum, *count, *loss_sum, lambda));
+      continue;
+    }
+    if (budget == 0) break;
+    // Replace the stored candidate with the lowest current gain estimate,
+    // if the newcomer looks strictly better.
+    if (worst < 0) {
+      worst = static_cast<int>(std::min_element(scratch->stored_gain.begin(),
+                                                scratch->stored_gain.end()) -
+                               scratch->stored_gain.begin());
+    }
+    if (proposals.est_gain(p) <= scratch->stored_gain[worst]) {
+      // Proposals are gain-descending and a failed comparison leaves the
+      // store -- and with it the minimum -- unchanged, so every later
+      // proposal fails the same test.
+      break;
+    }
+    store->Reset(worst, proposals.feature(p), proposals.value(p));
+    store->loss(worst) = proposals.loss(p);
+    store->count(worst) = proposals.count(p);
+    std::copy(proposals.grad(p).begin(), proposals.grad(p).end(),
+              store->grad(worst).begin());
+    scratch->stored_gain[worst] = CandidateGain(
+        *store, worst, *loss_sum, grad_sum, *count, *loss_sum, lambda);
+    worst = -1;
+    --budget;
+  }
+}
+
+}  // namespace dmt::core
+
+#endif  // DMT_CORE_CANDIDATE_UPDATE_H_

@@ -19,10 +19,12 @@ struct DmtRegressor::Node {
   double loss_sum = 0.0;
   std::vector<double> grad_sum;
   double count = 0.0;
-  std::vector<CandidateStats> candidates;
+  CandidateStore candidates;  // SoA split-candidate store (Sec. V-D)
 
   Node(const linear::LinearRegressorConfig& model_config, Rng* rng)
-      : model(model_config, rng), grad_sum(model.num_params(), 0.0) {}
+      : model(model_config, rng),
+        grad_sum(model.num_params(), 0.0),
+        candidates(static_cast<std::size_t>(model.num_params())) {}
 
   bool is_leaf() const { return split_feature < 0; }
 
@@ -30,7 +32,7 @@ struct DmtRegressor::Node {
     loss_sum = 0.0;
     std::fill(grad_sum.begin(), grad_sum.end(), 0.0);
     count = 0.0;
-    candidates.clear();
+    candidates.Clear();
   }
 };
 
@@ -44,6 +46,8 @@ DmtRegressor::DmtRegressor(const DmtRegressorConfig& config)
   }
   root_ = MakeLeaf(nullptr);
   model_params_ = root_->model.num_params();
+  standardized_ =
+      std::make_unique<linear::RegressionBatch>(config_.num_features);
 }
 
 DmtRegressor::~DmtRegressor() = default;
@@ -74,33 +78,11 @@ double DmtRegressor::PruneThreshold(std::size_t subtree_leaves) const {
   return std::max(param_delta, 0.0) - std::log(config_.epsilon);
 }
 
-double DmtRegressor::CandidateGain(const Node& node,
-                                   const CandidateStats& candidate,
-                                   double reference_loss) const {
-  if (candidate.count <= 0.0 || candidate.count >= node.count) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  const double lambda = config_.gradient_step_size;
-  const double left = ApproxCandidateLoss(candidate.loss, candidate.grad,
-                                          candidate.count, lambda);
-  const double right = ApproxComplementLoss(node.loss_sum, node.grad_sum,
-                                            node.count, candidate, lambda);
-  return reference_loss - left - right;
-}
-
-const CandidateStats* DmtRegressor::BestCandidate(const Node& node,
-                                                  double reference_loss,
-                                                  double* best_gain) const {
-  const CandidateStats* best = nullptr;
-  *best_gain = -std::numeric_limits<double>::infinity();
-  for (const CandidateStats& candidate : node.candidates) {
-    const double gain = CandidateGain(node, candidate, reference_loss);
-    if (gain > *best_gain) {
-      *best_gain = gain;
-      best = &candidate;
-    }
-  }
-  return best;
+int DmtRegressor::BestCandidateOf(const Node& node, double reference_loss,
+                                  double* best_gain) const {
+  return BestCandidate(node.candidates, node.loss_sum, node.grad_sum,
+                       node.count, reference_loss,
+                       config_.gradient_step_size, best_gain);
 }
 
 void DmtRegressor::PartialFit(const linear::RegressionBatch& batch) {
@@ -113,23 +95,33 @@ void DmtRegressor::PartialFit(const linear::RegressionBatch& batch) {
   }
   const double mean = target_stats_.mean();
   const double std = std::max(target_stats_.stddev(), 1e-9);
-  linear::RegressionBatch standardized(batch.num_features());
+  standardized_->clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    standardized.Add(batch.row(i), (batch.target(i) - mean) / std);
+    standardized_->Add(batch.row(i), (batch.target(i) - mean) / std);
   }
-  std::vector<std::size_t> rows(standardized.size());
-  for (std::size_t i = 0; i < standardized.size(); ++i) rows[i] = i;
-  UpdateNode(root_.get(), standardized, std::move(rows), 0);
+  scratch_.root_rows.resize(standardized_->size());
+  for (std::size_t i = 0; i < standardized_->size(); ++i) {
+    scratch_.root_rows[i] = i;
+  }
+  // One ascending-value sort per feature per batch, shared by every node.
+  ComputeFeatureOrders(*standardized_, config_.num_features, &scratch_);
+  UpdateNode(root_.get(), *standardized_, scratch_.root_rows, 0);
 }
 
 void DmtRegressor::UpdateNode(Node* node,
                               const linear::RegressionBatch& batch,
-                              std::vector<std::size_t> rows,
+                              std::span<const std::size_t> rows,
                               std::size_t depth) {
   if (rows.empty()) return;
   if (!node->is_leaf()) {
-    std::vector<std::size_t> left_rows;
-    std::vector<std::size_t> right_rows;
+    if (scratch_.left_rows.size() <= depth) {
+      scratch_.left_rows.resize(depth + 1);
+      scratch_.right_rows.resize(depth + 1);
+    }
+    std::vector<std::size_t>& left_rows = scratch_.left_rows[depth];
+    std::vector<std::size_t>& right_rows = scratch_.right_rows[depth];
+    left_rows.clear();
+    right_rows.clear();
     for (std::size_t r : rows) {
       if (batch.row(r)[node->split_feature] <= node->split_value) {
         left_rows.push_back(r);
@@ -137,8 +129,13 @@ void DmtRegressor::UpdateNode(Node* node,
         right_rows.push_back(r);
       }
     }
-    UpdateNode(node->left.get(), batch, std::move(left_rows), depth + 1);
-    UpdateNode(node->right.get(), batch, std::move(right_rows), depth + 1);
+    // Spans taken before recursing: deeper calls may grow the outer
+    // scratch vectors, which moves the inner vector objects but keeps
+    // their heap buffers, so the spans stay valid.
+    const std::span<const std::size_t> left_span(left_rows);
+    const std::span<const std::size_t> right_span(right_rows);
+    UpdateNode(node->left.get(), batch, left_span, depth + 1);
+    UpdateNode(node->right.get(), batch, right_span, depth + 1);
   }
   UpdateStatistics(node, batch, rows);
   if (node->is_leaf()) {
@@ -150,157 +147,25 @@ void DmtRegressor::UpdateNode(Node* node,
 
 void DmtRegressor::UpdateStatistics(Node* node,
                                     const linear::RegressionBatch& batch,
-                                    const std::vector<std::size_t>& rows) {
-  node->model.FitRows(batch, rows);
-
-  const std::size_t n = rows.size();
-  const std::size_t k = static_cast<std::size_t>(model_params_);
-  std::vector<double> sample_loss(n);
-  std::vector<double> sample_grad(n * k);
-  double batch_loss = 0.0;
-  std::vector<double> batch_grad(k, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::span<double> g(sample_grad.data() + i * k, k);
-    sample_loss[i] = node->model.LossAndGradientOne(
-        batch.row(rows[i]), batch.target(rows[i]), g);
-    batch_loss += sample_loss[i];
-    AddInPlace(batch_grad, g);
-  }
-  node->loss_sum += batch_loss;
-  AddInPlace(node->grad_sum, batch_grad);
-  node->count += static_cast<double>(n);
-
-  struct Proposal {
-    int feature;
-    double value;
-    double est_gain;
-    double loss;
-    std::vector<double> grad;
-    double count;
+                                    std::span<const std::size_t> rows) {
+  const CandidateUpdateParams params{
+      .num_features = config_.num_features,
+      .max_candidates = config_.max_candidates,
+      .replacement_rate = config_.replacement_rate,
+      .max_proposals_per_feature = config_.max_proposals_per_feature,
+      .gradient_step_size = config_.gradient_step_size,
   };
-  std::vector<Proposal> proposals;
-  std::vector<std::size_t> order(n);
-  std::vector<double> prefix_grad(k);
-  for (int j = 0; j < config_.num_features; ++j) {
-    for (std::size_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return batch.row(rows[a])[j] < batch.row(rows[b])[j];
-    });
-    std::vector<CandidateStats*> stored;
-    for (CandidateStats& c : node->candidates) {
-      if (c.feature == j) stored.push_back(&c);
-    }
-    std::sort(stored.begin(), stored.end(),
-              [](const CandidateStats* a, const CandidateStats* b) {
-                return a->value < b->value;
-              });
-
-    std::size_t proposal_stride = 1;
-    if (config_.max_proposals_per_feature > 0 &&
-        n > config_.max_proposals_per_feature) {
-      proposal_stride = n / config_.max_proposals_per_feature;
-    }
-
-    double run_loss = 0.0;
-    std::fill(prefix_grad.begin(), prefix_grad.end(), 0.0);
-    double run_count = 0.0;
-    std::size_t stored_pos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t row = rows[order[i]];
-      const double value = batch.row(row)[j];
-      while (stored_pos < stored.size() &&
-             stored[stored_pos]->value < value) {
-        CandidateStats* c = stored[stored_pos];
-        c->loss += run_loss;
-        AddInPlace(c->grad, prefix_grad);
-        c->count += run_count;
-        ++stored_pos;
-      }
-      run_loss += sample_loss[order[i]];
-      AddInPlace(prefix_grad, {sample_grad.data() + order[i] * k, k});
-      run_count += 1.0;
-
-      const bool boundary =
-          i + 1 == n || batch.row(rows[order[i + 1]])[j] > value;
-      if (!boundary || i + 1 == n) continue;
-      if ((i + 1) % proposal_stride != 0) continue;
-
-      CandidateStats tentative(j, value, k);
-      tentative.loss = run_loss;
-      tentative.grad.assign(prefix_grad.begin(), prefix_grad.end());
-      tentative.count = run_count;
-      const double lambda = config_.gradient_step_size;
-      const double left_hat = ApproxCandidateLoss(run_loss, tentative.grad,
-                                                  run_count, lambda);
-      double right_norm_sq = 0.0;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double g = batch_grad[p] - prefix_grad[p];
-        right_norm_sq += g * g;
-      }
-      const double right_count = static_cast<double>(n) - run_count;
-      const double right_hat =
-          (batch_loss - run_loss) -
-          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
-      proposals.push_back({j, value, batch_loss - left_hat - right_hat,
-                           run_loss, std::move(tentative.grad), run_count});
-    }
-    while (stored_pos < stored.size()) {
-      CandidateStats* c = stored[stored_pos];
-      c->loss += batch_loss;
-      AddInPlace(c->grad, batch_grad);
-      c->count += static_cast<double>(n);
-      ++stored_pos;
-    }
-  }
-
-  std::sort(proposals.begin(), proposals.end(),
-            [](const Proposal& a, const Proposal& b) {
-              return a.est_gain > b.est_gain;
-            });
-  std::size_t budget = static_cast<std::size_t>(
-      config_.replacement_rate *
-      static_cast<double>(config_.max_candidates));
-  std::vector<double> stored_gain(node->candidates.size());
-  for (std::size_t c = 0; c < node->candidates.size(); ++c) {
-    stored_gain[c] =
-        CandidateGain(*node, node->candidates[c], node->loss_sum);
-  }
-  for (Proposal& p : proposals) {
-    const bool exists =
-        std::any_of(node->candidates.begin(), node->candidates.end(),
-                    [&](const CandidateStats& c) {
-                      return c.feature == p.feature && c.value == p.value;
-                    });
-    if (exists) continue;
-    CandidateStats fresh(p.feature, p.value, k);
-    fresh.loss = p.loss;
-    fresh.grad = std::move(p.grad);
-    fresh.count = p.count;
-    if (node->candidates.size() < config_.max_candidates) {
-      node->candidates.push_back(std::move(fresh));
-      stored_gain.push_back(
-          CandidateGain(*node, node->candidates.back(), node->loss_sum));
-      continue;
-    }
-    if (budget == 0) break;
-    const std::size_t worst = static_cast<std::size_t>(
-        std::min_element(stored_gain.begin(), stored_gain.end()) -
-        stored_gain.begin());
-    if (p.est_gain > stored_gain[worst]) {
-      node->candidates[worst] = std::move(fresh);
-      stored_gain[worst] =
-          CandidateGain(*node, node->candidates[worst], node->loss_sum);
-      --budget;
-    }
-  }
+  UpdateNodeStatistics(params, batch, rows, &node->model, &node->loss_sum,
+                       std::span<double>(node->grad_sum), &node->count,
+                       &node->candidates, &scratch_);
 }
 
 void DmtRegressor::CheckLeafSplit(Node* node, std::size_t depth) {
   double gain = 0.0;
-  const CandidateStats* best = BestCandidate(*node, node->loss_sum, &gain);
-  if (best == nullptr || gain < SplitThreshold()) return;
-  node->split_feature = best->feature;
-  node->split_value = best->value;
+  const int best = BestCandidateOf(*node, node->loss_sum, &gain);
+  if (best < 0 || gain < SplitThreshold()) return;
+  node->split_feature = node->candidates.feature(best);
+  node->split_value = node->candidates.value(best);
   node->left = MakeLeaf(&node->model);
   node->right = MakeLeaf(&node->model);
   node->ResetStats();
@@ -335,11 +200,11 @@ void DmtRegressor::CheckInnerReplacement(Node* node, std::size_t depth) {
   SubtreeLeafLossR(node, &leaf_loss, &leaves);
 
   double replace_gain = 0.0;
-  const CandidateStats* best = BestCandidate(*node, leaf_loss, &replace_gain);
+  const int best = BestCandidateOf(*node, leaf_loss, &replace_gain);
   const bool candidate_is_current =
-      best != nullptr && best->feature == node->split_feature &&
-      best->value == node->split_value;
-  const bool replace_ok = best != nullptr && !candidate_is_current &&
+      best >= 0 && node->candidates.feature(best) == node->split_feature &&
+      node->candidates.value(best) == node->split_value;
+  const bool replace_ok = best >= 0 && !candidate_is_current &&
                           replace_gain >= ReplaceThreshold(leaves);
   const double prune_gain = leaf_loss - node->loss_sum;
   const bool prune_ok = prune_gain >= PruneThreshold(leaves);
@@ -359,8 +224,8 @@ void DmtRegressor::CheckInnerReplacement(Node* node, std::size_t depth) {
                  .depth = depth});
     return;
   }
-  node->split_feature = best->feature;
-  node->split_value = best->value;
+  node->split_feature = node->candidates.feature(best);
+  node->split_value = node->candidates.value(best);
   node->left = MakeLeaf(&node->model);
   node->right = MakeLeaf(&node->model);
   node->ResetStats();

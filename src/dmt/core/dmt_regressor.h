@@ -14,12 +14,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "dmt/common/random.h"
 #include "dmt/common/stats.h"
 #include "dmt/core/candidate.h"
+#include "dmt/core/candidate_update.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/linear/linear_regressor.h"
 
@@ -78,15 +80,13 @@ class DmtRegressor {
 
   std::unique_ptr<Node> MakeLeaf(const linear::LinearRegressor* warm_start);
   void UpdateNode(Node* node, const linear::RegressionBatch& batch,
-                  std::vector<std::size_t> rows, std::size_t depth);
+                  std::span<const std::size_t> rows, std::size_t depth);
   void UpdateStatistics(Node* node, const linear::RegressionBatch& batch,
-                        const std::vector<std::size_t>& rows);
+                        std::span<const std::size_t> rows);
   void CheckLeafSplit(Node* node, std::size_t depth);
   void CheckInnerReplacement(Node* node, std::size_t depth);
-  double CandidateGain(const Node& node, const CandidateStats& candidate,
-                       double reference_loss) const;
-  const CandidateStats* BestCandidate(const Node& node, double reference_loss,
-                                      double* best_gain) const;
+  int BestCandidateOf(const Node& node, double reference_loss,
+                      double* best_gain) const;
   void RecordEvent(StructuralEvent event);
 
   DmtRegressorConfig config_;
@@ -94,6 +94,9 @@ class DmtRegressor {
   RunningStats target_stats_;  // online target standardization
   int model_params_ = 0;
   std::unique_ptr<Node> root_;
+  TrainScratch scratch_;  // grow-only training buffers (zero-alloc steady state)
+  // Reused standardized-target copy of the incoming batch (grow-only).
+  std::unique_ptr<linear::RegressionBatch> standardized_;
   std::size_t time_step_ = 0;
   std::vector<StructuralEvent> events_;
   std::size_t splits_performed_ = 0;

@@ -28,11 +28,13 @@ struct DynamicModelTree::Node {
   std::vector<double> grad_sum;
   double count = 0.0;
 
-  // Bounded split-candidate store (Sec. V-D).
-  std::vector<CandidateStats> candidates;
+  // Bounded split-candidate store (Sec. V-D), SoA layout.
+  CandidateStore candidates;
 
   Node(const linear::GlmConfig& glm_config, Rng* rng)
-      : model(glm_config, rng), grad_sum(model.num_params(), 0.0) {}
+      : model(glm_config, rng),
+        grad_sum(model.num_params(), 0.0),
+        candidates(static_cast<std::size_t>(model.num_params())) {}
 
   bool is_leaf() const { return split_feature < 0; }
 
@@ -40,7 +42,7 @@ struct DynamicModelTree::Node {
     loss_sum = 0.0;
     std::fill(grad_sum.begin(), grad_sum.end(), 0.0);
     count = 0.0;
-    candidates.clear();
+    candidates.Clear();
   }
 };
 
@@ -100,33 +102,11 @@ double DynamicModelTree::PruneThreshold(std::size_t subtree_leaves) const {
 
 // --- Gains -------------------------------------------------------------------
 
-double DynamicModelTree::CandidateGain(const Node& node,
-                                       const CandidateStats& candidate,
-                                       double reference_loss) const {
-  // Degenerate candidates (one empty side) cannot form a split.
-  if (candidate.count <= 0.0 || candidate.count >= node.count) {
-    return -std::numeric_limits<double>::infinity();
-  }
-  const double lambda = config_.gradient_step_size;
-  const double left = ApproxCandidateLoss(candidate.loss, candidate.grad,
-                                          candidate.count, lambda);
-  const double right = ApproxComplementLoss(node.loss_sum, node.grad_sum,
-                                            node.count, candidate, lambda);
-  return reference_loss - left - right;  // Eqs. (3) / (4)
-}
-
-const CandidateStats* DynamicModelTree::BestCandidate(
-    const Node& node, double reference_loss, double* best_gain) const {
-  const CandidateStats* best = nullptr;
-  *best_gain = -std::numeric_limits<double>::infinity();
-  for (const CandidateStats& candidate : node.candidates) {
-    const double gain = CandidateGain(node, candidate, reference_loss);
-    if (gain > *best_gain) {
-      *best_gain = gain;
-      best = &candidate;
-    }
-  }
-  return best;
+int DynamicModelTree::BestCandidateOf(const Node& node, double reference_loss,
+                                      double* best_gain) const {
+  return BestCandidate(node.candidates, node.loss_sum, node.grad_sum,
+                       node.count, reference_loss,
+                       config_.gradient_step_size, best_gain);
 }
 
 // --- Training ----------------------------------------------------------------
@@ -134,18 +114,26 @@ const CandidateStats* DynamicModelTree::BestCandidate(
 void DynamicModelTree::PartialFit(const Batch& batch) {
   DMT_CHECK(static_cast<int>(batch.num_features()) == config_.num_features);
   ++time_step_;
-  std::vector<std::size_t> rows(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) rows[i] = i;
-  UpdateNode(root_.get(), batch, std::move(rows), 0);
+  scratch_.root_rows.resize(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) scratch_.root_rows[i] = i;
+  // One ascending-value sort per feature per batch, shared by every node.
+  ComputeFeatureOrders(batch, config_.num_features, &scratch_);
+  UpdateNode(root_.get(), batch, scratch_.root_rows, 0);
 }
 
 void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
-                                  std::vector<std::size_t> rows,
+                                  std::span<const std::size_t> rows,
                                   std::size_t depth) {
   if (rows.empty()) return;
   if (!node->is_leaf()) {
-    std::vector<std::size_t> left_rows;
-    std::vector<std::size_t> right_rows;
+    if (scratch_.left_rows.size() <= depth) {
+      scratch_.left_rows.resize(depth + 1);
+      scratch_.right_rows.resize(depth + 1);
+    }
+    std::vector<std::size_t>& left_rows = scratch_.left_rows[depth];
+    std::vector<std::size_t>& right_rows = scratch_.right_rows[depth];
+    left_rows.clear();
+    right_rows.clear();
     for (std::size_t r : rows) {
       if (batch.row(r)[node->split_feature] <= node->split_value) {
         left_rows.push_back(r);
@@ -153,9 +141,15 @@ void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
         right_rows.push_back(r);
       }
     }
-    // Bottom-up: children update (and possibly restructure) first.
-    UpdateNode(node->left.get(), batch, std::move(left_rows), depth + 1);
-    UpdateNode(node->right.get(), batch, std::move(right_rows), depth + 1);
+    // Bottom-up: children update (and possibly restructure) first. Both
+    // spans are taken before recursing: a deeper call may grow the outer
+    // scratch vectors, which moves the inner vector objects (invalidating
+    // references to them) but keeps their heap buffers, so the spans stay
+    // valid.
+    const std::span<const std::size_t> left_span(left_rows);
+    const std::span<const std::size_t> right_span(right_rows);
+    UpdateNode(node->left.get(), batch, left_span, depth + 1);
+    UpdateNode(node->right.get(), batch, right_span, depth + 1);
   }
 
   UpdateStatistics(node, batch, rows);
@@ -168,186 +162,26 @@ void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
 }
 
 void DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
-                                        const std::vector<std::size_t>& rows) {
-  // 1. SGD update of the simple model (Eq. 1 via gradient descent).
-  node->model.FitRows(batch, rows);
-
-  // 2. Per-sample loss and gradient at the updated parameters.
-  const std::size_t n = rows.size();
-  const std::size_t k = static_cast<std::size_t>(model_params_);
-  std::vector<double> sample_loss(n);
-  std::vector<double> sample_grad(n * k);
-  double batch_loss = 0.0;
-  std::vector<double> batch_grad(k, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    std::span<double> g(sample_grad.data() + i * k, k);
-    sample_loss[i] = node->model.LossAndGradientOne(
-        batch.row(rows[i]), batch.label(rows[i]), g);
-    batch_loss += sample_loss[i];
-    AddInPlace(batch_grad, g);
-  }
-
-  // 3. Increment node statistics (Algorithm 1, lines 1-3).
-  node->loss_sum += batch_loss;
-  AddInPlace(node->grad_sum, batch_grad);
-  node->count += static_cast<double>(n);
-
-  // 4. Per feature: update stored candidates with this batch's left-child
-  //    contributions, and score fresh candidate proposals from the batch
-  //    (Algorithm 1, lines 6-11; Sec. V-D candidate management).
-  struct Proposal {
-    int feature;
-    double value;
-    double est_gain;
-    double loss;
-    std::vector<double> grad;
-    double count;
+                                        std::span<const std::size_t> rows) {
+  const CandidateUpdateParams params{
+      .num_features = config_.num_features,
+      .max_candidates = config_.max_candidates,
+      .replacement_rate = config_.replacement_rate,
+      .max_proposals_per_feature = config_.max_proposals_per_feature,
+      .gradient_step_size = config_.gradient_step_size,
   };
-  std::vector<Proposal> proposals;
-
-  // Sort row positions once per feature.
-  std::vector<std::size_t> order(n);
-  std::vector<double> prefix_grad(k);
-  for (int j = 0; j < config_.num_features; ++j) {
-    for (std::size_t i = 0; i < n; ++i) order[i] = i;
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return batch.row(rows[a])[j] < batch.row(rows[b])[j];
-    });
-
-    // Stored candidates of this feature, in ascending threshold order.
-    std::vector<CandidateStats*> stored;
-    for (CandidateStats& c : node->candidates) {
-      if (c.feature == j) stored.push_back(&c);
-    }
-    std::sort(stored.begin(), stored.end(),
-              [](const CandidateStats* a, const CandidateStats* b) {
-                return a->value < b->value;
-              });
-
-    // Which observed values to propose as new candidates.
-    std::size_t proposal_stride = 1;
-    if (config_.max_proposals_per_feature > 0 &&
-        n > config_.max_proposals_per_feature) {
-      proposal_stride = n / config_.max_proposals_per_feature;
-    }
-
-    double run_loss = 0.0;
-    std::fill(prefix_grad.begin(), prefix_grad.end(), 0.0);
-    double run_count = 0.0;
-    std::size_t stored_pos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t row = rows[order[i]];
-      const double value = batch.row(row)[j];
-      // Stored candidates strictly below this value receive the prefix
-      // accumulated so far (their left side excludes this observation).
-      while (stored_pos < stored.size() &&
-             stored[stored_pos]->value < value) {
-        CandidateStats* c = stored[stored_pos];
-        c->loss += run_loss;
-        AddInPlace(c->grad, prefix_grad);
-        c->count += run_count;
-        ++stored_pos;
-      }
-      run_loss += sample_loss[order[i]];
-      AddInPlace(prefix_grad,
-                 {sample_grad.data() + order[i] * k, k});
-      run_count += 1.0;
-
-      // Value boundary: the split "x_j <= value" is a candidate.
-      const bool boundary =
-          i + 1 == n || batch.row(rows[order[i + 1]])[j] > value;
-      if (!boundary || i + 1 == n) continue;  // the full batch is no split
-      if ((i + 1) % proposal_stride != 0) continue;
-
-      // Estimated gain from this batch alone (Eq. 3 with Eq. 7 losses).
-      CandidateStats tentative(j, value, k);
-      tentative.loss = run_loss;
-      tentative.grad.assign(prefix_grad.begin(), prefix_grad.end());
-      tentative.count = run_count;
-      const double lambda = config_.gradient_step_size;
-      const double left_hat = ApproxCandidateLoss(run_loss, tentative.grad,
-                                                  run_count, lambda);
-      double right_norm_sq = 0.0;
-      for (std::size_t p = 0; p < k; ++p) {
-        const double g = batch_grad[p] - prefix_grad[p];
-        right_norm_sq += g * g;
-      }
-      const double right_count = static_cast<double>(n) - run_count;
-      const double right_hat =
-          (batch_loss - run_loss) -
-          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
-      const double est_gain = batch_loss - left_hat - right_hat;
-      proposals.push_back({j, value, est_gain, run_loss,
-                           std::move(tentative.grad), run_count});
-    }
-    // Remaining stored candidates (threshold >= max value) absorb the full
-    // batch on their left side.
-    while (stored_pos < stored.size()) {
-      CandidateStats* c = stored[stored_pos];
-      c->loss += batch_loss;
-      AddInPlace(c->grad, batch_grad);
-      c->count += static_cast<double>(n);
-      ++stored_pos;
-    }
-  }
-
-  // 5. Candidate replacement: keep the store bounded at max_candidates,
-  //    allowing at most replacement_rate of it to turn over per step.
-  std::sort(proposals.begin(), proposals.end(),
-            [](const Proposal& a, const Proposal& b) {
-              return a.est_gain > b.est_gain;
-            });
-  std::size_t budget = static_cast<std::size_t>(
-      config_.replacement_rate *
-      static_cast<double>(config_.max_candidates));
-  // Gain estimates of the stored candidates, computed once per step and
-  // maintained across replacements (recomputing per proposal would make the
-  // update quadratic in the store size).
-  std::vector<double> stored_gain(node->candidates.size());
-  for (std::size_t c = 0; c < node->candidates.size(); ++c) {
-    stored_gain[c] =
-        CandidateGain(*node, node->candidates[c], node->loss_sum);
-  }
-  for (Proposal& p : proposals) {
-    const bool exists =
-        std::any_of(node->candidates.begin(), node->candidates.end(),
-                    [&](const CandidateStats& c) {
-                      return c.feature == p.feature && c.value == p.value;
-                    });
-    if (exists) continue;
-    CandidateStats fresh(p.feature, p.value, k);
-    fresh.loss = p.loss;
-    fresh.grad = std::move(p.grad);
-    fresh.count = p.count;
-    if (node->candidates.size() < config_.max_candidates) {
-      node->candidates.push_back(std::move(fresh));
-      stored_gain.push_back(
-          CandidateGain(*node, node->candidates.back(), node->loss_sum));
-      continue;
-    }
-    if (budget == 0) break;
-    // Replace the stored candidate with the lowest current gain estimate,
-    // if the newcomer looks strictly better.
-    const std::size_t worst = static_cast<std::size_t>(
-        std::min_element(stored_gain.begin(), stored_gain.end()) -
-        stored_gain.begin());
-    if (p.est_gain > stored_gain[worst]) {
-      node->candidates[worst] = std::move(fresh);
-      stored_gain[worst] =
-          CandidateGain(*node, node->candidates[worst], node->loss_sum);
-      --budget;
-    }
-  }
+  UpdateNodeStatistics(params, batch, rows, &node->model, &node->loss_sum,
+                       std::span<double>(node->grad_sum), &node->count,
+                       &node->candidates, &scratch_);
 }
 
 void DynamicModelTree::CheckLeafSplit(Node* node, std::size_t depth) {
   double gain = 0.0;
-  const CandidateStats* best =
-      BestCandidate(*node, node->loss_sum, &gain);  // Eq. (3)
-  if (best == nullptr || gain < SplitThreshold()) return;
+  const int best = BestCandidateOf(*node, node->loss_sum, &gain);  // Eq. (3)
+  if (best < 0 || gain < SplitThreshold()) return;
 
-  const int feature = best->feature;
-  const double value = best->value;
+  const int feature = node->candidates.feature(best);
+  const double value = node->candidates.value(best);
   node->split_feature = feature;
   node->split_value = value;
   node->left = MakeLeaf(&node->model);
@@ -388,11 +222,11 @@ void DynamicModelTree::CheckInnerReplacement(Node* node, std::size_t depth) {
 
   // Eq. (4): best alternate split candidate vs. the current subtree.
   double replace_gain = 0.0;
-  const CandidateStats* best = BestCandidate(*node, leaf_loss, &replace_gain);
+  const int best = BestCandidateOf(*node, leaf_loss, &replace_gain);
   const bool candidate_is_current =
-      best != nullptr && best->feature == node->split_feature &&
-      best->value == node->split_value;
-  const bool replace_ok = best != nullptr && !candidate_is_current &&
+      best >= 0 && node->candidates.feature(best) == node->split_feature &&
+      node->candidates.value(best) == node->split_value;
+  const bool replace_ok = best >= 0 && !candidate_is_current &&
                           replace_gain >= ReplaceThreshold(leaves);
 
   // Eq. (5): the inner node's own model vs. the subtree.
@@ -418,8 +252,8 @@ void DynamicModelTree::CheckInnerReplacement(Node* node, std::size_t depth) {
     return;
   }
 
-  node->split_feature = best->feature;
-  node->split_value = best->value;
+  node->split_feature = node->candidates.feature(best);
+  node->split_value = node->candidates.value(best);
   node->left = MakeLeaf(&node->model);
   node->right = MakeLeaf(&node->model);
   node->ResetStats();
@@ -504,7 +338,7 @@ DynamicModelTree::RootDiagnostics DynamicModelTree::DiagnoseRoot() const {
   diagnostics.count = root_->count;
   diagnostics.num_candidates = root_->candidates.size();
   double gain = 0.0;
-  if (BestCandidate(*root_, root_->loss_sum, &gain) != nullptr) {
+  if (BestCandidateOf(*root_, root_->loss_sum, &gain) >= 0) {
     diagnostics.best_gain = gain;
   }
   return diagnostics;
@@ -556,7 +390,7 @@ double ReadDouble(std::istream& in) {
   return value;
 }
 
-void WriteDoubles(std::ostream& out, const std::vector<double>& values) {
+void WriteDoubles(std::ostream& out, std::span<const double> values) {
   out << values.size();
   for (double v : values) {
     out << ' ';
@@ -604,15 +438,15 @@ void DynamicModelTree::Save(std::ostream& out) const {
     WriteDoubles(out, node->model.params());
     WriteDoubles(out, node->grad_sum);
     out << node->candidates.size() << '\n';
-    for (const CandidateStats& candidate : node->candidates) {
-      out << candidate.feature << ' ';
-      WriteDouble(out, candidate.value);
+    for (std::size_t c = 0; c < node->candidates.size(); ++c) {
+      out << node->candidates.feature(c) << ' ';
+      WriteDouble(out, node->candidates.value(c));
       out << ' ';
-      WriteDouble(out, candidate.loss);
+      WriteDouble(out, node->candidates.loss(c));
       out << ' ';
-      WriteDouble(out, candidate.count);
+      WriteDouble(out, node->candidates.count(c));
       out << '\n';
-      WriteDoubles(out, candidate.grad);
+      WriteDoubles(out, node->candidates.grad(c));
     }
     if (!node->is_leaf()) {
       self(self, node->left.get());
@@ -659,14 +493,18 @@ std::unique_ptr<DynamicModelTree> DynamicModelTree::Load(std::istream& in) {
     in >> num_candidates;
     DMT_CHECK(!in.fail());
     for (std::size_t c = 0; c < num_candidates; ++c) {
-      CandidateStats candidate;
-      in >> candidate.feature;
-      candidate.value = ReadDouble(in);
-      candidate.loss = ReadDouble(in);
-      candidate.count = ReadDouble(in);
+      int feature = -1;
+      in >> feature;
+      const double value = ReadDouble(in);
+      const double loss = ReadDouble(in);
+      const double count = ReadDouble(in);
       DMT_CHECK(!in.fail());
-      candidate.grad = ReadDoubles(in);
-      node->candidates.push_back(std::move(candidate));
+      const std::vector<double> grad = ReadDoubles(in);
+      DMT_CHECK(grad.size() == node->candidates.num_params());
+      const std::size_t row = node->candidates.Append(feature, value);
+      node->candidates.loss(row) = loss;
+      node->candidates.count(row) = count;
+      std::copy(grad.begin(), grad.end(), node->candidates.grad(row).begin());
     }
     if (node->split_feature >= 0) {
       node->left = self(self);

@@ -35,12 +35,14 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "dmt/common/classifier.h"
 #include "dmt/common/random.h"
 #include "dmt/core/candidate.h"
+#include "dmt/core/candidate_update.h"
 #include "dmt/linear/glm.h"
 
 namespace dmt::core {
@@ -155,27 +157,29 @@ class DynamicModelTree : public Classifier {
   struct Node;
 
   std::unique_ptr<Node> MakeLeaf(const linear::Glm* warm_start_from);
-  // Bottom-up batch update (Algorithm 1 at every node on the paths).
+  // Bottom-up batch update (Algorithm 1 at every node on the paths). The
+  // row span stays valid for the call's duration (it points into
+  // scratch_.root_rows or a depth-indexed partition buffer).
   void UpdateNode(Node* node, const Batch& batch,
-                  std::vector<std::size_t> rows, std::size_t depth);
+                  std::span<const std::size_t> rows, std::size_t depth);
   // Accumulates node + candidate statistics and manages the bounded
-  // candidate store for one batch.
+  // candidate store for one batch (candidate_update.h engine).
   void UpdateStatistics(Node* node, const Batch& batch,
-                        const std::vector<std::size_t>& rows);
+                        std::span<const std::size_t> rows);
   void CheckLeafSplit(Node* node, std::size_t depth);
   void CheckInnerReplacement(Node* node, std::size_t depth);
-  // Gain (3)/(4) of a candidate against `reference_loss` (the node's own
-  // accumulated loss for leaves; the subtree leaf-loss sum for inner nodes).
-  double CandidateGain(const Node& node, const CandidateStats& candidate,
-                       double reference_loss) const;
-  const CandidateStats* BestCandidate(const Node& node, double reference_loss,
-                                      double* best_gain) const;
+  // Best stored candidate (row into the node's store, -1 if none) by gain
+  // (3)/(4) against `reference_loss` (the node's own accumulated loss for
+  // leaves; the subtree leaf-loss sum for inner nodes).
+  int BestCandidateOf(const Node& node, double reference_loss,
+                      double* best_gain) const;
   void RecordEvent(StructuralEvent event);
 
   DmtConfig config_;
   Rng rng_;
   int model_params_ = 0;  // k: free parameters of one simple model
   std::unique_ptr<Node> root_;
+  TrainScratch scratch_;  // grow-only training buffers (zero-alloc steady state)
   std::size_t time_step_ = 0;
   std::vector<StructuralEvent> events_;
   std::size_t splits_performed_ = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/common/kernels.h"
 #include "dmt/common/math.h"
 
 namespace dmt::linear {
@@ -121,11 +122,19 @@ void Glm::SgdStep(std::span<const double> x, int y) {
   const double lr = CurrentLearningRate();
   ++steps_;
   const int stride = num_features_ + 1;
+  // Plain SGD (the default everywhere) takes the fused SgdAxpy kernel;
+  // momentum/Adagrad keep per-coordinate ApplyUpdate for their state.
+  const bool plain_sgd = config_.optimizer == Optimizer::kSgd;
+  const std::size_t m = static_cast<std::size_t>(num_features_);
   if (is_binary()) {
     const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
     const double err = Sigmoid(z) - (y == 1 ? 1.0 : 0.0);
-    for (int j = 0; j < num_features_; ++j) {
-      ApplyUpdate(j, err * x[j], lr);
+    if (plain_sgd) {
+      kernels::SgdAxpy(lr, err, x.data(), params_.data(), m);
+    } else {
+      for (int j = 0; j < num_features_; ++j) {
+        ApplyUpdate(j, err * x[j], lr);
+      }
     }
     ApplyUpdate(params_.size() - 1, err, lr);
     return;
@@ -137,8 +146,12 @@ void Glm::SgdStep(std::span<const double> x, int y) {
   SoftmaxInPlace(logits_scratch_);
   for (int c = 0; c < num_classes_; ++c) {
     const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
-    for (int j = 0; j < num_features_; ++j) {
-      ApplyUpdate(c * stride + j, err * x[j], lr);
+    if (plain_sgd) {
+      kernels::SgdAxpy(lr, err, x.data(), params_.data() + c * stride, m);
+    } else {
+      for (int j = 0; j < num_features_; ++j) {
+        ApplyUpdate(c * stride + j, err * x[j], lr);
+      }
     }
     ApplyUpdate(c * stride + num_features_, err, lr);
   }
@@ -201,7 +214,8 @@ double Glm::LossAndGradient(const Batch& batch, const std::vector<char>* mask,
       const double p = Sigmoid(z);
       loss += -(y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
       const double err = p - (y == 1 ? 1.0 : 0.0);
-      for (int j = 0; j < num_features_; ++j) grad_out[j] += err * x[j];
+      kernels::Axpy(err, x.data(), grad_out.data(),
+                    static_cast<std::size_t>(num_features_));
       grad_out[num_features_] += err;
     } else {
       for (int c = 0; c < num_classes_; ++c) {
@@ -213,7 +227,8 @@ double Glm::LossAndGradient(const Batch& batch, const std::vector<char>* mask,
       for (int c = 0; c < num_classes_; ++c) {
         const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
         double* g = grad_out.data() + c * stride;
-        for (int j = 0; j < num_features_; ++j) g[j] += err * x[j];
+        kernels::Axpy(err, x.data(), g,
+                      static_cast<std::size_t>(num_features_));
         g[num_features_] += err;
       }
     }
@@ -229,7 +244,8 @@ double Glm::LossAndGradientOne(std::span<const double> x, int y,
     const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
     const double p = Sigmoid(z);
     const double err = p - (y == 1 ? 1.0 : 0.0);
-    for (int j = 0; j < num_features_; ++j) grad_out[j] = err * x[j];
+    kernels::ScaledCopy(err, x.data(), grad_out.data(),
+                        static_cast<std::size_t>(num_features_));
     grad_out[num_features_] = err;
     return -(y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
   }
@@ -241,7 +257,8 @@ double Glm::LossAndGradientOne(std::span<const double> x, int y,
   for (int c = 0; c < num_classes_; ++c) {
     const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
     double* g = grad_out.data() + c * stride;
-    for (int j = 0; j < num_features_; ++j) g[j] = err * x[j];
+    kernels::ScaledCopy(err, x.data(), g,
+                        static_cast<std::size_t>(num_features_));
     g[num_features_] = err;
   }
   return -SafeLog(logits_scratch_[y]);

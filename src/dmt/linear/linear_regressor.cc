@@ -1,6 +1,7 @@
 #include "dmt/linear/linear_regressor.h"
 
 #include "dmt/common/check.h"
+#include "dmt/common/kernels.h"
 #include "dmt/common/math.h"
 
 namespace dmt::linear {
@@ -26,9 +27,10 @@ LinearRegressor::LinearRegressor(const LinearRegressorConfig& config,
 
 void LinearRegressor::SgdStep(std::span<const double> x, double y) {
   const double err = Predict(x) - y;
-  for (int j = 0; j < num_features_; ++j) {
-    params_[j] -= learning_rate_ * err * x[j];
-  }
+  // w[j] -= (lr*err) * x[j]; Axpy with the negated pre-multiplied
+  // coefficient gives the same rounding (IEEE a -= b == a += -b).
+  kernels::Axpy(-(learning_rate_ * err), x.data(), params_.data(),
+                static_cast<std::size_t>(num_features_));
   params_.back() -= learning_rate_ * err;
 }
 
@@ -66,7 +68,8 @@ double LinearRegressor::LossAndGradientOne(std::span<const double> x,
                                            std::span<double> grad_out) const {
   DMT_DCHECK(grad_out.size() == params_.size());
   const double err = Predict(x) - y;
-  for (int j = 0; j < num_features_; ++j) grad_out[j] = err * x[j];
+  kernels::ScaledCopy(err, x.data(), grad_out.data(),
+                      static_cast<std::size_t>(num_features_));
   grad_out[num_features_] = err;
   return 0.5 * err * err;
 }

@@ -33,29 +33,38 @@ void NumericObserver::Add(double value, int y, double weight) {
   max_ = std::max(max_, value);
 }
 
-std::vector<double> NumericObserver::CountsBelow(double threshold) const {
-  std::vector<double> counts(num_classes_, 0.0);
+void NumericObserver::CountsBelowInto(double threshold,
+                                      std::span<double> out) const {
   for (int c = 0; c < num_classes_; ++c) {
     const bayes::GaussianEstimator& est = per_class_[c];
-    if (est.n == 0) continue;
+    if (est.n == 0) {
+      out[c] = 0.0;
+      continue;
+    }
     const double sd = std::sqrt(std::max(est.variance(), 1e-12));
-    counts[c] = class_weights_[c] * NormalCdf((threshold - est.mean) / sd);
+    out[c] = class_weights_[c] * NormalCdf((threshold - est.mean) / sd);
   }
+}
+
+std::vector<double> NumericObserver::CountsBelow(double threshold) const {
+  std::vector<double> counts(num_classes_, 0.0);
+  CountsBelowInto(threshold, counts);
   return counts;
 }
 
-SplitSuggestion NumericObserver::BestSplit(
-    int feature, const std::vector<double>& parent_counts,
-    int num_candidates) const {
-  SplitSuggestion best;
+SplitCandidate NumericObserver::BestSplitInto(
+    int feature, std::span<const double> parent_counts, int num_candidates,
+    std::span<double> left_scratch, std::span<double> right_scratch) const {
+  SplitCandidate best;
   best.feature = feature;
   if (!has_range()) return best;
+  const std::span<double> left = left_scratch.first(num_classes_);
+  const std::span<double> right = right_scratch.first(num_classes_);
   for (int i = 1; i <= num_candidates; ++i) {
     const double t =
         min_ + (max_ - min_) * static_cast<double>(i) /
                    static_cast<double>(num_candidates + 1);
-    std::vector<double> left = CountsBelow(t);
-    std::vector<double> right(num_classes_);
+    CountsBelowInto(t, left);
     bool valid = true;
     double n_left = 0.0;
     double n_right = 0.0;
@@ -70,8 +79,32 @@ SplitSuggestion NumericObserver::BestSplit(
     if (merit > best.merit) {
       best.threshold = t;
       best.merit = merit;
-      best.left_counts = std::move(left);
-      best.right_counts = std::move(right);
+    }
+  }
+  return best;
+}
+
+SplitSuggestion NumericObserver::BestSplit(
+    int feature, const std::vector<double>& parent_counts,
+    int num_candidates) const {
+  std::vector<double> left_scratch(num_classes_);
+  std::vector<double> right_scratch(num_classes_);
+  const SplitCandidate core = BestSplitInto(feature, parent_counts,
+                                            num_candidates, left_scratch,
+                                            right_scratch);
+  SplitSuggestion best;
+  best.feature = core.feature;
+  best.threshold = core.threshold;
+  best.is_equality = core.is_equality;
+  best.merit = core.merit;
+  if (std::isfinite(core.merit)) {
+    // Recompute the winning projection; deterministic, so identical to what
+    // the scan saw.
+    best.left_counts = CountsBelow(core.threshold);
+    best.right_counts.resize(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+      best.right_counts[c] =
+          std::max(0.0, parent_counts[c] - best.left_counts[c]);
     }
   }
   return best;
@@ -84,18 +117,25 @@ NominalObserver::NominalObserver(int num_classes)
 
 void NominalObserver::Add(double value, int y, double weight) {
   DMT_DCHECK(y >= 0 && y < num_classes_);
-  auto [it, inserted] =
-      value_counts_.try_emplace(value, std::vector<double>(num_classes_, 0.0));
+  // find-then-emplace so the steady state (value already seen) stays off
+  // the heap; try_emplace would build its vector argument on every call.
+  auto it = value_counts_.find(value);
+  if (it == value_counts_.end()) {
+    it = value_counts_
+             .emplace(value, std::vector<double>(num_classes_, 0.0))
+             .first;
+  }
   it->second[y] += weight;
 }
 
-SplitSuggestion NominalObserver::BestSplit(
-    int feature, const std::vector<double>& parent_counts) const {
-  SplitSuggestion best;
+SplitCandidate NominalObserver::BestSplitInto(
+    int feature, std::span<const double> parent_counts,
+    std::span<double> right_scratch) const {
+  SplitCandidate best;
   best.feature = feature;
   best.is_equality = true;
+  const std::span<double> right = right_scratch.first(num_classes_);
   for (const auto& [value, counts] : value_counts_) {
-    std::vector<double> right(num_classes_);
     for (int c = 0; c < num_classes_; ++c) {
       right[c] = std::max(0.0, parent_counts[c] - counts[c]);
     }
@@ -103,8 +143,27 @@ SplitSuggestion NominalObserver::BestSplit(
     if (merit > best.merit) {
       best.threshold = value;
       best.merit = merit;
-      best.left_counts = counts;
-      best.right_counts = std::move(right);
+    }
+  }
+  return best;
+}
+
+SplitSuggestion NominalObserver::BestSplit(
+    int feature, const std::vector<double>& parent_counts) const {
+  std::vector<double> right_scratch(num_classes_);
+  const SplitCandidate core =
+      BestSplitInto(feature, parent_counts, right_scratch);
+  SplitSuggestion best;
+  best.feature = core.feature;
+  best.threshold = core.threshold;
+  best.is_equality = core.is_equality;
+  best.merit = core.merit;
+  if (std::isfinite(core.merit)) {
+    best.left_counts = value_counts_.at(core.threshold);
+    best.right_counts.resize(num_classes_);
+    for (int c = 0; c < num_classes_; ++c) {
+      best.right_counts[c] =
+          std::max(0.0, parent_counts[c] - best.left_counts[c]);
     }
   }
   return best;

@@ -11,6 +11,7 @@
 
 #include <limits>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "dmt/bayes/gaussian_nb.h"
@@ -27,6 +28,16 @@ struct SplitSuggestion {
   std::vector<double> right_counts;
 };
 
+// Trivially copyable variant without the projected count vectors, for the
+// allocation-free split attempt (the Hoeffding test only needs feature,
+// threshold and merit; children start from empty statistics anyway).
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0.0;
+  bool is_equality = false;
+  double merit = -std::numeric_limits<double>::infinity();
+};
+
 class NumericObserver {
  public:
   explicit NumericObserver(int num_classes);
@@ -40,8 +51,18 @@ class NumericObserver {
                             const std::vector<double>& parent_counts,
                             int num_candidates = 10) const;
 
+  // Allocation-free core of BestSplit: identical threshold/merit sequence,
+  // but projected counts land in caller-provided scratch (>= num_classes
+  // each) instead of fresh vectors.
+  SplitCandidate BestSplitInto(int feature,
+                               std::span<const double> parent_counts,
+                               int num_candidates,
+                               std::span<double> left_scratch,
+                               std::span<double> right_scratch) const;
+
   // Class counts estimated to fall at or below `threshold` (Gaussian CDF).
   std::vector<double> CountsBelow(double threshold) const;
+  void CountsBelowInto(double threshold, std::span<double> out) const;
 
   bool has_range() const { return max_ > min_; }
   double min_value() const { return min_; }
@@ -71,6 +92,11 @@ class NominalObserver {
   // Best equality split "x == v vs x != v" over observed values.
   SplitSuggestion BestSplit(int feature,
                             const std::vector<double>& parent_counts) const;
+
+  // Allocation-free core of BestSplit (right_scratch >= num_classes).
+  SplitCandidate BestSplitInto(int feature,
+                               std::span<const double> parent_counts,
+                               std::span<double> right_scratch) const;
 
  private:
   int num_classes_;

@@ -122,28 +122,33 @@ void Vfdt::AttemptSplit(Node* leaf) {
   if (nonzero < 2.0) return;
 
   // Feature pool: all features, or a random subspace (Adaptive Random
-  // Forest member trees).
-  std::vector<int> features(config_.num_features);
-  for (int j = 0; j < config_.num_features; ++j) features[j] = j;
+  // Forest member trees). Pool and count buffers are grow-only members so
+  // the periodic split attempt is allocation-free once warm.
+  feature_pool_.resize(config_.num_features);
+  for (int j = 0; j < config_.num_features; ++j) feature_pool_[j] = j;
   if (config_.subspace_size > 0 &&
       config_.subspace_size < config_.num_features) {
-    std::shuffle(features.begin(), features.end(), rng_.engine());
-    features.resize(config_.subspace_size);
+    std::shuffle(feature_pool_.begin(), feature_pool_.end(), rng_.engine());
+    feature_pool_.resize(config_.subspace_size);
   }
+  left_scratch_.resize(config_.num_classes);
+  right_scratch_.resize(config_.num_classes);
 
-  SplitSuggestion best;
-  SplitSuggestion second;
-  for (int j : features) {
-    SplitSuggestion s =
+  SplitCandidate best;
+  SplitCandidate second;
+  for (int j : feature_pool_) {
+    const SplitCandidate s =
         IsNominal(j)
-            ? leaf->nominal_observers[j].BestSplit(j, leaf->class_counts)
-            : leaf->observers[j].BestSplit(j, leaf->class_counts,
-                                           config_.num_split_candidates);
+            ? leaf->nominal_observers[j].BestSplitInto(j, leaf->class_counts,
+                                                       right_scratch_)
+            : leaf->observers[j].BestSplitInto(
+                  j, leaf->class_counts, config_.num_split_candidates,
+                  left_scratch_, right_scratch_);
     if (s.merit > best.merit) {
-      second = std::move(best);
-      best = std::move(s);
+      second = best;
+      best = s;
     } else if (s.merit > second.merit) {
-      second = std::move(s);
+      second = s;
     }
   }
   if (best.feature < 0 || best.merit <= 0.0) return;

@@ -90,6 +90,12 @@ class Vfdt : public Classifier {
   // Reused by the NBA bookkeeping in TrainInstance (one NB scoring per
   // observation) so training allocates nothing per sample either.
   std::vector<double> nb_scratch_;
+  // Grow-only scratch for AttemptSplit: the feature pool and the projected
+  // class-count buffers of the per-feature split scans. Keeps the periodic
+  // split attempts (every grace_period observations) off the heap.
+  std::vector<int> feature_pool_;
+  std::vector<double> left_scratch_;
+  std::vector<double> right_scratch_;
 };
 
 }  // namespace dmt::trees

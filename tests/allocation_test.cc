@@ -15,6 +15,7 @@
 #include "dmt/common/types.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
+#include "dmt/linear/glm.h"
 #include "dmt/trees/vfdt.h"
 
 DMT_DEFINE_COUNTING_ALLOCATOR();
@@ -111,6 +112,100 @@ TEST(AllocationRegressionTest, ArfScoresWithoutAllocating) {
       {.num_features = kFeatures, .num_classes = kClasses});
   const Batch probe = TrainAndMakeProbe(&model, 104);
   ExpectZeroAllocScoring(&model, probe);
+}
+
+// --- Training (PR "SIMD-friendly training kernels"): once the grow-only
+// scratch of the per-batch statistics path is warm, PartialFit must not
+// touch the heap either. Structural events (splits) legitimately allocate
+// nodes, so each test pins a stream on which the learner provably never
+// splits while the candidate/observer machinery still runs every batch.
+
+// Batches are built up front: Batch::Add itself appends to vectors, which
+// must not count against the learner.
+std::vector<Batch> MakeBatches(int rounds, int per_batch, std::uint64_t seed,
+                               int label_kind) {
+  Rng rng(seed);
+  std::vector<Batch> batches;
+  for (int round = 0; round < rounds; ++round) {
+    Batch batch(kFeatures, per_batch);
+    for (int i = 0; i < per_batch; ++i) {
+      std::vector<double> x(kFeatures);
+      if (label_kind == 1) {
+        // All features identical: every VFDT split merit ties exactly.
+        const double v = rng.Uniform();
+        for (double& f : x) f = v;
+      } else {
+        for (double& f : x) f = rng.Uniform();
+      }
+      // Linearly separable concept: a single linear model fits it, so the
+      // DMT's split gains stay below the AIC threshold (Sec. V-C).
+      const int y = x[0] + x[1] <= 1.0 ? 0 : 1;
+      batch.Add(x, y);
+    }
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+template <typename Model>
+void ExpectZeroAllocTraining(Model* model, const std::vector<Batch>& warmup,
+                             const std::vector<Batch>& measured) {
+#ifdef DMT_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting is meaningless under sanitizers";
+#else
+  for (const Batch& batch : warmup) model->PartialFit(batch);
+  alloc_count::Reset();
+  for (const Batch& batch : measured) model->PartialFit(batch);
+  EXPECT_EQ(alloc_count::allocations, 0u) << "PartialFit allocated";
+#endif
+}
+
+TEST(AllocationRegressionTest, DmtTrainsWithoutAllocating) {
+  core::DynamicModelTree model({.num_features = kFeatures, .num_classes = 2});
+  const auto warmup = MakeBatches(6, 500, 201, /*label_kind=*/0);
+  const auto measured = MakeBatches(4, 500, 202, /*label_kind=*/0);
+  ExpectZeroAllocTraining(&model, warmup, measured);
+  // The premise of the pin: the separable stream never triggers structure.
+  EXPECT_EQ(model.num_splits_performed(), 0u);
+}
+
+TEST(AllocationRegressionTest, VfdtMcTrainsWithoutAllocating) {
+  // tie_threshold = 0 plus identical features: best and second merit are
+  // exactly equal, so the Hoeffding test never fires, while AttemptSplit
+  // still runs every grace_period observations.
+  trees::Vfdt model({.num_features = kFeatures,
+                     .num_classes = 2,
+                     .tie_threshold = 0.0});
+  const auto warmup = MakeBatches(2, 500, 203, /*label_kind=*/1);
+  const auto measured = MakeBatches(4, 500, 204, /*label_kind=*/1);
+  ExpectZeroAllocTraining(&model, warmup, measured);
+  EXPECT_EQ(model.NumInnerNodes(), 0u);
+}
+
+TEST(AllocationRegressionTest, VfdtNbaTrainsWithoutAllocating) {
+  trees::Vfdt model(
+      {.num_features = kFeatures,
+       .num_classes = 2,
+       .tie_threshold = 0.0,
+       .leaf_prediction = trees::LeafPrediction::kNaiveBayesAdaptive});
+  const auto warmup = MakeBatches(2, 500, 205, /*label_kind=*/1);
+  const auto measured = MakeBatches(4, 500, 206, /*label_kind=*/1);
+  ExpectZeroAllocTraining(&model, warmup, measured);
+  EXPECT_EQ(model.NumInnerNodes(), 0u);
+}
+
+TEST(AllocationRegressionTest, GlmTrainsWithoutAllocating) {
+  linear::Glm model({.num_features = kFeatures, .num_classes = 2});
+  const auto warmup = MakeBatches(1, 500, 207, /*label_kind=*/0);
+  const auto measured = MakeBatches(4, 500, 208, /*label_kind=*/0);
+#ifdef DMT_UNDER_SANITIZER
+  GTEST_SKIP() << "allocation counting is meaningless under sanitizers";
+#else
+  for (const Batch& batch : warmup) model.Fit(batch);
+  alloc_count::Reset();
+  for (const Batch& batch : measured) model.Fit(batch);
+  EXPECT_EQ(alloc_count::allocations, 0u) << "Glm::Fit allocated";
+#endif
 }
 
 }  // namespace

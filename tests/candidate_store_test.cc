@@ -1,0 +1,212 @@
+// Edge cases of the SoA candidate store introduced by the training-kernel
+// PR: the bounded store must evict (never grow past max_candidates),
+// degenerate one-sided candidates must never win a split, and the SoA gain
+// path (fused difference-norm kernels over matrix rows) must reproduce the
+// legacy AoS computation bit-for-bit on real stream data.
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/types.h"
+#include "dmt/core/candidate.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/linear/glm.h"
+#include "dmt/streams/agrawal.h"
+#include "dmt/streams/sea.h"
+
+namespace dmt::core {
+namespace {
+
+constexpr double kLambda = 0.2;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(CandidateStoreTest, AppendResetClearMechanics) {
+  CandidateStore store(3);
+  EXPECT_TRUE(store.empty());
+
+  const std::size_t a = store.Append(1, 0.5);
+  const std::size_t b = store.Append(2, -1.0);
+  EXPECT_EQ(store.size(), 2u);
+  store.loss(a) = 4.0;
+  store.count(a) = 2.0;
+  store.grad(a)[0] = 1.0;
+  EXPECT_TRUE(store.Contains(1, 0.5));
+  EXPECT_TRUE(store.Contains(2, -1.0));
+  EXPECT_FALSE(store.Contains(1, -1.0));
+
+  // Reset re-keys the row and zeroes every statistic.
+  store.Reset(a, 7, 9.0);
+  EXPECT_EQ(store.feature(a), 7);
+  EXPECT_EQ(store.value(a), 9.0);
+  EXPECT_EQ(store.loss(a), 0.0);
+  EXPECT_EQ(store.count(a), 0.0);
+  EXPECT_EQ(store.grad(a)[0], 0.0);
+  EXPECT_FALSE(store.Contains(1, 0.5));
+
+  // Clear rewinds the logical size; re-appending reuses the rows and hands
+  // them back zeroed even though the backing arrays were never shrunk.
+  store.grad(b)[2] = 3.0;
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  const std::size_t c = store.Append(4, 2.0);
+  EXPECT_EQ(c, 0u);
+  EXPECT_EQ(store.loss(c), 0.0);
+  EXPECT_EQ(store.grad(c)[0], 0.0);
+}
+
+TEST(CandidateStoreTest, DegenerateOneSidedCandidatesNeverWin) {
+  CandidateStore store(2);
+  const double node_loss = 10.0;
+  const std::vector<double> node_grad = {3.0, -1.0};
+  const double node_count = 8.0;
+
+  // Candidate 0: empty left child. Candidate 1: left child swallows the
+  // whole node. Both are one-sided and must yield -infinity.
+  store.Append(0, 0.5);
+  store.Append(1, 0.5);
+  store.count(1) = node_count;
+  store.loss(1) = node_loss;
+  EXPECT_EQ(CandidateGain(store, 0, node_loss, node_grad, node_count,
+                          node_loss, kLambda),
+            -kInf);
+  EXPECT_EQ(CandidateGain(store, 1, node_loss, node_grad, node_count,
+                          node_loss, kLambda),
+            -kInf);
+
+  // An all-degenerate store has no best candidate.
+  double best_gain = 0.0;
+  EXPECT_EQ(BestCandidate(store, node_loss, node_grad, node_count, node_loss,
+                          kLambda, &best_gain),
+            -1);
+  EXPECT_EQ(best_gain, -kInf);
+
+  // One genuine two-sided candidate wins over any number of degenerates.
+  const std::size_t ok = store.Append(0, 0.7);
+  store.loss(ok) = 4.0;
+  store.count(ok) = 3.0;
+  store.grad(ok)[0] = 1.0;
+  EXPECT_EQ(BestCandidate(store, node_loss, node_grad, node_count, node_loss,
+                          kLambda, &best_gain),
+            static_cast<int>(ok));
+  EXPECT_TRUE(std::isfinite(best_gain));
+}
+
+TEST(CandidateStoreTest, TreeStoreNeverExceedsMaxCandidates) {
+  const std::size_t kMax = 4;
+  DmtConfig config;
+  config.num_features = 3;
+  config.num_classes = 2;
+  config.max_candidates = kMax;
+  config.epsilon = 1e-12;  // conservative: keep the root a leaf
+  DynamicModelTree tree(config);
+
+  Rng rng(7);
+  Batch batch(3, 64);
+  for (int round = 0; round < 40; ++round) {
+    batch.clear();
+    for (int i = 0; i < 64; ++i) {
+      // Every value is fresh, so each batch proposes new candidates and the
+      // bounded store must evict to admit them.
+      const std::vector<double> x = {rng.Uniform(), rng.Uniform(),
+                                     rng.Uniform()};
+      batch.Add(x, x[0] + x[1] > 1.0 ? 1 : 0);
+    }
+    tree.PartialFit(batch);
+    EXPECT_LE(tree.DiagnoseRoot().num_candidates, kMax);
+  }
+  // With fresh proposals every batch the bound is actually reached.
+  EXPECT_EQ(tree.DiagnoseRoot().num_candidates, kMax);
+}
+
+// Drives one generator through a GLM and accumulates per-candidate
+// statistics into the SoA store and a legacy AoS mirror with identical
+// arithmetic, then demands bit-identical gains from the two layouts. The
+// legacy right-child loss materializes the difference gradient (the
+// pre-refactor formulation); the SoA path uses the fused kernel.
+void ExpectSoaMatchesLegacy(streams::Stream* stream) {
+  const int m = static_cast<int>(stream->num_features());
+  linear::GlmConfig glm_config;
+  glm_config.num_features = m;
+  glm_config.num_classes = static_cast<int>(stream->num_classes());
+  linear::Glm model(glm_config);
+  const std::size_t k = static_cast<std::size_t>(model.num_params());
+
+  Batch batch(m);
+  ASSERT_GT(stream->FillBatch(200, &batch), 0u);
+
+  // Candidate grid: a few observed values per feature.
+  CandidateStore store(k);
+  std::vector<CandidateStats> legacy;
+  for (int f = 0; f < m; ++f) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      store.Append(f, batch.row(r * 31 % batch.size())[f]);
+      legacy.emplace_back(f, batch.row(r * 31 % batch.size())[f], k);
+    }
+  }
+
+  double node_loss = 0.0;
+  std::vector<double> node_grad(k, 0.0);
+  double node_count = 0.0;
+  std::vector<double> sample_grad(k);
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const double loss =
+          model.LossAndGradientOne(batch.row(i), batch.label(i), sample_grad);
+      node_loss += loss;
+      node_count += 1.0;
+      for (std::size_t j = 0; j < k; ++j) node_grad[j] += sample_grad[j];
+      for (std::size_t c = 0; c < store.size(); ++c) {
+        if (batch.row(i)[store.feature(c)] > store.value(c)) continue;
+        store.loss(c) += loss;
+        store.count(c) += 1.0;
+        auto grad = store.grad(c);
+        for (std::size_t j = 0; j < k; ++j) grad[j] += sample_grad[j];
+        legacy[c].loss += loss;
+        legacy[c].count += 1.0;
+        for (std::size_t j = 0; j < k; ++j) {
+          legacy[c].grad[j] += sample_grad[j];
+        }
+      }
+    }
+    model.Fit(batch);  // move the parameters between rounds
+    batch.clear();
+    ASSERT_GT(stream->FillBatch(200, &batch), 0u);
+  }
+
+  std::vector<double> diff(k);
+  for (std::size_t c = 0; c < store.size(); ++c) {
+    ASSERT_EQ(store.loss(c), legacy[c].loss);
+    ASSERT_EQ(store.count(c), legacy[c].count);
+    const double soa_gain = CandidateGain(store, c, node_loss, node_grad,
+                                          node_count, node_loss, kLambda);
+    if (legacy[c].count <= 0.0 || legacy[c].count >= node_count) {
+      EXPECT_EQ(soa_gain, -kInf);
+      continue;
+    }
+    const double left = ApproxCandidateLoss(legacy[c].loss, legacy[c].grad,
+                                            legacy[c].count, kLambda);
+    for (std::size_t j = 0; j < k; ++j) {
+      diff[j] = node_grad[j] - legacy[c].grad[j];
+    }
+    const double right =
+        ApproxCandidateLoss(node_loss - legacy[c].loss, diff,
+                            node_count - legacy[c].count, kLambda);
+    EXPECT_EQ(soa_gain, node_loss - left - right)
+        << "candidate " << c << " (feature " << store.feature(c) << ")";
+  }
+}
+
+TEST(CandidateStoreTest, SoaGainsMatchLegacyOnSea) {
+  streams::SeaGenerator stream({.seed = 11});
+  ExpectSoaMatchesLegacy(&stream);
+}
+
+TEST(CandidateStoreTest, SoaGainsMatchLegacyOnAgrawal) {
+  streams::AgrawalGenerator stream({.seed = 12});
+  ExpectSoaMatchesLegacy(&stream);
+}
+
+}  // namespace
+}  // namespace dmt::core
