@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <mutex>
 #include <sstream>
 
 #include "dmt/common/random.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/common/thread_pool.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
@@ -36,6 +40,36 @@ std::vector<std::string> SplitCsv(const std::string& text) {
     if (!item.empty()) parts.push_back(item);
   }
   return parts;
+}
+
+// File-name-safe rendering of a dataset/model name ("VFDT(MC)" -> "VFDT_MC_").
+std::string SanitizeName(const std::string& name) {
+  std::string safe = name;
+  for (char& c : safe) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '_';
+  }
+  return safe;
+}
+
+// One TELEMETRY_<dataset>__<model>.json per computed cell, next to the
+// BENCH_*.json outputs the table binaries write.
+void WriteTelemetryArtifacts(const std::vector<CellResult>& results,
+                             const Options& options) {
+  std::error_code ec;
+  std::filesystem::create_directories(options.telemetry_dir, ec);
+  for (const CellResult& cell : results) {
+    if (cell.telemetry_json.empty()) continue;
+    const std::filesystem::path path =
+        std::filesystem::path(options.telemetry_dir) /
+        ("TELEMETRY_" + SanitizeName(cell.dataset) + "__" +
+         SanitizeName(cell.model) + ".json");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "[sweep] cannot write %s\n", path.string().c_str());
+      continue;
+    }
+    out << cell.telemetry_json;
+  }
 }
 
 }  // namespace
@@ -67,11 +101,15 @@ Options ParseOptions(int argc, char** argv) {
       options.member_parallel = true;
     } else if (arg == "--cache-dir") {
       options.cache_dir = next();
+    } else if (arg == "--telemetry") {
+      options.telemetry = true;
+    } else if (arg == "--telemetry-dir") {
+      options.telemetry_dir = next();
     } else if (arg == "--help") {
       std::fprintf(stderr,
                    "options: --samples N --seed S --datasets a,b --models "
                    "a,b --jobs N --no-cache --member-parallel "
-                   "--cache-dir D\n");
+                   "--cache-dir D --telemetry --telemetry-dir D\n");
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -199,9 +237,13 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
       MakeModel(model, static_cast<int>(spec.num_features),
                 static_cast<int>(spec.num_classes), cell_seed, pool);
 
+  // One registry per cell, owned by this frame: the cell is the unit of
+  // sweep parallelism, so no two threads ever share one (no atomics).
+  obs::TelemetryRegistry registry;
   eval::PrequentialConfig config;
   config.expected_samples = samples;
   config.keep_series = options.keep_series;
+  if (options.telemetry) config.telemetry = &registry;
   const eval::PrequentialResult result =
       eval::RunPrequential(stream.get(), classifier.get(), config);
 
@@ -218,6 +260,10 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   cell.time_std = result.iteration_seconds.stddev();
   cell.f1_series = result.f1_series;
   cell.splits_series = result.splits_series;
+  if (options.telemetry) {
+    cell.telemetry_json = registry.ToJson();
+    cell.telemetry_counters_json = registry.CountersJson();
+  }
   return cell;
 }
 
@@ -240,8 +286,10 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   // Series runs bypass the cache entirely (cells never store series), and
   // so do member-parallel runs: LevBag's reset granularity differs in
   // parallel mode, so those cells must never mix with sequential ones.
-  const bool cache_enabled =
-      options.use_cache && !options.keep_series && !options.member_parallel;
+  // Telemetry runs bypass it too: a cached cell carries no registry, so a
+  // hit would silently return empty counters.
+  const bool cache_enabled = options.use_cache && !options.keep_series &&
+                             !options.member_parallel && !options.telemetry;
   SweepCache cache(options.cache_dir);
 
   struct Pending {
@@ -265,7 +313,7 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
       pending.push_back({&spec, &model, index++});
     }
   }
-  if (pending.empty()) return results;
+  if (pending.empty()) return results;  // telemetry runs never cache-hit
 
   const std::size_t jobs = std::min<std::size_t>(
       options.jobs == 0 ? ThreadPool::DefaultThreads() : options.jobs,
@@ -318,6 +366,7 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
     }
     for (std::future<void>& future : futures) GetHelping(pool.get(), &future);
   }
+  if (options.telemetry) WriteTelemetryArtifacts(results, options);
   return results;
 }
 

@@ -18,6 +18,13 @@
 //                   granularity in parallel mode, so its numbers can differ
 //                   from the sequential defaults; such runs bypass the
 //                   sweep cache entirely.
+//   --telemetry     attach one obs::TelemetryRegistry per cell and write a
+//                   TELEMETRY_<dataset>__<model>.json artifact next to the
+//                   BENCH_*.json outputs. Counters are seed-deterministic;
+//                   timer sections are wall-clock. Telemetry runs bypass
+//                   the sweep cache (cached cells carry no registries).
+//   --telemetry-dir D
+//                   directory for the telemetry artifacts (default ".")
 //
 // Parallelism and determinism: RunSweep dispatches every (dataset, model)
 // cell as an independent task on a work-stealing thread pool. Each cell's
@@ -57,6 +64,9 @@ struct Options {
   // Share the sweep pool with ensemble members (see the flag doc above).
   bool member_parallel = false;
   std::string cache_dir = "bench_cache";
+  // Record per-cell telemetry registries and write JSON artifacts.
+  bool telemetry = false;
+  std::string telemetry_dir = ".";
 };
 
 Options ParseOptions(int argc, char** argv);
@@ -90,6 +100,12 @@ struct CellResult {
   // Per-batch series, only populated when Options.keep_series.
   std::vector<double> f1_series;
   std::vector<double> splits_series;
+  // Full telemetry JSON (counters, gauges, timers), only populated when
+  // Options.telemetry.
+  std::string telemetry_json;
+  // Counters-only JSON (the seed-deterministic golden surface; no
+  // wall-clock fields), only populated when Options.telemetry.
+  std::string telemetry_counters_json;
 };
 
 // Runs one model over one data set prequentially. The cell's RNG seed is

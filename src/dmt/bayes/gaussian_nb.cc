@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "dmt/common/check.h"
@@ -54,11 +55,19 @@ void GaussianNaiveBayes::PredictProbaInto(std::span<const double> x,
     return;
   }
   for (int c = 0; c < num_classes_; ++c) {
+    if (class_counts_[c] == 0) {
+      // A never-observed class has no likelihood term; leaving it at its
+      // Laplace log-prior would let it out-score every seen class in
+      // low-likelihood regions (the prior-only score beats any seen
+      // class's prior + very negative log-likelihood). Excluded from the
+      // argmax: -inf is softmax-safe while any seen class remains finite.
+      out[c] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
     // Laplace-smoothed log prior.
     out[c] = std::log(
         (class_counts_[c] + 1.0) /
         (static_cast<double>(total_count_) + num_classes_));
-    if (class_counts_[c] == 0) continue;
     const GaussianEstimator* row =
         &estimators_[static_cast<std::size_t>(c) * num_features_];
     for (int j = 0; j < num_features_; ++j) {

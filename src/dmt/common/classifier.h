@@ -32,11 +32,26 @@
 #include "dmt/common/math.h"
 #include "dmt/common/types.h"
 
+namespace dmt::obs {
+class TelemetryRegistry;
+}  // namespace dmt::obs
+
 namespace dmt {
 
 class Classifier {
  public:
   virtual ~Classifier() = default;
+
+  // Binds this model's event counters to `registry` (see obs/telemetry.h).
+  // Models cache the raw counter pointers once here, so the training hot
+  // path pays only a null-checked increment; the default is a no-op and an
+  // unattached model behaves bit-identically to one that was never
+  // instrumented. The registry must outlive the classifier (or a later
+  // AttachTelemetry call); each registry is owned by exactly one
+  // prequential run, so no synchronization is involved.
+  virtual void AttachTelemetry(obs::TelemetryRegistry* registry) {
+    (void)registry;
+  }
 
   // Incrementally trains on a batch of observations. Streams in this library
   // are batch-incremental (the paper processes 0.1% of the data per step);

@@ -41,6 +41,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/kernels.h"
 #include "dmt/core/candidate.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::core {
 
@@ -51,6 +52,12 @@ struct CandidateUpdateParams {
   double replacement_rate = 0.5;
   std::size_t max_proposals_per_feature = 0;
   double gradient_step_size = 0.2;
+  // Optional telemetry destinations (null = not recorded): fresh proposals
+  // evaluated, proposals appended to a non-full store, and stored
+  // candidates evicted by a better proposal.
+  std::uint64_t* proposals_counter = nullptr;
+  std::uint64_t* appends_counter = nullptr;
+  std::uint64_t* evictions_counter = nullptr;
 };
 
 // Grow-only SoA buffer of fresh-candidate proposals (one batch's worth);
@@ -299,6 +306,7 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
   //    Proposals are visited in descending estimated gain (row index
   //    breaks ties deterministically).
   const ProposalBuffer& proposals = scratch->proposals;
+  DMT_TELEMETRY_ADD(params.proposals_counter, proposals.size());
   scratch->proposal_order.resize(proposals.size());
   for (std::size_t i = 0; i < proposals.size(); ++i) {
     scratch->proposal_order[i] = static_cast<std::uint32_t>(i);
@@ -331,6 +339,7 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
                 store->grad(c).begin());
       scratch->stored_gain.push_back(CandidateGain(
           *store, c, *loss_sum, grad_sum, *count, *loss_sum, lambda));
+      DMT_TELEMETRY_COUNT(params.appends_counter);
       continue;
     }
     if (budget == 0) break;
@@ -347,6 +356,7 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
       // proposal fails the same test.
       break;
     }
+    DMT_TELEMETRY_COUNT(params.evictions_counter);
     store->Reset(worst, proposals.feature(p), proposals.value(p));
     store->loss(worst) = proposals.loss(p);
     store->count(worst) = proposals.count(p);

@@ -8,6 +8,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::core {
 
@@ -60,6 +61,20 @@ DynamicModelTree::DynamicModelTree(const DmtConfig& config)
 }
 
 DynamicModelTree::~DynamicModelTree() = default;
+
+void DynamicModelTree::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  telemetry_.splits = registry->Counter("dmt.splits");
+  telemetry_.replacements = registry->Counter("dmt.replacements");
+  telemetry_.prunes = registry->Counter("dmt.prunes");
+  telemetry_.gain_tests = registry->Counter("dmt.gain_tests");
+  telemetry_.gain_tests_passed = registry->Counter("dmt.gain_tests_passed");
+  telemetry_.candidate_proposals =
+      registry->Counter("dmt.candidate_proposals");
+  telemetry_.candidate_appends = registry->Counter("dmt.candidate_appends");
+  telemetry_.candidate_evictions =
+      registry->Counter("dmt.candidate_evictions");
+}
 
 std::unique_ptr<DynamicModelTree::Node> DynamicModelTree::MakeLeaf(
     const linear::Glm* warm_start_from) {
@@ -169,6 +184,9 @@ void DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
       .replacement_rate = config_.replacement_rate,
       .max_proposals_per_feature = config_.max_proposals_per_feature,
       .gradient_step_size = config_.gradient_step_size,
+      .proposals_counter = telemetry_.candidate_proposals,
+      .appends_counter = telemetry_.candidate_appends,
+      .evictions_counter = telemetry_.candidate_evictions,
   };
   UpdateNodeStatistics(params, batch, rows, &node->model, &node->loss_sum,
                        std::span<double>(node->grad_sum), &node->count,
@@ -178,7 +196,11 @@ void DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
 void DynamicModelTree::CheckLeafSplit(Node* node, std::size_t depth) {
   double gain = 0.0;
   const int best = BestCandidateOf(*node, node->loss_sum, &gain);  // Eq. (3)
-  if (best < 0 || gain < SplitThreshold()) return;
+  if (best < 0) return;
+  DMT_TELEMETRY_COUNT(telemetry_.gain_tests);
+  if (gain < SplitThreshold()) return;
+  DMT_TELEMETRY_COUNT(telemetry_.gain_tests_passed);
+  DMT_TELEMETRY_COUNT(telemetry_.splits);
 
   const int feature = node->candidates.feature(best);
   const double value = node->candidates.value(best);
@@ -226,12 +248,17 @@ void DynamicModelTree::CheckInnerReplacement(Node* node, std::size_t depth) {
   const bool candidate_is_current =
       best >= 0 && node->candidates.feature(best) == node->split_feature &&
       node->candidates.value(best) == node->split_value;
-  const bool replace_ok = best >= 0 && !candidate_is_current &&
-                          replace_gain >= ReplaceThreshold(leaves);
+  const bool replace_tested = best >= 0 && !candidate_is_current;
+  if (replace_tested) DMT_TELEMETRY_COUNT(telemetry_.gain_tests);
+  const bool replace_ok =
+      replace_tested && replace_gain >= ReplaceThreshold(leaves);
+  if (replace_ok) DMT_TELEMETRY_COUNT(telemetry_.gain_tests_passed);
 
   // Eq. (5): the inner node's own model vs. the subtree.
+  DMT_TELEMETRY_COUNT(telemetry_.gain_tests);
   const double prune_gain = leaf_loss - node->loss_sum;
   const bool prune_ok = prune_gain >= PruneThreshold(leaves);
+  if (prune_ok) DMT_TELEMETRY_COUNT(telemetry_.gain_tests_passed);
 
   if (!replace_ok && !prune_ok) return;
 
@@ -242,6 +269,7 @@ void DynamicModelTree::CheckInnerReplacement(Node* node, std::size_t depth) {
     node->left.reset();
     node->right.reset();
     ++prunes_;
+    DMT_TELEMETRY_COUNT(telemetry_.prunes);
     RecordEvent({.kind = StructuralEvent::Kind::kPruneToLeaf,
                  .time_step = time_step_,
                  .feature = -1,
@@ -258,6 +286,7 @@ void DynamicModelTree::CheckInnerReplacement(Node* node, std::size_t depth) {
   node->right = MakeLeaf(&node->model);
   node->ResetStats();
   ++replacements_;
+  DMT_TELEMETRY_COUNT(telemetry_.replacements);
   RecordEvent({.kind = StructuralEvent::Kind::kReplaceSplit,
                .time_step = time_step_,
                .feature = node->split_feature,

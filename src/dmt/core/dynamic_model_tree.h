@@ -102,6 +102,9 @@ class DynamicModelTree : public Classifier {
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "DMT"; }
+  // Caches raw counter pointers for structural events, gain-test outcomes
+  // and candidate-store churn ("dmt.*" namespace; see obs/telemetry.h).
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
 
   // --- Introspection / interpretability API -------------------------------
 
@@ -185,6 +188,20 @@ class DynamicModelTree : public Classifier {
   std::size_t splits_performed_ = 0;
   std::size_t replacements_ = 0;
   std::size_t prunes_ = 0;
+
+  // Telemetry destinations, all null until AttachTelemetry (the registry
+  // must outlive this tree).
+  struct Telemetry {
+    std::uint64_t* splits = nullptr;
+    std::uint64_t* replacements = nullptr;
+    std::uint64_t* prunes = nullptr;
+    std::uint64_t* gain_tests = nullptr;
+    std::uint64_t* gain_tests_passed = nullptr;
+    std::uint64_t* candidate_proposals = nullptr;
+    std::uint64_t* candidate_appends = nullptr;
+    std::uint64_t* candidate_evictions = nullptr;
+  };
+  Telemetry telemetry_;
 
   static constexpr std::size_t kMaxEvents = 1024;
 };

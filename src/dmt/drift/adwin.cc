@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::drift {
 
@@ -15,7 +16,11 @@ bool Adwin::Update(double value) {
   InsertBucket(value);
   CompressBuckets();
   const bool shrunk = DetectAndShrink();
-  if (shrunk) ++num_detections_;
+  if (shrunk) {
+    ++num_detections_;
+    DMT_TELEMETRY_COUNT(shrink_counter_);
+  }
+  DMT_TELEMETRY_SET(width_gauge_, width_);
   return shrunk;
 }
 
@@ -52,6 +57,7 @@ void Adwin::CompressBuckets() {
 }
 
 void Adwin::DeleteOldestBucket() {
+  DMT_TELEMETRY_COUNT(drop_counter_);
   // The oldest bucket lives at the front of the deepest non-empty row.
   std::size_t r = rows_.size();
   while (r > 0 && rows_[r - 1].totals.empty()) --r;
@@ -83,17 +89,25 @@ bool Adwin::DetectAndShrink() {
   bool reduced = true;
   while (reduced) {
     reduced = false;
+    bool tail_too_small = false;
     double n0 = 0.0;
     double u0 = 0.0;
     // Walk cut points from oldest to newest element.
-    for (std::size_t r = rows_.size(); r-- > 0 && !reduced;) {
+    for (std::size_t r = rows_.size();
+         r-- > 0 && !reduced && !tail_too_small;) {
       const Row& row = rows_[r];
       const double bucket_size = std::pow(2.0, static_cast<double>(r));
       for (std::size_t b = 0; b < row.totals.size(); ++b) {
         n0 += bucket_size;
         u0 += row.totals[b];
         const double n1 = width_ - n0;
-        if (n1 < kMinSubWindow) break;
+        if (n1 < kMinSubWindow) {
+          // Cut points only move toward the newest element from here, so
+          // every remaining candidate fails this minimum too: end the
+          // whole scan, not just the current row.
+          tail_too_small = true;
+          break;
+        }
         if (n0 < kMinSubWindow) continue;
         const double u1 = total_ - u0;
         const double mean_diff = std::abs(u0 / n0 - u1 / n1);

@@ -28,6 +28,18 @@ class Adwin {
   std::size_t width() const { return static_cast<std::size_t>(width_); }
   std::size_t num_detections() const { return num_detections_; }
 
+  // Optional telemetry destinations (owned by an obs::TelemetryRegistry that
+  // must outlive this detector; any pointer may be null). `shrinks` counts
+  // windows shrunk, `drops` counts buckets dropped, `width` tracks the
+  // window width after each Update. Raw pointers keep the detector free of
+  // any dependency on the registry type.
+  void BindTelemetry(std::uint64_t* shrinks, std::uint64_t* drops,
+                     double* width) {
+    shrink_counter_ = shrinks;
+    drop_counter_ = drops;
+    width_gauge_ = width;
+  }
+
  private:
   // One row of the exponential histogram; buckets in row r aggregate 2^r
   // elements each. A row holds at most kMaxBuckets+1 buckets before the two
@@ -54,6 +66,9 @@ class Adwin {
   double width_ = 0.0;
   std::int64_t ticks_ = 0;
   std::size_t num_detections_ = 0;
+  std::uint64_t* shrink_counter_ = nullptr;
+  std::uint64_t* drop_counter_ = nullptr;
+  double* width_gauge_ = nullptr;
 };
 
 }  // namespace dmt::drift

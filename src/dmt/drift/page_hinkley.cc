@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "dmt/obs/telemetry.h"
+
 namespace dmt::drift {
 
 PageHinkley::PageHinkley(const PageHinkleyConfig& config) : config_(config) {}
@@ -19,6 +21,7 @@ bool PageHinkley::Update(double value) {
   if (n_ < config_.min_instances) return false;
   if (sum_ > config_.threshold) {
     ++num_detections_;
+    DMT_TELEMETRY_COUNT(reset_counter_);
     Reset();
     return true;
   }

@@ -7,6 +7,7 @@
 #define DMT_DRIFT_PAGE_HINKLEY_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dmt::drift {
 
@@ -34,12 +35,18 @@ class PageHinkley {
   std::size_t num_detections() const { return num_detections_; }
   double cumulative_sum() const { return sum_; }
 
+  // Optional telemetry destination counting alert-triggered resets (owned
+  // by an obs::TelemetryRegistry that must outlive this detector; may be
+  // null). Raw pointer keeps the detector decoupled from the registry type.
+  void BindTelemetry(std::uint64_t* resets) { reset_counter_ = resets; }
+
  private:
   PageHinkleyConfig config_;
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double sum_ = 0.0;
   std::size_t num_detections_ = 0;
+  std::uint64_t* reset_counter_ = nullptr;
 };
 
 }  // namespace dmt::drift

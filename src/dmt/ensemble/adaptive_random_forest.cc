@@ -5,6 +5,7 @@
 #include <future>
 
 #include "dmt/common/check.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::ensemble {
 
@@ -41,12 +42,16 @@ void AdaptiveRandomForest::TrainMemberInstance(Member* member,
   const double error = member->tree->Predict(x) == y ? 0.0 : 1.0;
   const bool warn = member->warning.Update(error);
   const bool drift = member->drift.Update(error);
+  if (warn) ++member->warnings;
+  if (drift) ++member->drifts;
 
   if (warn && member->background == nullptr) {
     member->background = MakeTree(&member->rng);
+    ++member->background_starts;
   }
   if (drift) {
     // Promote the background tree (or restart from scratch).
+    if (member->background != nullptr) ++member->background_promotions;
     member->tree = member->background != nullptr
                        ? std::move(member->background)
                        : MakeTree(&member->rng);
@@ -95,13 +100,47 @@ void AdaptiveRandomForest::PartialFit(const Batch& batch) {
     // Helping wait: if we are already inside a task of this (shared) pool,
     // drain queued work instead of blocking a worker thread.
     for (std::future<void>& future : futures) GetHelping(pool, &future);
-    return;
-  }
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    for (Member& member : members_) {
-      TrainMemberInstance(&member, batch.row(i), batch.label(i));
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      for (Member& member : members_) {
+        TrainMemberInstance(&member, batch.row(i), batch.label(i));
+      }
     }
   }
+  FlushTelemetry();
+}
+
+void AdaptiveRandomForest::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  telemetry_.background_starts = registry->Counter("arf.background_starts");
+  telemetry_.promotions = registry->Counter("arf.promotions");
+  telemetry_.warnings = registry->Counter("arf.warnings");
+  telemetry_.drifts = registry->Counter("arf.drifts");
+}
+
+void AdaptiveRandomForest::FlushTelemetry() {
+  if (telemetry_.promotions == nullptr) return;
+  std::size_t starts = 0;
+  std::size_t promotions = 0;
+  std::size_t warnings = 0;
+  std::size_t drifts = 0;
+  for (const Member& member : members_) {
+    starts += member.background_starts;
+    promotions += member.background_promotions;
+    warnings += member.warnings;
+    drifts += member.drifts;
+  }
+  DMT_TELEMETRY_ADD(telemetry_.background_starts,
+                    starts - telemetry_.last_background_starts);
+  DMT_TELEMETRY_ADD(telemetry_.promotions,
+                    promotions - telemetry_.last_promotions);
+  DMT_TELEMETRY_ADD(telemetry_.warnings,
+                    warnings - telemetry_.last_warnings);
+  DMT_TELEMETRY_ADD(telemetry_.drifts, drifts - telemetry_.last_drifts);
+  telemetry_.last_background_starts = starts;
+  telemetry_.last_promotions = promotions;
+  telemetry_.last_warnings = warnings;
+  telemetry_.last_drifts = drifts;
 }
 
 void AdaptiveRandomForest::PredictProbaInto(std::span<const double> x,

@@ -10,6 +10,7 @@
 #define DMT_ENSEMBLE_ADAPTIVE_RANDOM_FOREST_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +63,13 @@ class AdaptiveRandomForest : public Classifier {
   std::size_t num_promotions() const;
   std::size_t num_background_trees() const;
 
+  // Caches "arf.*" counters. Member trees are trained on worker threads
+  // under --member-parallel, so the registry is never handed to them:
+  // members keep private tallies and the coordinating thread adds the
+  // deltas once per PartialFit (FlushTelemetry), keeping counters exact
+  // and race-free at batch granularity.
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
  private:
   // Members are fully independent of one another: each owns its trees, its
   // detectors and its RNG (forked deterministically at construction), which
@@ -73,6 +81,12 @@ class AdaptiveRandomForest : public Classifier {
     drift::Adwin drift;
     Rng rng;
     std::size_t promotions = 0;
+    // Cumulative tallies for telemetry (detector num_detections reset on
+    // promotion, so they cannot serve as monotonic counters).
+    std::size_t background_starts = 0;
+    std::size_t background_promotions = 0;
+    std::size_t warnings = 0;
+    std::size_t drifts = 0;
 
     Member(double warning_delta, double drift_delta, Rng member_rng)
         : warning(warning_delta), drift(drift_delta), rng(member_rng) {}
@@ -84,6 +98,9 @@ class AdaptiveRandomForest : public Classifier {
   // The borrowed pool if one was injected, else the lazily built owned
   // pool, else nullptr (sequential).
   ThreadPool* WorkerPool() const;
+  // Adds the member-tally deltas since the last flush to the attached
+  // counters; runs on the coordinating thread after every PartialFit.
+  void FlushTelemetry();
 
   AdaptiveRandomForestConfig config_;
   Rng rng_;
@@ -93,6 +110,19 @@ class AdaptiveRandomForest : public Classifier {
   // single-instance scoring allocation-free but not concurrency-safe on a
   // shared instance (PredictBatch gives each worker task its own row).
   mutable std::vector<double> member_scratch_;
+  // Telemetry destinations and last-flushed totals, inert until
+  // AttachTelemetry.
+  struct Telemetry {
+    std::uint64_t* background_starts = nullptr;
+    std::uint64_t* promotions = nullptr;
+    std::uint64_t* warnings = nullptr;
+    std::uint64_t* drifts = nullptr;
+    std::size_t last_background_starts = 0;
+    std::size_t last_promotions = 0;
+    std::size_t last_warnings = 0;
+    std::size_t last_drifts = 0;
+  };
+  Telemetry telemetry_;
 };
 
 }  // namespace dmt::ensemble

@@ -4,6 +4,7 @@
 #include <future>
 
 #include "dmt/common/check.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::ensemble {
 
@@ -17,6 +18,23 @@ LeveragingBagging::LeveragingBagging(const LeveragingBaggingConfig& config)
     members_.push_back(MakeMember(&member_rngs_.back()));
     detectors_.emplace_back(config_.adwin_delta);
   }
+  member_detections_.resize(members_.size(), 0);
+}
+
+void LeveragingBagging::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  telemetry_.member_resets = registry->Counter("levbag.member_resets");
+  telemetry_.adwin_detections =
+      registry->Counter("levbag.adwin_detections");
+}
+
+void LeveragingBagging::FlushTelemetry() {
+  if (telemetry_.adwin_detections == nullptr) return;
+  std::size_t detections = 0;
+  for (std::size_t d : member_detections_) detections += d;
+  DMT_TELEMETRY_ADD(telemetry_.adwin_detections,
+                    detections - telemetry_.last_detections);
+  telemetry_.last_detections = detections;
 }
 
 std::unique_ptr<trees::Vfdt> LeveragingBagging::MakeMember(Rng* rng) {
@@ -36,6 +54,9 @@ void LeveragingBagging::ResetWorstMember() {
   members_[worst] = MakeMember(&member_rngs_[worst]);
   detectors_[worst] = drift::Adwin(config_.adwin_delta);
   ++num_resets_;
+  // Always runs on the coordinating thread (per instance sequentially, or
+  // at the batch boundary in parallel mode), so counting directly is safe.
+  DMT_TELEMETRY_COUNT(telemetry_.member_resets);
 }
 
 void LeveragingBagging::TrainInstance(std::span<const double> x, int y) {
@@ -43,7 +64,9 @@ void LeveragingBagging::TrainInstance(std::span<const double> x, int y) {
   for (std::size_t i = 0; i < members_.size(); ++i) {
     // Monitor each member's own prequential error.
     const double error = members_[i]->Predict(x) == y ? 0.0 : 1.0;
-    change |= detectors_[i].Update(error);
+    const bool fired = detectors_[i].Update(error);
+    change |= fired;
+    member_detections_[i] += fired ? 1 : 0;
     const int weight = member_rngs_[i].Poisson(config_.poisson_lambda);
     for (int w = 0; w < weight; ++w) members_[i]->TrainInstance(x, y);
   }
@@ -56,7 +79,9 @@ bool LeveragingBagging::TrainMemberBatch(std::size_t m, const Batch& batch) {
     const std::span<const double> x = batch.row(i);
     const int y = batch.label(i);
     const double error = members_[m]->Predict(x) == y ? 0.0 : 1.0;
-    fired |= detectors_[m].Update(error);
+    const bool detected = detectors_[m].Update(error);
+    fired |= detected;
+    member_detections_[m] += detected ? 1 : 0;
     const int weight = member_rngs_[m].Poisson(config_.poisson_lambda);
     for (int w = 0; w < weight; ++w) members_[m]->TrainInstance(x, y);
   }
@@ -92,11 +117,12 @@ void LeveragingBagging::PartialFit(const Batch& batch) {
     bool change = false;
     for (std::future<bool>& future : futures) change |= GetHelping(pool, &future);
     if (change) ResetWorstMember();
-    return;
+  } else {
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      TrainInstance(batch.row(i), batch.label(i));
+    }
   }
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    TrainInstance(batch.row(i), batch.label(i));
-  }
+  FlushTelemetry();
 }
 
 void LeveragingBagging::PredictProbaInto(std::span<const double> x,

@@ -9,6 +9,7 @@
 #define DMT_ENSEMBLE_LEVERAGING_BAGGING_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,6 +59,12 @@ class LeveragingBagging : public Classifier {
 
   std::size_t num_resets() const { return num_resets_; }
 
+  // Caches "levbag.*" counters. Detector updates run on worker threads
+  // under --member-parallel, so per-member tallies are kept instead of
+  // writing counters from workers; the coordinating thread adds the deltas
+  // once per PartialFit (FlushTelemetry).
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
  private:
   std::unique_ptr<trees::Vfdt> MakeMember(Rng* rng);
   void TrainInstance(std::span<const double> x, int y);
@@ -66,6 +73,7 @@ class LeveragingBagging : public Classifier {
   bool TrainMemberBatch(std::size_t m, const Batch& batch);
   void ResetWorstMember();
   ThreadPool* WorkerPool() const;
+  void FlushTelemetry();
 
   LeveragingBaggingConfig config_;
   Rng rng_;
@@ -73,10 +81,21 @@ class LeveragingBagging : public Classifier {
   std::vector<drift::Adwin> detectors_;
   std::vector<Rng> member_rngs_;  // forked per member at construction
   std::size_t num_resets_ = 0;
+  // Cumulative ADWIN detections per member (the detectors themselves are
+  // replaced on reset, so their num_detections cannot serve as counters).
+  std::vector<std::size_t> member_detections_;
   mutable std::unique_ptr<ThreadPool> pool_;  // lazy, when num_threads > 1
   // Member-probability row reused by PredictProbaInto (not concurrency-safe
   // on a shared instance; PredictBatch tasks use their own rows).
   mutable std::vector<double> member_scratch_;
+  // Telemetry destinations and last-flushed total, inert until
+  // AttachTelemetry.
+  struct Telemetry {
+    std::uint64_t* member_resets = nullptr;
+    std::uint64_t* adwin_detections = nullptr;
+    std::size_t last_detections = 0;
+  };
+  Telemetry telemetry_;
 };
 
 }  // namespace dmt::ensemble

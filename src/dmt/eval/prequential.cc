@@ -5,6 +5,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/eval/metrics.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/streams/scaler.h"
 
 namespace dmt::eval {
@@ -31,6 +32,22 @@ PrequentialResult RunPrequential(streams::Stream* stream,
   // iteration the scoring loop performs no heap allocation.
   ProbaMatrix proba;
 
+  // Telemetry destinations stay null (and the timers skip all clock reads)
+  // when no registry is supplied.
+  std::uint64_t* batches_counter = nullptr;
+  std::uint64_t* samples_counter = nullptr;
+  obs::PhaseTimer* scale_timer = nullptr;
+  obs::PhaseTimer* score_timer = nullptr;
+  obs::PhaseTimer* train_timer = nullptr;
+  if (config.telemetry != nullptr) {
+    classifier->AttachTelemetry(config.telemetry);
+    batches_counter = config.telemetry->Counter("harness.batches");
+    samples_counter = config.telemetry->Counter("harness.samples");
+    scale_timer = config.telemetry->Timer("harness.scale");
+    score_timer = config.telemetry->Timer("harness.score");
+    train_timer = config.telemetry->Timer("harness.train");
+  }
+
   while (true) {
     batch.clear();
     if (stream->FillBatch(batch_size, &batch) == 0) break;
@@ -38,14 +55,26 @@ PrequentialResult RunPrequential(streams::Stream* stream,
     // Normalization is harness preprocessing, not model work: it runs
     // outside the timed region so iteration_seconds measures the model
     // (test + train) only.
-    if (config.normalize) scaler.FitTransform(&batch);
+    if (config.normalize) {
+      obs::ScopedPhaseTimer timer(scale_timer);
+      scaler.FitTransform(&batch);
+    }
 
     // Test, then train. Only the model calls are timed; the confusion
     // bookkeeping below happens after the clock stops.
     const auto start = std::chrono::steady_clock::now();
-    classifier->PredictBatch(batch, &proba);
-    classifier->PartialFit(batch);
+    {
+      obs::ScopedPhaseTimer timer(score_timer);
+      classifier->PredictBatch(batch, &proba);
+    }
+    {
+      obs::ScopedPhaseTimer timer(train_timer);
+      classifier->PartialFit(batch);
+    }
     const auto end = std::chrono::steady_clock::now();
+
+    DMT_TELEMETRY_COUNT(batches_counter);
+    DMT_TELEMETRY_ADD(samples_counter, batch.size());
 
     confusion.Reset();
     confusion.AddBatch(proba, batch);

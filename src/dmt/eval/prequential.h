@@ -24,6 +24,11 @@ struct PrequentialConfig {
   bool normalize = true;
   // Record per-batch series (needed for Figures 3 and 4).
   bool keep_series = false;
+  // When set, the classifier is attached to this registry before training
+  // ("harness.*" counters and scale/score/train phase timers are recorded
+  // here too). The registry must outlive the run; null disables telemetry
+  // with zero per-batch cost.
+  obs::TelemetryRegistry* telemetry = nullptr;
 };
 
 struct PrequentialResult {

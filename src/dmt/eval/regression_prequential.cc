@@ -18,16 +18,16 @@ class BatchScaler {
       : mins_(num_features, std::numeric_limits<double>::max()),
         maxs_(num_features, std::numeric_limits<double>::lowest()) {}
 
+  // Per-row update-then-transform, like OnlineMinMaxScaler: updating the
+  // ranges with the whole batch first would leak within-batch future
+  // statistics into earlier rows (test-then-train violation).
   void FitTransform(linear::RegressionBatch* batch) {
     for (std::size_t i = 0; i < batch->size(); ++i) {
-      const std::span<const double> row = batch->row(i);
+      std::span<double> row = batch->mutable_row(i);
       for (std::size_t j = 0; j < row.size(); ++j) {
         mins_[j] = std::min(mins_[j], row[j]);
         maxs_[j] = std::max(maxs_[j], row[j]);
       }
-    }
-    for (std::size_t i = 0; i < batch->size(); ++i) {
-      std::span<double> row = batch->mutable_row(i);
       for (std::size_t j = 0; j < row.size(); ++j) {
         const double range = maxs_[j] - mins_[j];
         row[j] = range <= 0.0

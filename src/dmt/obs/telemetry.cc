@@ -1,0 +1,91 @@
+#include "dmt/obs/telemetry.h"
+
+#include <cstdio>
+
+namespace dmt::obs {
+
+namespace {
+
+// Counter names are library-chosen identifiers (ASCII, no quotes), so the
+// writer only needs to pass them through; matches the bench_json.h policy
+// of escaping-free hand-rolled serialization.
+void AppendQuoted(std::string* out, const std::string& name) {
+  out->push_back('"');
+  out->append(name);
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+std::uint64_t* TelemetryRegistry::Counter(const std::string& name) {
+  return &counters_[name];
+}
+
+double* TelemetryRegistry::Gauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+PhaseTimer* TelemetryRegistry::Timer(const std::string& name) {
+  return &timers_[name];
+}
+
+std::string TelemetryRegistry::CountersJson() const {
+  std::string out = "{\n";
+  std::size_t i = 0;
+  for (const auto& [name, value] : counters_) {
+    out.append("  ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    out.append(std::to_string(value));
+    if (++i != counters_.size()) out.push_back(',');
+    out.push_back('\n');
+  }
+  out.append("}\n");
+  return out;
+}
+
+std::string TelemetryRegistry::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  std::size_t i = 0;
+  for (const auto& [name, value] : counters_) {
+    out.append(i++ == 0 ? "\n" : ",\n");
+    out.append("    ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    out.append(std::to_string(value));
+  }
+  out.append(i == 0 ? "},\n" : "\n  },\n");
+  out.append("  \"gauges\": {");
+  i = 0;
+  for (const auto& [name, value] : gauges_) {
+    out.append(i++ == 0 ? "\n" : ",\n");
+    out.append("    ");
+    AppendQuoted(&out, name);
+    out.append(": ");
+    AppendDouble(&out, value);
+  }
+  out.append(i == 0 ? "},\n" : "\n  },\n");
+  out.append("  \"timers\": {");
+  i = 0;
+  for (const auto& [name, timer] : timers_) {
+    out.append(i++ == 0 ? "\n" : ",\n");
+    out.append("    ");
+    AppendQuoted(&out, name);
+    out.append(": {\"seconds\": ");
+    AppendDouble(&out, timer.seconds);
+    out.append(", \"calls\": ");
+    out.append(std::to_string(timer.calls));
+    out.push_back('}');
+  }
+  out.append(i == 0 ? "}\n" : "\n  }\n");
+  out.append("}\n");
+  return out;
+}
+
+}  // namespace dmt::obs

@@ -1,9 +1,7 @@
 #include "dmt/streams/csv_stream.h"
 
-#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <sstream>
 
 #include "dmt/common/check.h"
 
@@ -11,26 +9,35 @@ namespace dmt::streams {
 
 namespace {
 
+// A std::getline(stream, cell, delim) loop would drop a trailing empty
+// field ("a,b," yields 2 cells, not 3), silently misreporting a row with a
+// missing last value as a column-count mismatch -- or, with the label in
+// front, shifting every feature by one. Splitting on delimiter positions
+// keeps every field, trailing empties included.
 std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
   std::vector<std::string> cells;
-  std::string cell;
-  std::stringstream stream(line);
-  while (std::getline(stream, cell, delimiter)) {
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t delim = line.find(delimiter, start);
+    const std::size_t length =
+        (delim == std::string::npos ? line.size() : delim) - start;
+    const std::string cell = line.substr(start, length);
     // Trim surrounding whitespace and optional quotes.
-    std::size_t begin = cell.find_first_not_of(" \t\r\"");
-    std::size_t end = cell.find_last_not_of(" \t\r\"");
+    const std::size_t begin = cell.find_first_not_of(" \t\r\"");
+    const std::size_t end = cell.find_last_not_of(" \t\r\"");
     cells.push_back(begin == std::string::npos
                         ? std::string()
                         : cell.substr(begin, end - begin + 1));
+    if (delim == std::string::npos) break;
+    start = delim + 1;
   }
   return cells;
 }
 
 [[noreturn]] void Fail(const std::string& path, std::size_t line,
                        const std::string& message) {
-  std::fprintf(stderr, "CsvStream(%s:%zu): %s\n", path.c_str(), line,
-               message.c_str());
-  std::abort();
+  throw CsvError("CsvStream(" + path + ":" + std::to_string(line) +
+                 "): " + message);
 }
 
 }  // namespace

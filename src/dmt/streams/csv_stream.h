@@ -14,12 +14,21 @@
 
 #include <fstream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "dmt/streams/stream.h"
 
 namespace dmt::streams {
+
+// Malformed-input error of CsvStream, carrying "path:line: message". Thrown
+// (not aborted on): one bad data file must not kill a multi-cell sweep, so
+// callers can catch it, report the cell as failed and move on.
+class CsvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct CsvStreamConfig {
   std::string path;
@@ -37,11 +46,12 @@ struct CsvStreamConfig {
 class CsvStream : public Stream {
  public:
   // Opens the file, reads the header, and (if num_classes == 0) performs a
-  // one-time scan to enumerate the classes. Aborts with a clear message on
-  // malformed input -- this is an offline configuration step, not a hot
-  // path.
+  // one-time scan to enumerate the classes. Throws CsvError with a clear
+  // message on malformed input -- this is an offline configuration step,
+  // not a hot path.
   explicit CsvStream(const CsvStreamConfig& config);
 
+  // Throws CsvError on a malformed row (wrong column count, unseen label).
   bool NextInstance(Instance* out) override;
   std::size_t num_features() const override { return num_features_; }
   std::size_t num_classes() const override { return classes_.size(); }

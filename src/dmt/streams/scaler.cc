@@ -9,15 +9,18 @@ namespace dmt::streams {
 void OnlineMinMaxScaler::FitTransform(Batch* batch) {
   DMT_CHECK(batch != nullptr);
   DMT_CHECK(batch->num_features() == mins_.size());
+  // Strictly per row, update-then-transform: updating the ranges with the
+  // whole batch before rescaling any row would leak within-batch future
+  // statistics into earlier rows -- a test-then-train protocol violation
+  // (an observation may only be preprocessed with information available
+  // before it arrived).
   for (std::size_t i = 0; i < batch->size(); ++i) {
-    const std::span<const double> row = batch->row(i);
+    const std::span<double> row = batch->mutable_row(i);
     for (std::size_t j = 0; j < row.size(); ++j) {
       mins_[j] = std::min(mins_[j], row[j]);
       maxs_[j] = std::max(maxs_[j], row[j]);
     }
-  }
-  for (std::size_t i = 0; i < batch->size(); ++i) {
-    Transform(batch->mutable_row(i));
+    Transform(row);
   }
 }
 

@@ -20,7 +20,9 @@ class OnlineMinMaxScaler {
       : mins_(num_features, std::numeric_limits<double>::max()),
         maxs_(num_features, std::numeric_limits<double>::lowest()) {}
 
-  // Updates ranges with the batch, then rescales it in place.
+  // Rescales the batch in place, row by row: each row first updates the
+  // ranges, then is transformed with them, so no row sees statistics of a
+  // later observation (prequential test-then-train protocol).
   void FitTransform(Batch* batch);
 
   // Rescales one observation with the current ranges (no update).

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -41,6 +42,16 @@ Efdt::Efdt(const EfdtConfig& config) : config_(config) {
 }
 
 Efdt::~Efdt() = default;
+
+void Efdt::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  split_attempts_counter_ = registry->Counter("efdt.split_attempts");
+  splits_counter_ = registry->Counter("efdt.splits");
+  reevaluations_counter_ = registry->Counter("efdt.reevaluations");
+  subtree_kills_counter_ = registry->Counter("efdt.subtree_kills");
+  split_replacements_counter_ =
+      registry->Counter("efdt.split_replacements");
+}
 
 SplitSuggestion Efdt::BestSuggestion(const Node& node) const {
   SplitSuggestion best;
@@ -89,6 +100,7 @@ void Efdt::PartialFit(const Batch& batch) {
 }
 
 void Efdt::AttemptInitialSplit(Node* leaf) {
+  DMT_TELEMETRY_COUNT(split_attempts_counter_);
   double nonzero = 0.0;
   for (double c : leaf->class_counts) nonzero += c > 0.0 ? 1.0 : 0.0;
   if (nonzero < 2.0) return;
@@ -101,6 +113,7 @@ void Efdt::AttemptInitialSplit(Node* leaf) {
   // EFDT: the candidate only needs to beat the *null* split (merit 0).
   if (best.merit - 0.0 > epsilon ||
       (epsilon < config_.tie_threshold && best.merit > 0.0)) {
+    DMT_TELEMETRY_COUNT(splits_counter_);
     leaf->split_feature = best.feature;
     leaf->split_value = best.threshold;
     leaf->left =
@@ -111,6 +124,7 @@ void Efdt::AttemptInitialSplit(Node* leaf) {
 }
 
 void Efdt::ReevaluateSplit(Node* inner) {
+  DMT_TELEMETRY_COUNT(reevaluations_counter_);
   const SplitSuggestion best = BestSuggestion(*inner);
   const double range = std::log2(static_cast<double>(config_.num_classes));
   const double epsilon =
@@ -130,12 +144,14 @@ void Efdt::ReevaluateSplit(Node* inner) {
 
   if (best.merit <= 0.0 && 0.0 - current_merit > epsilon) {
     // The null split dominates: kill the subtree.
+    DMT_TELEMETRY_COUNT(subtree_kills_counter_);
     inner->BecomeLeaf();
     return;
   }
   if (best.feature >= 0 && best.feature != inner->split_feature &&
       best.merit - current_merit > epsilon) {
     // A strictly better attribute emerged: replace the split (and subtree).
+    DMT_TELEMETRY_COUNT(split_replacements_counter_);
     inner->split_feature = best.feature;
     inner->split_value = best.threshold;
     inner->left =

@@ -12,6 +12,7 @@
 #define DMT_TREES_EFDT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -50,6 +51,10 @@ class Efdt : public Classifier {
 
   void TrainInstance(std::span<const double> x, int y);
 
+  // Caches "efdt.*" counters for initial splits, re-evaluations, subtree
+  // kills and split replacements.
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
  private:
   struct Node;
 
@@ -59,6 +64,12 @@ class Efdt : public Classifier {
 
   EfdtConfig config_;
   std::unique_ptr<Node> root_;
+  // Telemetry destinations, null until AttachTelemetry.
+  std::uint64_t* split_attempts_counter_ = nullptr;
+  std::uint64_t* splits_counter_ = nullptr;
+  std::uint64_t* reevaluations_counter_ = nullptr;
+  std::uint64_t* subtree_kills_counter_ = nullptr;
+  std::uint64_t* split_replacements_counter_ = nullptr;
 };
 
 }  // namespace dmt::trees

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::trees {
 
@@ -147,6 +148,25 @@ FimtDd::FimtDd(const FimtDdConfig& config)
 
 FimtDd::~FimtDd() = default;
 
+void FimtDd::BindNodeTelemetry(Node* node) {
+  node->drift_test.BindTelemetry(ph_resets_counter_);
+}
+
+void FimtDd::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  split_attempts_counter_ = registry->Counter("fimtdd.split_attempts");
+  splits_counter_ = registry->Counter("fimtdd.splits");
+  prunes_counter_ = registry->Counter("fimtdd.prunes");
+  ph_resets_counter_ = registry->Counter("ph.resets");
+  auto walk = [&](auto&& self, Node* node) -> void {
+    BindNodeTelemetry(node);
+    if (node->is_leaf()) return;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+}
+
 void FimtDd::TrainInstance(std::span<const double> x, int y) {
   // Route to the leaf, remembering the path for drift monitoring.
   std::vector<Node*> path;
@@ -176,6 +196,7 @@ void FimtDd::TrainInstance(std::span<const double> x, int y) {
       n->weight_seen = 0.0;
       n->weight_at_last_attempt = 0.0;
       ++num_prunes_;
+      DMT_TELEMETRY_COUNT(prunes_counter_);
       leaf = n;
       break;
     }
@@ -206,6 +227,7 @@ void FimtDd::PartialFit(const Batch& batch) {
 }
 
 void FimtDd::AttemptSplit(Node* leaf) {
+  DMT_TELEMETRY_COUNT(split_attempts_counter_);
   double best_sdr = 0.0;
   double second_sdr = 0.0;
   int best_feature = -1;
@@ -234,10 +256,13 @@ void FimtDd::AttemptSplit(Node* leaf) {
   const double epsilon =
       HoeffdingBound(1.0, config_.split_confidence, leaf->weight_seen);
   if (ratio < 1.0 - std::min(epsilon, config_.tie_threshold)) {
+    DMT_TELEMETRY_COUNT(splits_counter_);
     leaf->split_feature = best_feature;
     leaf->split_value = best_threshold;
     leaf->left = std::make_unique<Node>(config_, &rng_);
     leaf->right = std::make_unique<Node>(config_, &rng_);
+    BindNodeTelemetry(leaf->left.get());
+    BindNodeTelemetry(leaf->right.get());
     // Children warm-start from the parent's optimized model.
     leaf->left->model.WarmStartFrom(leaf->model);
     leaf->right->model.WarmStartFrom(leaf->model);

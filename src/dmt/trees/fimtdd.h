@@ -15,6 +15,7 @@
 #define DMT_TREES_FIMTDD_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -64,15 +65,26 @@ class FimtDd : public Classifier {
 
   void TrainInstance(std::span<const double> x, int y);
 
+  // Caches "fimtdd.*" counters and the shared "ph.resets" destination the
+  // per-node Page-Hinkley tests bind to (existing nodes are re-bound by a
+  // tree walk; nodes created later bind at construction).
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
  private:
   struct Node;
 
   void AttemptSplit(Node* leaf);
+  void BindNodeTelemetry(Node* node);
 
   FimtDdConfig config_;
   Rng rng_;
   std::unique_ptr<Node> root_;
   std::size_t num_prunes_ = 0;
+  // Telemetry destinations, null until AttachTelemetry.
+  std::uint64_t* split_attempts_counter_ = nullptr;
+  std::uint64_t* splits_counter_ = nullptr;
+  std::uint64_t* prunes_counter_ = nullptr;
+  std::uint64_t* ph_resets_counter_ = nullptr;
 };
 
 }  // namespace dmt::trees

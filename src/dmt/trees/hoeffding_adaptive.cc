@@ -5,6 +5,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/drift/adwin.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -50,6 +51,35 @@ HoeffdingAdaptiveTree::HoeffdingAdaptiveTree(const HatConfig& config)
 
 HoeffdingAdaptiveTree::~HoeffdingAdaptiveTree() = default;
 
+void HoeffdingAdaptiveTree::BindNodeTelemetry(Node* node) {
+  node->error_monitor.BindTelemetry(adwin_shrinks_counter_,
+                                    adwin_drops_counter_, adwin_width_gauge_);
+}
+
+void HoeffdingAdaptiveTree::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  split_attempts_counter_ = registry->Counter("hat.split_attempts");
+  splits_counter_ = registry->Counter("hat.splits");
+  alternates_started_counter_ = registry->Counter("hat.alternates_started");
+  alternates_promoted_counter_ =
+      registry->Counter("hat.alternates_promoted");
+  alternates_dropped_counter_ = registry->Counter("hat.alternates_dropped");
+  adwin_shrinks_counter_ = registry->Counter("adwin.shrinks");
+  adwin_drops_counter_ = registry->Counter("adwin.buckets_dropped");
+  adwin_width_gauge_ = registry->Gauge("adwin.width");
+  // Bind every existing error monitor, alternates included. The bindings
+  // are plain pointer values, so they survive the alternate-adoption move
+  // in TrainAt.
+  auto walk = [&](auto&& self, Node* node) -> void {
+    BindNodeTelemetry(node);
+    if (node->alternate != nullptr) self(self, node->alternate.get());
+    if (node->is_leaf()) return;
+    self(self, node->left.get());
+    self(self, node->right.get());
+  };
+  walk(walk, root_.get());
+}
+
 int HoeffdingAdaptiveTree::SubtreePredict(const Node* node,
                                           std::span<const double> x) const {
   while (!node->is_leaf()) {
@@ -68,6 +98,8 @@ void HoeffdingAdaptiveTree::TrainAt(Node* node, std::span<const double> x,
   if (drift && node->alternate == nullptr && !node->is_leaf()) {
     node->alternate = std::make_unique<Node>(
         config_.num_features, config_.num_classes, config_.adwin_delta);
+    BindNodeTelemetry(node->alternate.get());
+    DMT_TELEMETRY_COUNT(alternates_started_counter_);
   }
 
   if (node->alternate != nullptr) {
@@ -87,12 +119,14 @@ void HoeffdingAdaptiveTree::TrainAt(Node* node, std::span<const double> x,
           std::log(2.0 / config_.swap_confidence) *
           (1.0 / w_old + 1.0 / w_alt));
       if (err_old - err_alt > bound) {
+        DMT_TELEMETRY_COUNT(alternates_promoted_counter_);
         std::unique_ptr<Node> alternate = std::move(node->alternate);
         *node = std::move(*alternate);
         // The adopted branch already consumed this instance via the
         // recursive call above.
         return;
       } else if (err_alt - err_old > bound) {
+        DMT_TELEMETRY_COUNT(alternates_dropped_counter_);
         node->alternate.reset();
       }
     }
@@ -128,6 +162,7 @@ void HoeffdingAdaptiveTree::PartialFit(const Batch& batch) {
 }
 
 void HoeffdingAdaptiveTree::AttemptSplit(Node* leaf) {
+  DMT_TELEMETRY_COUNT(split_attempts_counter_);
   double nonzero = 0.0;
   for (double c : leaf->class_counts) nonzero += c > 0.0 ? 1.0 : 0.0;
   if (nonzero < 2.0) return;
@@ -151,12 +186,15 @@ void HoeffdingAdaptiveTree::AttemptSplit(Node* leaf) {
       HoeffdingBound(range, config_.split_confidence, leaf->weight_seen);
   if (best.merit - std::max(0.0, second.merit) > epsilon ||
       epsilon < config_.tie_threshold) {
+    DMT_TELEMETRY_COUNT(splits_counter_);
     leaf->split_feature = best.feature;
     leaf->split_value = best.threshold;
     leaf->left = std::make_unique<Node>(
         config_.num_features, config_.num_classes, config_.adwin_delta);
     leaf->right = std::make_unique<Node>(
         config_.num_features, config_.num_classes, config_.adwin_delta);
+    BindNodeTelemetry(leaf->left.get());
+    BindNodeTelemetry(leaf->right.get());
     leaf->observers.clear();
   }
 }

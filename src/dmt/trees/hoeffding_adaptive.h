@@ -10,6 +10,7 @@
 #define DMT_TREES_HOEFFDING_ADAPTIVE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,15 +53,31 @@ class HoeffdingAdaptiveTree : public Classifier {
 
   void TrainInstance(std::span<const double> x, int y);
 
+  // Caches "hat.*" counters (split attempts/splits, alternate-tree
+  // lifecycle) and the shared "adwin.*" destinations every per-node error
+  // monitor binds to (existing nodes are re-bound by a tree walk; nodes
+  // created later bind at construction).
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
  private:
   struct Node;
 
   void TrainAt(Node* node, std::span<const double> x, int y);
   void AttemptSplit(Node* leaf);
   int SubtreePredict(const Node* node, std::span<const double> x) const;
+  void BindNodeTelemetry(Node* node);
 
   HatConfig config_;
   std::unique_ptr<Node> root_;
+  // Telemetry destinations, null until AttachTelemetry.
+  std::uint64_t* split_attempts_counter_ = nullptr;
+  std::uint64_t* splits_counter_ = nullptr;
+  std::uint64_t* alternates_started_counter_ = nullptr;
+  std::uint64_t* alternates_promoted_counter_ = nullptr;
+  std::uint64_t* alternates_dropped_counter_ = nullptr;
+  std::uint64_t* adwin_shrinks_counter_ = nullptr;
+  std::uint64_t* adwin_drops_counter_ = nullptr;
+  double* adwin_width_gauge_ = nullptr;
 };
 
 }  // namespace dmt::trees

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -45,9 +47,16 @@ struct Vfdt::Node {
                            std::span<double> out) const {
     const int num_classes = static_cast<int>(class_counts.size());
     for (int c = 0; c < num_classes; ++c) {
+      if (class_counts[c] <= 0.0) {
+        // Never observed at this leaf: no likelihood term exists, and the
+        // bare Laplace log-prior would out-score seen classes in
+        // low-likelihood regions. Excluded from the argmax (callers only
+        // reach here with weight_seen > 0, so some entry stays finite).
+        out[c] = -std::numeric_limits<double>::infinity();
+        continue;
+      }
       out[c] = std::log((class_counts[c] + 1.0) /
                         (weight_seen + num_classes));
-      if (class_counts[c] <= 0.0) continue;
       for (std::size_t j = 0; j < observers.size(); ++j) {
         out[c] += observers[j].estimator(c).LogPdf(x[j]);
       }
@@ -63,6 +72,12 @@ Vfdt::Vfdt(const VfdtConfig& config) : config_(config), rng_(config.seed) {
 }
 
 Vfdt::~Vfdt() = default;
+
+void Vfdt::AttachTelemetry(obs::TelemetryRegistry* registry) {
+  if (registry == nullptr) return;
+  split_attempts_counter_ = registry->Counter("vfdt.split_attempts");
+  splits_counter_ = registry->Counter("vfdt.splits");
+}
 
 bool Vfdt::IsNominal(int feature) const {
   return std::find(config_.nominal_features.begin(),
@@ -116,6 +131,7 @@ void Vfdt::PartialFit(const Batch& batch) {
 }
 
 void Vfdt::AttemptSplit(Node* leaf) {
+  DMT_TELEMETRY_COUNT(split_attempts_counter_);
   // A pure leaf cannot be improved by splitting.
   double nonzero = 0.0;
   for (double c : leaf->class_counts) nonzero += c > 0.0 ? 1.0 : 0.0;
@@ -159,6 +175,7 @@ void Vfdt::AttemptSplit(Node* leaf) {
   const double second_merit = std::max(0.0, second.merit);
   if (best.merit - second_merit > epsilon ||
       epsilon < config_.tie_threshold) {
+    DMT_TELEMETRY_COUNT(splits_counter_);
     leaf->split_feature = best.feature;
     leaf->split_value = best.threshold;
     leaf->split_is_equality = best.is_equality;

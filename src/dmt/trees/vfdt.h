@@ -75,6 +75,9 @@ class Vfdt : public Classifier {
   // Trains on a single observation (instance-incremental mode).
   void TrainInstance(std::span<const double> x, int y);
 
+  // Caches "vfdt.*" counters for Hoeffding split attempts and splits.
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
  private:
   struct Node;
 
@@ -96,6 +99,9 @@ class Vfdt : public Classifier {
   std::vector<int> feature_pool_;
   std::vector<double> left_scratch_;
   std::vector<double> right_scratch_;
+  // Telemetry destinations, null until AttachTelemetry.
+  std::uint64_t* split_attempts_counter_ = nullptr;
+  std::uint64_t* splits_counter_ = nullptr;
 };
 
 }  // namespace dmt::trees

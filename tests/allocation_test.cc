@@ -16,6 +16,7 @@
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
 #include "dmt/linear/glm.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/trees/vfdt.h"
 
 DMT_DEFINE_COUNTING_ALLOCATOR();
@@ -192,6 +193,36 @@ TEST(AllocationRegressionTest, VfdtNbaTrainsWithoutAllocating) {
   const auto measured = MakeBatches(4, 500, 206, /*label_kind=*/1);
   ExpectZeroAllocTraining(&model, warmup, measured);
   EXPECT_EQ(model.NumInnerNodes(), 0u);
+}
+
+// --- Telemetry (PR "stream telemetry layer"): every test above already
+// runs with no registry attached, pinning the disabled mode (null cached
+// pointers) as allocation-free. Attached mode must be equally clean: the
+// registry allocates its map nodes at AttachTelemetry time, after which
+// every counter bump is a raw-pointer increment.
+
+TEST(AllocationRegressionTest, DmtTrainsWithoutAllocatingWithTelemetry) {
+  core::DynamicModelTree model({.num_features = kFeatures, .num_classes = 2});
+  obs::TelemetryRegistry registry;
+  model.AttachTelemetry(&registry);
+  const auto warmup = MakeBatches(6, 500, 201, /*label_kind=*/0);
+  const auto measured = MakeBatches(4, 500, 202, /*label_kind=*/0);
+  ExpectZeroAllocTraining(&model, warmup, measured);
+#ifndef DMT_UNDER_SANITIZER
+  // The instrumented paths must actually have fired while staying clean.
+  EXPECT_GT(*registry.Counter("dmt.candidate_proposals"), 0u);
+#endif
+}
+
+TEST(AllocationRegressionTest, VfdtScoresWithoutAllocatingWithTelemetry) {
+  trees::Vfdt model({.num_features = kFeatures, .num_classes = kClasses});
+  obs::TelemetryRegistry registry;
+  model.AttachTelemetry(&registry);
+  const Batch probe = TrainAndMakeProbe(&model, 105);
+  ExpectZeroAllocScoring(&model, probe);
+#ifndef DMT_UNDER_SANITIZER
+  EXPECT_GT(*registry.Counter("vfdt.split_attempts"), 0u);
+#endif
 }
 
 TEST(AllocationRegressionTest, GlmTrainsWithoutAllocating) {

@@ -66,6 +66,28 @@ TEST(GaussianNbTest, HandlesConstantFeatureWithoutNan) {
   EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
 }
 
+// Regression: a never-observed class used to keep its Laplace log-prior
+// with no likelihood term, letting it out-score every seen class whenever
+// the query point sat in a low-likelihood region of the seen classes.
+TEST(GaussianNbTest, UnseenClassNeverWinsArgmax) {
+  GaussianNaiveBayes nb(1, 3);
+  Rng rng(4);
+  // Train classes 0 and 1 only, with tight clusters; class 2 stays empty.
+  for (int i = 0; i < 500; ++i) {
+    std::vector<double> x0 = {rng.Gaussian(0.2, 0.01)};
+    std::vector<double> x1 = {rng.Gaussian(0.8, 0.01)};
+    nb.Update(x0, 0);
+    nb.Update(x1, 1);
+  }
+  // Far from both clusters: every seen class has a very negative
+  // log-likelihood, which the prior-only score of class 2 used to beat.
+  std::vector<double> x = {0.5};
+  EXPECT_NE(nb.Predict(x), 2);
+  const std::vector<double> proba = nb.PredictProba(x);
+  EXPECT_DOUBLE_EQ(proba[2], 0.0);
+  EXPECT_NEAR(proba[0] + proba[1], 1.0, 1e-9);
+}
+
 TEST(GaussianNbTest, PriorsDominateWhenFeaturesUninformative) {
   GaussianNaiveBayes nb(1, 2);
   Rng rng(3);

@@ -102,6 +102,51 @@ TEST_F(CsvStreamTest, HandlesQuotedCellsAndWhitespace) {
   EXPECT_DOUBLE_EQ(instance.x[0], 1.5);
 }
 
+// Regression: SplitLine used to drop a trailing empty field ("3,1," parsed
+// as 2 cells), so a row with a missing last value died with a bogus
+// "inconsistent column count" instead of parsing.
+TEST_F(CsvStreamTest, KeepsTrailingEmptyField) {
+  WriteFile("a,label,b\n1,0,2\n3,1,\n");
+  CsvStream stream({.path = path_, .label_column = "label"});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[1], 2.0);
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  // The empty cell is kept and factorized like any categorical string.
+  EXPECT_DOUBLE_EQ(instance.x[1], 0.0);
+  EXPECT_EQ(instance.y, 1);
+  EXPECT_FALSE(stream.NextInstance(&instance));
+}
+
+// Regression: malformed input used to std::abort the whole process; it must
+// throw CsvError so a sweep can fail one cell and move on.
+TEST_F(CsvStreamTest, ThrowsCsvErrorOnInconsistentColumns) {
+  WriteFile("a,b,label\n1,2,0\n3,4,1\n5,6\n");
+  EXPECT_THROW(CsvStream({.path = path_, .label_column = "label"}), CsvError);
+}
+
+TEST_F(CsvStreamTest, ThrowsCsvErrorOnUnseenLabel) {
+  WriteFile("a,label\n1,x\n2,y\n3,z\n");
+  // With num_classes preset the upfront class scan is skipped, so the
+  // third label overflows the class table mid-stream.
+  CsvStream stream({.path = path_, .num_classes = 2});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_THROW(stream.NextInstance(&instance), CsvError);
+}
+
+TEST_F(CsvStreamTest, CsvErrorMessageNamesFileAndLine) {
+  WriteFile("a,label\n1,0\n2,1\nbroken\n");
+  try {
+    CsvStream stream({.path = path_});
+    FAIL() << "expected CsvError";
+  } catch (const CsvError& e) {
+    EXPECT_NE(std::string(e.what()).find(path_), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find(":4"), std::string::npos);
+  }
+}
+
 TEST_F(CsvStreamTest, NoHeaderMode) {
   WriteFile("1,2,0\n3,4,1\n");
   CsvStream stream({.path = path_, .has_header = false});

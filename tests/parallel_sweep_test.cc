@@ -5,10 +5,14 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstddef>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -233,6 +237,94 @@ TEST(ParallelSweepTest, MemberParallelForestCellBitIdentical) {
       bench::RunSweep(options.models, options);
 
   ExpectCellsBitIdentical(sequential, shared_pool);
+}
+
+// -------------------------------------------------------- sweep telemetry
+
+// Telemetry counters are part of the determinism contract: same cells, any
+// job count, bit-identical counter JSON.
+TEST(ParallelSweepTest, TelemetryCountersBitIdenticalAtAnyJobCount) {
+  bench::Options options = SmallSweepOptions();
+  options.telemetry = true;
+  options.telemetry_dir =
+      (std::filesystem::temp_directory_path() /
+       ("dmt_telemetry_jobs_" + std::to_string(::getpid())))
+          .string();
+
+  options.jobs = 1;
+  const std::vector<bench::CellResult> sequential =
+      bench::RunSweep(options.models, options);
+
+  options.jobs = 8;
+  const std::vector<bench::CellResult> parallel =
+      bench::RunSweep(options.models, options);
+
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE(sequential[i].dataset + " / " + sequential[i].model);
+    ASSERT_FALSE(sequential[i].telemetry_counters_json.empty());
+    EXPECT_EQ(sequential[i].telemetry_counters_json,
+              parallel[i].telemetry_counters_json);
+  }
+  ExpectCellsBitIdentical(sequential, parallel);
+
+  // Every computed cell wrote its TELEMETRY_*.json artifact.
+  for (const bench::CellResult& cell : sequential) {
+    const std::filesystem::path artifact =
+        std::filesystem::path(options.telemetry_dir) /
+        ("TELEMETRY_" + cell.dataset + "__" + cell.model + ".json");
+    // Model names carry '(' / ')' which sanitize to '_'.
+    std::string name = artifact.filename().string();
+    for (char& c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' &&
+          c != '_' && c != '.') {
+        c = '_';
+      }
+    }
+    EXPECT_TRUE(std::filesystem::exists(artifact.parent_path() / name))
+        << name;
+  }
+  std::filesystem::remove_all(options.telemetry_dir);
+}
+
+// Counter values for the DMT are pinned as goldens on the synthetic
+// streams (20000 samples -- enough that the gain tests actually pass and
+// splits happen on Agrawal -- base seed 42, per-cell DeriveSeed). Any
+// change to split/prune/candidate bookkeeping shows up here. Regenerate
+// with DMT_UPDATE_GOLDENS=1 after an intentional change.
+TEST(ParallelSweepTest, DmtTelemetryCountersMatchGolden) {
+  bench::Options options = SmallSweepOptions();
+  options.max_samples = 20'000;
+  options.datasets = {"SEA", "Agrawal"};
+  options.models = {"DMT"};
+  options.telemetry = true;
+  options.telemetry_dir =
+      (std::filesystem::temp_directory_path() /
+       ("dmt_telemetry_golden_" + std::to_string(::getpid())))
+          .string();
+  options.jobs = 1;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(options.models, options);
+  std::filesystem::remove_all(options.telemetry_dir);
+  ASSERT_EQ(cells.size(), 2u);
+
+  for (const bench::CellResult& cell : cells) {
+    SCOPED_TRACE(cell.dataset);
+    const std::filesystem::path golden =
+        std::filesystem::path(DMT_SOURCE_DIR) / "bench" / "goldens" /
+        ("telemetry_dmt_" + cell.dataset + "_20000_seed42.json");
+    if (std::getenv("DMT_UPDATE_GOLDENS") != nullptr) {
+      std::ofstream out(golden);
+      out << cell.telemetry_counters_json;
+      continue;
+    }
+    std::ifstream in(golden);
+    ASSERT_TRUE(in) << "missing golden " << golden
+                    << " (regenerate with DMT_UPDATE_GOLDENS=1)";
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_EQ(cell.telemetry_counters_json, buffer.str());
+  }
 }
 
 // ------------------------------------------------------------- cache layer

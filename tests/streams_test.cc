@@ -282,10 +282,33 @@ TEST(ScalerTest, MapsBatchIntoUnitRange) {
   batch.Add(std::vector<double>{5.0, 300.0}, 1);
   batch.Add(std::vector<double>{0.0, 200.0}, 0);
   scaler.FitTransform(&batch);
-  EXPECT_DOUBLE_EQ(batch.row(0)[0], 0.0);
+  // Per-row update-then-transform: the first row only knows itself (zero
+  // range -> midpoint); later rows see the ranges of the rows before them.
+  EXPECT_DOUBLE_EQ(batch.row(0)[0], 0.5);
   EXPECT_DOUBLE_EQ(batch.row(1)[0], 1.0);
   EXPECT_DOUBLE_EQ(batch.row(2)[0], 0.5);
   EXPECT_DOUBLE_EQ(batch.row(2)[1], 0.5);
+}
+
+// Regression: FitTransform used to fold the WHOLE batch into the min/max
+// before rescaling any row, so an extreme value at the end of the batch
+// changed how earlier rows were normalized -- future leakage under the
+// test-then-train protocol. Each row may only be scaled with the ranges
+// known before it arrived.
+TEST(ScalerTest, NoFutureLeakWithinBatch) {
+  OnlineMinMaxScaler scaler(1);
+  Batch warmup(1);
+  warmup.Add(std::vector<double>{0.0}, 0);
+  warmup.Add(std::vector<double>{10.0}, 0);
+  scaler.FitTransform(&warmup);
+
+  Batch batch(1);
+  batch.Add(std::vector<double>{5.0}, 0);    // scaled against [0, 10]
+  batch.Add(std::vector<double>{100.0}, 0);  // widens the range afterwards
+  scaler.FitTransform(&batch);
+  // The old batch-level code gave row(0) (5 - 0) / 100 = 0.05.
+  EXPECT_DOUBLE_EQ(batch.row(0)[0], 0.5);
+  EXPECT_DOUBLE_EQ(batch.row(1)[0], 1.0);
 }
 
 TEST(ScalerTest, ConstantFeatureMapsToMidpoint) {

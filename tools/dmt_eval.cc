@@ -71,7 +71,12 @@ int main(int argc, char** argv) {
     streams::CsvStreamConfig config;
     config.path = csv_path;
     config.label_column = label_column;
-    stream = std::make_unique<streams::CsvStream>(config);
+    try {
+      stream = std::make_unique<streams::CsvStream>(config);
+    } catch (const streams::CsvError& e) {
+      std::fprintf(stderr, "dmt_eval: %s\n", e.what());
+      return 1;
+    }
     if (expected_samples == 0 && batch_size == 0) batch_size = 100;
   } else {
     const streams::DatasetSpec spec = streams::DatasetByName(dataset);
@@ -88,8 +93,14 @@ int main(int argc, char** argv) {
   config.batch_size = batch_size;
   config.expected_samples = expected_samples;
   config.normalize = normalize;
-  const eval::PrequentialResult result =
-      eval::RunPrequential(stream.get(), model.get(), config);
+  eval::PrequentialResult result;
+  try {
+    result = eval::RunPrequential(stream.get(), model.get(), config);
+  } catch (const streams::CsvError& e) {
+    // Malformed row mid-stream (wrong column count, unseen label).
+    std::fprintf(stderr, "dmt_eval: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("stream      : %s (%zu features, %zu classes, %zu "
               "observations)\n",
