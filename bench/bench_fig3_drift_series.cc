@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   std::printf("dataset,model,batch,f1_window_mean,f1_window_std,log_splits\n");
   constexpr std::size_t kWindow = 20;  // the paper's Figure 3 window
   for (const bench::CellResult& cell : cells) {
+    if (cell.failed) continue;  // a FAILED cell has no series to plot
     SlidingWindowStats f1_window(kWindow);
     for (std::size_t b = 0; b < cell.f1_series.size(); ++b) {
       f1_window.Add(cell.f1_series[b]);
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
   std::printf("%-14s %-10s %8s %8s %8s\n", "dataset", "model", "minF1",
               "lastF1", "maxSplit");
   for (const bench::CellResult& cell : cells) {
+    if (cell.failed) continue;
     SlidingWindowStats f1_window(kWindow);
     double min_f1 = 1.0;
     double last_f1 = 0.0;

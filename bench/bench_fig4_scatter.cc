@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   std::printf("model,dataset,f1,log10_splits\n");
   for (const bench::CellResult& cell : cells) {
+    if (cell.failed) continue;  // a FAILED cell has no point to plot
     std::printf("%s,%s,%.4f,%.4f\n", cell.model.c_str(),
                 cell.dataset.c_str(), cell.f1_mean,
                 std::log10(std::max(1.0, cell.splits_mean)));
@@ -31,7 +32,7 @@ int main(int argc, char** argv) {
     double ls = 0.0;
     int n = 0;
     for (const bench::CellResult& cell : cells) {
-      if (cell.model != model) continue;
+      if (cell.model != model || cell.failed) continue;
       f1 += cell.f1_mean;
       ls += std::log10(std::max(1.0, cell.splits_mean));
       ++n;

@@ -35,6 +35,12 @@ int main(int argc, char** argv) {
         row.push_back("-");
         continue;
       }
+      if (cell->failed) {
+        // Supervised sweep: the cell threw twice (or hit its deadline);
+        // render the failure and keep it out of the cross-data-set mean.
+        row.push_back("FAILED");
+        continue;
+      }
       row.push_back(MeanStdCell(cell->f1_mean, cell->f1_std));
       across.Add(cell->f1_mean);
     }

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
     for (const auto& spec : datasets) {
       const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
       if (cell == nullptr) { row.push_back("-"); continue; }
+      if (cell->failed) { row.push_back("FAILED"); continue; }
       row.push_back(MeanStdCell(cell->splits_mean, cell->splits_std, 1));
       across.Add(cell->splits_mean);
     }

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     for (const auto& spec : datasets) {
       const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
       if (cell == nullptr) { row.push_back("-"); continue; }
+      if (cell->failed) { row.push_back("FAILED"); continue; }
       row.push_back(MeanStdCell(cell->params_mean, cell->params_std, 0));
       across.Add(cell->params_mean);
     }

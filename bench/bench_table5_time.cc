@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
     RunningStats across;
     for (const auto& spec : datasets) {
       const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
-      if (cell != nullptr) across.Add(cell->time_mean);
+      if (cell != nullptr && !cell->failed) across.Add(cell->time_mean);
     }
     table.AddRow({model, MeanStdCell(across.mean(), across.stddev(), 5)});
   }

@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     RunningStats seconds;
     for (const auto& spec : datasets) {
       const bench::CellResult* cell = bench::FindCell(cells, spec.name, model);
-      if (cell == nullptr) continue;
+      if (cell == nullptr || cell->failed) continue;
       f1_all.Add(cell->f1_mean);
       if (spec.known_drift) f1_drift.Add(cell->f1_mean);
       splits.Add(cell->splits_mean);

@@ -16,6 +16,7 @@
 #include "dmt/obs/telemetry.h"
 #include "dmt/common/thread_pool.h"
 #include "dmt/core/dynamic_model_tree.h"
+#include "dmt/robust/failpoint.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
 #include "dmt/ensemble/leveraging_bagging.h"
 #include "dmt/ensemble/online_bagging.h"
@@ -27,6 +28,7 @@
 #include "dmt/trees/sgt.h"
 #include "dmt/trees/vfdt.h"
 #include "sweep_cache.h"
+#include "sweep_manifest.h"
 
 namespace dmt::bench {
 
@@ -74,15 +76,32 @@ void WriteTelemetryArtifacts(const std::vector<CellResult>& results,
 
 }  // namespace
 
+namespace {
+
+constexpr const char kUsage[] =
+    "options: --samples N --seed S --datasets a,b --models a,b --jobs N\n"
+    "         --no-cache --member-parallel --cache-dir D\n"
+    "         --telemetry --telemetry-dir D\n"
+    "         --inject nan=R,inf=R,missing=R,flip=R,truncate=R\n"
+    "         --failpoints name=P,name=P (e.g. cell:SEA/GLM=1)\n"
+    "         --bad-input skip|impute|throw\n"
+    "         --cell-timeout SECONDS --resume\n";
+
+// Usage errors (unknown flag, missing value, malformed spec) exit 2: the
+// conventional bad-invocation code, distinct from runtime failures (1).
+[[noreturn]] void UsageError(const std::string& message) {
+  std::fprintf(stderr, "%s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+}  // namespace
+
 Options ParseOptions(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(1);
-      }
+      if (i + 1 >= argc) UsageError("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--samples") {
@@ -105,15 +124,39 @@ Options ParseOptions(int argc, char** argv) {
       options.telemetry = true;
     } else if (arg == "--telemetry-dir") {
       options.telemetry_dir = next();
+    } else if (arg == "--inject") {
+      options.inject_spec = next();
+      try {
+        robust::FaultSpec::Parse(options.inject_spec);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --inject spec: ") + e.what());
+      }
+    } else if (arg == "--failpoints") {
+      options.failpoint_spec = next();
+      try {
+        // Dry-run parse into a scratch registry; the global one is armed
+        // once, in RunSweep, before workers start.
+        robust::FailpointRegistry scratch;
+        scratch.ArmFromSpec(options.failpoint_spec, options.seed);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --failpoints spec: ") + e.what());
+      }
+    } else if (arg == "--bad-input") {
+      const std::string value = next();
+      try {
+        options.bad_input_policy = BadInputPolicyFromString(value);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --bad-input value: ") + e.what());
+      }
+    } else if (arg == "--cell-timeout") {
+      options.cell_timeout_seconds = std::strtod(next().c_str(), nullptr);
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--help") {
-      std::fprintf(stderr,
-                   "options: --samples N --seed S --datasets a,b --models "
-                   "a,b --jobs N --no-cache --member-parallel "
-                   "--cache-dir D --telemetry --telemetry-dir D\n");
+      std::fprintf(stdout, "%s", kUsage);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      std::exit(1);
+      UsageError("unknown option: " + arg);
     }
   }
   return options;
@@ -232,7 +275,26 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   // Seeded from data identity only, so a cell computes the same numbers no
   // matter which worker thread runs it, or in what order.
   const std::uint64_t cell_seed = DeriveSeed(options.seed, spec.name, model);
+
+  // Supervision probe: "--failpoints cell:<dataset>/<model>=1" makes
+  // exactly this cell throw, exercising the FAILED/retry machinery without
+  // planting a real bug. Null (one dead branch) when unarmed.
+  robust::Failpoint* cell_failpoint =
+      robust::GlobalFailpoints().Find("cell:" + spec.name + "/" + model);
+  DMT_FAILPOINT(cell_failpoint);
+
   std::unique_ptr<streams::Stream> stream = spec.make(samples, cell_seed);
+  robust::FaultyStream* faulty = nullptr;
+  if (!options.inject_spec.empty()) {
+    // The injection RNG derives from the cell seed, never from thread or
+    // schedule identity: the fault trace is part of the cell's determinism
+    // contract (--jobs 1 and --jobs 8 corrupt the same instances).
+    auto wrapped = std::make_unique<robust::FaultyStream>(
+        std::move(stream), robust::FaultSpec::Parse(options.inject_spec),
+        DeriveSeed(cell_seed, "inject"));
+    faulty = wrapped.get();
+    stream = std::move(wrapped);
+  }
   std::unique_ptr<Classifier> classifier =
       MakeModel(model, static_cast<int>(spec.num_features),
                 static_cast<int>(spec.num_classes), cell_seed, pool);
@@ -243,6 +305,8 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   eval::PrequentialConfig config;
   config.expected_samples = samples;
   config.keep_series = options.keep_series;
+  config.bad_input_policy = options.bad_input_policy;
+  config.time_limit_seconds = options.cell_timeout_seconds;
   if (options.telemetry) config.telemetry = &registry;
   const eval::PrequentialResult result =
       eval::RunPrequential(stream.get(), classifier.get(), config);
@@ -260,7 +324,24 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   cell.time_std = result.iteration_seconds.stddev();
   cell.f1_series = result.f1_series;
   cell.splits_series = result.splits_series;
+  cell.rows_dropped = result.rows_dropped;
+  cell.values_imputed = result.values_imputed;
+  if (faulty != nullptr) cell.fault_counts = faulty->counts();
   if (options.telemetry) {
+    // Lazy flush, like the harness sanitize counters: only faulted runs
+    // create inject.* keys, so clean telemetry goldens are untouched.
+    if (faulty != nullptr) {
+      const robust::FaultCounts& counts = faulty->counts();
+      if (counts.nan > 0) *registry.Counter("inject.nan") += counts.nan;
+      if (counts.inf > 0) *registry.Counter("inject.inf") += counts.inf;
+      if (counts.missing > 0) {
+        *registry.Counter("inject.missing") += counts.missing;
+      }
+      if (counts.flips > 0) *registry.Counter("inject.flips") += counts.flips;
+      if (counts.truncated > 0) {
+        *registry.Counter("inject.truncated") += counts.truncated;
+      }
+    }
     cell.telemetry_json = registry.ToJson();
     cell.telemetry_counters_json = registry.CountersJson();
   }
@@ -283,14 +364,49 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   const std::vector<streams::DatasetSpec> datasets =
       SelectedDatasets(options);
 
+  // Arm the process-global failpoint registry before any worker exists;
+  // workers then only read disjoint entries (their own cell's name), so no
+  // synchronization is needed. The unconditional Clear makes repeated
+  // RunSweep calls in one process reproducible: a clean sweep never sees
+  // leftover arming from an earlier faulted one, and re-arming resets
+  // probabilities, seeds and counters from the spec.
+  robust::GlobalFailpoints().Clear();
+  if (!options.failpoint_spec.empty()) {
+    robust::GlobalFailpoints().ArmFromSpec(options.failpoint_spec,
+                                           options.seed);
+  }
+  const bool faulted =
+      !options.inject_spec.empty() || !options.failpoint_spec.empty();
+
   // Series runs bypass the cache entirely (cells never store series), and
   // so do member-parallel runs: LevBag's reset granularity differs in
   // parallel mode, so those cells must never mix with sequential ones.
   // Telemetry runs bypass it too: a cached cell carries no registry, so a
-  // hit would silently return empty counters.
+  // hit would silently return empty counters. Faulted runs (--inject /
+  // --failpoints) bypass it because their numbers are deliberately
+  // corrupted and must never poison clean runs.
   const bool cache_enabled = options.use_cache && !options.keep_series &&
-                             !options.member_parallel && !options.telemetry;
+                             !options.member_parallel &&
+                             !options.telemetry && !faulted;
   SweepCache cache(options.cache_dir);
+
+  // Progress manifest (checkpointed after every cell, crash-safe). Keyed by
+  // (samples, seed, fault specs): a faulted sweep can never satisfy a clean
+  // --resume. Shares the cache root, so --no-cache disables it too.
+  std::unique_ptr<SweepManifest> manifest;
+  if (options.use_cache) {
+    manifest = std::make_unique<SweepManifest>(
+        options.cache_dir,
+        ManifestKey{options.max_samples, options.seed, options.inject_spec,
+                    options.failpoint_spec});
+    if (options.resume) {
+      const std::size_t recovered = manifest->Load();
+      if (recovered > 0) {
+        std::fprintf(stderr, "[sweep] resuming: %zu cells recorded in %s\n",
+                     recovered, manifest->path().c_str());
+      }
+    }
+  }
 
   struct Pending {
     const streams::DatasetSpec* spec;
@@ -303,9 +419,27 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   std::size_t index = 0;
   for (const streams::DatasetSpec& spec : datasets) {
     for (const std::string& model : wanted) {
+      if (options.resume && manifest != nullptr) {
+        if (const std::optional<ManifestEntry> entry =
+                manifest->Find(spec.name, model);
+            entry.has_value() && entry->failed) {
+          // Recorded failure: render FAILED without re-running the cell.
+          // (`ok` cells fall through to the cache; a miss recomputes.)
+          CellResult cell;
+          cell.dataset = spec.name;
+          cell.model = model;
+          cell.failed = true;
+          cell.error = entry->error;
+          results[index++] = std::move(cell);
+          continue;
+        }
+      }
       const CellKey key{spec.name, model, options.max_samples, options.seed};
       if (cache_enabled) {
         if (std::optional<CellResult> hit = cache.Load(key)) {
+          if (manifest != nullptr) {
+            manifest->Record(spec.name, model, {false, ""});
+          }
           results[index++] = std::move(*hit);
           continue;
         }
@@ -336,8 +470,31 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   std::mutex progress_mutex;
   std::atomic<std::size_t> done{0};
   auto run_one = [&](const Pending& task) {
-    CellResult cell = RunCell(*task.spec, *task.model, options, member_pool);
-    if (cache_enabled) {
+    // Supervised execution: a throwing cell is retried once with the
+    // identical derived seed (RunCell re-derives everything from the cell
+    // identity, so a deterministic fault fails identically while a
+    // transient one gets a second chance), then recorded as FAILED. The
+    // sweep always completes; one bad cell cannot take down the table.
+    CellResult cell;
+    try {
+      cell = RunCell(*task.spec, *task.model, options, member_pool);
+    } catch (const eval::DeadlineExceeded& deadline) {
+      // No retry: a second attempt would just burn the budget again.
+      cell = CellResult{};
+      cell.failed = true;
+      cell.error = deadline.what();
+    } catch (const std::exception& first) {
+      try {
+        cell = RunCell(*task.spec, *task.model, options, member_pool);
+      } catch (const std::exception& second) {
+        cell = CellResult{};
+        cell.failed = true;
+        cell.error = second.what();
+      }
+    }
+    cell.dataset = task.spec->name;  // failure paths skip RunCell's fill-in
+    cell.model = *task.model;
+    if (!cell.failed && cache_enabled) {
       CellResult stripped = cell;
       stripped.f1_series.clear();
       stripped.splits_series.clear();
@@ -345,12 +502,23 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
                    options.seed},
                   stripped);
     }
+    if (manifest != nullptr) {
+      manifest->Record(cell.dataset, cell.model, {cell.failed, cell.error});
+    }
+    const bool failed = cell.failed;
+    const std::string error = cell.error;
     results[task.index] = std::move(cell);
     const std::size_t finished = ++done;
     std::lock_guard<std::mutex> lock(progress_mutex);
-    std::fprintf(stderr, "[sweep] %zu/%zu %s / %s done\n", finished,
-                 pending.size(), task.spec->name.c_str(),
-                 task.model->c_str());
+    if (failed) {
+      std::fprintf(stderr, "[sweep] %zu/%zu %s / %s FAILED: %s\n", finished,
+                   pending.size(), task.spec->name.c_str(),
+                   task.model->c_str(), error.c_str());
+    } else {
+      std::fprintf(stderr, "[sweep] %zu/%zu %s / %s done\n", finished,
+                   pending.size(), task.spec->name.c_str(),
+                   task.model->c_str());
+    }
   };
 
   if (jobs <= 1) {

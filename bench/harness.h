@@ -25,6 +25,32 @@
 //                   the sweep cache (cached cells carry no registries).
 //   --telemetry-dir D
 //                   directory for the telemetry artifacts (default ".")
+//   --inject SPEC   wrap every cell's stream in a robust::FaultyStream
+//                   injecting data faults ("nan=0.01,flip=0.02,..."; see
+//                   faulty_stream.h). The injection RNG is seeded
+//                   DeriveSeed(cell_seed, "inject") so fault traces and the
+//                   resulting metrics are bit-identical at any --jobs value.
+//                   Inject runs bypass the sweep cache.
+//   --failpoints SPEC
+//                   arm deterministic failpoints ("cell:SEA/GLM=1,...", see
+//                   failpoint.h) in the process-global registry before any
+//                   worker starts. Failpoint runs bypass the sweep cache.
+//   --bad-input P   what RunPrequential does with rows carrying non-finite
+//                   features or bad labels: skip (default) / impute / throw
+//   --cell-timeout S
+//                   soft per-cell deadline in seconds (checked between
+//                   batches); a cell exceeding it renders FAILED. 0 = off.
+//   --resume        skip cells already recorded in this sweep's manifest:
+//                   `ok` cells reload from the sweep cache (recomputed on a
+//                   cache miss), `failed` cells render FAILED un-rerun
+//
+// Supervision: RunSweep wraps every cell in try/catch. A throwing cell is
+// retried once with the identical derived seed (deterministic faults fail
+// identically; transient ones -- OOM, disk -- get a second chance), then
+// recorded as FAILED in the table instead of aborting the sweep. Progress
+// is checkpointed after every cell into a crash-safe manifest
+// (sweep_manifest.h, atomic rename) enabling --resume after a crash or
+// SIGKILL.
 //
 // Parallelism and determinism: RunSweep dispatches every (dataset, model)
 // cell as an independent task on a work-stealing thread pool. Each cell's
@@ -48,6 +74,7 @@
 #include "dmt/common/classifier.h"
 #include "dmt/common/thread_pool.h"
 #include "dmt/eval/prequential.h"
+#include "dmt/robust/faulty_stream.h"
 #include "dmt/streams/datasets.h"
 
 namespace dmt::bench {
@@ -67,8 +94,20 @@ struct Options {
   // Record per-cell telemetry registries and write JSON artifacts.
   bool telemetry = false;
   std::string telemetry_dir = ".";
+  // Fault injection / supervision (see the flag docs above). Runs with a
+  // non-empty inject or failpoint spec bypass the sweep cache: their
+  // numbers are deliberately corrupted and must never poison clean runs.
+  std::string inject_spec;
+  std::string failpoint_spec;
+  BadInputPolicy bad_input_policy = BadInputPolicy::kSkip;
+  double cell_timeout_seconds = 0.0;  // soft per-cell deadline; 0 = off
+  bool resume = false;
 };
 
+// Parses argv. `--help` prints the usage text to stdout and exits 0; an
+// unknown flag, a missing value, or a malformed spec prints the usage text
+// to stderr and exits 2 (the conventional usage-error code, distinct from
+// runtime failures exiting 1).
 Options ParseOptions(int argc, char** argv);
 
 // Stand-alone models of the paper's Tables III-V, in row order.
@@ -106,6 +145,15 @@ struct CellResult {
   // Counters-only JSON (the seed-deterministic golden surface; no
   // wall-clock fields), only populated when Options.telemetry.
   std::string telemetry_counters_json;
+  // Faults injected into this cell's stream (all zero unless --inject).
+  robust::FaultCounts fault_counts;
+  // Sanitization tallies from the prequential run.
+  std::uint64_t rows_dropped = 0;
+  std::uint64_t values_imputed = 0;
+  // Supervision outcome: a failed cell carries no valid metrics and is
+  // rendered as FAILED by the table binaries (excluded from summary rows).
+  bool failed = false;
+  std::string error;
 };
 
 // Runs one model over one data set prequentially. The cell's RNG seed is

@@ -1,0 +1,110 @@
+#include "sweep_manifest.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dmt/common/random.h"
+
+namespace dmt::bench {
+
+namespace {
+
+// Manifest records are one line each, comma-separated; the free-text error
+// field is flattened so it can never break the format.
+std::string FlattenError(const std::string& error) {
+  std::string out;
+  out.reserve(error.size());
+  for (const char c : error) {
+    out.push_back(c == ',' || c == '\n' || c == '\r' ? ';' : c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string SweepManifest::FileName(const ManifestKey& key) {
+  // 0 is a fixed salt: the hash names a file, it never seeds an RNG. The
+  // fault specs are part of the identity so faulted and clean sweeps keep
+  // separate manifests.
+  const std::uint64_t hash =
+      DeriveSeed(0, key.inject_spec, key.failpoint_spec);
+  std::ostringstream name;
+  name << "manifests/sweep_s" << key.samples << "_r" << key.seed << "_h"
+       << std::hex << (hash & 0xffffffffULL) << ".csv";
+  return name.str();
+}
+
+SweepManifest::SweepManifest(std::string root, const ManifestKey& key)
+    : root_(std::move(root)), path_(root_ + "/" + FileName(key)) {}
+
+std::size_t SweepManifest::Load() {
+  std::ifstream in(path_);
+  if (!in) return 0;
+  std::map<std::pair<std::string, std::string>, ManifestEntry> loaded;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream stream(line);
+    std::string dataset, model, status, error;
+    if (!std::getline(stream, dataset, ',')) continue;
+    if (!std::getline(stream, model, ',')) continue;
+    if (!std::getline(stream, status, ',')) continue;
+    std::getline(stream, error);  // optional; rest of the line
+    if (status != "ok" && status != "failed") continue;
+    loaded[{dataset, model}] = {status == "failed", error};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(loaded);
+  return entries_.size();
+}
+
+void SweepManifest::Record(const std::string& dataset,
+                           const std::string& model,
+                           const ManifestEntry& entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[{dataset, model}] = {entry.failed, FlattenError(entry.error)};
+  Publish();
+}
+
+std::optional<ManifestEntry> SweepManifest::Find(
+    const std::string& dataset, const std::string& model) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find({dataset, model});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t SweepManifest::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void SweepManifest::Publish() {
+  // Caller holds mutex_. The whole manifest is rewritten each time -- it is
+  // tiny (one line per cell) -- and published with an atomic rename, so a
+  // SIGKILL at any instant leaves either the previous or the new complete
+  // file on disk, never a torn one.
+  const std::filesystem::path target(path_);
+  std::error_code ec;
+  std::filesystem::create_directories(target.parent_path(), ec);
+
+  std::ostringstream temp_name;
+  temp_name << path_ << ".tmp." << ::getpid() << "." << ++temp_counter_;
+  {
+    std::ofstream out(temp_name.str());
+    if (!out) return;  // manifest is best-effort; the sweep itself goes on
+    out << "dataset,model,status,error\n";
+    for (const auto& [key, entry] : entries_) {
+      out << key.first << ',' << key.second << ','
+          << (entry.failed ? "failed" : "ok") << ',' << entry.error << '\n';
+    }
+  }
+  std::filesystem::rename(temp_name.str(), target, ec);
+  if (ec) std::filesystem::remove(temp_name.str(), ec);
+}
+
+}  // namespace dmt::bench

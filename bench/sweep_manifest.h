@@ -1,0 +1,78 @@
+// Crash-safe progress manifest for supervised sweeps.
+//
+// One file per sweep configuration under `<root>/manifests/`, named by
+// (samples, seed) plus a short hash of the fault configuration (--inject /
+// --failpoints specs), so a faulted sweep can never satisfy a clean
+// --resume or vice versa. Each finished cell appends one record
+//   <dataset>,<model>,ok|failed,<error>
+// and the whole manifest is republished via temp file + atomic rename
+// (the sweep_cache idiom): a reader either sees the previous complete
+// manifest or the new one, never a torn write, even if the sweep is
+// SIGKILLed mid-publish.
+//
+// --resume loads the manifest and skips every recorded cell: `ok` cells
+// load their numbers from the sweep cache (or recompute on a cache miss),
+// `failed` cells render FAILED without being re-run.
+#ifndef DMT_BENCH_SWEEP_MANIFEST_H_
+#define DMT_BENCH_SWEEP_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dmt::bench {
+
+struct ManifestKey {
+  std::size_t samples = 0;
+  std::uint64_t seed = 0;
+  // Fault configuration; empty strings for clean sweeps.
+  std::string inject_spec;
+  std::string failpoint_spec;
+};
+
+struct ManifestEntry {
+  bool failed = false;
+  std::string error;  // empty for ok cells; single-line, commas stripped
+};
+
+class SweepManifest {
+ public:
+  SweepManifest(std::string root, const ManifestKey& key);
+
+  // Loads the existing manifest for this key from disk; returns the number
+  // of entries recovered (0 when starting fresh or on a parse failure).
+  std::size_t Load();
+
+  // Records one finished cell and republishes the manifest atomically.
+  // Thread-safe: workers call this as cells complete, in any order.
+  void Record(const std::string& dataset, const std::string& model,
+              const ManifestEntry& entry);
+
+  // Lookup by (dataset, model); nullopt when the cell is not recorded.
+  // Returns a copy so the result stays valid while workers keep recording.
+  std::optional<ManifestEntry> Find(const std::string& dataset,
+                                    const std::string& model) const;
+
+  std::size_t size() const;
+
+  // Relative file name, e.g. manifests/sweep_s50000_r42_h1a2b3c4d.csv.
+  static std::string FileName(const ManifestKey& key);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void Publish();  // rewrites the file via temp + atomic rename (unlocked)
+
+  std::string root_;
+  std::string path_;
+  mutable std::mutex mutex_;  // guards entries_ and the temp-name counter
+  std::map<std::pair<std::string, std::string>, ManifestEntry> entries_;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace dmt::bench
+
+#endif  // DMT_BENCH_SWEEP_MANIFEST_H_

@@ -33,12 +33,17 @@ GaussianNaiveBayes::GaussianNaiveBayes(int num_features, int num_classes)
 
 void GaussianNaiveBayes::Update(std::span<const double> x, int y) {
   DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
-  DMT_DCHECK(y >= 0 && y < num_classes_);
+  if (y < 0 || y >= num_classes_) return;  // unusable label
   ++total_count_;
   ++class_counts_[y];
   GaussianEstimator* row = &estimators_[static_cast<std::size_t>(y) *
                                         num_features_];
-  for (int j = 0; j < num_features_; ++j) row[j].Add(x[j]);
+  for (int j = 0; j < num_features_; ++j) {
+    // Missing-value semantics: a non-finite feature contributes nothing
+    // (one NaN would poison the Welford mean/m2 permanently); the other
+    // features of the row still update their estimators.
+    if (std::isfinite(x[j])) row[j].Add(x[j]);
+  }
 }
 
 void GaussianNaiveBayes::Update(const Batch& batch) {
@@ -71,7 +76,9 @@ void GaussianNaiveBayes::PredictProbaInto(std::span<const double> x,
     const GaussianEstimator* row =
         &estimators_[static_cast<std::size_t>(c) * num_features_];
     for (int j = 0; j < num_features_; ++j) {
-      out[c] += row[j].LogPdf(x[j]);
+      // Missing-value semantics: skip the likelihood term of a non-finite
+      // feature (scoring with NaN would make every class score NaN).
+      if (std::isfinite(x[j])) out[c] += row[j].LogPdf(x[j]);
     }
   }
   SoftmaxInPlace(out);

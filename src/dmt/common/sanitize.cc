@@ -1,0 +1,74 @@
+#include "dmt/common/sanitize.h"
+
+#include "dmt/common/check.h"
+
+namespace dmt {
+
+BadInputPolicy BadInputPolicyFromString(const std::string& text) {
+  if (text == "skip") return BadInputPolicy::kSkip;
+  if (text == "impute") return BadInputPolicy::kImputeMidpoint;
+  if (text == "throw") return BadInputPolicy::kThrow;
+  throw std::invalid_argument("unknown bad-input policy '" + text +
+                              "' (known: skip, impute, throw)");
+}
+
+const char* BadInputPolicyName(BadInputPolicy policy) {
+  switch (policy) {
+    case BadInputPolicy::kSkip:
+      return "skip";
+    case BadInputPolicy::kImputeMidpoint:
+      return "impute";
+    case BadInputPolicy::kThrow:
+      return "throw";
+  }
+  return "?";
+}
+
+std::size_t SanitizeBatch(Batch* batch, BadInputPolicy policy,
+                          std::span<const double> midpoints, int num_classes,
+                          SanitizeStats* stats) {
+  DMT_CHECK(batch != nullptr);
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < batch->size(); ++read) {
+    const std::span<double> row = batch->mutable_row(read);
+    const int label = batch->label(read);
+    bool keep = true;
+    if (label < 0 || label >= num_classes) {
+      // A label cannot be imputed; the row is unusable under any policy.
+      if (policy == BadInputPolicy::kThrow) {
+        throw BadInputError("label " + std::to_string(label) +
+                            " outside [0, " + std::to_string(num_classes) +
+                            ")");
+      }
+      keep = false;
+    } else if (!RowIsFinite(row)) {
+      switch (policy) {
+        case BadInputPolicy::kThrow:
+          throw BadInputError("non-finite feature value in input row");
+        case BadInputPolicy::kSkip:
+          keep = false;
+          break;
+        case BadInputPolicy::kImputeMidpoint: {
+          DMT_CHECK(midpoints.size() == row.size());
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            if (!std::isfinite(row[j])) {
+              row[j] = midpoints[j];
+              if (stats != nullptr) ++stats->values_imputed;
+            }
+          }
+          break;
+        }
+      }
+    }
+    if (keep) {
+      batch->MoveRow(read, write);
+      ++write;
+    } else if (stats != nullptr) {
+      ++stats->rows_dropped;
+    }
+  }
+  batch->Truncate(write);
+  return write;
+}
+
+}  // namespace dmt

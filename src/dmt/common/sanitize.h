@@ -1,0 +1,72 @@
+// Shared ingest sanitization (DESIGN.md Sec. 8).
+//
+// Real-world streams carry NaN/Inf features, missing values and out-of-range
+// labels. The prequential harnesses run SanitizeBatch on every batch BEFORE
+// scaling -- scaling first would let std::clamp silently fold an Inf into
+// 1.0 and hide the fault -- and the classifiers additionally guard their own
+// per-row train loops (defense in depth: a library user may feed a model
+// directly, bypassing the harness).
+#ifndef DMT_COMMON_SANITIZE_H_
+#define DMT_COMMON_SANITIZE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "dmt/common/types.h"
+
+namespace dmt {
+
+// What a harness does with a row containing non-finite features or an
+// out-of-range label.
+enum class BadInputPolicy {
+  kSkip,            // drop the row (default: matches river/scikit-multiflow
+                    //   evaluators, which skip unusable observations)
+  kImputeMidpoint,  // replace each non-finite feature with the scaler's
+                    //   current range midpoint; rows with bad labels are
+                    //   still dropped (a label cannot be imputed)
+  kThrow,           // raise BadInputError (strict-ingest deployments)
+};
+
+// Thrown under BadInputPolicy::kThrow.
+class BadInputError : public std::runtime_error {
+ public:
+  explicit BadInputError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// Parses "skip" / "impute" / "throw"; throws std::invalid_argument else.
+BadInputPolicy BadInputPolicyFromString(const std::string& text);
+const char* BadInputPolicyName(BadInputPolicy policy);
+
+// True iff every feature value is finite (no NaN, no +/-Inf).
+inline bool RowIsFinite(std::span<const double> x) {
+  for (const double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+// Tallies of what sanitization did; the harness flushes nonzero fields
+// into telemetry counters after the run (lazily, so clean runs add no keys
+// to the golden counter surface).
+struct SanitizeStats {
+  std::uint64_t rows_dropped = 0;
+  std::uint64_t values_imputed = 0;
+};
+
+// Sanitizes `batch` in place under `policy`. `midpoints` supplies the
+// imputation values for kImputeMidpoint (typically
+// OnlineMinMaxScaler::MidpointsInto output; must have num_features entries
+// when that policy is active, may be empty otherwise). Labels outside
+// [0, num_classes) always invalidate their row (dropped, or thrown under
+// kThrow). Returns the number of surviving rows.
+std::size_t SanitizeBatch(Batch* batch, BadInputPolicy policy,
+                          std::span<const double> midpoints, int num_classes,
+                          SanitizeStats* stats);
+
+}  // namespace dmt
+
+#endif  // DMT_COMMON_SANITIZE_H_

@@ -3,6 +3,7 @@
 #ifndef DMT_COMMON_TYPES_H_
 #define DMT_COMMON_TYPES_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <utility>
@@ -61,6 +62,30 @@ class Batch {
   void clear() {
     data_.clear();
     labels_.clear();
+  }
+
+  void set_label(std::size_t i, int label) {
+    DMT_DCHECK(i < size());
+    labels_[i] = label;
+  }
+
+  // Moves row `from` (features + label) into slot `to` (to <= from). With
+  // Truncate this supports in-place, allocation-free row compaction: the
+  // sanitization pass slides surviving rows left and truncates, keeping
+  // the steady-state zero-allocation contract.
+  void MoveRow(std::size_t from, std::size_t to) {
+    DMT_DCHECK(from < size() && to <= from);
+    if (from == to) return;
+    std::copy_n(data_.begin() + from * num_features_, num_features_,
+                data_.begin() + to * num_features_);
+    labels_[to] = labels_[from];
+  }
+
+  // Shrinks to the first `n` rows (never grows; capacity is retained).
+  void Truncate(std::size_t n) {
+    DMT_DCHECK(n <= size());
+    data_.resize(n * num_features_);
+    labels_.resize(n);
   }
 
  private:

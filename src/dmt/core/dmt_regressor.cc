@@ -6,6 +6,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/common/sanitize.h"
 
 namespace dmt::core {
 
@@ -87,18 +88,28 @@ int DmtRegressor::BestCandidateOf(const Node& node, double reference_loss,
 
 void DmtRegressor::PartialFit(const linear::RegressionBatch& batch) {
   DMT_CHECK(static_cast<int>(batch.num_features()) == config_.num_features);
-  ++time_step_;
+  // Rows with a non-finite feature or target are unusable: they would
+  // poison the running target statistics and break ComputeFeatureOrders'
+  // sort comparator (NaN violates strict weak ordering). Skip them here;
+  // the standardized copy below is the natural filter point.
+  auto usable = [&](std::size_t i) {
+    return std::isfinite(batch.target(i)) && RowIsFinite(batch.row(i));
+  };
   // Standardize targets with the running estimates (updated first, so the
   // very first batch already has a usable scale).
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    target_stats_.Add(batch.target(i));
+    if (usable(i)) target_stats_.Add(batch.target(i));
   }
   const double mean = target_stats_.mean();
   const double std = std::max(target_stats_.stddev(), 1e-9);
   standardized_->clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    standardized_->Add(batch.row(i), (batch.target(i) - mean) / std);
+    if (usable(i)) {
+      standardized_->Add(batch.row(i), (batch.target(i) - mean) / std);
+    }
   }
+  if (standardized_->empty()) return;
+  ++time_step_;
   scratch_.root_rows.resize(standardized_->size());
   for (std::size_t i = 0; i < standardized_->size(); ++i) {
     scratch_.root_rows[i] = i;

@@ -6,8 +6,11 @@
 #include <limits>
 #include <sstream>
 
+#include <memory>
+
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
 
 namespace dmt::core {
@@ -128,6 +131,33 @@ int DynamicModelTree::BestCandidateOf(const Node& node, double reference_loss,
 
 void DynamicModelTree::PartialFit(const Batch& batch) {
   DMT_CHECK(static_cast<int>(batch.num_features()) == config_.num_features);
+  bool clean = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const int y = batch.label(i);
+    if (y < 0 || y >= config_.num_classes || !RowIsFinite(batch.row(i))) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) {
+    PartialFitClean(batch);
+    return;
+  }
+  // Contaminated batch: copy the usable rows aside (DESIGN.md Sec. 8).
+  if (clean_batch_ == nullptr) {
+    clean_batch_ = std::make_unique<Batch>(batch.num_features());
+  }
+  clean_batch_->clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const int y = batch.label(i);
+    if (y >= 0 && y < config_.num_classes && RowIsFinite(batch.row(i))) {
+      clean_batch_->Add(batch.row(i), y);
+    }
+  }
+  if (!clean_batch_->empty()) PartialFitClean(*clean_batch_);
+}
+
+void DynamicModelTree::PartialFitClean(const Batch& batch) {
   ++time_step_;
   scratch_.root_rows.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) scratch_.root_rows[i] = i;

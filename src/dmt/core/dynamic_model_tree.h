@@ -160,6 +160,11 @@ class DynamicModelTree : public Classifier {
   struct Node;
 
   std::unique_ptr<Node> MakeLeaf(const linear::Glm* warm_start_from);
+  // PartialFit body for a batch known to be all-finite with valid labels.
+  // Contaminated batches are copied minus the bad rows first: a NaN inside
+  // ComputeFeatureOrders' sort comparator would violate strict weak
+  // ordering (undefined behavior), so bad rows must never reach the sort.
+  void PartialFitClean(const Batch& batch);
   // Bottom-up batch update (Algorithm 1 at every node on the paths). The
   // row span stays valid for the call's duration (it points into
   // scratch_.root_rows or a depth-indexed partition buffer).
@@ -183,6 +188,9 @@ class DynamicModelTree : public Classifier {
   int model_params_ = 0;  // k: free parameters of one simple model
   std::unique_ptr<Node> root_;
   TrainScratch scratch_;  // grow-only training buffers (zero-alloc steady state)
+  // Lazily allocated copy buffer for batches containing non-finite rows;
+  // never touched on the clean path.
+  std::unique_ptr<Batch> clean_batch_;
   std::size_t time_step_ = 0;
   std::vector<StructuralEvent> events_;
   std::size_t splits_performed_ = 0;

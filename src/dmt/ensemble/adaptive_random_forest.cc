@@ -5,6 +5,7 @@
 #include <future>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
 
 namespace dmt::ensemble {
@@ -39,6 +40,10 @@ std::unique_ptr<trees::Vfdt> AdaptiveRandomForest::MakeTree(Rng* rng) {
 void AdaptiveRandomForest::TrainMemberInstance(Member* member,
                                                std::span<const double> x,
                                                int y) {
+  // Skip unusable rows before any drift-detector update or RNG draw, so
+  // the sequential and member-parallel paths skip identically (DESIGN.md
+  // Sec. 8).
+  if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) return;
   const double error = member->tree->Predict(x) == y ? 0.0 : 1.0;
   const bool warn = member->warning.Update(error);
   const bool drift = member->drift.Update(error);

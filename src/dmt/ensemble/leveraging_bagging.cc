@@ -4,6 +4,7 @@
 #include <future>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
 
 namespace dmt::ensemble {
@@ -60,6 +61,9 @@ void LeveragingBagging::ResetWorstMember() {
 }
 
 void LeveragingBagging::TrainInstance(std::span<const double> x, int y) {
+  // Skip unusable rows before any detector update or per-member RNG draw
+  // (mirrored in TrainMemberBatch so both modes skip identically).
+  if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) return;
   bool change = false;
   for (std::size_t i = 0; i < members_.size(); ++i) {
     // Monitor each member's own prequential error.
@@ -78,6 +82,7 @@ bool LeveragingBagging::TrainMemberBatch(std::size_t m, const Batch& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const std::span<const double> x = batch.row(i);
     const int y = batch.label(i);
+    if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) continue;
     const double error = members_[m]->Predict(x) == y ? 0.0 : 1.0;
     const bool detected = detectors_[m].Update(error);
     fired |= detected;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 
 namespace dmt::ensemble {
 
@@ -22,6 +23,11 @@ OnlineBagging::OnlineBagging(const OnlineBaggingConfig& config)
 
 void OnlineBagging::PartialFit(const Batch& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Skip unusable rows before the Poisson draws (DESIGN.md Sec. 8).
+    if (!RowIsFinite(batch.row(i)) || batch.label(i) < 0 ||
+        batch.label(i) >= config_.num_classes) {
+      continue;
+    }
     for (auto& member : members_) {
       const int weight = rng_.Poisson(config_.poisson_lambda);
       for (int w = 0; w < weight; ++w) {

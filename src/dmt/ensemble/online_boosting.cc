@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 
 namespace dmt::ensemble {
 
@@ -25,6 +26,8 @@ void OnlineBoosting::PartialFit(const Batch& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const std::span<const double> x = batch.row(i);
     const int y = batch.label(i);
+    // Skip unusable rows before any Poisson draw or weight update.
+    if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) continue;
     double lambda = 1.0;
     for (Member& member : members_) {
       const int weight = rng_.Poisson(lambda);

@@ -31,6 +31,10 @@ PrequentialResult RunPrequential(streams::Stream* stream,
   // One probability buffer reused across every batch: after the first
   // iteration the scoring loop performs no heap allocation.
   ProbaMatrix proba;
+  // Imputation values (scaler range midpoints), refreshed per batch.
+  std::vector<double> midpoints(stream->num_features(), 0.0);
+  SanitizeStats sanitize_stats;
+  const int num_classes = static_cast<int>(stream->num_classes());
 
   // Telemetry destinations stay null (and the timers skip all clock reads)
   // when no registry is supplied.
@@ -48,9 +52,32 @@ PrequentialResult RunPrequential(streams::Stream* stream,
     train_timer = config.telemetry->Timer("harness.train");
   }
 
+  const auto run_start = std::chrono::steady_clock::now();
   while (true) {
+    if (config.time_limit_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        run_start)
+              .count();
+      if (elapsed > config.time_limit_seconds) {
+        throw DeadlineExceeded("prequential run exceeded soft deadline of " +
+                               std::to_string(config.time_limit_seconds) +
+                               "s");
+      }
+    }
     batch.clear();
     if (stream->FillBatch(batch_size, &batch) == 0) break;
+
+    // Sanitize before scaling: post-scale, std::clamp would fold an Inf
+    // into [0, 1] and the fault would be invisible. Imputation uses the
+    // ranges seen so far (no future leakage).
+    if (config.bad_input_policy == BadInputPolicy::kImputeMidpoint &&
+        config.normalize) {
+      scaler.MidpointsInto(midpoints);
+    }
+    SanitizeBatch(&batch, config.bad_input_policy, midpoints, num_classes,
+                  &sanitize_stats);
+    if (batch.empty()) continue;  // every row dropped; stream not exhausted
 
     // Normalization is harness preprocessing, not model work: it runs
     // outside the timed region so iteration_seconds measures the model
@@ -93,6 +120,20 @@ PrequentialResult RunPrequential(streams::Stream* stream,
     }
     result.total_samples += batch.size();
     ++result.num_batches;
+  }
+  result.rows_dropped = sanitize_stats.rows_dropped;
+  result.values_imputed = sanitize_stats.values_imputed;
+  // Lazy flush: only runs that actually sanitized something create the
+  // counters, so clean runs keep the pinned golden counter surface.
+  if (config.telemetry != nullptr) {
+    if (sanitize_stats.rows_dropped > 0) {
+      *config.telemetry->Counter("harness.rows_dropped") +=
+          sanitize_stats.rows_dropped;
+    }
+    if (sanitize_stats.values_imputed > 0) {
+      *config.telemetry->Counter("harness.values_imputed") +=
+          sanitize_stats.values_imputed;
+    }
   }
   return result;
 }

@@ -7,13 +7,25 @@
 #define DMT_EVAL_PREQUENTIAL_H_
 
 #include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "dmt/common/classifier.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/common/stats.h"
 #include "dmt/streams/stream.h"
 
 namespace dmt::eval {
+
+// Thrown when a run exceeds PrequentialConfig::time_limit_seconds. Checked
+// between batches only (a soft deadline): a single batch is never
+// interrupted mid-flight, so the model is left in a consistent state.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 struct PrequentialConfig {
   // Observations per test-then-train iteration; 0 derives it as 0.1% of
@@ -29,6 +41,18 @@ struct PrequentialConfig {
   // here too). The registry must outlive the run; null disables telemetry
   // with zero per-batch cost.
   obs::TelemetryRegistry* telemetry = nullptr;
+  // What to do with rows carrying non-finite features or out-of-range
+  // labels. Sanitization runs BEFORE normalization -- scaling first would
+  // clamp an Inf into [0,1] and hide the fault -- and kImputeMidpoint uses
+  // the scaler's current per-feature range midpoints (0.0 for features
+  // without finite observations yet, or when normalize is off). Nonzero
+  // drop/impute tallies are flushed to "harness.rows_dropped" /
+  // "harness.values_imputed" after the run; clean runs create no such
+  // keys, keeping the pinned telemetry goldens unchanged.
+  BadInputPolicy bad_input_policy = BadInputPolicy::kSkip;
+  // Soft wall-clock deadline in seconds; 0 disables. Checked between
+  // batches; throws DeadlineExceeded when exceeded.
+  double time_limit_seconds = 0.0;
 };
 
 struct PrequentialResult {
@@ -39,6 +63,9 @@ struct PrequentialResult {
   RunningStats iteration_seconds;
   std::size_t total_samples = 0;
   std::size_t num_batches = 0;
+  // Sanitization tallies (see PrequentialConfig::bad_input_policy).
+  std::uint64_t rows_dropped = 0;
+  std::uint64_t values_imputed = 0;
   // Per-batch series (only when keep_series).
   std::vector<double> f1_series;
   std::vector<double> splits_series;

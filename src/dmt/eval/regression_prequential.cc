@@ -25,10 +25,13 @@ class BatchScaler {
     for (std::size_t i = 0; i < batch->size(); ++i) {
       std::span<double> row = batch->mutable_row(i);
       for (std::size_t j = 0; j < row.size(); ++j) {
+        // Guard like OnlineMinMaxScaler: one NaN would poison the range.
+        if (!std::isfinite(row[j])) continue;
         mins_[j] = std::min(mins_[j], row[j]);
         maxs_[j] = std::max(maxs_[j], row[j]);
       }
       for (std::size_t j = 0; j < row.size(); ++j) {
+        if (!std::isfinite(row[j])) continue;  // keep faults visible
         const double range = maxs_[j] - mins_[j];
         row[j] = range <= 0.0
                      ? 0.5
@@ -41,6 +44,46 @@ class BatchScaler {
   std::vector<double> mins_;
   std::vector<double> maxs_;
 };
+
+// RegressionBatch analogue of SanitizeBatch: a non-finite target always
+// drops the row; non-finite features follow the policy (imputed with 0.0).
+void SanitizeRegressionBatch(linear::RegressionBatch* batch,
+                             BadInputPolicy policy, SanitizeStats* stats) {
+  std::size_t write = 0;
+  for (std::size_t read = 0; read < batch->size(); ++read) {
+    const std::span<double> row = batch->mutable_row(read);
+    bool keep = true;
+    if (!std::isfinite(batch->target(read))) {
+      if (policy == BadInputPolicy::kThrow) {
+        throw BadInputError("non-finite regression target");
+      }
+      keep = false;
+    } else if (!RowIsFinite(row)) {
+      switch (policy) {
+        case BadInputPolicy::kThrow:
+          throw BadInputError("non-finite feature value in input row");
+        case BadInputPolicy::kSkip:
+          keep = false;
+          break;
+        case BadInputPolicy::kImputeMidpoint:
+          for (double& v : row) {
+            if (!std::isfinite(v)) {
+              v = 0.0;
+              ++stats->values_imputed;
+            }
+          }
+          break;
+      }
+    }
+    if (keep) {
+      batch->MoveRow(read, write);
+      ++write;
+    } else {
+      ++stats->rows_dropped;
+    }
+  }
+  batch->Truncate(write);
+}
 
 }  // namespace
 
@@ -65,10 +108,15 @@ RegressionPrequentialResult RunRegressionPrequential(
   // For the global R^2: sums of residuals and of targets.
   double sse = 0.0;
   RunningStats target_stats;
+  SanitizeStats sanitize_stats;
 
   while (true) {
     batch.clear();
     if (stream->FillBatch(batch_size, &batch) == 0) break;
+
+    // Sanitize before scaling, like the classification harness.
+    SanitizeRegressionBatch(&batch, config.bad_input_policy, &sanitize_stats);
+    if (batch.empty()) continue;
 
     // Preprocessing (normalization) stays outside the timed region, like
     // the classification harness: iteration_seconds is model work only.
@@ -111,6 +159,8 @@ RegressionPrequentialResult RunRegressionPrequential(
   const double sst = target_stats.variance() *
                      static_cast<double>(target_stats.count());
   result.r_squared = sst > 0.0 ? 1.0 - sse / sst : 0.0;
+  result.rows_dropped = sanitize_stats.rows_dropped;
+  result.values_imputed = sanitize_stats.values_imputed;
   return result;
 }
 

@@ -5,10 +5,12 @@
 #define DMT_EVAL_REGRESSION_PREQUENTIAL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "dmt/common/sanitize.h"
 #include "dmt/common/stats.h"
 #include "dmt/linear/linear_regressor.h"
 #include "dmt/streams/regression_streams.h"
@@ -20,6 +22,12 @@ struct RegressionPrequentialConfig {
   std::size_t expected_samples = 0;
   bool normalize = true;  // online min-max scaling of the features
   bool keep_series = false;
+  // Rows with non-finite features or targets, mirroring the classification
+  // harness (sanitize runs before scaling). A non-finite target always
+  // drops its row -- a target cannot be imputed; kImputeMidpoint imputes
+  // bad features with 0.0 (pre-scale) since this harness's scaler is
+  // internal.
+  BadInputPolicy bad_input_policy = BadInputPolicy::kSkip;
 };
 
 struct RegressionPrequentialResult {
@@ -30,6 +38,8 @@ struct RegressionPrequentialResult {
   double r_squared = 0.0;  // over the whole stream
   std::size_t total_samples = 0;
   std::size_t num_batches = 0;
+  std::uint64_t rows_dropped = 0;
+  std::uint64_t values_imputed = 0;
   std::vector<double> mae_series;
 };
 

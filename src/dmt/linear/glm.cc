@@ -50,6 +50,7 @@ void Glm::Fit(const Batch& batch) {
     SgdStep(batch.row(i), batch.label(i));
   }
   if (config_.l1_penalty > 0.0 && !batch.empty()) ApplyL1Prox();
+  if (!batch.empty()) CheckParamsFinite();
 }
 
 void Glm::FitRows(const Batch& batch, std::span<const std::size_t> rows) {
@@ -57,6 +58,32 @@ void Glm::FitRows(const Batch& batch, std::span<const std::size_t> rows) {
     SgdStep(batch.row(i), batch.label(i));
   }
   if (config_.l1_penalty > 0.0 && !rows.empty()) ApplyL1Prox();
+  if (!rows.empty()) CheckParamsFinite();
+}
+
+void Glm::CheckParamsFinite() {
+  for (const double p : params_) {
+    if (std::isfinite(p)) continue;
+    // Diverged: reset to the deterministic zero state (uniform
+    // predictions) rather than re-randomizing, and clear optimizer state
+    // accumulated under the bad parameters.
+    std::fill(params_.begin(), params_.end(), 0.0);
+    std::fill(velocity_.begin(), velocity_.end(), 0.0);
+    std::fill(grad_accum_.begin(), grad_accum_.end(), 0.0);
+    ++num_resets_;
+    if (resets_counter_ != nullptr) ++*resets_counter_;
+    return;
+  }
+}
+
+double Glm::ClipScale(double err_sq_sum, double xsq) const {
+  const double cap = config_.max_gradient_norm;
+  if (cap <= 0.0) return 1.0;
+  // Sample gradient = err_c * [x, 1] per class, so
+  // ||g||^2 = (sum_c err_c^2) * (||x||^2 + 1).
+  const double norm_sq = err_sq_sum * (xsq + 1.0);
+  if (!(norm_sq > cap * cap)) return 1.0;  // also covers NaN norms
+  return cap / std::sqrt(norm_sq);
 }
 
 void Glm::ApplyL1Prox() {
@@ -120,15 +147,26 @@ void Glm::ApplyUpdate(std::size_t p, double g, double lr) {
 void Glm::SgdStep(std::span<const double> x, int y) {
   DMT_DCHECK(static_cast<int>(x.size()) == num_features_);
   const double lr = CurrentLearningRate();
-  ++steps_;
   const int stride = num_features_ + 1;
   // Plain SGD (the default everywhere) takes the fused SgdAxpy kernel;
   // momentum/Adagrad keep per-coordinate ApplyUpdate for their state.
   const bool plain_sgd = config_.optimizer == Optimizer::kSgd;
   const std::size_t m = static_cast<std::size_t>(num_features_);
+  // Clipping needs ||x||^2; a non-finite value here (NaN/Inf feature)
+  // surfaces in the logits too and the sample is skipped below.
+  const double xsq =
+      config_.max_gradient_norm > 0.0 ? kernels::SquaredNorm(x.data(), m) : 0.0;
   if (is_binary()) {
     const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
-    const double err = Sigmoid(z) - (y == 1 ? 1.0 : 0.0);
+    if (!std::isfinite(z)) {
+      // A NaN/Inf feature (or diverged weights) always propagates into z;
+      // folding it into the parameters would poison the model permanently.
+      ++num_skipped_samples_;
+      return;
+    }
+    ++steps_;
+    double err = Sigmoid(z) - (y == 1 ? 1.0 : 0.0);
+    err *= ClipScale(err * err, xsq);
     if (plain_sgd) {
       kernels::SgdAxpy(lr, err, x.data(), params_.data(), m);
     } else {
@@ -142,10 +180,21 @@ void Glm::SgdStep(std::span<const double> x, int y) {
   for (int c = 0; c < num_classes_; ++c) {
     const double* w = params_.data() + c * stride;
     logits_scratch_[c] = Dot(x, {w, x.size()}) + w[num_features_];
+    if (!std::isfinite(logits_scratch_[c])) {
+      ++num_skipped_samples_;
+      return;
+    }
   }
+  ++steps_;
   SoftmaxInPlace(logits_scratch_);
+  double err_sq_sum = 0.0;
   for (int c = 0; c < num_classes_; ++c) {
     const double err = logits_scratch_[c] - (c == y ? 1.0 : 0.0);
+    err_sq_sum += err * err;
+  }
+  const double clip = ClipScale(err_sq_sum, xsq);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double err = clip * (logits_scratch_[c] - (c == y ? 1.0 : 0.0));
     if (plain_sgd) {
       kernels::SgdAxpy(lr, err, x.data(), params_.data() + c * stride, m);
     } else {
@@ -163,6 +212,11 @@ void Glm::PredictProbaInto(std::span<const double> x,
   DMT_DCHECK(static_cast<int>(out.size()) == num_classes_);
   if (is_binary()) {
     const double z = Dot(x, {params_.data(), x.size()}) + params_.back();
+    if (!std::isfinite(z)) {
+      // Non-finite input (or diverged weights): an honest "don't know".
+      out[0] = out[1] = 0.5;
+      return;
+    }
     out[1] = Sigmoid(z);
     out[0] = 1.0 - out[1];
     return;
@@ -171,6 +225,11 @@ void Glm::PredictProbaInto(std::span<const double> x,
   for (int c = 0; c < num_classes_; ++c) {
     const double* w = params_.data() + c * stride;
     out[c] = Dot(x, {w, x.size()}) + w[num_features_];
+    if (!std::isfinite(out[c])) {
+      const double uniform = 1.0 / static_cast<double>(num_classes_);
+      for (int k = 0; k < num_classes_; ++k) out[k] = uniform;
+      return;
+    }
   }
   SoftmaxInPlace(out);
 }

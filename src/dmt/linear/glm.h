@@ -52,6 +52,13 @@ struct GlmConfig {
   // Standard deviation of the random weight initialization.
   double init_scale = 0.1;
   std::uint64_t seed = 42;
+  // Hard cap on the per-sample gradient L2 norm; larger gradients are
+  // rescaled to the cap before the update. 0 disables clipping. The cap is
+  // unreachable on clean [0,1]-normalized data (|residual| < 1, so the norm
+  // is <= sqrt(C * (m + 1)) ~ 14 for Table I dimensions) -- it exists to
+  // bound the step size on unscaled or adversarial inputs, so the pinned
+  // benchmark numbers are unaffected.
+  double max_gradient_norm = 1e3;
 };
 
 class Glm {
@@ -119,6 +126,20 @@ class Glm {
   std::size_t steps() const { return steps_; }
   void set_steps(std::size_t steps) { steps_ = steps; }
 
+  // Divergence protection (DESIGN.md Sec. 8). Samples whose logits come out
+  // non-finite -- a NaN/Inf feature or already-diverged parameters -- are
+  // skipped rather than folded into the weights; if the parameters
+  // themselves ever turn non-finite, the next Fit/FitRows call detects it,
+  // resets them to zero (a deterministic, uniform-predicting state) and
+  // bumps the reset counter.
+  std::uint64_t num_resets() const { return num_resets_; }
+  std::uint64_t num_skipped_samples() const { return num_skipped_samples_; }
+  // Optional telemetry destination (e.g. registry->Counter("glm.resets"));
+  // incremented on every divergence reset. Null disables.
+  void set_resets_counter(std::uint64_t* counter) {
+    resets_counter_ = counter;
+  }
+
   // Per-feature weights for class `c` (interpretability surface: local
   // feature-based explanations, paper Sec. I-C). For the binary model, class
   // 1 weights are the parameters and class 0 weights their negation.
@@ -128,6 +149,12 @@ class Glm {
   bool is_binary() const { return num_classes_ == 2; }
   void SgdStep(std::span<const double> x, int y);
   void ApplyL1Prox();
+  // Post-Fit divergence scan: zero-resets non-finite parameters.
+  void CheckParamsFinite();
+  // Rescales `err` terms so the sample gradient norm respects the cap.
+  // err_sq_sum = sum of squared residuals, xsq = ||x||^2; returns the
+  // multiplier to apply to every residual (1.0 when no clipping applies).
+  double ClipScale(double err_sq_sum, double xsq) const;
 
   // Applies one optimizer step for parameter p with raw gradient g.
   void ApplyUpdate(std::size_t p, double g, double lr);
@@ -142,6 +169,9 @@ class Glm {
   std::vector<double> grad_accum_;
   // Scratch buffer reused across per-sample probability computations.
   mutable std::vector<double> logits_scratch_;
+  std::uint64_t num_resets_ = 0;
+  std::uint64_t num_skipped_samples_ = 0;
+  std::uint64_t* resets_counter_ = nullptr;
 };
 
 }  // namespace dmt::linear

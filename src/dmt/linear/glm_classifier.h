@@ -9,6 +9,7 @@
 
 #include "dmt/common/classifier.h"
 #include "dmt/linear/glm.h"
+#include "dmt/obs/telemetry.h"
 
 namespace dmt::linear {
 
@@ -17,6 +18,10 @@ class GlmClassifier : public Classifier {
   explicit GlmClassifier(const GlmConfig& config) : model_(config) {}
 
   void PartialFit(const Batch& batch) override { model_.Fit(batch); }
+  void AttachTelemetry(obs::TelemetryRegistry* registry) override {
+    if (registry == nullptr) return;
+    model_.set_resets_counter(registry->Counter("glm.resets"));
+  }
   int num_classes() const override { return model_.num_classes(); }
   void PredictProbaInto(std::span<const double> x,
                         std::span<double> out) const override {

@@ -1,5 +1,8 @@
 #include "dmt/linear/linear_regressor.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "dmt/common/check.h"
 #include "dmt/common/kernels.h"
 #include "dmt/common/math.h"
@@ -8,7 +11,8 @@ namespace dmt::linear {
 
 LinearRegressor::LinearRegressor(const LinearRegressorConfig& config)
     : num_features_(config.num_features),
-      learning_rate_(config.learning_rate) {
+      learning_rate_(config.learning_rate),
+      max_gradient_norm_(config.max_gradient_norm) {
   DMT_CHECK(num_features_ >= 1);
   Rng rng(config.seed);
   params_.resize(num_features_ + 1);
@@ -18,7 +22,8 @@ LinearRegressor::LinearRegressor(const LinearRegressorConfig& config)
 LinearRegressor::LinearRegressor(const LinearRegressorConfig& config,
                                  Rng* rng)
     : num_features_(config.num_features),
-      learning_rate_(config.learning_rate) {
+      learning_rate_(config.learning_rate),
+      max_gradient_norm_(config.max_gradient_norm) {
   DMT_CHECK(num_features_ >= 1);
   DMT_CHECK(rng != nullptr);
   params_.resize(num_features_ + 1);
@@ -26,7 +31,22 @@ LinearRegressor::LinearRegressor(const LinearRegressorConfig& config,
 }
 
 void LinearRegressor::SgdStep(std::span<const double> x, double y) {
-  const double err = Predict(x) - y;
+  double err = Predict(x) - y;
+  if (!std::isfinite(err)) {
+    // A NaN/Inf feature or target (or diverged weights) always surfaces in
+    // the residual; folding it into the parameters would poison the model.
+    ++num_skipped_samples_;
+    return;
+  }
+  if (max_gradient_norm_ > 0.0) {
+    // Sample gradient = err * [x, 1], so ||g||^2 = err^2 * (||x||^2 + 1).
+    const double xsq = kernels::SquaredNorm(
+        x.data(), static_cast<std::size_t>(num_features_));
+    const double norm_sq = err * err * (xsq + 1.0);
+    if (norm_sq > max_gradient_norm_ * max_gradient_norm_) {
+      err *= max_gradient_norm_ / std::sqrt(norm_sq);
+    }
+  }
   // w[j] -= (lr*err) * x[j]; Axpy with the negated pre-multiplied
   // coefficient gives the same rounding (IEEE a -= b == a += -b).
   kernels::Axpy(-(learning_rate_ * err), x.data(), params_.data(),
@@ -38,11 +58,23 @@ void LinearRegressor::Fit(const RegressionBatch& batch) {
   for (std::size_t i = 0; i < batch.size(); ++i) {
     SgdStep(batch.row(i), batch.target(i));
   }
+  if (!batch.empty()) CheckParamsFinite();
 }
 
 void LinearRegressor::FitRows(const RegressionBatch& batch,
                               std::span<const std::size_t> rows) {
   for (std::size_t i : rows) SgdStep(batch.row(i), batch.target(i));
+  if (!rows.empty()) CheckParamsFinite();
+}
+
+void LinearRegressor::CheckParamsFinite() {
+  for (const double p : params_) {
+    if (std::isfinite(p)) continue;
+    std::fill(params_.begin(), params_.end(), 0.0);
+    ++num_resets_;
+    if (resets_counter_ != nullptr) ++*resets_counter_;
+    return;
+  }
 }
 
 double LinearRegressor::Predict(std::span<const double> x) const {

@@ -46,6 +46,19 @@ class RegressionBatch {
     targets_.clear();
   }
 
+  // In-place row compaction support, mirroring Batch (common/types.h):
+  // MoveRow slides a surviving row left, Truncate drops the tail.
+  void MoveRow(std::size_t from, std::size_t to) {
+    if (from == to) return;
+    std::copy_n(data_.begin() + from * num_features_, num_features_,
+                data_.begin() + to * num_features_);
+    targets_[to] = targets_[from];
+  }
+  void Truncate(std::size_t n) {
+    data_.resize(n * num_features_);
+    targets_.resize(n);
+  }
+
  private:
   std::size_t num_features_;
   std::vector<double> data_;
@@ -57,6 +70,12 @@ struct LinearRegressorConfig {
   double learning_rate = 0.01;
   double init_scale = 0.1;
   std::uint64_t seed = 42;
+  // Hard cap on the per-sample gradient L2 norm (|err| * sqrt(||x||^2+1));
+  // larger gradients are rescaled to the cap. 0 disables. Unlike the GLM,
+  // regression residuals are unbounded even on clean data, so the default
+  // sits far above any plausible honest error and only a divergence spiral
+  // (err growing without bound) can reach it.
+  double max_gradient_norm = 1e6;
 };
 
 class LinearRegressor {
@@ -83,6 +102,14 @@ class LinearRegressor {
 
   void WarmStartFrom(const LinearRegressor& parent);
 
+  // Divergence protection, mirroring Glm: non-finite samples are skipped,
+  // non-finite parameters are zero-reset after the offending Fit call.
+  std::uint64_t num_resets() const { return num_resets_; }
+  std::uint64_t num_skipped_samples() const { return num_skipped_samples_; }
+  void set_resets_counter(std::uint64_t* counter) {
+    resets_counter_ = counter;
+  }
+
   const std::vector<double>& params() const { return params_; }
   std::vector<double> FeatureWeights() const {
     return {params_.begin(), params_.end() - 1};
@@ -90,10 +117,15 @@ class LinearRegressor {
 
  private:
   void SgdStep(std::span<const double> x, double y);
+  void CheckParamsFinite();
 
   int num_features_;
   double learning_rate_;
+  double max_gradient_norm_;
   std::vector<double> params_;  // [w_0..w_{m-1}, b]
+  std::uint64_t num_resets_ = 0;
+  std::uint64_t num_skipped_samples_ = 0;
+  std::uint64_t* resets_counter_ = nullptr;
 };
 
 }  // namespace dmt::linear

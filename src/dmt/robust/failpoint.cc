@@ -1,0 +1,63 @@
+#include "dmt/robust/failpoint.h"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+namespace dmt::robust {
+
+Failpoint* FailpointRegistry::Arm(const std::string& name, double probability,
+                                  std::uint64_t base_seed) {
+  if (name.empty()) {
+    throw std::invalid_argument("failpoint name must be non-empty");
+  }
+  if (!(probability >= 0.0 && probability <= 1.0)) {
+    throw std::invalid_argument("failpoint probability out of [0,1] for '" +
+                                name + "'");
+  }
+  const std::uint64_t seed = DeriveSeed(base_seed, name);
+  auto it = points_.find(name);
+  if (it != points_.end()) points_.erase(it);
+  auto [inserted, ok] = points_.emplace(name,
+                                        Failpoint(name, probability, seed));
+  return &inserted->second;
+}
+
+void FailpointRegistry::ArmFromSpec(const std::string& spec,
+                                    std::uint64_t base_seed) {
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("malformed failpoint entry '" +
+                                  std::string(entry) +
+                                  "' (want name=probability)");
+    }
+    const std::string name(entry.substr(0, eq));
+    const std::string prob_text(entry.substr(eq + 1));
+    char* end = nullptr;
+    const double probability = std::strtod(prob_text.c_str(), &end);
+    if (end == prob_text.c_str() || *end != '\0') {
+      throw std::invalid_argument("unparsable failpoint probability '" +
+                                  prob_text + "' for '" + name + "'");
+    }
+    Arm(name, probability, base_seed);
+  }
+}
+
+Failpoint* FailpointRegistry::Find(const std::string& name) {
+  auto it = points_.find(name);
+  return it == points_.end() ? nullptr : &it->second;
+}
+
+FailpointRegistry& GlobalFailpoints() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+}  // namespace dmt::robust

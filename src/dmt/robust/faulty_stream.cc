@@ -1,0 +1,99 @@
+#include "dmt/robust/faulty_stream.h"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+#include <string_view>
+
+#include "dmt/common/check.h"
+
+namespace dmt::robust {
+
+FaultSpec FaultSpec::Parse(const std::string& spec) {
+  FaultSpec result;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      throw std::invalid_argument("malformed fault entry '" +
+                                  std::string(entry) + "' (want kind=rate)");
+    }
+    const std::string key(entry.substr(0, eq));
+    const std::string value(entry.substr(eq + 1));
+    char* end = nullptr;
+    const double rate = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0') {
+      throw std::invalid_argument("unparsable fault rate '" + value +
+                                  "' for '" + key + "'");
+    }
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      throw std::invalid_argument("fault rate out of [0,1] for '" + key + "'");
+    }
+    if (key == "nan") {
+      result.nan_rate = rate;
+    } else if (key == "inf") {
+      result.inf_rate = rate;
+    } else if (key == "missing") {
+      result.missing_rate = rate;
+    } else if (key == "flip") {
+      result.flip_rate = rate;
+    } else if (key == "truncate") {
+      result.truncate_rate = rate;
+    } else {
+      throw std::invalid_argument(
+          "unknown fault kind '" + key +
+          "' (known: nan, inf, missing, flip, truncate)");
+    }
+  }
+  return result;
+}
+
+bool FaultyStream::NextInstance(Instance* out) {
+  if (truncated_) return false;
+  if (spec_.truncate_rate > 0.0 && rng_.Bernoulli(spec_.truncate_rate)) {
+    truncated_ = true;
+    ++counts_.truncated;
+    return false;
+  }
+  if (!inner_->NextInstance(out)) return false;
+  const int num_features = static_cast<int>(out->x.size());
+  if (spec_.nan_rate > 0.0 && num_features > 0 &&
+      rng_.Bernoulli(spec_.nan_rate)) {
+    out->x[rng_.UniformInt(0, num_features - 1)] =
+        std::numeric_limits<double>::quiet_NaN();
+    ++counts_.nan;
+  }
+  if (spec_.inf_rate > 0.0 && num_features > 0 &&
+      rng_.Bernoulli(spec_.inf_rate)) {
+    const double sign = rng_.Bernoulli(0.5) ? 1.0 : -1.0;
+    out->x[rng_.UniformInt(0, num_features - 1)] =
+        sign * std::numeric_limits<double>::infinity();
+    ++counts_.inf;
+  }
+  if (spec_.missing_rate > 0.0) {
+    for (double& value : out->x) {
+      if (rng_.Bernoulli(spec_.missing_rate)) {
+        value = std::numeric_limits<double>::quiet_NaN();
+        ++counts_.missing;
+      }
+    }
+  }
+  const int num_classes = static_cast<int>(inner_->num_classes());
+  if (spec_.flip_rate > 0.0 && num_classes > 1 &&
+      rng_.Bernoulli(spec_.flip_rate)) {
+    // Uniform over the other classes: draw r in [0, c-2], shift past y.
+    int r = rng_.UniformInt(0, num_classes - 2);
+    if (r >= out->y) ++r;
+    DMT_DCHECK(r != out->y && r >= 0 && r < num_classes);
+    out->y = r;
+    ++counts_.flips;
+  }
+  return true;
+}
+
+}  // namespace dmt::robust

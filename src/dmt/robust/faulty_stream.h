@@ -1,0 +1,81 @@
+// Stream decorator that injects data faults at configured rates
+// (DESIGN.md Sec. 8). Wraps any streams::Stream and corrupts instances on
+// the way out:
+//
+//   nan=R       with probability R per instance, one random feature -> NaN
+//   inf=R       with probability R per instance, one random feature -> +/-Inf
+//   missing=R   per feature, independently, value -> NaN (missing marker)
+//   flip=R      per instance, label -> a uniformly random *different* class
+//   truncate=R  per instance, the stream ends early (stays exhausted)
+//
+// All draws come from one Rng owned by the decorator, seeded explicitly by
+// the caller (the harness uses DeriveSeed(cell_seed, "inject")), so a given
+// (spec, seed) pair yields the identical fault trace at any --jobs value.
+// The trace contract is per (full spec, seed): changing any one rate
+// re-randomizes the whole trace, which is fine -- determinism, not
+// rate-isolation, is the property the tests pin.
+#ifndef DMT_ROBUST_FAULTY_STREAM_H_
+#define DMT_ROBUST_FAULTY_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "dmt/common/random.h"
+#include "dmt/streams/stream.h"
+
+namespace dmt::robust {
+
+// Per-kind fault rates, all in [0, 1]; 0 disables the kind.
+struct FaultSpec {
+  double nan_rate = 0.0;
+  double inf_rate = 0.0;
+  double missing_rate = 0.0;
+  double flip_rate = 0.0;
+  double truncate_rate = 0.0;
+
+  bool any() const {
+    return nan_rate > 0.0 || inf_rate > 0.0 || missing_rate > 0.0 ||
+           flip_rate > 0.0 || truncate_rate > 0.0;
+  }
+
+  // Parses "nan=0.01,inf=0.001,missing=0.05,flip=0.02,truncate=1e-5".
+  // Unlisted kinds stay 0. Throws std::invalid_argument on unknown keys,
+  // unparsable values, or rates outside [0, 1].
+  static FaultSpec Parse(const std::string& spec);
+};
+
+// Counts of injected faults, for telemetry flushing after a run.
+struct FaultCounts {
+  std::uint64_t nan = 0;
+  std::uint64_t inf = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t truncated = 0;  // 0 or 1: a stream truncates at most once
+};
+
+class FaultyStream : public streams::Stream {
+ public:
+  FaultyStream(std::unique_ptr<streams::Stream> inner, const FaultSpec& spec,
+               std::uint64_t seed)
+      : inner_(std::move(inner)), spec_(spec), rng_(seed) {}
+
+  bool NextInstance(Instance* out) override;
+
+  std::size_t num_features() const override { return inner_->num_features(); }
+  std::size_t num_classes() const override { return inner_->num_classes(); }
+  std::string name() const override { return inner_->name(); }
+
+  const FaultCounts& counts() const { return counts_; }
+
+ private:
+  std::unique_ptr<streams::Stream> inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  FaultCounts counts_;
+  bool truncated_ = false;
+};
+
+}  // namespace dmt::robust
+
+#endif  // DMT_ROBUST_FAULTY_STREAM_H_

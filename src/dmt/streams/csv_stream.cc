@@ -40,6 +40,29 @@ std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
                  "): " + message);
 }
 
+// Upper bound on one physical line. Real rows in the paper's data sets are
+// a few hundred bytes; a multi-megabyte "line" means a corrupt or
+// adversarial file (e.g. a binary blob with no newlines) and is rejected
+// before it can be copied around cell by cell.
+constexpr std::size_t kMaxLineBytes = 1 << 20;
+
+// Structural validation of a raw line, shared by the class-enumeration scan
+// and the streaming read so both passes reject the same inputs.
+//   * Embedded NUL bytes: std::getline carries them through, but strtod
+//     stops at the first NUL, so "1.5\0junk" would silently parse as 1.5.
+//     A NUL never appears in well-formed text CSV; reject it outright.
+//   * Oversized lines: see kMaxLineBytes.
+void ValidateRawLine(const std::string& path, std::size_t line_number,
+                     const std::string& line) {
+  if (line.size() > kMaxLineBytes) {
+    Fail(path, line_number,
+         "line exceeds " + std::to_string(kMaxLineBytes) + " bytes");
+  }
+  if (line.find('\0') != std::string::npos) {
+    Fail(path, line_number, "embedded NUL byte");
+  }
+}
+
 }  // namespace
 
 CsvStream::CsvStream(const CsvStreamConfig& config) : config_(config) {
@@ -98,6 +121,7 @@ CsvStream::CsvStream(const CsvStreamConfig& config) : config_(config) {
     while (std::getline(scan, line)) {
       ++row;
       if (line.empty()) continue;
+      ValidateRawLine(config_.path, row, line);
       const std::vector<std::string> cells =
           SplitLine(line, config_.delimiter);
       if (cells.size() != header.size()) {
@@ -126,6 +150,7 @@ void CsvStream::OpenAndSkipHeader() {
 }
 
 bool CsvStream::ParseRow(const std::string& line, Instance* out) {
+  ValidateRawLine(config_.path, line_number_, line);
   const std::vector<std::string> cells = SplitLine(line, config_.delimiter);
   if (cells.size() != num_features_ + 1) {
     Fail(config_.path, line_number_, "inconsistent column count");

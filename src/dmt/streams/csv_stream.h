@@ -51,7 +51,11 @@ class CsvStream : public Stream {
   // not a hot path.
   explicit CsvStream(const CsvStreamConfig& config);
 
-  // Throws CsvError on a malformed row (wrong column count, unseen label).
+  // Throws CsvError on a malformed row (wrong column count, unseen label,
+  // embedded NUL byte, oversized line, row truncated by EOF). The stream
+  // position stays consistent after a caught error: the bad line is
+  // consumed, so the next call resumes at the following line -- a caller
+  // may catch-and-continue to skip isolated bad rows.
   bool NextInstance(Instance* out) override;
   std::size_t num_features() const override { return num_features_; }
   std::size_t num_classes() const override { return classes_.size(); }

@@ -22,11 +22,21 @@ class OnlineMinMaxScaler {
 
   // Rescales the batch in place, row by row: each row first updates the
   // ranges, then is transformed with them, so no row sees statistics of a
-  // later observation (prequential test-then-train protocol).
+  // later observation (prequential test-then-train protocol). Non-finite
+  // values (NaN/Inf) never enter the ranges -- folding a NaN into min/max
+  // would poison that feature's range for the rest of the stream.
   void FitTransform(Batch* batch);
 
   // Rescales one observation with the current ranges (no update).
+  // Non-finite values pass through unchanged: clamping an Inf to 1.0 would
+  // silently hide the fault from downstream sanitization.
   void Transform(std::span<double> x) const;
+
+  // Writes each feature's current range midpoint -- the post-transform 0.5
+  // point -- into `out` (imputation values for BadInputPolicy::
+  // kImputeMidpoint). Features with no finite observations yet get 0.0,
+  // which Transform maps to the constant-feature midpoint anyway.
+  void MidpointsInto(std::span<double> out) const;
 
  private:
   std::vector<double> mins_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
 #include "dmt/trees/split_criteria.h"
 
@@ -64,6 +65,9 @@ SplitSuggestion Efdt::BestSuggestion(const Node& node) const {
 }
 
 void Efdt::TrainInstance(std::span<const double> x, int y) {
+  // Non-finite rows would poison every observer along the path; skip them
+  // (DESIGN.md Sec. 8).
+  if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) return;
   Node* node = root_.get();
   while (true) {
     node->class_counts[y] += 1.0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
 
 namespace dmt::trees {
@@ -168,6 +169,10 @@ void FimtDd::AttachTelemetry(obs::TelemetryRegistry* registry) {
 }
 
 void FimtDd::TrainInstance(std::span<const double> x, int y) {
+  // Non-finite rows are unusable: BinOf would evaluate
+  // static_cast<int>(NaN) -- undefined behavior -- and the histogram and
+  // Page-Hinkley state would be poisoned (DESIGN.md Sec. 8).
+  if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) return;
   // Route to the leaf, remembering the path for drift monitoring.
   std::vector<Node*> path;
   Node* node = root_.get();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/drift/adwin.h"
 #include "dmt/obs/telemetry.h"
 #include "dmt/trees/split_criteria.h"
@@ -152,6 +153,9 @@ void HoeffdingAdaptiveTree::TrainAt(Node* node, std::span<const double> x,
 }
 
 void HoeffdingAdaptiveTree::TrainInstance(std::span<const double> x, int y) {
+  // Non-finite rows would poison the per-node observers and ADWIN
+  // monitors; skip them (DESIGN.md Sec. 8).
+  if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) return;
   TrainAt(root_.get(), x, y);
 }
 

@@ -24,6 +24,10 @@ NumericObserver::NumericObserver(int num_classes)
 
 void NumericObserver::Add(double value, int y, double weight) {
   DMT_DCHECK(y >= 0 && y < num_classes_);
+  // A non-finite value would poison the Gaussian estimator and the min_/
+  // max_ split range permanently (std::min(x, NaN) is NaN); treat it as
+  // missing. std::lround(NaN) below is also unspecified behavior.
+  if (!std::isfinite(value) || !std::isfinite(weight)) return;
   // The Gaussian estimator is unweighted; integer weights (Poisson sampling
   // in the ensembles) are applied by repetition.
   const int repeats = std::max(1, static_cast<int>(std::lround(weight)));
@@ -117,6 +121,9 @@ NominalObserver::NominalObserver(int num_classes)
 
 void NominalObserver::Add(double value, int y, double weight) {
   DMT_DCHECK(y >= 0 && y < num_classes_);
+  // A NaN key breaks std::map's strict weak ordering (NaN compares false
+  // against everything), corrupting the tree; treat non-finite as missing.
+  if (!std::isfinite(value) || !std::isfinite(weight)) return;
   // find-then-emplace so the steady state (value already seen) stays off
   // the heap; try_emplace would build its vector argument on every call.
   auto it = value_counts_.find(value);

@@ -5,6 +5,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/common/sanitize.h"
 
 namespace dmt::trees {
 
@@ -82,6 +83,12 @@ double StochasticGradientTree::Score(std::span<const double> x) const {
 
 void StochasticGradientTree::TrainGradient(std::span<const double> x,
                                            double gradient, double hessian) {
+  // Non-finite features are unusable: the histogram binning below would
+  // evaluate static_cast<int>(NaN) -- undefined behavior (DESIGN.md
+  // Sec. 8). Non-finite gradients would poison the leaf totals.
+  if (!RowIsFinite(x) || !std::isfinite(gradient) || !std::isfinite(hessian)) {
+    return;
+  }
   Node* node = root_.get();
   while (!node->is_leaf()) {
     node = x[node->split_feature] <= node->split_value ? node->left.get()

@@ -6,6 +6,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
 #include "dmt/trees/split_criteria.h"
 
@@ -97,6 +98,9 @@ Vfdt::Node* Vfdt::RouteToLeaf(std::span<const double> x) const {
 }
 
 void Vfdt::TrainInstance(std::span<const double> x, int y) {
+  // Non-finite rows are unusable: a NaN would corrupt the per-leaf
+  // Gaussian observers and class counts permanently (DESIGN.md Sec. 8).
+  if (!RowIsFinite(x) || y < 0 || y >= config_.num_classes) return;
   Node* leaf = RouteToLeaf(x);
   if (config_.leaf_prediction == LeafPrediction::kNaiveBayesAdaptive &&
       leaf->weight_seen > 0.0) {

@@ -157,5 +157,65 @@ TEST_F(CsvStreamTest, NoHeaderMode) {
   EXPECT_EQ(count, 2);
 }
 
+// ---- Robustness suite (DESIGN.md Sec. 8): malformed input must always
+// ---- surface as CsvError, never as a crash or a silently-wrong value.
+
+// An embedded NUL would make strtod stop early ("1.5\0junk" -> 1.5), so it
+// is rejected outright rather than half-parsed.
+TEST_F(CsvStreamTest, ThrowsCsvErrorOnEmbeddedNul) {
+  WriteFile(std::string("a,label\n1,0\n2,1\n3") + '\0' + "junk,0\n");
+  // With the class count preset the constructor's scan pass is skipped and
+  // the NUL is hit mid-stream.
+  CsvStream stream({.path = path_, .num_classes = 2});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_THROW(stream.NextInstance(&instance), CsvError);
+}
+
+TEST_F(CsvStreamTest, ConstructorScanRejectsEmbeddedNul) {
+  WriteFile(std::string("a,label\n1,0\n2") + '\0' + ",1\n");
+  EXPECT_THROW(CsvStream({.path = path_}), CsvError);
+}
+
+TEST_F(CsvStreamTest, ThrowsCsvErrorOnOversizedLine) {
+  // 2 MiB of digits in one field: past the 1 MiB line cap.
+  const std::string huge(2 * 1024 * 1024, '7');
+  WriteFile("a,label\n1,0\n2,1\n" + huge + ",0\n");
+  CsvStream stream({.path = path_, .num_classes = 2});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_THROW(stream.NextInstance(&instance), CsvError);
+}
+
+// A file that ends mid-row (no trailing newline, missing columns) must
+// throw, not feed a short row into the models.
+TEST_F(CsvStreamTest, ThrowsCsvErrorOnMidRowEof) {
+  WriteFile("a,b,label\n1,2,0\n3,4,1\n5,6");  // EOF inside the last row
+  CsvStream stream({.path = path_, .num_classes = 2});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_THROW(stream.NextInstance(&instance), CsvError);
+}
+
+// After a caught error the stream position is consistent: the bad line is
+// consumed, so a catch-and-continue caller resumes at the next good row.
+TEST_F(CsvStreamTest, PositionConsistentAfterCaughtError) {
+  WriteFile("a,label\n1,0\nbroken_row_with,too,many,cells\n4,1\n5,0\n");
+  CsvStream stream({.path = path_, .num_classes = 2});
+  Instance instance;
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[0], 1.0);
+  EXPECT_THROW(stream.NextInstance(&instance), CsvError);
+  // The next call must yield row 4, not re-throw on the same bad line.
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[0], 4.0);
+  ASSERT_TRUE(stream.NextInstance(&instance));
+  EXPECT_DOUBLE_EQ(instance.x[0], 5.0);
+  EXPECT_FALSE(stream.NextInstance(&instance));
+}
+
 }  // namespace
 }  // namespace dmt::streams

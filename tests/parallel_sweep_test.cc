@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstddef>
 #include <cstdlib>
 #include <filesystem>
@@ -22,8 +23,10 @@
 
 #include "dmt/common/random.h"
 #include "dmt/common/thread_pool.h"
+#include "dmt/robust/failpoint.h"
 #include "harness.h"
 #include "sweep_cache.h"
+#include "sweep_manifest.h"
 
 namespace dmt {
 namespace {
@@ -440,6 +443,244 @@ TEST_F(SweepCacheTest, FilteredRunDoesNotPoisonLaterFullRun) {
   fresh.use_cache = false;
   fresh.jobs = 1;
   ExpectCellsBitIdentical(cells, bench::RunSweep(fresh.models, fresh));
+}
+
+// ----------------------------------------- fault injection / supervision
+
+// The injection RNG is seeded DeriveSeed(cell_seed, "inject"), so the fault
+// trace -- and everything downstream of it -- is part of the determinism
+// contract: bit-identical at any job count.
+TEST(RobustSweepTest, InjectedFaultsBitIdenticalAtAnyJobCount) {
+  bench::Options options = SmallSweepOptions();
+  options.inject_spec = "nan=0.02,inf=0.005,missing=0.01,flip=0.05";
+
+  options.jobs = 1;
+  const std::vector<bench::CellResult> sequential =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(sequential.size(), 9u);
+
+  options.jobs = 4;
+  const std::vector<bench::CellResult> parallel =
+      bench::RunSweep(options.models, options);
+
+  ExpectCellsBitIdentical(sequential, parallel);
+  std::uint64_t total_faults = 0;
+  for (std::size_t i = 0; i < sequential.size(); ++i) {
+    SCOPED_TRACE(sequential[i].dataset + " / " + sequential[i].model);
+    EXPECT_FALSE(sequential[i].failed);
+    EXPECT_EQ(sequential[i].fault_counts.nan, parallel[i].fault_counts.nan);
+    EXPECT_EQ(sequential[i].fault_counts.inf, parallel[i].fault_counts.inf);
+    EXPECT_EQ(sequential[i].fault_counts.missing,
+              parallel[i].fault_counts.missing);
+    EXPECT_EQ(sequential[i].fault_counts.flips,
+              parallel[i].fault_counts.flips);
+    EXPECT_EQ(sequential[i].rows_dropped, parallel[i].rows_dropped);
+    total_faults += sequential[i].fault_counts.nan +
+                    sequential[i].fault_counts.flips;
+  }
+  EXPECT_GT(total_faults, 0u);  // the spec actually injected something
+}
+
+// Survival property over the whole Table II model zoo: every model must
+// process a stream carrying all five fault kinds at once -- under the
+// default skip policy -- without failing its cell or producing non-finite
+// metrics, across multiple seeds.
+TEST(RobustSweepTest, AllModelsSurviveEveryFaultKindAcrossSeeds) {
+  bench::Options options = SmallSweepOptions();
+  options.datasets = {"SEA"};
+  options.models = bench::AllModels();
+  options.inject_spec =
+      "nan=0.05,inf=0.01,missing=0.02,flip=0.1,truncate=0.0002";
+  options.jobs = 4;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    options.seed = seed;
+    const std::vector<bench::CellResult> cells =
+        bench::RunSweep(options.models, options);
+    ASSERT_EQ(cells.size(), options.models.size());
+    for (const bench::CellResult& cell : cells) {
+      SCOPED_TRACE(cell.model + " seed " + std::to_string(seed));
+      EXPECT_FALSE(cell.failed) << cell.error;
+      EXPECT_TRUE(std::isfinite(cell.f1_mean));
+      EXPECT_TRUE(std::isfinite(cell.params_mean));
+    }
+  }
+}
+
+TEST(RobustSweepTest, FailpointFailsExactlyItsCellAndSweepCompletes) {
+  bench::Options options = SmallSweepOptions();
+  options.failpoint_spec = "cell:SEA/GLM=1";
+  options.jobs = 2;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(cells.size(), 9u);
+  std::size_t failed = 0;
+  for (const bench::CellResult& cell : cells) {
+    SCOPED_TRACE(cell.dataset + " / " + cell.model);
+    if (cell.failed) {
+      ++failed;
+      EXPECT_EQ(cell.dataset, "SEA");
+      EXPECT_EQ(cell.model, "GLM");
+      EXPECT_NE(cell.error.find("failpoint fired"), std::string::npos)
+          << cell.error;
+    } else {
+      EXPECT_TRUE(std::isfinite(cell.f1_mean));
+    }
+  }
+  EXPECT_EQ(failed, 1u);
+  // The supervisor retried the throwing cell exactly once: a deterministic
+  // p=1 failpoint fires on the first attempt and again on the retry.
+  robust::Failpoint* fp = robust::GlobalFailpoints().Find("cell:SEA/GLM");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->fires(), 2u);
+}
+
+TEST(RobustSweepTest, CleanSweepClearsLeftoverFailpointArming) {
+  bench::Options options = SmallSweepOptions();
+  options.datasets = {"SEA"};
+  options.models = {"GLM"};
+  options.failpoint_spec = "cell:SEA/GLM=1";
+  options.jobs = 1;
+  const auto faulted = bench::RunSweep(options.models, options);
+  ASSERT_EQ(faulted.size(), 1u);
+  EXPECT_TRUE(faulted[0].failed);
+
+  // The same sweep without the spec must not see the stale arming.
+  options.failpoint_spec.clear();
+  const auto clean = bench::RunSweep(options.models, options);
+  ASSERT_EQ(clean.size(), 1u);
+  EXPECT_FALSE(clean[0].failed) << clean[0].error;
+  EXPECT_EQ(robust::GlobalFailpoints().num_armed(), 0u);
+}
+
+// A cell blowing its soft deadline is FAILED (not retried -- a second
+// attempt would just burn the budget again) and the sweep completes.
+TEST(RobustSweepTest, CellTimeoutRendersFailedWithoutAbort) {
+  bench::Options options = SmallSweepOptions();
+  options.datasets = {"SEA"};
+  options.models = {"DMT"};
+  options.cell_timeout_seconds = 1e-9;
+  options.jobs = 1;
+  const std::vector<bench::CellResult> cells =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_TRUE(cells[0].failed);
+  EXPECT_NE(cells[0].error.find("deadline"), std::string::npos)
+      << cells[0].error;
+}
+
+// ------------------------------------------------------------- manifest
+
+TEST_F(SweepCacheTest, ManifestRoundTripsThroughDisk) {
+  const bench::ManifestKey key{1'000, 42, "", ""};
+  {
+    bench::SweepManifest writer(dir_, key);
+    writer.Record("SEA", "GLM", {false, ""});
+    writer.Record("SEA", "DMT", {true, "boom, with commas\nand a newline"});
+  }
+  bench::SweepManifest reader(dir_, key);
+  EXPECT_EQ(reader.Load(), 2u);
+  const auto ok = reader.Find("SEA", "GLM");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_FALSE(ok->failed);
+  const auto bad = reader.Find("SEA", "DMT");
+  ASSERT_TRUE(bad.has_value());
+  EXPECT_TRUE(bad->failed);
+  // The error survives flattened to one CSV cell: no commas, no newlines.
+  EXPECT_NE(bad->error.find("boom"), std::string::npos);
+  EXPECT_EQ(bad->error.find(','), std::string::npos);
+  EXPECT_EQ(bad->error.find('\n'), std::string::npos);
+  EXPECT_FALSE(reader.Find("SEA", "EFDT").has_value());
+}
+
+TEST(SweepManifestTest, FileNameSeparatesFaultConfigurations) {
+  const bench::ManifestKey clean{1'000, 42, "", ""};
+  EXPECT_NE(bench::SweepManifest::FileName(clean),
+            bench::SweepManifest::FileName({2'000, 42, "", ""}));
+  EXPECT_NE(bench::SweepManifest::FileName(clean),
+            bench::SweepManifest::FileName({1'000, 43, "", ""}));
+  // A faulted sweep must never satisfy a clean --resume (or vice versa).
+  EXPECT_NE(bench::SweepManifest::FileName(clean),
+            bench::SweepManifest::FileName({1'000, 42, "nan=0.01", ""}));
+  EXPECT_NE(bench::SweepManifest::FileName(clean),
+            bench::SweepManifest::FileName({1'000, 42, "", "cell:SEA/GLM=1"}));
+}
+
+TEST_F(SweepCacheTest, ResumeSkipsRecordedFailureWithoutRerun) {
+  bench::Options options = SmallSweepOptions(dir_);
+  options.datasets = {"SEA", "Agrawal"};
+  options.models = {"GLM", "DMT"};
+  options.failpoint_spec = "cell:SEA/GLM=1";
+  options.jobs = 2;
+  const std::vector<bench::CellResult> first =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(first.size(), 4u);
+  const bench::CellResult* broken = bench::FindCell(first, "SEA", "GLM");
+  ASSERT_NE(broken, nullptr);
+  EXPECT_TRUE(broken->failed);
+
+  // Every cell -- ok and failed -- was checkpointed into the manifest.
+  bench::SweepManifest manifest(
+      dir_, {options.max_samples, options.seed, options.inject_spec,
+             options.failpoint_spec});
+  EXPECT_EQ(manifest.Load(), 4u);
+
+  options.resume = true;
+  const std::vector<bench::CellResult> resumed =
+      bench::RunSweep(options.models, options);
+  ASSERT_EQ(resumed.size(), 4u);
+  const bench::CellResult* skipped = bench::FindCell(resumed, "SEA", "GLM");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_TRUE(skipped->failed);
+  EXPECT_EQ(skipped->error, broken->error);
+  // Proof the failed cell was not re-run: RunSweep re-armed its failpoint
+  // (counters reset to zero) and resume never evaluated it.
+  robust::Failpoint* fp = robust::GlobalFailpoints().Find("cell:SEA/GLM");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->hits(), 0u);
+  // The surviving cells reproduce their numbers exactly (faulted runs
+  // bypass the sweep cache, so the `ok` cells recompute deterministically).
+  for (const auto& dataset : {"SEA", "Agrawal"}) {
+    for (const auto& model : {"GLM", "DMT"}) {
+      const bench::CellResult* a = bench::FindCell(first, dataset, model);
+      const bench::CellResult* b = bench::FindCell(resumed, dataset, model);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      if (a->failed) continue;
+      EXPECT_EQ(a->f1_mean, b->f1_mean) << dataset << " / " << model;
+    }
+  }
+}
+
+// ------------------------------------------------- usage-error exit codes
+
+// ParseOptions must exit 2 (the conventional usage-error code, distinct
+// from runtime failures exiting 1) on any malformed command line.
+TEST(ParseOptionsDeathTest, UnknownFlagExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--frobnicate"};
+  EXPECT_EXIT(bench::ParseOptions(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "unknown option");
+}
+
+TEST(ParseOptionsDeathTest, MissingValueExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--samples"};
+  EXPECT_EXIT(bench::ParseOptions(2, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "missing value");
+}
+
+TEST(ParseOptionsDeathTest, MalformedInjectSpecExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--inject", "bogus=1"};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "bad --inject spec");
+}
+
+TEST(ParseOptionsDeathTest, MalformedFailpointSpecExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--failpoints", "=0.5"};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "bad --failpoints spec");
 }
 
 }  // namespace

@@ -11,13 +11,34 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
+#include "dmt/common/sanitize.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/eval/prequential.h"
+#include "dmt/robust/faulty_stream.h"
 #include "dmt/streams/csv_stream.h"
 #include "dmt/streams/datasets.h"
 #include "harness.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: dmt_eval (--csv FILE [--label COL] | --dataset NAME)\n"
+    "       [--model NAME] [--samples N] [--batch N] [--seed S]\n"
+    "       [--no-normalize] [--describe] [--bad-input skip|impute|throw]\n"
+    "       [--inject nan=R,inf=R,missing=R,flip=R,truncate=R]\n"
+    "models: DMT FIMT-DD VFDT(MC) VFDT(NBA) HT-Ada EFDT ForestEns "
+    "BaggingEns SGT GLM\n";
+
+// Usage errors exit 2 (bad invocation), runtime failures exit 1.
+[[noreturn]] void UsageError(const std::string& message) {
+  std::fprintf(stderr, "dmt_eval: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dmt;
@@ -25,19 +46,18 @@ int main(int argc, char** argv) {
   std::string label_column;
   std::string dataset;
   std::string model_name = "DMT";
+  std::string inject_spec;
   std::size_t samples = 0;
   std::size_t batch_size = 0;
   std::uint64_t seed = 42;
   bool normalize = true;
   bool describe = false;
+  BadInputPolicy bad_input_policy = BadInputPolicy::kSkip;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(1);
-      }
+      if (i + 1 >= argc) UsageError("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--csv") csv_path = next();
@@ -49,20 +69,29 @@ int main(int argc, char** argv) {
     else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--no-normalize") normalize = false;
     else if (arg == "--describe") describe = true;
-    else {
-      std::fprintf(stderr,
-                   "usage: dmt_eval (--csv FILE [--label COL] | --dataset "
-                   "NAME) [--model NAME] [--samples N] [--batch N] [--seed "
-                   "S] [--no-normalize] [--describe]\n"
-                   "models: DMT FIMT-DD VFDT(MC) VFDT(NBA) HT-Ada EFDT "
-                   "ForestEns BaggingEns SGT GLM\n");
-      return arg == "--help" ? 0 : 1;
+    else if (arg == "--bad-input") {
+      const std::string value = next();
+      try {
+        bad_input_policy = BadInputPolicyFromString(value);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --bad-input value: ") + e.what());
+      }
+    } else if (arg == "--inject") {
+      inject_spec = next();
+      try {
+        robust::FaultSpec::Parse(inject_spec);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --inject spec: ") + e.what());
+      }
+    } else if (arg == "--help") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      UsageError("unknown option: " + arg);
     }
   }
   if (csv_path.empty() == dataset.empty()) {
-    std::fprintf(stderr, "exactly one of --csv / --dataset is required "
-                         "(--help for usage)\n");
-    return 1;
+    UsageError("exactly one of --csv / --dataset is required");
   }
 
   std::unique_ptr<streams::Stream> stream;
@@ -84,6 +113,14 @@ int main(int argc, char** argv) {
         streams::EffectiveSamples(spec, samples == 0 ? 50'000 : samples);
     stream = spec.make(expected_samples, seed);
   }
+  robust::FaultyStream* faulty = nullptr;
+  if (!inject_spec.empty()) {
+    auto wrapped = std::make_unique<robust::FaultyStream>(
+        std::move(stream), robust::FaultSpec::Parse(inject_spec),
+        DeriveSeed(seed, "inject"));
+    faulty = wrapped.get();
+    stream = std::move(wrapped);
+  }
 
   std::unique_ptr<Classifier> model = bench::MakeModel(
       model_name, static_cast<int>(stream->num_features()),
@@ -93,11 +130,16 @@ int main(int argc, char** argv) {
   config.batch_size = batch_size;
   config.expected_samples = expected_samples;
   config.normalize = normalize;
+  config.bad_input_policy = bad_input_policy;
   eval::PrequentialResult result;
   try {
     result = eval::RunPrequential(stream.get(), model.get(), config);
   } catch (const streams::CsvError& e) {
     // Malformed row mid-stream (wrong column count, unseen label).
+    std::fprintf(stderr, "dmt_eval: %s\n", e.what());
+    return 1;
+  } catch (const BadInputError& e) {
+    // --bad-input throw: strict ingest rejected a row.
     std::fprintf(stderr, "dmt_eval: %s\n", e.what());
     return 1;
   }
@@ -118,6 +160,23 @@ int main(int argc, char** argv) {
   std::printf("sec/iter    : %.5f +- %.5f (%zu batches)\n",
               result.iteration_seconds.mean(),
               result.iteration_seconds.stddev(), result.num_batches);
+  if (result.rows_dropped > 0 || result.values_imputed > 0) {
+    std::printf("sanitized   : %llu rows dropped, %llu values imputed "
+                "(policy %s)\n",
+                static_cast<unsigned long long>(result.rows_dropped),
+                static_cast<unsigned long long>(result.values_imputed),
+                BadInputPolicyName(bad_input_policy));
+  }
+  if (faulty != nullptr) {
+    const robust::FaultCounts& counts = faulty->counts();
+    std::printf("injected    : %llu nan, %llu inf, %llu missing, %llu "
+                "flips, truncated=%llu\n",
+                static_cast<unsigned long long>(counts.nan),
+                static_cast<unsigned long long>(counts.inf),
+                static_cast<unsigned long long>(counts.missing),
+                static_cast<unsigned long long>(counts.flips),
+                static_cast<unsigned long long>(counts.truncated));
+  }
 
   if (describe) {
     if (auto* dmt = dynamic_cast<core::DynamicModelTree*>(model.get())) {
