@@ -61,5 +61,9 @@ int main(int argc, char** argv) {
     std::printf("%-14s %-10s %8.3f %8.3f %8.0f\n", cell.dataset.c_str(),
                 cell.model.c_str(), min_f1, last_f1, max_splits);
   }
+
+  // Faulted / telemetry sweeps: what was injected into each cell and how
+  // often the GLM leaf models had to reset, next to the curves it explains.
+  bench::PrintRobustnessCounters(cells);
   return 0;
 }

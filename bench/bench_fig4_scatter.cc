@@ -40,5 +40,8 @@ int main(int argc, char** argv) {
     if (n == 0) continue;
     std::printf("%-10s %8.3f %14.3f\n", model.c_str(), f1 / n, ls / n);
   }
+
+  // Faulted / telemetry sweeps: per-cell inject.* tallies and glm.resets.
+  bench::PrintRobustnessCounters(cells);
   return 0;
 }

@@ -22,6 +22,7 @@
 #include "dmt/ensemble/online_bagging.h"
 #include "dmt/ensemble/online_boosting.h"
 #include "dmt/linear/glm_classifier.h"
+#include "dmt/serial/model_io.h"
 #include "dmt/trees/efdt.h"
 #include "dmt/trees/fimtdd.h"
 #include "dmt/trees/hoeffding_adaptive.h"
@@ -85,7 +86,8 @@ constexpr const char kUsage[] =
     "         --inject nan=R,inf=R,missing=R,flip=R,truncate=R\n"
     "         --failpoints name=P,name=P (e.g. cell:SEA/GLM=1)\n"
     "         --bad-input skip|impute|throw\n"
-    "         --cell-timeout SECONDS --resume\n";
+    "         --cell-timeout SECONDS --resume\n"
+    "         --snapshot-every N --snapshot-dir D\n";
 
 // Usage errors (unknown flag, missing value, malformed spec) exit 2: the
 // conventional bad-invocation code, distinct from runtime failures (1).
@@ -152,6 +154,10 @@ Options ParseOptions(int argc, char** argv) {
       options.cell_timeout_seconds = std::strtod(next().c_str(), nullptr);
     } else if (arg == "--resume") {
       options.resume = true;
+    } else if (arg == "--snapshot-every") {
+      options.snapshot_every = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--snapshot-dir") {
+      options.snapshot_dir = next();
     } else if (arg == "--help") {
       std::fprintf(stdout, "%s", kUsage);
       std::exit(0);
@@ -308,6 +314,21 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   config.bad_input_policy = options.bad_input_policy;
   config.time_limit_seconds = options.cell_timeout_seconds;
   if (options.telemetry) config.telemetry = &registry;
+  if (options.snapshot_every > 0) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.snapshot_dir, ec);
+    const std::string snapshot_path =
+        (std::filesystem::path(options.snapshot_dir) /
+         ("SNAPSHOT_" + SanitizeName(spec.name) + "__" + SanitizeName(model) +
+          ".bin"))
+            .string();
+    Classifier* snapshot_target = classifier.get();
+    config.snapshot_every = options.snapshot_every;
+    config.snapshot_hook = [snapshot_target,
+                            snapshot_path](std::size_t /*batches*/) {
+      serial::SaveClassifierToFile(*snapshot_target, snapshot_path);
+    };
+  }
   const eval::PrequentialResult result =
       eval::RunPrequential(stream.get(), classifier.get(), config);
 
@@ -348,6 +369,42 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   return cell;
 }
 
+std::uint64_t CounterFromJson(const std::string& counters_json,
+                              const std::string& name) {
+  const std::string needle = "\"" + name + "\": ";
+  const std::size_t at = counters_json.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(counters_json.c_str() + at + needle.size(), nullptr,
+                       10);
+}
+
+void PrintRobustnessCounters(const std::vector<CellResult>& cells) {
+  bool any = false;
+  for (const CellResult& cell : cells) {
+    if (cell.failed) continue;
+    const robust::FaultCounts& f = cell.fault_counts;
+    const std::uint64_t glm_resets =
+        CounterFromJson(cell.telemetry_counters_json, "glm.resets");
+    if (f.nan == 0 && f.inf == 0 && f.missing == 0 && f.flips == 0 &&
+        f.truncated == 0 && glm_resets == 0) {
+      continue;
+    }
+    if (!any) {
+      std::printf(
+          "\ndataset,model,inject.nan,inject.inf,inject.missing,"
+          "inject.flips,inject.truncated,glm.resets\n");
+      any = true;
+    }
+    std::printf("%s,%s,%llu,%llu,%llu,%llu,%llu,%llu\n", cell.dataset.c_str(),
+                cell.model.c_str(), static_cast<unsigned long long>(f.nan),
+                static_cast<unsigned long long>(f.inf),
+                static_cast<unsigned long long>(f.missing),
+                static_cast<unsigned long long>(f.flips),
+                static_cast<unsigned long long>(f.truncated),
+                static_cast<unsigned long long>(glm_resets));
+  }
+}
+
 const CellResult* FindCell(const std::vector<CellResult>& cells,
                            const std::string& dataset,
                            const std::string& model) {
@@ -385,9 +442,11 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   // hit would silently return empty counters. Faulted runs (--inject /
   // --failpoints) bypass it because their numbers are deliberately
   // corrupted and must never poison clean runs.
+  // Snapshot runs bypass it as well: a cache hit skips the cell entirely,
+  // so no snapshot file would ever be written.
   const bool cache_enabled = options.use_cache && !options.keep_series &&
-                             !options.member_parallel &&
-                             !options.telemetry && !faulted;
+                             !options.member_parallel && !options.telemetry &&
+                             !faulted && options.snapshot_every == 0;
   SweepCache cache(options.cache_dir);
 
   // Progress manifest (checkpointed after every cell, crash-safe). Keyed by

@@ -43,6 +43,12 @@
 //   --resume        skip cells already recorded in this sweep's manifest:
 //                   `ok` cells reload from the sweep cache (recomputed on a
 //                   cache miss), `failed` cells render FAILED un-rerun
+//   --snapshot-every N
+//                   checkpoint every cell's model every N batches into
+//                   --snapshot-dir (atomic rename; see serial/model_io.h).
+//                   Snapshot runs bypass the sweep cache.
+//   --snapshot-dir D
+//                   snapshot directory (default bench_snapshots/)
 //
 // Supervision: RunSweep wraps every cell in try/catch. A throwing cell is
 // retried once with the identical derived seed (deterministic faults fail
@@ -102,6 +108,14 @@ struct Options {
   BadInputPolicy bad_input_policy = BadInputPolicy::kSkip;
   double cell_timeout_seconds = 0.0;  // soft per-cell deadline; 0 = off
   bool resume = false;
+  // Mid-cell model checkpointing: every N completed batches each in-flight
+  // cell saves its learner to
+  // <snapshot_dir>/SNAPSHOT_<dataset>__<model>.bin via the atomic-rename
+  // publish of serial::SaveClassifierToFile. 0 disables. Snapshot runs
+  // bypass the sweep cache (a cache hit skips the cell and would write no
+  // snapshot).
+  std::size_t snapshot_every = 0;
+  std::string snapshot_dir = "bench_snapshots";
 };
 
 // Parses argv. `--help` prints the usage text to stdout and exits 0; an
@@ -176,6 +190,18 @@ const CellResult* FindCell(const std::vector<CellResult>& cells,
 
 // Datasets selected by the options (defaults to all 13 of Table I).
 std::vector<streams::DatasetSpec> SelectedDatasets(const Options& options);
+
+// Extracts one counter from a TelemetryRegistry::CountersJson document; 0
+// if the counter is absent (or the cell ran without --telemetry).
+std::uint64_t CounterFromJson(const std::string& counters_json,
+                              const std::string& name);
+
+// Per-cell robustness counters (the inject.* fault tallies and glm.resets)
+// as a CSV block on stdout, one row per cell that has any. The figure
+// binaries append this after their plot data so faulted / telemetry sweeps
+// surface what was injected and how the GLMs coped, next to the curves it
+// explains. Prints nothing for clean, telemetry-free sweeps.
+void PrintRobustnessCounters(const std::vector<CellResult>& cells);
 
 }  // namespace dmt::bench
 

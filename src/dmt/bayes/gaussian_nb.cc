@@ -7,6 +7,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::bayes {
 
@@ -103,6 +104,60 @@ int GaussianNaiveBayes::MajorityClass() const {
   return static_cast<int>(
       std::max_element(class_counts_.begin(), class_counts_.end()) -
       class_counts_.begin());
+}
+
+void GaussianNaiveBayes::SaveState(serial::Writer& writer) const {
+  writer.Size(total_count_);
+  writer.Size(class_counts_.size());
+  for (std::size_t count : class_counts_) writer.Size(count);
+  writer.Size(estimators_.size());
+  for (const GaussianEstimator& estimator : estimators_) {
+    writer.Size(estimator.n);
+    writer.F64(estimator.mean);
+    writer.F64(estimator.m2);
+  }
+}
+
+void GaussianNaiveBayes::LoadState(serial::Reader& reader) {
+  total_count_ = reader.Size(std::size_t{1} << 62);
+  const std::size_t num_counts = reader.Size(serial::kMaxVector);
+  serial::Check(num_counts == class_counts_.size(),
+                "naive Bayes class count size mismatch");
+  for (std::size_t& count : class_counts_) {
+    count = reader.Size(std::size_t{1} << 62);
+  }
+  const std::size_t num_estimators = reader.Size(serial::kMaxVector);
+  serial::Check(num_estimators == estimators_.size(),
+                "naive Bayes estimator count mismatch");
+  for (GaussianEstimator& estimator : estimators_) {
+    estimator.n = reader.Size(std::size_t{1} << 62);
+    estimator.mean = reader.F64();
+    estimator.m2 = reader.F64();
+  }
+}
+
+void GaussianNaiveBayes::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagGaussianNb);
+  writer.I32(num_features_);
+  writer.I32(num_classes_);
+  SaveState(writer);
+}
+
+std::unique_ptr<GaussianNaiveBayes> GaussianNaiveBayes::Load(
+    std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagGaussianNb);
+  const int num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "naive Bayes num_features"));
+  const int num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "naive Bayes num_classes"));
+  serial::CheckedRange(static_cast<std::int64_t>(num_features) * num_classes,
+                       0, static_cast<std::int64_t>(serial::kMaxVector),
+                       "naive Bayes estimator count");
+  auto model = std::make_unique<GaussianNaiveBayes>(num_features, num_classes);
+  model->LoadState(reader);
+  return model;
 }
 
 }  // namespace dmt::bayes

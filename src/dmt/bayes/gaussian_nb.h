@@ -8,10 +8,17 @@
 #define DMT_BAYES_GAUSSIAN_NB_H_
 
 #include <cstddef>
+#include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "dmt/common/types.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::bayes {
 
@@ -60,6 +67,13 @@ class GaussianNaiveBayes {
   }
   int num_features() const { return num_features_; }
   int num_classes() const { return num_classes_; }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  void Save(std::ostream& out) const;
+  static std::unique_ptr<GaussianNaiveBayes> Load(std::istream& in);
+  // State-only records for embedding (e.g. inside tree leaves).
+  void SaveState(serial::Writer& writer) const;
+  void LoadState(serial::Reader& reader);
 
  private:
   int num_features_;

@@ -24,7 +24,9 @@
 #define DMT_COMMON_CLASSIFIER_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -108,6 +110,17 @@ class Classifier {
   virtual std::size_t NumParameters() const = 0;
 
   virtual std::string name() const = 0;
+
+  // Writes a versioned binary snapshot of the full mutable model state
+  // (see serial/archive.h): restoring it and continuing training is
+  // bit-identical to never having snapshotted. Every library learner
+  // overrides this; the default rejects types without a serial format.
+  // Decode errors are serial::SerialError; this logic error is different
+  // in kind (the *type* cannot snapshot, no input is involved).
+  virtual void Save(std::ostream& out) const {
+    (void)out;
+    throw std::logic_error(name() + " does not support Save");
+  }
 
  private:
   mutable std::vector<double> predict_scratch_;  // Predict() argmax buffer

@@ -33,6 +33,15 @@ class RunningStats {
     m2_ = 0.0;
   }
 
+  // Raw Welford accumulator, exposed (with Restore) so snapshots can
+  // round-trip the exact state rather than a lossy mean/std pair.
+  double m2() const { return m2_; }
+  void Restore(std::size_t n, double mean, double m2) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+  }
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

@@ -4,8 +4,39 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/kernels.h"
+#include "dmt/serial/archive.h"
 
 namespace dmt::core {
+
+void CandidateStore::Save(serial::Writer& writer) const {
+  writer.Size(num_params_);
+  writer.Size(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    writer.I32(feature_[i]);
+    writer.F64(value_[i]);
+    writer.F64(loss_[i]);
+    writer.F64(count_[i]);
+    const std::span<const double> g = grad(i);
+    for (double v : g) writer.F64(v);
+  }
+}
+
+void CandidateStore::Load(serial::Reader& reader) {
+  const std::size_t num_params = reader.Size(serial::kMaxVector);
+  serial::Check(num_params == num_params_,
+                "candidate store gradient width mismatch");
+  const std::size_t n = reader.Size(serial::kMaxVector);
+  Clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int feature = reader.I32();
+    const double value = reader.F64();
+    const std::size_t row = Append(feature, value);
+    loss(row) = reader.F64();
+    count(row) = reader.F64();
+    const std::span<double> g = grad(row);
+    for (double& v : g) v = reader.F64();
+  }
+}
 
 double ApproxCandidateLoss(double loss, std::span<const double> grad,
                            double count, double lambda) {

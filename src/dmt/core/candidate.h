@@ -28,6 +28,11 @@
 #include <span>
 #include <vector>
 
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
+
 namespace dmt::core {
 
 struct CandidateStats {
@@ -95,6 +100,12 @@ class CandidateStore {
 
   // Logical reset; capacity is retained.
   void Clear() { size_ = 0; }
+
+  // Snapshot of the logical rows (capacity is not persisted; a restored
+  // store re-grows on demand). Load replaces the contents and requires the
+  // archived per-row gradient width to match this store's num_params().
+  void Save(serial::Writer& writer) const;
+  void Load(serial::Reader& reader);
 
   // True if some row is keyed exactly (feature, value).
   bool Contains(int feature, double value) const {

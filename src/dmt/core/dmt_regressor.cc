@@ -7,6 +7,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
 #include "dmt/common/sanitize.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::core {
 
@@ -321,6 +322,105 @@ std::size_t DmtRegressor::NumSplits() const {
 std::size_t DmtRegressor::NumParameters() const {
   return NumInnerNodes() +
          NumLeaves() * static_cast<std::size_t>(config_.num_features);
+}
+
+void DmtRegressor::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagDmtRegressor);
+  writer.I32(config_.num_features);
+  writer.F64(config_.learning_rate);
+  writer.F64(config_.gradient_step_size);
+  writer.F64(config_.epsilon);
+  writer.Size(config_.max_candidates);
+  writer.F64(config_.replacement_rate);
+  writer.Size(config_.max_proposals_per_feature);
+  writer.U64(config_.seed);
+  writer.Size(target_stats_.count());
+  writer.F64(target_stats_.mean());
+  writer.F64(target_stats_.m2());
+  writer.Size(time_step_);
+  writer.Size(splits_performed_);
+  writer.Size(replacements_);
+  writer.Size(prunes_);
+
+  auto save_node = [&](auto&& self, const Node* node) -> void {
+    writer.I32(node->split_feature);
+    writer.F64(node->split_value);
+    writer.F64(node->loss_sum);
+    writer.F64(node->count);
+    node->model.SaveState(writer);
+    writer.VecF64(node->grad_sum);
+    node->candidates.Save(writer);
+    if (!node->is_leaf()) {
+      self(self, node->left.get());
+      self(self, node->right.get());
+    }
+  };
+  save_node(save_node, root_.get());
+  // Engine last: MakeLeaf draws initial weights during Load.
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<DmtRegressor> DmtRegressor::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagDmtRegressor);
+  DmtRegressorConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "DMT-R feature count"));
+  config.learning_rate =
+      serial::CheckedFinite(reader.F64(), "DMT-R learning rate");
+  config.gradient_step_size =
+      serial::CheckedFinite(reader.F64(), "DMT-R gradient step size");
+  config.epsilon = reader.F64();
+  // The constructor DMT_CHECKs this range; a hostile archive must throw.
+  serial::Check(std::isfinite(config.epsilon) && config.epsilon > 0.0 &&
+                    config.epsilon <= 1.0,
+                "DMT-R epsilon out of range");
+  config.max_candidates = reader.Size(std::size_t{1} << 62);
+  config.replacement_rate = reader.F64();
+  serial::Check(std::isfinite(config.replacement_rate) &&
+                    config.replacement_rate >= 0.0 &&
+                    config.replacement_rate <= 1.0,
+                "DMT-R replacement rate out of range");
+  config.max_proposals_per_feature = reader.Size(std::size_t{1} << 62);
+  config.seed = reader.U64();
+  auto tree = std::make_unique<DmtRegressor>(config);
+  const std::size_t stats_n = reader.Size(std::size_t{1} << 62);
+  const double stats_mean = reader.F64();
+  const double stats_m2 = reader.F64();
+  tree->target_stats_.Restore(stats_n, stats_mean, stats_m2);
+  tree->time_step_ = reader.Size(std::size_t{1} << 62);
+  tree->splits_performed_ = reader.Size(std::size_t{1} << 62);
+  tree->replacements_ = reader.Size(std::size_t{1} << 62);
+  tree->prunes_ = reader.Size(std::size_t{1} << 62);
+
+  auto load_node = [&](auto&& self,
+                       std::size_t depth) -> std::unique_ptr<Node> {
+    serial::Check(depth <= serial::kMaxTreeDepth,
+                  "DMT-R node depth exceeds the archive limit");
+    std::unique_ptr<Node> node = tree->MakeLeaf(nullptr);
+    const std::int32_t split_feature = reader.I32();
+    serial::Check(
+        split_feature >= -1 && split_feature < config.num_features,
+        "DMT-R split feature out of range");
+    node->split_feature = static_cast<int>(split_feature);
+    node->split_value = reader.F64();
+    node->loss_sum = reader.F64();
+    node->count = reader.F64();
+    node->model.LoadState(reader);
+    node->grad_sum = reader.VecF64Exact(
+        static_cast<std::size_t>(node->model.num_params()));
+    node->candidates.Load(reader);
+    if (!node->is_leaf()) {
+      node->left = self(self, depth + 1);
+      node->right = self(self, depth + 1);
+    }
+    return node;
+  };
+  tree->root_ = load_node(load_node, 0);
+  // Engine last: the MakeLeaf calls above consumed construction-time draws.
+  reader.Engine(&tree->rng_.engine());
+  return tree;
 }
 
 }  // namespace dmt::core

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <string>
@@ -74,6 +75,13 @@ class DmtRegressor {
 
   // Feature weights of the leaf model responsible for x.
   std::vector<double> LeafFeatureWeights(std::span<const double> x) const;
+
+  // --- Persistence (binary archive; see serial/archive.h) ------------------
+  // Complete state: config, target standardization statistics, structural
+  // counters, recursive node records and the RNG engine (written last; see
+  // DynamicModelTree). The audit log is not persisted.
+  void Save(std::ostream& out) const;
+  static std::unique_ptr<DmtRegressor> Load(std::istream& in);
 
  private:
   struct Node;

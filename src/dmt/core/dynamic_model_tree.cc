@@ -12,6 +12,7 @@
 #include "dmt/common/math.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::core {
 
@@ -430,149 +431,113 @@ std::size_t DynamicModelTree::NumParameters() const {
 
 // --- Persistence ---------------------------------------------------------------
 
-namespace {
-
-// Doubles are persisted as their IEEE-754 bit patterns (hex), because
-// hexfloat round-trips are not supported by istream extraction.
-void WriteDouble(std::ostream& out, double value) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &value, sizeof(bits));
-  out << std::hex << bits << std::dec;
-}
-
-double ReadDouble(std::istream& in) {
-  std::uint64_t bits = 0;
-  in >> std::hex >> bits >> std::dec;
-  DMT_CHECK(!in.fail());
-  double value;
-  std::memcpy(&value, &bits, sizeof(value));
-  return value;
-}
-
-void WriteDoubles(std::ostream& out, std::span<const double> values) {
-  out << values.size();
-  for (double v : values) {
-    out << ' ';
-    WriteDouble(out, v);
-  }
-  out << '\n';
-}
-
-std::vector<double> ReadDoubles(std::istream& in) {
-  std::size_t count = 0;
-  in >> count;
-  DMT_CHECK(!in.fail());
-  std::vector<double> values(count);
-  for (double& v : values) v = ReadDouble(in);
-  return values;
-}
-
-}  // namespace
-
-void DynamicModelTree::Save(std::ostream& out) const {
-  out << "DMTv1\n";
-  out << config_.num_features << ' ' << config_.num_classes << ' ';
-  WriteDouble(out, config_.learning_rate);
-  out << ' ';
-  WriteDouble(out, config_.gradient_step_size);
-  out << ' ';
-  WriteDouble(out, config_.epsilon);
-  out << ' ' << config_.max_candidates << ' ';
-  WriteDouble(out, config_.replacement_rate);
-  out << ' ' << config_.max_proposals_per_feature << ' ' << config_.seed
-      << '\n';
-  // RNG engine state (std::mt19937_64 supports textual (de)serialization).
-  out << rng_.engine() << '\n';
-  out << time_step_ << ' ' << splits_performed_ << ' ' << replacements_
-      << ' ' << prunes_ << '\n';
+void DynamicModelTree::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.F64(config_.learning_rate);
+  writer.F64(config_.gradient_step_size);
+  writer.F64(config_.epsilon);
+  writer.Size(config_.max_candidates);
+  writer.F64(config_.replacement_rate);
+  writer.Size(config_.max_proposals_per_feature);
+  writer.U64(config_.seed);
+  writer.Size(time_step_);
+  writer.Size(splits_performed_);
+  writer.Size(replacements_);
+  writer.Size(prunes_);
 
   auto save_node = [&](auto&& self, const Node* node) -> void {
-    out << node->split_feature << ' ';
-    WriteDouble(out, node->split_value);
-    out << ' ';
-    WriteDouble(out, node->loss_sum);
-    out << ' ';
-    WriteDouble(out, node->count);
-    out << ' ' << node->model.steps() << '\n';
-    WriteDoubles(out, node->model.params());
-    WriteDoubles(out, node->grad_sum);
-    out << node->candidates.size() << '\n';
-    for (std::size_t c = 0; c < node->candidates.size(); ++c) {
-      out << node->candidates.feature(c) << ' ';
-      WriteDouble(out, node->candidates.value(c));
-      out << ' ';
-      WriteDouble(out, node->candidates.loss(c));
-      out << ' ';
-      WriteDouble(out, node->candidates.count(c));
-      out << '\n';
-      WriteDoubles(out, node->candidates.grad(c));
-    }
+    writer.I32(node->split_feature);
+    writer.F64(node->split_value);
+    writer.F64(node->loss_sum);
+    writer.F64(node->count);
+    node->model.SaveState(writer);
+    writer.VecF64(node->grad_sum);
+    node->candidates.Save(writer);
     if (!node->is_leaf()) {
       self(self, node->left.get());
       self(self, node->right.get());
     }
   };
   save_node(save_node, root_.get());
+  // Engine last: MakeLeaf draws initial GLM weights during Load, so the
+  // engine is restored only after the whole tree has been rebuilt.
+  writer.Engine(rng_.engine());
 }
 
-std::unique_ptr<DynamicModelTree> DynamicModelTree::Load(std::istream& in) {
-  std::string magic;
-  in >> magic;
-  DMT_CHECK(magic == "DMTv1");
-  DmtConfig config;
-  in >> config.num_features >> config.num_classes;
-  config.learning_rate = ReadDouble(in);
-  config.gradient_step_size = ReadDouble(in);
-  config.epsilon = ReadDouble(in);
-  in >> config.max_candidates;
-  config.replacement_rate = ReadDouble(in);
-  in >> config.max_proposals_per_feature >> config.seed;
-  DMT_CHECK(in.good());
-  auto tree = std::make_unique<DynamicModelTree>(config);
-  in >> tree->rng_.engine();
-  in >> tree->time_step_ >> tree->splits_performed_ >> tree->replacements_ >>
-      tree->prunes_;
-  DMT_CHECK(in.good());
+void DynamicModelTree::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagDmtClassifier);
+  SaveBody(writer);
+}
 
-  auto load_node = [&](auto&& self) -> std::unique_ptr<Node> {
+std::unique_ptr<DynamicModelTree> DynamicModelTree::LoadBody(
+    serial::Reader& reader) {
+  DmtConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "DMT feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "DMT class count"));
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_classes) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "DMT model dimensions exceed the archive limit");
+  config.learning_rate =
+      serial::CheckedFinite(reader.F64(), "DMT learning rate");
+  config.gradient_step_size =
+      serial::CheckedFinite(reader.F64(), "DMT gradient step size");
+  config.epsilon = reader.F64();
+  // The constructor DMT_CHECKs this range; a hostile archive must throw.
+  serial::Check(std::isfinite(config.epsilon) && config.epsilon > 0.0 &&
+                    config.epsilon <= 1.0,
+                "DMT epsilon out of range");
+  config.max_candidates = reader.Size(std::size_t{1} << 62);
+  config.replacement_rate = reader.F64();
+  serial::Check(std::isfinite(config.replacement_rate) &&
+                    config.replacement_rate >= 0.0 &&
+                    config.replacement_rate <= 1.0,
+                "DMT replacement rate out of range");
+  config.max_proposals_per_feature = reader.Size(std::size_t{1} << 62);
+  config.seed = reader.U64();
+  auto tree = std::make_unique<DynamicModelTree>(config);
+  tree->time_step_ = reader.Size(std::size_t{1} << 62);
+  tree->splits_performed_ = reader.Size(std::size_t{1} << 62);
+  tree->replacements_ = reader.Size(std::size_t{1} << 62);
+  tree->prunes_ = reader.Size(std::size_t{1} << 62);
+
+  auto load_node = [&](auto&& self,
+                       std::size_t depth) -> std::unique_ptr<Node> {
+    serial::Check(depth <= serial::kMaxTreeDepth,
+                  "DMT node depth exceeds the archive limit");
     std::unique_ptr<Node> node = tree->MakeLeaf(nullptr);
-    std::size_t model_steps = 0;
-    in >> node->split_feature;
-    node->split_value = ReadDouble(in);
-    node->loss_sum = ReadDouble(in);
-    node->count = ReadDouble(in);
-    in >> model_steps;
-    DMT_CHECK(!in.fail());
-    node->model.set_steps(model_steps);
-    node->model.mutable_params() = ReadDoubles(in);
-    DMT_CHECK(static_cast<int>(node->model.params().size()) ==
-              node->model.num_params());
-    node->grad_sum = ReadDoubles(in);
-    std::size_t num_candidates = 0;
-    in >> num_candidates;
-    DMT_CHECK(!in.fail());
-    for (std::size_t c = 0; c < num_candidates; ++c) {
-      int feature = -1;
-      in >> feature;
-      const double value = ReadDouble(in);
-      const double loss = ReadDouble(in);
-      const double count = ReadDouble(in);
-      DMT_CHECK(!in.fail());
-      const std::vector<double> grad = ReadDoubles(in);
-      DMT_CHECK(grad.size() == node->candidates.num_params());
-      const std::size_t row = node->candidates.Append(feature, value);
-      node->candidates.loss(row) = loss;
-      node->candidates.count(row) = count;
-      std::copy(grad.begin(), grad.end(), node->candidates.grad(row).begin());
-    }
-    if (node->split_feature >= 0) {
-      node->left = self(self);
-      node->right = self(self);
+    const std::int32_t split_feature = reader.I32();
+    serial::Check(
+        split_feature >= -1 && split_feature < config.num_features,
+        "DMT split feature out of range");
+    node->split_feature = static_cast<int>(split_feature);
+    node->split_value = reader.F64();
+    node->loss_sum = reader.F64();
+    node->count = reader.F64();
+    node->model.LoadState(reader);
+    node->grad_sum = reader.VecF64Exact(
+        static_cast<std::size_t>(node->model.num_params()));
+    node->candidates.Load(reader);
+    if (!node->is_leaf()) {
+      node->left = self(self, depth + 1);
+      node->right = self(self, depth + 1);
     }
     return node;
   };
-  tree->root_ = load_node(load_node);
+  tree->root_ = load_node(load_node, 0);
+  // Engine last: the MakeLeaf calls above consumed construction-time draws.
+  reader.Engine(&tree->rng_.engine());
   return tree;
+}
+
+std::unique_ptr<DynamicModelTree> DynamicModelTree::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagDmtClassifier);
+  return LoadBody(reader);
 }
 
 std::string DynamicModelTree::Describe(int max_weights_per_leaf) const {

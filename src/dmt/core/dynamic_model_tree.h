@@ -142,14 +142,17 @@ class DynamicModelTree : public Classifier {
   };
   RootDiagnostics DiagnoseRoot() const;
 
-  // --- Persistence ---------------------------------------------------------
-  // Serializes the complete learner state (configuration, RNG, tree
-  // structure, model parameters, node and candidate statistics) to a text
-  // format with exact floating-point round-trip, so a restored tree
-  // continues training identically. The structural audit log is not
-  // persisted. Load aborts on malformed input.
-  void Save(std::ostream& out) const;
+  // --- Persistence (binary archive; see serial/archive.h) ------------------
+  // Serializes the complete learner state (configuration, tree structure,
+  // model parameters, node and candidate statistics, RNG engine) with exact
+  // floating-point round-trip, so a restored tree continues training
+  // identically. The engine is written last because Load's node
+  // construction draws initial GLM weights. The structural audit log is not
+  // persisted. Load throws serial::SerialError on malformed input.
+  void Save(std::ostream& out) const override;
   static std::unique_ptr<DynamicModelTree> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<DynamicModelTree> LoadBody(serial::Reader& reader);
 
   // AIC-derived gain thresholds (Sec. V-C; Eq. 11 and its analogues).
   double SplitThreshold() const;

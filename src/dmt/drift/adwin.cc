@@ -4,6 +4,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/archive.h"
 
 namespace dmt::drift {
 
@@ -129,6 +130,47 @@ bool Adwin::DetectAndShrink() {
     }
   }
   return any_cut;
+}
+
+void Adwin::Save(serial::Writer& writer) const {
+  writer.F64(delta_);
+  writer.Size(rows_.size());
+  for (const Row& row : rows_) {
+    writer.VecF64(row.totals);
+    writer.VecF64(row.variances);
+  }
+  writer.F64(total_);
+  writer.F64(variance_sum_);
+  writer.F64(width_);
+  writer.I64(ticks_);
+  writer.Size(num_detections_);
+}
+
+Adwin Adwin::Load(serial::Reader& reader) {
+  const double delta = reader.F64();
+  // The constructor DMT_CHECKs this; a hostile archive must throw instead.
+  serial::Check(std::isfinite(delta) && delta > 0.0 && delta < 1.0,
+                "ADWIN delta out of range");
+  Adwin adwin(delta);
+  // The exponential histogram has O(log window) rows; 64 rows would mean a
+  // window of ~2^64 elements.
+  const std::size_t num_rows = reader.Size(256);
+  serial::Check(num_rows >= 1, "ADWIN histogram has no rows");
+  adwin.rows_.clear();
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    Row row;
+    row.totals = reader.VecF64();
+    row.variances = reader.VecF64();
+    serial::Check(row.totals.size() == row.variances.size(),
+                  "ADWIN bucket arrays disagree in length");
+    adwin.rows_.push_back(std::move(row));
+  }
+  adwin.total_ = reader.F64();
+  adwin.variance_sum_ = reader.F64();
+  adwin.width_ = reader.F64();
+  adwin.ticks_ = reader.I64();
+  adwin.num_detections_ = reader.Size(std::size_t{1} << 62);
+  return adwin;
 }
 
 }  // namespace dmt::drift

@@ -13,6 +13,11 @@
 #include <deque>
 #include <vector>
 
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
+
 namespace dmt::drift {
 
 class Adwin {
@@ -39,6 +44,12 @@ class Adwin {
     drop_counter_ = drops;
     width_gauge_ = width;
   }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // The full exponential histogram round-trips; telemetry bindings do not
+  // (rebind via BindTelemetry after restoring).
+  void Save(serial::Writer& writer) const;
+  static Adwin Load(serial::Reader& reader);
 
  private:
   // One row of the exponential histogram; buckets in row r aggregate 2^r

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/archive.h"
 
 namespace dmt::drift {
 
@@ -26,6 +27,32 @@ bool PageHinkley::Update(double value) {
     return true;
   }
   return false;
+}
+
+void PageHinkley::Save(serial::Writer& writer) const {
+  writer.Size(config_.min_instances);
+  writer.F64(config_.delta);
+  writer.F64(config_.threshold);
+  writer.F64(config_.alpha);
+  writer.Size(n_);
+  writer.F64(mean_);
+  writer.F64(sum_);
+  writer.Size(num_detections_);
+}
+
+PageHinkley PageHinkley::Load(serial::Reader& reader) {
+  PageHinkleyConfig config;
+  config.min_instances = reader.Size(std::size_t{1} << 62);
+  config.delta = serial::CheckedFinite(reader.F64(), "Page-Hinkley delta");
+  config.threshold =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley threshold");
+  config.alpha = serial::CheckedFinite(reader.F64(), "Page-Hinkley alpha");
+  PageHinkley test(config);
+  test.n_ = reader.Size(std::size_t{1} << 62);
+  test.mean_ = reader.F64();
+  test.sum_ = reader.F64();
+  test.num_detections_ = reader.Size(std::size_t{1} << 62);
+  return test;
 }
 
 }  // namespace dmt::drift

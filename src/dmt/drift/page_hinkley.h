@@ -9,6 +9,11 @@
 #include <cstddef>
 #include <cstdint>
 
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
+
 namespace dmt::drift {
 
 struct PageHinkleyConfig {
@@ -39,6 +44,11 @@ class PageHinkley {
   // by an obs::TelemetryRegistry that must outlive this detector; may be
   // null). Raw pointer keeps the detector decoupled from the registry type.
   void BindTelemetry(std::uint64_t* resets) { reset_counter_ = resets; }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Config + cumulative statistic; telemetry bindings do not round-trip.
+  void Save(serial::Writer& writer) const;
+  static PageHinkley Load(serial::Reader& reader);
 
  private:
   PageHinkleyConfig config_;

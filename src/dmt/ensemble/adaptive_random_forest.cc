@@ -7,8 +7,16 @@
 #include "dmt/common/check.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::ensemble {
+
+namespace {
+
+// Permissive bound for monotonic counters.
+constexpr std::size_t kMaxCounter = std::size_t{1} << 62;
+
+}  // namespace
 
 AdaptiveRandomForest::AdaptiveRandomForest(
     const AdaptiveRandomForestConfig& config)
@@ -206,6 +214,108 @@ std::size_t AdaptiveRandomForest::NumParameters() const {
   std::size_t total = 0;
   for (const Member& member : members_) total += member.tree->NumParameters();
   return total;
+}
+
+void AdaptiveRandomForest::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.I32(config_.num_learners);
+  writer.F64(config_.poisson_lambda);
+  writer.F64(config_.warning_delta);
+  writer.F64(config_.drift_delta);
+  writer.I32(config_.subspace_size);  // resolved at construction
+  // Base tree template with the ensemble dimensions filled in, exactly as
+  // MakeTree applies it (seed and subspace are overridden per tree anyway).
+  trees::VfdtConfig base = config_.base;
+  base.num_features = config_.num_features;
+  base.num_classes = config_.num_classes;
+  trees::SaveVfdtConfig(writer, base);
+  writer.U64(config_.seed);
+  for (const Member& member : members_) {
+    member.tree->SaveBody(writer);
+    writer.Bool(member.background != nullptr);
+    if (member.background != nullptr) member.background->SaveBody(writer);
+    member.warning.Save(writer);
+    member.drift.Save(writer);
+    writer.Size(member.promotions);
+    writer.Size(member.background_starts);
+    writer.Size(member.background_promotions);
+    writer.Size(member.warnings);
+    writer.Size(member.drifts);
+    writer.Engine(member.rng.engine());
+  }
+  // Flush baselines, so counters attached after Load keep emitting pure
+  // continuation deltas.
+  writer.Size(telemetry_.last_background_starts);
+  writer.Size(telemetry_.last_promotions);
+  writer.Size(telemetry_.last_warnings);
+  writer.Size(telemetry_.last_drifts);
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<AdaptiveRandomForest> AdaptiveRandomForest::LoadBody(
+    serial::Reader& reader) {
+  AdaptiveRandomForestConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "ARF feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "ARF class count"));
+  config.num_learners = static_cast<int>(
+      serial::CheckedRange(reader.I32(), 1, 4096, "ARF member count"));
+  // poisson_distribution with a non-positive mean is undefined behavior.
+  config.poisson_lambda =
+      serial::CheckedFinite(reader.F64(), "ARF Poisson lambda");
+  serial::Check(config.poisson_lambda > 0.0,
+                "ARF Poisson lambda is not positive");
+  // Both deltas flow into ADWIN constructors, which DMT_CHECK the range.
+  config.warning_delta =
+      serial::CheckedFinite(reader.F64(), "ARF warning delta");
+  serial::Check(config.warning_delta > 0.0 && config.warning_delta < 1.0,
+                "ARF warning delta out of range");
+  config.drift_delta = serial::CheckedFinite(reader.F64(), "ARF drift delta");
+  serial::Check(config.drift_delta > 0.0 && config.drift_delta < 1.0,
+                "ARF drift delta out of range");
+  config.subspace_size = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "ARF subspace size"));
+  config.base = trees::LoadVfdtConfig(reader);
+  config.seed = reader.U64();
+  auto forest = std::make_unique<AdaptiveRandomForest>(config);
+  for (Member& member : forest->members_) {
+    member.tree = serial::LoadMemberVfdt(reader, config.num_features,
+                                         config.num_classes);
+    member.background =
+        reader.Bool() ? serial::LoadMemberVfdt(reader, config.num_features,
+                                               config.num_classes)
+                      : nullptr;
+    member.warning = drift::Adwin::Load(reader);
+    member.drift = drift::Adwin::Load(reader);
+    member.promotions = reader.Size(kMaxCounter);
+    member.background_starts = reader.Size(kMaxCounter);
+    member.background_promotions = reader.Size(kMaxCounter);
+    member.warnings = reader.Size(kMaxCounter);
+    member.drifts = reader.Size(kMaxCounter);
+    // Safe mid-record: nothing after this point draws from the member RNG.
+    reader.Engine(&member.rng.engine());
+  }
+  forest->telemetry_.last_background_starts = reader.Size(kMaxCounter);
+  forest->telemetry_.last_promotions = reader.Size(kMaxCounter);
+  forest->telemetry_.last_warnings = reader.Size(kMaxCounter);
+  forest->telemetry_.last_drifts = reader.Size(kMaxCounter);
+  reader.Engine(&forest->rng_.engine());
+  return forest;
+}
+
+void AdaptiveRandomForest::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagArf);
+  SaveBody(writer);
+}
+
+std::unique_ptr<AdaptiveRandomForest> AdaptiveRandomForest::Load(
+    std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagArf);
+  return LoadBody(reader);
 }
 
 std::size_t AdaptiveRandomForest::num_promotions() const {

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,11 @@
 #include "dmt/common/thread_pool.h"
 #include "dmt/drift/adwin.h"
 #include "dmt/trees/vfdt.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::ensemble {
 
@@ -69,6 +75,18 @@ class AdaptiveRandomForest : public Classifier {
   // deltas once per PartialFit (FlushTelemetry), keeping counters exact
   // and race-free at batch granularity.
   void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Full state: ensemble config, every member's tree (plus the background
+  // tree when one is running), both ADWIN detectors, the cumulative member
+  // tallies, the member RNGs and the ensemble RNG (engines written last so
+  // Load restores them after all constructor draws). The borrowed pool /
+  // num_threads are runtime knobs and are not persisted: a restored forest
+  // trains sequentially until reconfigured.
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<AdaptiveRandomForest> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<AdaptiveRandomForest> LoadBody(serial::Reader& reader);
 
  private:
   // Members are fully independent of one another: each owns its trees, its

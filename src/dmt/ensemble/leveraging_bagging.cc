@@ -6,8 +6,13 @@
 #include "dmt/common/check.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::ensemble {
+
+namespace {
+constexpr std::size_t kMaxCounter = std::size_t{1} << 62;
+}  // namespace
 
 LeveragingBagging::LeveragingBagging(const LeveragingBaggingConfig& config)
     : config_(config), rng_(config.seed) {
@@ -174,6 +179,78 @@ void LeveragingBagging::PredictBatch(const Batch& batch,
     }));
   }
   for (std::future<void>& future : futures) GetHelping(pool, &future);
+}
+
+void LeveragingBagging::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.I32(config_.num_learners);
+  writer.F64(config_.poisson_lambda);
+  writer.F64(config_.adwin_delta);
+  trees::VfdtConfig base = config_.base;
+  base.num_features = config_.num_features;
+  base.num_classes = config_.num_classes;
+  trees::SaveVfdtConfig(writer, base);
+  writer.U64(config_.seed);
+  writer.Size(num_resets_);
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    members_[i]->SaveBody(writer);
+    detectors_[i].Save(writer);
+    writer.Size(member_detections_[i]);
+    writer.Engine(member_rngs_[i].engine());
+  }
+  // Flush baseline, so counters attached after Load keep emitting pure
+  // continuation deltas.
+  writer.Size(telemetry_.last_detections);
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<LeveragingBagging> LeveragingBagging::LoadBody(
+    serial::Reader& reader) {
+  LeveragingBaggingConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "LevBag feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "LevBag class count"));
+  config.num_learners = static_cast<int>(
+      serial::CheckedRange(reader.I32(), 1, 4096, "LevBag member count"));
+  // poisson_distribution with a non-positive mean is undefined behavior.
+  config.poisson_lambda =
+      serial::CheckedFinite(reader.F64(), "LevBag Poisson lambda");
+  serial::Check(config.poisson_lambda > 0.0,
+                "LevBag Poisson lambda is not positive");
+  // Flows into ADWIN constructors, which DMT_CHECK the range.
+  config.adwin_delta =
+      serial::CheckedFinite(reader.F64(), "LevBag ADWIN delta");
+  serial::Check(config.adwin_delta > 0.0 && config.adwin_delta < 1.0,
+                "LevBag ADWIN delta out of range");
+  config.base = trees::LoadVfdtConfig(reader);
+  config.seed = reader.U64();
+  auto bagging = std::make_unique<LeveragingBagging>(config);
+  bagging->num_resets_ = reader.Size(kMaxCounter);
+  for (std::size_t i = 0; i < bagging->members_.size(); ++i) {
+    bagging->members_[i] = serial::LoadMemberVfdt(reader, config.num_features,
+                                                  config.num_classes);
+    bagging->detectors_[i] = drift::Adwin::Load(reader);
+    bagging->member_detections_[i] = reader.Size(kMaxCounter);
+    // Safe mid-record: nothing after this point draws from this RNG.
+    reader.Engine(&bagging->member_rngs_[i].engine());
+  }
+  bagging->telemetry_.last_detections = reader.Size(kMaxCounter);
+  reader.Engine(&bagging->rng_.engine());
+  return bagging;
+}
+
+void LeveragingBagging::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagLevBag);
+  SaveBody(writer);
+}
+
+std::unique_ptr<LeveragingBagging> LeveragingBagging::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagLevBag);
+  return LoadBody(reader);
 }
 
 std::size_t LeveragingBagging::NumSplits() const {

@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,6 +20,11 @@
 #include "dmt/common/thread_pool.h"
 #include "dmt/drift/adwin.h"
 #include "dmt/trees/vfdt.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::ensemble {
 
@@ -64,6 +70,15 @@ class LeveragingBagging : public Classifier {
   // writing counters from workers; the coordinating thread adds the deltas
   // once per PartialFit (FlushTelemetry).
   void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Full state: config, member trees, per-member ADWIN detectors and
+  // detection tallies, member RNGs and the ensemble RNG (engines last).
+  // num_threads / pool are runtime knobs and are not persisted.
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<LeveragingBagging> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<LeveragingBagging> LoadBody(serial::Reader& reader);
 
  private:
   std::unique_ptr<trees::Vfdt> MakeMember(Rng* rng);

@@ -6,6 +6,7 @@
 #define DMT_ENSEMBLE_ONLINE_BAGGING_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +14,11 @@
 #include "dmt/common/classifier.h"
 #include "dmt/common/random.h"
 #include "dmt/trees/vfdt.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::ensemble {
 
@@ -36,6 +42,13 @@ class OnlineBagging : public Classifier {
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "OzaBag"; }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Full state: config, member trees and the shared RNG (engine last).
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<OnlineBagging> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<OnlineBagging> LoadBody(serial::Reader& reader);
 
  private:
   OnlineBaggingConfig config_;

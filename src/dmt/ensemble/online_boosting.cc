@@ -5,6 +5,7 @@
 
 #include "dmt/common/check.h"
 #include "dmt/common/sanitize.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::ensemble {
 
@@ -66,6 +67,64 @@ void OnlineBoosting::PredictProbaInto(std::span<const double> x,
     return;
   }
   for (double& v : out) v /= vote_sum;
+}
+
+void OnlineBoosting::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.I32(config_.num_learners);
+  trees::VfdtConfig base = config_.base;
+  base.num_features = config_.num_features;
+  base.num_classes = config_.num_classes;
+  trees::SaveVfdtConfig(writer, base);
+  writer.U64(config_.seed);
+  for (const Member& member : members_) {
+    member.tree->SaveBody(writer);
+    writer.F64(member.correct_weight);
+    writer.F64(member.wrong_weight);
+  }
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<OnlineBoosting> OnlineBoosting::LoadBody(
+    serial::Reader& reader) {
+  OnlineBoostingConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "OzaBoost feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "OzaBoost class count"));
+  config.num_learners = static_cast<int>(
+      serial::CheckedRange(reader.I32(), 1, 4096, "OzaBoost member count"));
+  config.base = trees::LoadVfdtConfig(reader);
+  config.seed = reader.U64();
+  auto boosting = std::make_unique<OnlineBoosting>(config);
+  for (Member& member : boosting->members_) {
+    member.tree = serial::LoadMemberVfdt(reader, config.num_features,
+                                         config.num_classes);
+    // Non-negative lambda masses keep the Poisson rescaling well-defined.
+    member.correct_weight =
+        serial::CheckedFinite(reader.F64(), "OzaBoost correct weight");
+    serial::Check(member.correct_weight >= 0.0,
+                  "OzaBoost correct weight is negative");
+    member.wrong_weight =
+        serial::CheckedFinite(reader.F64(), "OzaBoost wrong weight");
+    serial::Check(member.wrong_weight >= 0.0,
+                  "OzaBoost wrong weight is negative");
+  }
+  reader.Engine(&boosting->rng_.engine());
+  return boosting;
+}
+
+void OnlineBoosting::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagOzaBoost);
+  SaveBody(writer);
+}
+
+std::unique_ptr<OnlineBoosting> OnlineBoosting::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagOzaBoost);
+  return LoadBody(reader);
 }
 
 std::size_t OnlineBoosting::NumSplits() const {

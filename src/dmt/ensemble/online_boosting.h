@@ -7,6 +7,7 @@
 #define DMT_ENSEMBLE_ONLINE_BOOSTING_H_
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +15,11 @@
 #include "dmt/common/classifier.h"
 #include "dmt/common/random.h"
 #include "dmt/trees/vfdt.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::ensemble {
 
@@ -36,6 +42,14 @@ class OnlineBoosting : public Classifier {
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "OzaBoost"; }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Full state: config, member trees with their lambda-mass tallies, and
+  // the shared RNG (engine last).
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<OnlineBoosting> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<OnlineBoosting> LoadBody(serial::Reader& reader);
 
  private:
   struct Member {

@@ -120,6 +120,10 @@ PrequentialResult RunPrequential(streams::Stream* stream,
     }
     result.total_samples += batch.size();
     ++result.num_batches;
+    if (config.snapshot_every > 0 && config.snapshot_hook &&
+        result.num_batches % config.snapshot_every == 0) {
+      config.snapshot_hook(result.num_batches);
+    }
   }
   result.rows_dropped = sanitize_stats.rows_dropped;
   result.values_imputed = sanitize_stats.values_imputed;

@@ -7,6 +7,7 @@
 #define DMT_EVAL_PREQUENTIAL_H_
 
 #include <cstddef>
+#include <functional>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -53,6 +54,13 @@ struct PrequentialConfig {
   // Soft wall-clock deadline in seconds; 0 disables. Checked between
   // batches; throws DeadlineExceeded when exceeded.
   double time_limit_seconds = 0.0;
+  // Mid-run checkpoint hook, fired after every `snapshot_every` completed
+  // batches (0 disables) with the batch count so far. Runs between batches,
+  // so the classifier is always in a consistent snapshottable state; the
+  // sweep engine and dmt_eval use it to Save the model while a cell is
+  // still in flight. An exception thrown by the hook aborts the run.
+  std::size_t snapshot_every = 0;
+  std::function<void(std::size_t)> snapshot_hook;
 };
 
 struct PrequentialResult {

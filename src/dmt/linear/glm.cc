@@ -6,6 +6,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/kernels.h"
 #include "dmt/common/math.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::linear {
 
@@ -326,6 +327,91 @@ double Glm::LossAndGradientOne(std::span<const double> x, int y,
 void Glm::WarmStartFrom(const Glm& parent) {
   DMT_CHECK(parent.params_.size() == params_.size());
   params_ = parent.params_;
+}
+
+void SaveGlmConfig(serial::Writer& writer, const GlmConfig& config) {
+  writer.I32(config.num_features);
+  writer.I32(config.num_classes);
+  writer.F64(config.learning_rate);
+  writer.U32(static_cast<std::uint32_t>(config.schedule));
+  writer.U32(static_cast<std::uint32_t>(config.optimizer));
+  writer.F64(config.momentum_beta);
+  writer.F64(config.l1_penalty);
+  writer.F64(config.init_scale);
+  writer.U64(config.seed);
+  writer.F64(config.max_gradient_norm);
+}
+
+GlmConfig LoadGlmConfig(serial::Reader& reader) {
+  GlmConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "GLM num_features"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "GLM num_classes"));
+  serial::CheckedRange(static_cast<std::int64_t>(config.num_features) *
+                           config.num_classes,
+                       0, static_cast<std::int64_t>(serial::kMaxVector),
+                       "GLM parameter count");
+  config.learning_rate =
+      serial::CheckedFinite(reader.F64(), "GLM learning_rate");
+  config.schedule = static_cast<LearningRateSchedule>(
+      serial::CheckedRange(reader.U32(), 0, 1, "GLM schedule"));
+  config.optimizer = static_cast<Optimizer>(
+      serial::CheckedRange(reader.U32(), 0, 2, "GLM optimizer"));
+  config.momentum_beta =
+      serial::CheckedFinite(reader.F64(), "GLM momentum_beta");
+  config.l1_penalty = serial::CheckedFinite(reader.F64(), "GLM l1_penalty");
+  serial::Check(config.l1_penalty >= 0.0, "GLM l1_penalty is negative");
+  config.init_scale = serial::CheckedFinite(reader.F64(), "GLM init_scale");
+  // normal_distribution requires sigma > 0; the constructor draws with it.
+  serial::Check(config.init_scale > 0.0, "GLM init_scale is not positive");
+  config.seed = reader.U64();
+  config.max_gradient_norm =
+      serial::CheckedFinite(reader.F64(), "GLM max_gradient_norm");
+  return config;
+}
+
+void Glm::SaveState(serial::Writer& writer) const {
+  writer.Size(steps_);
+  writer.VecF64(params_);
+  writer.VecF64(velocity_);
+  writer.VecF64(grad_accum_);
+  writer.U64(num_resets_);
+  writer.U64(num_skipped_samples_);
+}
+
+void Glm::LoadState(serial::Reader& reader) {
+  steps_ = reader.Size(std::size_t{1} << 62);
+  std::vector<double> params = reader.VecF64Exact(params_.size());
+  // The lazy optimizer buffers are empty until the first momentum/Adagrad
+  // step, so their archived length is either 0 or the parameter count.
+  std::vector<double> velocity = reader.VecF64();
+  serial::Check(velocity.empty() || velocity.size() == params_.size(),
+                "GLM velocity size mismatch");
+  std::vector<double> grad_accum = reader.VecF64();
+  serial::Check(grad_accum.empty() || grad_accum.size() == params_.size(),
+                "GLM gradient accumulator size mismatch");
+  params_ = std::move(params);
+  velocity_ = std::move(velocity);
+  grad_accum_ = std::move(grad_accum);
+  num_resets_ = reader.U64();
+  num_skipped_samples_ = reader.U64();
+}
+
+void Glm::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagGlm);
+  SaveGlmConfig(writer, config_);
+  SaveState(writer);
+}
+
+std::unique_ptr<Glm> Glm::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagGlm);
+  const GlmConfig config = LoadGlmConfig(reader);
+  auto model = std::make_unique<Glm>(config);
+  model->LoadState(reader);
+  return model;
 }
 
 std::vector<double> Glm::FeatureWeights(int c) const {

@@ -12,11 +12,18 @@
 #define DMT_LINEAR_GLM_H_
 
 #include <cstddef>
+#include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "dmt/common/random.h"
 #include "dmt/common/types.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::linear {
 
@@ -71,6 +78,7 @@ class Glm {
   int num_params() const { return static_cast<int>(params_.size()); }
   int num_features() const { return num_features_; }
   int num_classes() const { return num_classes_; }
+  const GlmConfig& config() const { return config_; }
   double learning_rate() const { return config_.learning_rate; }
   // Effective learning rate at the current step (schedule applied).
   double CurrentLearningRate() const;
@@ -145,6 +153,16 @@ class Glm {
   // 1 weights are the parameters and class 0 weights their negation.
   std::vector<double> FeatureWeights(int c) const;
 
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Mutable optimizer state only (params, steps, lazy optimizer buffers,
+  // divergence tallies) -- used when the owning tree supplies the config.
+  // LoadState requires the archived vector sizes to match this model's.
+  void SaveState(serial::Writer& writer) const;
+  void LoadState(serial::Reader& reader);
+  // Whole-model record: header + config + state.
+  void Save(std::ostream& out) const;
+  static std::unique_ptr<Glm> Load(std::istream& in);
+
  private:
   bool is_binary() const { return num_classes_ == 2; }
   void SgdStep(std::span<const double> x, int y);
@@ -173,6 +191,13 @@ class Glm {
   std::uint64_t num_skipped_samples_ = 0;
   std::uint64_t* resets_counter_ = nullptr;
 };
+
+// Archive helpers for the config record (shared by the standalone Glm
+// record, the GLM classifier wrapper, and any future embedding learner).
+// LoadGlmConfig validates every field the Glm constructor asserts on, so a
+// hostile archive raises SerialError instead of tripping DMT_CHECK.
+void SaveGlmConfig(serial::Writer& writer, const GlmConfig& config);
+GlmConfig LoadGlmConfig(serial::Reader& reader);
 
 }  // namespace dmt::linear
 

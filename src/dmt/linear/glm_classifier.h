@@ -4,12 +4,18 @@
 #ifndef DMT_LINEAR_GLM_CLASSIFIER_H_
 #define DMT_LINEAR_GLM_CLASSIFIER_H_
 
+#include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "dmt/common/classifier.h"
 #include "dmt/linear/glm.h"
 #include "dmt/obs/telemetry.h"
+
+namespace dmt::serial {
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::linear {
 
@@ -41,6 +47,12 @@ class GlmClassifier : public Classifier {
   std::string name() const override { return "GLM"; }
 
   const Glm& model() const { return model_; }
+
+  // --- Persistence (binary archive; see serial/model_io.h) ---
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<GlmClassifier> Load(std::istream& in);
+  // Body only; the shared header was already consumed by the dispatcher.
+  static std::unique_ptr<GlmClassifier> LoadBody(serial::Reader& reader);
 
  private:
   Glm model_;

@@ -6,6 +6,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/kernels.h"
 #include "dmt/common/math.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::linear {
 
@@ -109,6 +110,42 @@ double LinearRegressor::LossAndGradientOne(std::span<const double> x,
 void LinearRegressor::WarmStartFrom(const LinearRegressor& parent) {
   DMT_CHECK(parent.params_.size() == params_.size());
   params_ = parent.params_;
+}
+
+void LinearRegressor::SaveState(serial::Writer& writer) const {
+  writer.VecF64(params_);
+  writer.U64(num_resets_);
+  writer.U64(num_skipped_samples_);
+}
+
+void LinearRegressor::LoadState(serial::Reader& reader) {
+  params_ = reader.VecF64Exact(params_.size());
+  num_resets_ = reader.U64();
+  num_skipped_samples_ = reader.U64();
+}
+
+void LinearRegressor::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagLinearRegressor);
+  writer.I32(num_features_);
+  writer.F64(learning_rate_);
+  writer.F64(max_gradient_norm_);
+  SaveState(writer);
+}
+
+std::unique_ptr<LinearRegressor> LinearRegressor::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagLinearRegressor);
+  LinearRegressorConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "regressor num_features"));
+  config.learning_rate =
+      serial::CheckedFinite(reader.F64(), "regressor learning_rate");
+  config.max_gradient_norm =
+      serial::CheckedFinite(reader.F64(), "regressor max_gradient_norm");
+  auto model = std::make_unique<LinearRegressor>(config);
+  model->LoadState(reader);
+  return model;
 }
 
 }  // namespace dmt::linear

@@ -11,11 +11,18 @@
 #define DMT_LINEAR_LINEAR_REGRESSOR_H_
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "dmt/common/random.h"
 #include "dmt/common/types.h"
+
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
 
 namespace dmt::linear {
 
@@ -114,6 +121,18 @@ class LinearRegressor {
   std::vector<double> FeatureWeights() const {
     return {params_.begin(), params_.end() - 1};
   }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Mutable state only (params + divergence tallies), for models embedded
+  // in a tree that re-derives the config. LoadState requires the archived
+  // parameter count to match this model's.
+  void SaveState(serial::Writer& writer) const;
+  void LoadState(serial::Reader& reader);
+  // Whole-model record. The retained hyperparameters (num_features,
+  // learning_rate, max_gradient_norm) round-trip; init_scale/seed only
+  // matter at construction and are not part of the mutable state.
+  void Save(std::ostream& out) const;
+  static std::unique_ptr<LinearRegressor> Load(std::istream& in);
 
  private:
   void SgdStep(std::span<const double> x, double y);

@@ -6,6 +6,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -34,7 +35,52 @@ struct Efdt::Node {
     left.reset();
     right.reset();
   }
+
+  void Save(serial::Writer& writer) const;
+  static Node Load(serial::Reader& reader, const EfdtConfig& config,
+                   std::size_t depth);
 };
+
+void Efdt::Node::Save(serial::Writer& writer) const {
+  writer.I32(split_feature);
+  writer.F64(split_value);
+  writer.VecF64(class_counts);
+  // EFDT keeps observers at every node (leaf and inner), so no count prefix
+  // is needed: there is always exactly one observer per feature.
+  for (const NumericObserver& obs : observers) obs.Save(writer);
+  writer.F64(weight_seen);
+  writer.F64(weight_at_last_check);
+  if (!is_leaf()) {
+    left->Save(writer);
+    right->Save(writer);
+  }
+}
+
+Efdt::Node Efdt::Node::Load(serial::Reader& reader, const EfdtConfig& config,
+                            std::size_t depth) {
+  serial::Check(depth <= serial::kMaxTreeDepth,
+                "EFDT node depth exceeds the archive limit");
+  Node node(config.num_features, config.num_classes);
+  const std::int32_t split_feature = reader.I32();
+  serial::Check(split_feature >= -1 && split_feature < config.num_features,
+                "EFDT split feature out of range");
+  node.split_feature = static_cast<int>(split_feature);
+  node.split_value = reader.F64();
+  node.class_counts =
+      reader.VecF64Exact(static_cast<std::size_t>(config.num_classes));
+  for (int j = 0; j < config.num_features; ++j) {
+    node.observers[j] = NumericObserver::Load(reader, config.num_classes);
+  }
+  node.weight_seen = reader.F64();
+  node.weight_at_last_check = reader.F64();
+  if (!node.is_leaf()) {
+    node.left = std::make_unique<Node>(
+        Node::Load(reader, config, depth + 1));
+    node.right = std::make_unique<Node>(
+        Node::Load(reader, config, depth + 1));
+  }
+  return node;
+}
 
 Efdt::Efdt(const EfdtConfig& config) : config_(config) {
   DMT_CHECK(config.num_features >= 1);
@@ -225,6 +271,52 @@ std::size_t Efdt::NumSplits() const {
 std::size_t Efdt::NumParameters() const {
   // One split value per inner node plus one majority label per leaf.
   return NumInnerNodes() + NumLeaves();
+}
+
+void Efdt::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.Size(config_.grace_period);
+  writer.F64(config_.split_confidence);
+  writer.F64(config_.tie_threshold);
+  writer.Size(config_.reevaluation_period);
+  writer.I32(config_.num_split_candidates);
+  root_->Save(writer);
+}
+
+std::unique_ptr<Efdt> Efdt::LoadBody(serial::Reader& reader) {
+  EfdtConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "EFDT feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "EFDT class count"));
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_classes) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "EFDT observer dimensions exceed the archive limit");
+  config.grace_period = reader.Size(std::size_t{1} << 62);
+  config.split_confidence =
+      serial::CheckedFinite(reader.F64(), "EFDT split confidence");
+  config.tie_threshold =
+      serial::CheckedFinite(reader.F64(), "EFDT tie threshold");
+  config.reevaluation_period = reader.Size(std::size_t{1} << 62);
+  config.num_split_candidates = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 0, 1 << 20, "EFDT split candidate count"));
+  auto tree = std::make_unique<Efdt>(config);
+  *tree->root_ = Node::Load(reader, config, 0);
+  return tree;
+}
+
+void Efdt::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagEfdt);
+  SaveBody(writer);
+}
+
+std::unique_ptr<Efdt> Efdt::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagEfdt);
+  return LoadBody(reader);
 }
 
 }  // namespace dmt::trees

@@ -6,6 +6,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::trees {
 
@@ -93,6 +94,22 @@ class FeatureTargetHistogram {
     }
   }
 
+  // Bin contents only; geometry (lo/width/classes) re-derives from the tree
+  // config on Load.
+  void Save(serial::Writer& writer) const {
+    for (const BinCounts& bin : bins_) {
+      writer.VecF64(bin.class_counts);
+      writer.F64(bin.n);
+    }
+  }
+  void LoadBins(serial::Reader& reader) {
+    for (BinCounts& bin : bins_) {
+      bin.class_counts =
+          reader.VecF64Exact(static_cast<std::size_t>(num_classes_));
+      bin.n = reader.F64();
+    }
+  }
+
  private:
   int BinOf(double value) const {
     const int bin = static_cast<int>((value - lo_) / width_);
@@ -138,7 +155,74 @@ struct FimtDd::Node {
         drift_test(config.page_hinkley) {}
 
   bool is_leaf() const { return split_feature < 0; }
+
+  void Save(serial::Writer& writer) const;
+  static std::unique_ptr<Node> Load(serial::Reader& reader,
+                                    const FimtDdConfig& config, Rng* rng,
+                                    std::size_t depth);
 };
+
+void FimtDd::Node::Save(serial::Writer& writer) const {
+  writer.I32(split_feature);
+  writer.F64(split_value);
+  writer.Size(histograms.size());
+  for (const FeatureTargetHistogram& histogram : histograms) {
+    histogram.Save(writer);
+  }
+  writer.VecF64(target_stats.class_counts);
+  writer.F64(target_stats.n);
+  writer.F64(weight_seen);
+  writer.F64(weight_at_last_attempt);
+  model.SaveState(writer);
+  drift_test.Save(writer);
+  if (!is_leaf()) {
+    left->Save(writer);
+    right->Save(writer);
+  }
+}
+
+std::unique_ptr<FimtDd::Node> FimtDd::Node::Load(serial::Reader& reader,
+                                                 const FimtDdConfig& config,
+                                                 Rng* rng, std::size_t depth) {
+  serial::Check(depth <= serial::kMaxTreeDepth,
+                "FIMT-DD node depth exceeds the archive limit");
+  // Construction draws GLM initial weights from `rng`; the caller restores
+  // the tree engine after the whole tree is rebuilt.
+  auto node = std::make_unique<Node>(config, rng);
+  const std::int32_t split_feature = reader.I32();
+  serial::Check(split_feature >= -1 && split_feature < config.num_features,
+                "FIMT-DD split feature out of range");
+  node->split_feature = static_cast<int>(split_feature);
+  node->split_value = reader.F64();
+  const std::size_t features = static_cast<std::size_t>(config.num_features);
+  // Split nodes clear their histograms; leaves keep one per feature (the
+  // training path indexes histograms[j] for every feature).
+  const std::size_t num_histograms = reader.Size(features);
+  serial::Check(num_histograms == 0 || num_histograms == features,
+                "FIMT-DD histogram count is neither empty nor one per feature");
+  if (num_histograms == 0) {
+    node->histograms.clear();
+  } else {
+    for (FeatureTargetHistogram& histogram : node->histograms) {
+      histogram.LoadBins(reader);
+    }
+  }
+  node->target_stats.class_counts =
+      reader.VecF64Exact(static_cast<std::size_t>(config.num_classes));
+  node->target_stats.n = reader.F64();
+  node->weight_seen = reader.F64();
+  node->weight_at_last_attempt = reader.F64();
+  node->model.LoadState(reader);
+  node->drift_test = drift::PageHinkley::Load(reader);
+  if (!node->is_leaf()) {
+    node->left = Load(reader, config, rng, depth + 1);
+    node->right = Load(reader, config, rng, depth + 1);
+  } else {
+    serial::Check(num_histograms == features,
+                  "FIMT-DD leaf is missing its histograms");
+  }
+  return node;
+}
 
 FimtDd::FimtDd(const FimtDdConfig& config)
     : config_(config), rng_(config.seed) {
@@ -326,6 +410,82 @@ std::size_t FimtDd::NumParameters() const {
       static_cast<std::size_t>(config_.num_features) *
       (config_.num_classes == 2 ? 1 : config_.num_classes);
   return NumInnerNodes() + NumLeaves() * per_leaf;
+}
+
+void FimtDd::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.Size(config_.grace_period);
+  writer.F64(config_.split_confidence);
+  writer.F64(config_.tie_threshold);
+  writer.F64(config_.leaf_learning_rate);
+  writer.I32(config_.num_bins);
+  writer.F64(config_.feature_lo);
+  writer.F64(config_.feature_hi);
+  writer.Size(config_.page_hinkley.min_instances);
+  writer.F64(config_.page_hinkley.delta);
+  writer.F64(config_.page_hinkley.threshold);
+  writer.F64(config_.page_hinkley.alpha);
+  writer.U64(config_.seed);
+  writer.Size(num_prunes_);
+  root_->Save(writer);
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<FimtDd> FimtDd::LoadBody(serial::Reader& reader) {
+  FimtDdConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "FIMT-DD feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "FIMT-DD class count"));
+  config.grace_period = reader.Size(std::size_t{1} << 62);
+  config.split_confidence =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD split confidence");
+  config.tie_threshold =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD tie threshold");
+  config.leaf_learning_rate =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD learning rate");
+  config.num_bins = static_cast<int>(
+      serial::CheckedRange(reader.I32(), 1, 1 << 20, "FIMT-DD bin count"));
+  // Per-leaf memory is bins * classes doubles per feature; bound the product
+  // so a hostile config cannot demand gigabytes before the stream runs dry.
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_classes) *
+                        static_cast<std::uint64_t>(config.num_bins) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "FIMT-DD histogram dimensions exceed the archive limit");
+  config.feature_lo = serial::CheckedFinite(reader.F64(), "FIMT-DD range lo");
+  config.feature_hi = serial::CheckedFinite(reader.F64(), "FIMT-DD range hi");
+  // A degenerate range makes the bin width zero and BinOf would cast an
+  // infinite quotient to int (undefined behavior).
+  serial::Check(config.feature_hi > config.feature_lo,
+                "FIMT-DD feature range is empty");
+  config.page_hinkley.min_instances = reader.Size(std::size_t{1} << 62);
+  config.page_hinkley.delta =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley delta");
+  config.page_hinkley.threshold =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley threshold");
+  config.page_hinkley.alpha =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley alpha");
+  config.seed = reader.U64();
+  auto tree = std::make_unique<FimtDd>(config);
+  tree->num_prunes_ = reader.Size(std::size_t{1} << 62);
+  tree->root_ = Node::Load(reader, config, &tree->rng_, 0);
+  // Engine last: node construction above drew GLM initial weights.
+  reader.Engine(&tree->rng_.engine());
+  return tree;
+}
+
+void FimtDd::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagFimtDd);
+  SaveBody(writer);
+}
+
+std::unique_ptr<FimtDd> FimtDd::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagFimtDd);
+  return LoadBody(reader);
 }
 
 }  // namespace dmt::trees

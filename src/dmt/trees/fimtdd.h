@@ -70,6 +70,15 @@ class FimtDd : public Classifier {
   // tree walk; nodes created later bind at construction).
   void AttachTelemetry(obs::TelemetryRegistry* registry) override;
 
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Config, prune count, recursive node records (SDR histograms, leaf GLM
+  // state, Page-Hinkley tests) and the RNG engine, written last so Load
+  // restores it after construction-time GLM weight draws.
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<FimtDd> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<FimtDd> LoadBody(serial::Reader& reader);
+
  private:
   struct Node;
 

@@ -4,11 +4,26 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/serial/model_io.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
 
 namespace {
+
+void SaveTargetStats(serial::Writer& writer, const TargetStats& stats) {
+  writer.F64(stats.n);
+  writer.F64(stats.sum);
+  writer.F64(stats.sum_sq);
+}
+
+TargetStats LoadTargetStats(serial::Reader& reader) {
+  TargetStats stats;
+  stats.n = reader.F64();
+  stats.sum = reader.F64();
+  stats.sum_sq = reader.F64();
+  return stats;
+}
 
 // Per-feature histogram of numeric-target sufficient statistics; candidate
 // thresholds at bin boundaries (bounded-memory stand-in for E-BSTs).
@@ -37,6 +52,14 @@ class RegressionHistogram {
         *best_threshold = lo_ + width_ * static_cast<double>(b + 1);
       }
     }
+  }
+
+  // Bin contents only; geometry re-derives from the tree config on Load.
+  void Save(serial::Writer& writer) const {
+    for (const TargetStats& bin : bins_) SaveTargetStats(writer, bin);
+  }
+  void LoadBins(serial::Reader& reader) {
+    for (TargetStats& bin : bins_) bin = LoadTargetStats(reader);
   }
 
  private:
@@ -80,7 +103,72 @@ struct FimtDdRegressor::Node {
         drift_test(config.page_hinkley) {}
 
   bool is_leaf() const { return split_feature < 0; }
+
+  void Save(serial::Writer& writer) const;
+  static std::unique_ptr<Node> Load(serial::Reader& reader,
+                                    const FimtDdRegressorConfig& config,
+                                    Rng* rng, std::size_t depth);
 };
+
+void FimtDdRegressor::Node::Save(serial::Writer& writer) const {
+  writer.I32(split_feature);
+  writer.F64(split_value);
+  writer.Size(histograms.size());
+  for (const RegressionHistogram& histogram : histograms) {
+    histogram.Save(writer);
+  }
+  SaveTargetStats(writer, target_stats);
+  writer.F64(weight_seen);
+  writer.F64(weight_at_last_attempt);
+  model.SaveState(writer);
+  drift_test.Save(writer);
+  writer.F64(abs_error_mean);
+  writer.F64(abs_error_count);
+  if (!is_leaf()) {
+    left->Save(writer);
+    right->Save(writer);
+  }
+}
+
+std::unique_ptr<FimtDdRegressor::Node> FimtDdRegressor::Node::Load(
+    serial::Reader& reader, const FimtDdRegressorConfig& config, Rng* rng,
+    std::size_t depth) {
+  serial::Check(depth <= serial::kMaxTreeDepth,
+                "FIMT-DD-R node depth exceeds the archive limit");
+  auto node = std::make_unique<Node>(config, rng);
+  const std::int32_t split_feature = reader.I32();
+  serial::Check(split_feature >= -1 && split_feature < config.num_features,
+                "FIMT-DD-R split feature out of range");
+  node->split_feature = static_cast<int>(split_feature);
+  node->split_value = reader.F64();
+  const std::size_t features = static_cast<std::size_t>(config.num_features);
+  const std::size_t num_histograms = reader.Size(features);
+  serial::Check(
+      num_histograms == 0 || num_histograms == features,
+      "FIMT-DD-R histogram count is neither empty nor one per feature");
+  if (num_histograms == 0) {
+    node->histograms.clear();
+  } else {
+    for (RegressionHistogram& histogram : node->histograms) {
+      histogram.LoadBins(reader);
+    }
+  }
+  node->target_stats = LoadTargetStats(reader);
+  node->weight_seen = reader.F64();
+  node->weight_at_last_attempt = reader.F64();
+  node->model.LoadState(reader);
+  node->drift_test = drift::PageHinkley::Load(reader);
+  node->abs_error_mean = reader.F64();
+  node->abs_error_count = reader.F64();
+  if (!node->is_leaf()) {
+    node->left = Load(reader, config, rng, depth + 1);
+    node->right = Load(reader, config, rng, depth + 1);
+  } else {
+    serial::Check(num_histograms == features,
+                  "FIMT-DD-R leaf is missing its histograms");
+  }
+  return node;
+}
 
 FimtDdRegressor::FimtDdRegressor(const FimtDdRegressorConfig& config)
     : config_(config), rng_(config.seed) {
@@ -224,6 +312,70 @@ std::size_t FimtDdRegressor::NumSplits() const {
 std::size_t FimtDdRegressor::NumParameters() const {
   return NumInnerNodes() +
          NumLeaves() * static_cast<std::size_t>(config_.num_features);
+}
+
+void FimtDdRegressor::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagFimtDdRegressor);
+  writer.I32(config_.num_features);
+  writer.Size(config_.grace_period);
+  writer.F64(config_.split_confidence);
+  writer.F64(config_.tie_threshold);
+  writer.F64(config_.leaf_learning_rate);
+  writer.I32(config_.num_bins);
+  writer.F64(config_.feature_lo);
+  writer.F64(config_.feature_hi);
+  writer.Size(config_.page_hinkley.min_instances);
+  writer.F64(config_.page_hinkley.delta);
+  writer.F64(config_.page_hinkley.threshold);
+  writer.F64(config_.page_hinkley.alpha);
+  writer.U64(config_.seed);
+  writer.Size(num_prunes_);
+  root_->Save(writer);
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<FimtDdRegressor> FimtDdRegressor::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagFimtDdRegressor);
+  FimtDdRegressorConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "FIMT-DD-R feature count"));
+  config.grace_period = reader.Size(std::size_t{1} << 62);
+  config.split_confidence =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD-R split confidence");
+  config.tie_threshold =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD-R tie threshold");
+  config.leaf_learning_rate =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD-R learning rate");
+  config.num_bins = static_cast<int>(
+      serial::CheckedRange(reader.I32(), 1, 1 << 20, "FIMT-DD-R bin count"));
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_bins) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "FIMT-DD-R histogram dimensions exceed the archive limit");
+  config.feature_lo =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD-R range lo");
+  config.feature_hi =
+      serial::CheckedFinite(reader.F64(), "FIMT-DD-R range hi");
+  // A degenerate range makes the bin width zero and BinOf would cast an
+  // infinite quotient to int (undefined behavior).
+  serial::Check(config.feature_hi > config.feature_lo,
+                "FIMT-DD-R feature range is empty");
+  config.page_hinkley.min_instances = reader.Size(std::size_t{1} << 62);
+  config.page_hinkley.delta =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley delta");
+  config.page_hinkley.threshold =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley threshold");
+  config.page_hinkley.alpha =
+      serial::CheckedFinite(reader.F64(), "Page-Hinkley alpha");
+  config.seed = reader.U64();
+  auto tree = std::make_unique<FimtDdRegressor>(config);
+  tree->num_prunes_ = reader.Size(std::size_t{1} << 62);
+  tree->root_ = Node::Load(reader, config, &tree->rng_, 0);
+  // Engine last: node construction above drew initial weights.
+  reader.Engine(&tree->rng_.engine());
+  return tree;
 }
 
 }  // namespace dmt::trees

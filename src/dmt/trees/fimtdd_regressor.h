@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,13 @@ class FimtDdRegressor {
   std::size_t NumInnerNodes() const;
   std::size_t NumLeaves() const;
   std::size_t NumPrunes() const { return num_prunes_; }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Config, prune count, recursive node records (target histograms, leaf
+  // linear-model state, Page-Hinkley tests) and the RNG engine, written
+  // last so Load restores it after construction-time weight draws.
+  void Save(std::ostream& out) const;
+  static std::unique_ptr<FimtDdRegressor> Load(std::istream& in);
 
  private:
   struct Node;

@@ -7,6 +7,7 @@
 #include "dmt/common/sanitize.h"
 #include "dmt/drift/adwin.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -40,7 +41,69 @@ struct HoeffdingAdaptiveTree::Node {
         std::max_element(class_counts.begin(), class_counts.end()) -
         class_counts.begin());
   }
+
+  void Save(serial::Writer& writer) const;
+  static std::unique_ptr<Node> Load(serial::Reader& reader,
+                                    const HatConfig& config,
+                                    std::size_t depth);
 };
+
+void HoeffdingAdaptiveTree::Node::Save(serial::Writer& writer) const {
+  writer.I32(split_feature);
+  writer.F64(split_value);
+  writer.VecF64(class_counts);
+  writer.Size(observers.size());
+  for (const NumericObserver& obs : observers) obs.Save(writer);
+  writer.F64(weight_seen);
+  writer.F64(weight_at_last_attempt);
+  error_monitor.Save(writer);
+  writer.Bool(alternate != nullptr);
+  if (alternate != nullptr) alternate->Save(writer);
+  if (!is_leaf()) {
+    left->Save(writer);
+    right->Save(writer);
+  }
+}
+
+std::unique_ptr<HoeffdingAdaptiveTree::Node> HoeffdingAdaptiveTree::Node::Load(
+    serial::Reader& reader, const HatConfig& config, std::size_t depth) {
+  serial::Check(depth <= serial::kMaxTreeDepth,
+                "HT-Ada node depth exceeds the archive limit");
+  auto node = std::make_unique<Node>(config.num_features, config.num_classes,
+                                     config.adwin_delta);
+  const std::int32_t split_feature = reader.I32();
+  serial::Check(split_feature >= -1 && split_feature < config.num_features,
+                "HT-Ada split feature out of range");
+  node->split_feature = static_cast<int>(split_feature);
+  node->split_value = reader.F64();
+  node->class_counts =
+      reader.VecF64Exact(static_cast<std::size_t>(config.num_classes));
+  const std::size_t features = static_cast<std::size_t>(config.num_features);
+  // Split nodes clear their observers; the leaf training path indexes
+  // observers[j] for every feature (see Vfdt::Node::Load).
+  const std::size_t num_observers = reader.Size(features);
+  serial::Check(num_observers == 0 || num_observers == features,
+                "HT-Ada observer count is neither empty nor one per feature");
+  node->observers.clear();
+  for (std::size_t j = 0; j < num_observers; ++j) {
+    node->observers.push_back(
+        NumericObserver::Load(reader, config.num_classes));
+  }
+  node->weight_seen = reader.F64();
+  node->weight_at_last_attempt = reader.F64();
+  node->error_monitor = drift::Adwin::Load(reader);
+  if (reader.Bool()) {
+    node->alternate = Load(reader, config, depth + 1);
+  }
+  if (!node->is_leaf()) {
+    node->left = Load(reader, config, depth + 1);
+    node->right = Load(reader, config, depth + 1);
+  } else {
+    serial::Check(num_observers == features,
+                  "HT-Ada leaf is missing its attribute observers");
+  }
+  return node;
+}
 
 HoeffdingAdaptiveTree::HoeffdingAdaptiveTree(const HatConfig& config)
     : config_(config) {
@@ -279,6 +342,63 @@ std::size_t HoeffdingAdaptiveTree::NumSplits() const {
 
 std::size_t HoeffdingAdaptiveTree::NumParameters() const {
   return NumInnerNodes() + NumLeaves();
+}
+
+void HoeffdingAdaptiveTree::SaveBody(serial::Writer& writer) const {
+  writer.I32(config_.num_features);
+  writer.I32(config_.num_classes);
+  writer.Size(config_.grace_period);
+  writer.F64(config_.split_confidence);
+  writer.F64(config_.tie_threshold);
+  writer.F64(config_.adwin_delta);
+  writer.Size(config_.min_swap_width);
+  writer.F64(config_.swap_confidence);
+  writer.I32(config_.num_split_candidates);
+  root_->Save(writer);
+}
+
+std::unique_ptr<HoeffdingAdaptiveTree> HoeffdingAdaptiveTree::LoadBody(
+    serial::Reader& reader) {
+  HatConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "HT-Ada feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "HT-Ada class count"));
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_classes) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "HT-Ada observer dimensions exceed the archive limit");
+  config.grace_period = reader.Size(std::size_t{1} << 62);
+  config.split_confidence =
+      serial::CheckedFinite(reader.F64(), "HT-Ada split confidence");
+  config.tie_threshold =
+      serial::CheckedFinite(reader.F64(), "HT-Ada tie threshold");
+  config.adwin_delta = reader.F64();
+  // Flows into every node's ADWIN constructor, which DMT_CHECKs the range.
+  serial::Check(std::isfinite(config.adwin_delta) &&
+                    config.adwin_delta > 0.0 && config.adwin_delta < 1.0,
+                "HT-Ada ADWIN delta out of range");
+  config.min_swap_width = reader.Size(std::size_t{1} << 62);
+  config.swap_confidence =
+      serial::CheckedFinite(reader.F64(), "HT-Ada swap confidence");
+  config.num_split_candidates = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 0, 1 << 20, "HT-Ada split candidate count"));
+  auto tree = std::make_unique<HoeffdingAdaptiveTree>(config);
+  tree->root_ = Node::Load(reader, config, 0);
+  return tree;
+}
+
+void HoeffdingAdaptiveTree::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagHat);
+  SaveBody(writer);
+}
+
+std::unique_ptr<HoeffdingAdaptiveTree> HoeffdingAdaptiveTree::Load(
+    std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagHat);
+  return LoadBody(reader);
 }
 
 }  // namespace dmt::trees

@@ -59,6 +59,16 @@ class HoeffdingAdaptiveTree : public Classifier {
   // created later bind at construction).
   void AttachTelemetry(obs::TelemetryRegistry* registry) override;
 
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Config + recursive node records including every per-node ADWIN error
+  // monitor and any in-progress alternate subtree. Telemetry bindings do
+  // not round-trip; call AttachTelemetry after Load.
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<HoeffdingAdaptiveTree> Load(std::istream& in);
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<HoeffdingAdaptiveTree> LoadBody(
+      serial::Reader& reader);
+
  private:
   struct Node;
 

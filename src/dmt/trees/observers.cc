@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dmt/common/check.h"
+#include "dmt/serial/archive.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -114,6 +115,35 @@ SplitSuggestion NumericObserver::BestSplit(
   return best;
 }
 
+void NumericObserver::Save(serial::Writer& writer) const {
+  writer.I32(num_classes_);
+  for (const bayes::GaussianEstimator& est : per_class_) {
+    writer.Size(est.n);
+    writer.F64(est.mean);
+    writer.F64(est.m2);
+  }
+  writer.VecF64(class_weights_);
+  writer.F64(min_);
+  writer.F64(max_);
+}
+
+NumericObserver NumericObserver::Load(serial::Reader& reader,
+                                      int num_classes) {
+  serial::Check(reader.I32() == num_classes,
+                "observer class count disagrees with the owning tree");
+  NumericObserver observer(num_classes);
+  for (bayes::GaussianEstimator& est : observer.per_class_) {
+    est.n = reader.Size(std::size_t{1} << 62);
+    est.mean = reader.F64();
+    est.m2 = reader.F64();
+  }
+  observer.class_weights_ =
+      reader.VecF64Exact(static_cast<std::size_t>(num_classes));
+  observer.min_ = reader.F64();
+  observer.max_ = reader.F64();
+  return observer;
+}
+
 NominalObserver::NominalObserver(int num_classes)
     : num_classes_(num_classes) {
   DMT_CHECK(num_classes >= 2);
@@ -133,6 +163,32 @@ void NominalObserver::Add(double value, int y, double weight) {
              .first;
   }
   it->second[y] += weight;
+}
+
+void NominalObserver::Save(serial::Writer& writer) const {
+  writer.I32(num_classes_);
+  writer.Size(value_counts_.size());
+  for (const auto& [value, counts] : value_counts_) {
+    writer.F64(value);
+    writer.VecF64(counts);
+  }
+}
+
+NominalObserver NominalObserver::Load(serial::Reader& reader,
+                                      int num_classes) {
+  serial::Check(reader.I32() == num_classes,
+                "observer class count disagrees with the owning tree");
+  NominalObserver observer(num_classes);
+  const std::size_t num_values = reader.Size(serial::kMaxVector);
+  for (std::size_t i = 0; i < num_values; ++i) {
+    // A NaN key breaks std::map ordering (see Add); a hostile archive must
+    // not be able to smuggle one in.
+    const double value = serial::CheckedFinite(reader.F64(), "nominal value");
+    std::vector<double> counts =
+        reader.VecF64Exact(static_cast<std::size_t>(num_classes));
+    observer.value_counts_.emplace(value, std::move(counts));
+  }
+  return observer;
 }
 
 SplitCandidate NominalObserver::BestSplitInto(

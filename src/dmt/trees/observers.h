@@ -16,6 +16,11 @@
 
 #include "dmt/bayes/gaussian_nb.h"
 
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
+
 namespace dmt::trees {
 
 // A scored binary split proposal for one feature.
@@ -75,6 +80,12 @@ class NumericObserver {
   }
   double class_weight(int c) const { return class_weights_[c]; }
 
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // The archived class count must equal `num_classes` (the owning tree's);
+  // a mismatch throws serial::SerialError.
+  void Save(serial::Writer& writer) const;
+  static NumericObserver Load(serial::Reader& reader, int num_classes);
+
  private:
   int num_classes_;
   std::vector<bayes::GaussianEstimator> per_class_;
@@ -97,6 +108,12 @@ class NominalObserver {
   SplitCandidate BestSplitInto(int feature,
                                std::span<const double> parent_counts,
                                std::span<double> right_scratch) const;
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // The archived class count must equal `num_classes` (the owning tree's);
+  // a mismatch throws serial::SerialError.
+  void Save(serial::Writer& writer) const;
+  static NominalObserver Load(serial::Reader& reader, int num_classes);
 
  private:
   int num_classes_;

@@ -6,6 +6,7 @@
 #include "dmt/common/check.h"
 #include "dmt/common/math.h"
 #include "dmt/common/sanitize.h"
+#include "dmt/serial/model_io.h"
 
 namespace dmt::trees {
 
@@ -60,7 +61,87 @@ struct StochasticGradientTree::Node {
     }
     seen_since_check = 0.0;
   }
+
+  void Save(serial::Writer& writer) const;
+  static std::unique_ptr<Node> Load(serial::Reader& reader,
+                                    const SgtConfig& config,
+                                    std::size_t depth);
 };
+
+namespace {
+
+void SaveGradientStats(serial::Writer& writer, const GradientStats& stats) {
+  writer.F64(stats.sum_g);
+  writer.F64(stats.sum_h);
+  writer.F64(stats.n);
+}
+
+GradientStats LoadGradientStats(serial::Reader& reader) {
+  GradientStats stats;
+  stats.sum_g = reader.F64();
+  stats.sum_h = reader.F64();
+  stats.n = reader.F64();
+  return stats;
+}
+
+}  // namespace
+
+void StochasticGradientTree::Node::Save(serial::Writer& writer) const {
+  writer.I32(split_feature);
+  writer.F64(split_value);
+  writer.F64(value);
+  SaveGradientStats(writer, totals);
+  writer.Size(histograms.size());
+  for (const auto& feature_bins : histograms) {
+    for (const GradientStats& bin : feature_bins) {
+      SaveGradientStats(writer, bin);
+    }
+  }
+  writer.F64(seen_since_check);
+  if (!is_leaf()) {
+    left->Save(writer);
+    right->Save(writer);
+  }
+}
+
+std::unique_ptr<StochasticGradientTree::Node> StochasticGradientTree::Node::
+    Load(serial::Reader& reader, const SgtConfig& config, std::size_t depth) {
+  serial::Check(depth <= serial::kMaxTreeDepth,
+                "SGT node depth exceeds the archive limit");
+  auto node =
+      std::make_unique<Node>(config.num_features, config.num_bins, 0.0);
+  const std::int32_t split_feature = reader.I32();
+  serial::Check(split_feature >= -1 && split_feature < config.num_features,
+                "SGT split feature out of range");
+  node->split_feature = static_cast<int>(split_feature);
+  node->split_value = reader.F64();
+  node->value = reader.F64();
+  node->totals = LoadGradientStats(reader);
+  const std::size_t features = static_cast<std::size_t>(config.num_features);
+  // Split nodes clear their histograms; the leaf training path indexes
+  // histograms[j] for every feature.
+  const std::size_t num_histograms = reader.Size(features);
+  serial::Check(num_histograms == 0 || num_histograms == features,
+                "SGT histogram count is neither empty nor one per feature");
+  if (num_histograms == 0) {
+    node->histograms.clear();
+  } else {
+    for (auto& feature_bins : node->histograms) {
+      for (GradientStats& bin : feature_bins) {
+        bin = LoadGradientStats(reader);
+      }
+    }
+  }
+  node->seen_since_check = reader.F64();
+  if (!node->is_leaf()) {
+    node->left = Load(reader, config, depth + 1);
+    node->right = Load(reader, config, depth + 1);
+  } else {
+    serial::Check(num_histograms == features,
+                  "SGT leaf is missing its histograms");
+  }
+  return node;
+}
 
 StochasticGradientTree::StochasticGradientTree(const SgtConfig& config)
     : config_(config) {
@@ -251,6 +332,72 @@ std::size_t SgtClassifier::NumParameters() const {
     total += tree->NumInnerNodes() + tree->NumLeaves();
   }
   return total;
+}
+
+void StochasticGradientTree::SaveBody(serial::Writer& writer) const {
+  root_->Save(writer);
+}
+
+std::unique_ptr<StochasticGradientTree> StochasticGradientTree::LoadBody(
+    serial::Reader& reader, const SgtConfig& config) {
+  auto tree = std::make_unique<StochasticGradientTree>(config);
+  tree->root_ = Node::Load(reader, config, 0);
+  return tree;
+}
+
+void SgtClassifier::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagSgt);
+  writer.I32(config_.num_features);
+  writer.Size(config_.grace_period);
+  writer.F64(config_.l2_regularization);
+  writer.F64(config_.min_split_gain);
+  writer.I32(config_.num_bins);
+  writer.F64(config_.feature_lo);
+  writer.F64(config_.feature_hi);
+  writer.I32(num_classes_);
+  for (const auto& tree : trees_) tree->SaveBody(writer);
+}
+
+std::unique_ptr<SgtClassifier> SgtClassifier::LoadBody(
+    serial::Reader& reader) {
+  SgtConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "SGT feature count"));
+  config.grace_period = reader.Size(std::size_t{1} << 62);
+  config.l2_regularization = reader.F64();
+  // Flows into the StochasticGradientTree constructor DMT_CHECK and into
+  // Newton-step denominators.
+  serial::Check(std::isfinite(config.l2_regularization) &&
+                    config.l2_regularization > 0.0,
+                "SGT L2 regularization is not positive");
+  config.min_split_gain =
+      serial::CheckedFinite(reader.F64(), "SGT minimum split gain");
+  config.num_bins = static_cast<int>(
+      serial::CheckedRange(reader.I32(), 2, 1 << 20, "SGT bin count"));
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_bins) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "SGT histogram dimensions exceed the archive limit");
+  config.feature_lo = serial::CheckedFinite(reader.F64(), "SGT range lo");
+  config.feature_hi = serial::CheckedFinite(reader.F64(), "SGT range hi");
+  serial::Check(config.feature_hi > config.feature_lo,
+                "SGT feature range is empty");
+  const std::int32_t num_classes = static_cast<std::int32_t>(
+      serial::CheckedRange(reader.I32(), 2, serial::kMaxClasses,
+                           "SGT class count"));
+  auto model =
+      std::make_unique<SgtClassifier>(config, static_cast<int>(num_classes));
+  for (auto& tree : model->trees_) {
+    tree = StochasticGradientTree::LoadBody(reader, config);
+  }
+  return model;
+}
+
+std::unique_ptr<SgtClassifier> SgtClassifier::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagSgt);
+  return LoadBody(reader);
 }
 
 }  // namespace dmt::trees

@@ -23,6 +23,11 @@
 
 #include "dmt/common/classifier.h"
 
+namespace dmt::serial {
+class Writer;
+class Reader;
+}  // namespace dmt::serial
+
 namespace dmt::trees {
 
 struct SgtConfig {
@@ -59,6 +64,13 @@ class StochasticGradientTree {
   std::size_t NumInnerNodes() const;
   std::size_t NumLeaves() const;
 
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Tree-only record (no header): recursive node values and gradient
+  // histograms. The config is written by the owning SgtClassifier.
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<StochasticGradientTree> LoadBody(
+      serial::Reader& reader, const SgtConfig& config);
+
  private:
   struct Node;
 
@@ -81,6 +93,11 @@ class SgtClassifier : public Classifier {
   std::size_t NumSplits() const override;
   std::size_t NumParameters() const override;
   std::string name() const override { return "SGT"; }
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<SgtClassifier> Load(std::istream& in);
+  static std::unique_ptr<SgtClassifier> LoadBody(serial::Reader& reader);
 
  private:
   SgtConfig config_;

@@ -8,6 +8,7 @@
 #include "dmt/common/math.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/obs/telemetry.h"
+#include "dmt/serial/model_io.h"
 #include "dmt/trees/split_criteria.h"
 
 namespace dmt::trees {
@@ -64,7 +65,79 @@ struct Vfdt::Node {
     }
     SoftmaxInPlace(out);
   }
+
+  void Save(serial::Writer& writer) const;
+  static Node Load(serial::Reader& reader, const VfdtConfig& config,
+                   std::size_t depth);
 };
+
+void Vfdt::Node::Save(serial::Writer& writer) const {
+  writer.I32(split_feature);
+  writer.F64(split_value);
+  writer.Bool(split_is_equality);
+  writer.VecF64(class_counts);
+  writer.Size(observers.size());
+  for (const NumericObserver& obs : observers) obs.Save(writer);
+  writer.Size(nominal_observers.size());
+  for (const NominalObserver& obs : nominal_observers) obs.Save(writer);
+  writer.F64(weight_seen);
+  writer.F64(weight_at_last_attempt);
+  writer.F64(mc_correct);
+  writer.F64(nb_correct);
+  if (!is_leaf()) {
+    left->Save(writer);
+    right->Save(writer);
+  }
+}
+
+Vfdt::Node Vfdt::Node::Load(serial::Reader& reader, const VfdtConfig& config,
+                            std::size_t depth) {
+  serial::Check(depth <= serial::kMaxTreeDepth,
+                "VFDT node depth exceeds the archive limit");
+  Node node(config.num_features, config.num_classes);
+  const std::int32_t split_feature = reader.I32();
+  serial::Check(split_feature >= -1 && split_feature < config.num_features,
+                "VFDT split feature out of range");
+  node.split_feature = static_cast<int>(split_feature);
+  node.split_value = reader.F64();
+  node.split_is_equality = reader.Bool();
+  node.class_counts =
+      reader.VecF64Exact(static_cast<std::size_t>(config.num_classes));
+  const std::size_t features = static_cast<std::size_t>(config.num_features);
+  // Split nodes clear their observers; leaves keep one per feature. The
+  // training path indexes observers[j] for every feature, so a short vector
+  // on a leaf would be out-of-bounds access, not just lost statistics.
+  const std::size_t num_observers = reader.Size(features);
+  serial::Check(num_observers == 0 || num_observers == features,
+                "VFDT observer count is neither empty nor one per feature");
+  node.observers.clear();
+  for (std::size_t j = 0; j < num_observers; ++j) {
+    node.observers.push_back(
+        NumericObserver::Load(reader, config.num_classes));
+  }
+  const std::size_t num_nominal = reader.Size(features);
+  serial::Check(num_nominal == 0 || num_nominal == features,
+                "VFDT observer count is neither empty nor one per feature");
+  node.nominal_observers.clear();
+  for (std::size_t j = 0; j < num_nominal; ++j) {
+    node.nominal_observers.push_back(
+        NominalObserver::Load(reader, config.num_classes));
+  }
+  node.weight_seen = reader.F64();
+  node.weight_at_last_attempt = reader.F64();
+  node.mc_correct = reader.F64();
+  node.nb_correct = reader.F64();
+  if (!node.is_leaf()) {
+    node.left = std::make_unique<Node>(
+        Node::Load(reader, config, depth + 1));
+    node.right = std::make_unique<Node>(
+        Node::Load(reader, config, depth + 1));
+  } else {
+    serial::Check(num_observers == features && num_nominal == features,
+                  "VFDT leaf is missing its attribute observers");
+  }
+  return node;
+}
 
 Vfdt::Vfdt(const VfdtConfig& config) : config_(config), rng_(config.seed) {
   DMT_CHECK(config.num_features >= 1);
@@ -268,6 +341,82 @@ std::size_t Vfdt::NumSplits() const {
       config_.num_classes == 2 ? 1
                                : static_cast<std::size_t>(config_.num_classes);
   return shape.inner + shape.leaves * per_leaf;
+}
+
+void SaveVfdtConfig(serial::Writer& writer, const VfdtConfig& config) {
+  writer.I32(config.num_features);
+  writer.I32(config.num_classes);
+  writer.Size(config.grace_period);
+  writer.F64(config.split_confidence);
+  writer.F64(config.tie_threshold);
+  writer.U32(static_cast<std::uint32_t>(config.leaf_prediction));
+  writer.I32(config.num_split_candidates);
+  writer.I32(config.subspace_size);
+  writer.Size(config.nominal_features.size());
+  for (int j : config.nominal_features) writer.I32(j);
+  writer.U64(config.seed);
+}
+
+VfdtConfig LoadVfdtConfig(serial::Reader& reader) {
+  VfdtConfig config;
+  config.num_features = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 1, serial::kMaxFeatures, "VFDT feature count"));
+  config.num_classes = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 2, serial::kMaxClasses, "VFDT class count"));
+  // Every leaf allocates one observer per feature with per-class state;
+  // bound the product so a hostile config cannot demand gigabytes.
+  serial::Check(static_cast<std::uint64_t>(config.num_features) *
+                        static_cast<std::uint64_t>(config.num_classes) <=
+                    static_cast<std::uint64_t>(serial::kMaxVector),
+                "VFDT observer dimensions exceed the archive limit");
+  config.grace_period = reader.Size(std::size_t{1} << 62);
+  config.split_confidence =
+      serial::CheckedFinite(reader.F64(), "VFDT split confidence");
+  config.tie_threshold =
+      serial::CheckedFinite(reader.F64(), "VFDT tie threshold");
+  const std::uint32_t leaf = reader.U32();
+  serial::Check(leaf <= 1, "VFDT leaf prediction mode out of range");
+  config.leaf_prediction = static_cast<LeafPrediction>(leaf);
+  config.num_split_candidates = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 0, 1 << 20, "VFDT split candidate count"));
+  config.subspace_size = static_cast<int>(serial::CheckedRange(
+      reader.I32(), 0, serial::kMaxFeatures, "VFDT subspace size"));
+  const std::size_t num_nominal = reader.Size(serial::kMaxVector);
+  config.nominal_features.reserve(
+      std::min<std::size_t>(num_nominal, 4096));
+  for (std::size_t i = 0; i < num_nominal; ++i) {
+    config.nominal_features.push_back(static_cast<int>(serial::CheckedRange(
+        reader.I32(), 0, config.num_features - 1, "nominal feature index")));
+  }
+  config.seed = reader.U64();
+  return config;
+}
+
+void Vfdt::SaveBody(serial::Writer& writer) const {
+  SaveVfdtConfig(writer, config_);
+  root_->Save(writer);
+  writer.Engine(rng_.engine());
+}
+
+std::unique_ptr<Vfdt> Vfdt::LoadBody(serial::Reader& reader) {
+  const VfdtConfig config = LoadVfdtConfig(reader);
+  auto tree = std::make_unique<Vfdt>(config);
+  *tree->root_ = Node::Load(reader, config, 0);
+  // Engine last: restored after every construction-time draw has happened.
+  reader.Engine(&tree->rng_.engine());
+  return tree;
+}
+
+void Vfdt::Save(std::ostream& out) const {
+  serial::Writer writer(out);
+  writer.Header(serial::kTagVfdt);
+  SaveBody(writer);
+}
+
+std::unique_ptr<Vfdt> Vfdt::Load(std::istream& in) {
+  serial::Reader reader(in);
+  reader.Header(serial::kTagVfdt);
+  return LoadBody(reader);
 }
 
 std::size_t Vfdt::NumParameters() const {

@@ -23,6 +23,12 @@
 
 namespace dmt::trees {
 
+// Serialized VfdtConfig record shared with the ensembles that embed member
+// trees (see serial/archive.h for the archive primitives).
+struct VfdtConfig;
+void SaveVfdtConfig(serial::Writer& writer, const VfdtConfig& config);
+VfdtConfig LoadVfdtConfig(serial::Reader& reader);
+
 enum class LeafPrediction {
   kMajorityClass,       // VFDT (MC)
   kNaiveBayesAdaptive,  // VFDT (NBA)
@@ -75,8 +81,20 @@ class Vfdt : public Classifier {
   // Trains on a single observation (instance-incremental mode).
   void TrainInstance(std::span<const double> x, int y);
 
+  const VfdtConfig& config() const { return config_; }
+
   // Caches "vfdt.*" counters for Hoeffding split attempts and splits.
   void AttachTelemetry(obs::TelemetryRegistry* registry) override;
+
+  // --- Persistence (binary archive; see serial/archive.h) ---
+  // Full state: config, recursive node records (class counts + attribute
+  // observers + NBA bookkeeping) and the RNG engine. The engine is written
+  // last so Load can restore it after any constructor draws.
+  void Save(std::ostream& out) const override;
+  static std::unique_ptr<Vfdt> Load(std::istream& in);
+  // Headerless record for embedding (ensembles) and tag dispatch.
+  void SaveBody(serial::Writer& writer) const;
+  static std::unique_ptr<Vfdt> LoadBody(serial::Reader& reader);
 
  private:
   struct Node;

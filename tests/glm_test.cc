@@ -180,5 +180,46 @@ TEST(GlmTest, FitRowsOnlyUsesSelectedRows) {
   EXPECT_EQ(a.params(), b.params());
 }
 
+TEST(GlmScheduleTest, InverseSqrtDecaysLearningRate) {
+  Glm model({.num_features = 2,
+             .num_classes = 2,
+             .learning_rate = 0.1,
+             .schedule = LearningRateSchedule::kInverseSqrt});
+  EXPECT_DOUBLE_EQ(model.CurrentLearningRate(), 0.1);
+  Rng rng(6);
+  Batch batch(2);
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<double> x = {rng.Uniform(), rng.Uniform()};
+    batch.Add(x, x[0] > 0.5 ? 1 : 0);
+  }
+  model.Fit(batch);
+  EXPECT_LT(model.CurrentLearningRate(), 0.06);
+  EXPECT_GT(model.CurrentLearningRate(), 0.0);
+}
+
+TEST(GlmL1Test, SparsifiesIrrelevantFeatures) {
+  // Feature 0 drives the label; features 1..4 are noise. With L1 the noise
+  // weights should be driven to exactly zero.
+  Glm plain({.num_features = 5, .num_classes = 2,
+             .learning_rate = 0.1, .seed = 9});
+  Glm sparse({.num_features = 5, .num_classes = 2,
+              .learning_rate = 0.1, .l1_penalty = 0.5, .seed = 9});
+  Rng rng(7);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    Batch batch(5);
+    for (int i = 0; i < 200; ++i) {
+      std::vector<double> x(5);
+      for (double& v : x) v = rng.Uniform();
+      batch.Add(x, x[0] > 0.5 ? 1 : 0);
+    }
+    plain.Fit(batch);
+    sparse.Fit(batch);
+  }
+  EXPECT_GT(sparse.Sparsity(), plain.Sparsity());
+  EXPECT_GE(sparse.Sparsity(), 0.4);  // at least 2 of 5 weights exactly 0
+  // The informative weight must survive.
+  EXPECT_GT(std::abs(sparse.params()[0]), 0.5);
+}
+
 }  // namespace
 }  // namespace dmt::linear

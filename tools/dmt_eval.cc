@@ -18,6 +18,7 @@
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/eval/prequential.h"
 #include "dmt/robust/faulty_stream.h"
+#include "dmt/serial/model_io.h"
 #include "dmt/streams/csv_stream.h"
 #include "dmt/streams/datasets.h"
 #include "harness.h"
@@ -26,11 +27,16 @@ namespace {
 
 constexpr const char kUsage[] =
     "usage: dmt_eval (--csv FILE [--label COL] | --dataset NAME)\n"
-    "       [--model NAME] [--samples N] [--batch N] [--seed S]\n"
+    "       [--model NAME] [--samples N] [--batch N] [--seed S] [--skip N]\n"
     "       [--no-normalize] [--describe] [--bad-input skip|impute|throw]\n"
     "       [--inject nan=R,inf=R,missing=R,flip=R,truncate=R]\n"
+    "       [--save-model FILE] [--load-model FILE]\n"
     "models: DMT FIMT-DD VFDT(MC) VFDT(NBA) HT-Ada EFDT ForestEns "
-    "BaggingEns SGT GLM\n";
+    "BaggingEns SGT GLM\n"
+    "snapshots: --save-model writes a binary model archive after the run\n"
+    "(atomic rename); --load-model restores one instead of building --model\n"
+    "fresh; --skip N discards the first N stream instances so a restored\n"
+    "model can resume mid-stream.\n";
 
 // Usage errors exit 2 (bad invocation), runtime failures exit 1.
 [[noreturn]] void UsageError(const std::string& message) {
@@ -47,6 +53,9 @@ int main(int argc, char** argv) {
   std::string dataset;
   std::string model_name = "DMT";
   std::string inject_spec;
+  std::string save_model_path;
+  std::string load_model_path;
+  std::size_t skip = 0;
   std::size_t samples = 0;
   std::size_t batch_size = 0;
   std::uint64_t seed = 42;
@@ -67,6 +76,9 @@ int main(int argc, char** argv) {
     else if (arg == "--samples") samples = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--batch") batch_size = std::strtoull(next().c_str(), nullptr, 10);
     else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--skip") skip = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--save-model") save_model_path = next();
+    else if (arg == "--load-model") load_model_path = next();
     else if (arg == "--no-normalize") normalize = false;
     else if (arg == "--describe") describe = true;
     else if (arg == "--bad-input") {
@@ -122,9 +134,41 @@ int main(int argc, char** argv) {
     stream = std::move(wrapped);
   }
 
-  std::unique_ptr<Classifier> model = bench::MakeModel(
-      model_name, static_cast<int>(stream->num_features()),
-      static_cast<int>(stream->num_classes()), seed);
+  // --skip: discard the leading instances so a --load-model run can resume
+  // exactly where the snapshotting run left off. Runs after fault wrapping
+  // so the skipped prefix consumes the same injection RNG stream.
+  for (std::size_t i = 0; i < skip; ++i) {
+    Instance discard;
+    if (!stream->NextInstance(&discard)) {
+      std::fprintf(stderr,
+                   "dmt_eval: --skip %zu exhausted the stream after %zu "
+                   "instances\n",
+                   skip, i);
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Classifier> model;
+  if (!load_model_path.empty()) {
+    try {
+      model = serial::LoadClassifierFromFile(load_model_path);
+    } catch (const serial::SerialError& e) {
+      std::fprintf(stderr, "dmt_eval: cannot load model: %s\n", e.what());
+      return 1;
+    }
+    if (model->num_classes() !=
+        static_cast<int>(stream->num_classes())) {
+      std::fprintf(stderr,
+                   "dmt_eval: loaded model has %d classes but the stream "
+                   "has %zu\n",
+                   model->num_classes(), stream->num_classes());
+      return 1;
+    }
+  } else {
+    model = bench::MakeModel(model_name,
+                             static_cast<int>(stream->num_features()),
+                             static_cast<int>(stream->num_classes()), seed);
+  }
 
   eval::PrequentialConfig config;
   config.batch_size = batch_size;
@@ -176,6 +220,16 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(counts.missing),
                 static_cast<unsigned long long>(counts.flips),
                 static_cast<unsigned long long>(counts.truncated));
+  }
+
+  if (!save_model_path.empty()) {
+    try {
+      serial::SaveClassifierToFile(*model, save_model_path);
+    } catch (const serial::SerialError& e) {
+      std::fprintf(stderr, "dmt_eval: cannot save model: %s\n", e.what());
+      return 1;
+    }
+    std::printf("model saved : %s\n", save_model_path.c_str());
   }
 
   if (describe) {
