@@ -16,16 +16,24 @@
 //
 // Flags (see harness.h): --samples N (total per dataset, default 50000),
 // --models a,b (default DMT,VFDT(MC),FIMT-DD,GLM), --datasets a,b (default
-// SEA,Agrawal,Hyperplane), --seed S. Results are also written to
+// SEA,Agrawal,Hyperplane), --seed S. The DMT scheduler knobs (--dmt-exact /
+// --dmt-gain-*) apply to the DMT cells. --telemetry attaches a counter
+// registry per cell and writes TELEMETRY_<dataset>__<model>.json artifacts
+// (counters only -- the seed-deterministic surface; CI greps these to pin
+// the scheduler's skip behavior). Results are also written to
 // BENCH_train.json (bench_json.h).
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dmt/common/alloc_count.h"
 #include "dmt/common/random.h"
+#include "dmt/obs/telemetry.h"
 #include "dmt/streams/scaler.h"
 #include "bench_json.h"
 #include "harness.h"
@@ -39,7 +47,19 @@ struct Measurement {
   double train_ns = 0.0;
   double train_allocs = 0.0;
   std::size_t measured_samples = 0;
+  // Counters-only JSON; populated when --telemetry (covers warm-up and the
+  // timed region alike -- the whole stream's training behavior).
+  std::string telemetry_counters_json;
 };
+
+// File-name-safe rendering matching the sweep harness's artifact naming.
+std::string SanitizeName(const std::string& name) {
+  std::string safe = name;
+  for (char& c : safe) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-') c = '_';
+  }
+  return safe;
+}
 
 Measurement MeasureModel(const std::string& name,
                          const streams::DatasetSpec& spec,
@@ -50,7 +70,11 @@ Measurement MeasureModel(const std::string& name,
   std::unique_ptr<streams::Stream> stream = spec.make(samples, seed);
   std::unique_ptr<Classifier> model =
       MakeModel(name, static_cast<int>(spec.num_features),
-                static_cast<int>(spec.num_classes), seed);
+                static_cast<int>(spec.num_classes), seed, nullptr, &options);
+  // Counters are raw pointer increments, but attach only on demand so the
+  // default timing surface is untouched.
+  obs::TelemetryRegistry registry;
+  if (options.telemetry) model->AttachTelemetry(&registry);
 
   // Prequential batch size (0.1% of the stream) and normalization match the
   // sweep harness; the first half of the stream is the warm-up prefix.
@@ -89,6 +113,7 @@ Measurement MeasureModel(const std::string& name,
     m.train_allocs = static_cast<double>(total_allocs) /
                      static_cast<double>(m.measured_samples);
   }
+  if (options.telemetry) m.telemetry_counters_json = registry.CountersJson();
   return m;
 }
 
@@ -116,6 +141,20 @@ int Main(int argc, char** argv) {
       json.AddResult(spec.name, name,
                      {{"ns_per_sample", m.train_ns},
                       {"allocs_per_sample", m.train_allocs}});
+      if (!m.telemetry_counters_json.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.telemetry_dir, ec);
+        const std::filesystem::path path =
+            std::filesystem::path(options.telemetry_dir) /
+            ("TELEMETRY_" + SanitizeName(spec.name) + "__" +
+             SanitizeName(name) + ".json");
+        std::ofstream out(path);
+        if (out) {
+          out << m.telemetry_counters_json;
+        } else {
+          std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+        }
+      }
     }
   }
   json.WriteTo("BENCH_train.json");

@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
               options.max_samples,
               static_cast<unsigned long long>(options.seed));
   std::printf("%s\n", table.ToString().c_str());
+  bench::PrintRobustnessCounters(cells);
   return 0;
 }

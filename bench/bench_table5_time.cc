@@ -34,5 +34,6 @@ int main(int argc, char** argv) {
               options.max_samples,
               static_cast<unsigned long long>(options.seed),
               table.ToString().c_str());
+  bench::PrintRobustnessCounters(cells);
   return 0;
 }

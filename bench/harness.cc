@@ -87,7 +87,8 @@ constexpr const char kUsage[] =
     "         --failpoints name=P,name=P (e.g. cell:SEA/GLM=1)\n"
     "         --bad-input skip|impute|throw\n"
     "         --cell-timeout SECONDS --resume\n"
-    "         --snapshot-every N --snapshot-dir D\n";
+    "         --snapshot-every N --snapshot-dir D\n"
+    "         --dmt-exact --dmt-gain-every N --dmt-gain-threshold X\n";
 
 // Usage errors (unknown flag, missing value, malformed spec) exit 2: the
 // conventional bad-invocation code, distinct from runtime failures (1).
@@ -158,6 +159,18 @@ Options ParseOptions(int argc, char** argv) {
       options.snapshot_every = std::strtoull(next().c_str(), nullptr, 10);
     } else if (arg == "--snapshot-dir") {
       options.snapshot_dir = next();
+    } else if (arg == "--dmt-exact") {
+      options.dmt_exact = true;
+    } else if (arg == "--dmt-gain-every") {
+      options.dmt_gain_every = std::strtoull(next().c_str(), nullptr, 10);
+      if (options.dmt_gain_every < 1) {
+        UsageError("--dmt-gain-every must be >= 1");
+      }
+    } else if (arg == "--dmt-gain-threshold") {
+      options.dmt_gain_threshold = std::strtod(next().c_str(), nullptr);
+      if (!(options.dmt_gain_threshold >= 0.0)) {
+        UsageError("--dmt-gain-threshold must be >= 0");
+      }
     } else if (arg == "--help") {
       std::fprintf(stdout, "%s", kUsage);
       std::exit(0);
@@ -181,12 +194,28 @@ std::vector<std::string> AllModels() {
 
 std::unique_ptr<Classifier> MakeModel(const std::string& name,
                                       int num_features, int num_classes,
-                                      std::uint64_t seed, ThreadPool* pool) {
+                                      std::uint64_t seed, ThreadPool* pool,
+                                      const Options* options) {
   if (name == "DMT") {
     core::DmtConfig config;
     config.num_features = num_features;
     config.num_classes = num_classes;
     config.seed = seed;
+    if (options != nullptr) {
+      // --dmt-exact pins exact mode; the explicit knobs then override it
+      // (so "--dmt-exact --dmt-gain-every 500" is a 500-sample schedule
+      // with a zero dirty threshold).
+      if (options->dmt_exact) {
+        config.gain_test_every = 1;
+        config.gain_test_threshold = 0.0;
+      }
+      if (options->dmt_gain_every != 0) {
+        config.gain_test_every = options->dmt_gain_every;
+      }
+      if (options->dmt_gain_threshold >= 0.0) {
+        config.gain_test_threshold = options->dmt_gain_threshold;
+      }
+    }
     return std::make_unique<core::DynamicModelTree>(config);
   }
   if (name == "FIMT-DD") {
@@ -303,7 +332,7 @@ CellResult RunCell(const streams::DatasetSpec& spec, const std::string& model,
   }
   std::unique_ptr<Classifier> classifier =
       MakeModel(model, static_cast<int>(spec.num_features),
-                static_cast<int>(spec.num_classes), cell_seed, pool);
+                static_cast<int>(spec.num_classes), cell_seed, pool, &options);
 
   // One registry per cell, owned by this frame: the cell is the unit of
   // sweep parallelism, so no two threads ever share one (no atomics).
@@ -443,10 +472,14 @@ std::vector<CellResult> RunSweep(const std::vector<std::string>& models,
   // --failpoints) bypass it because their numbers are deliberately
   // corrupted and must never poison clean runs.
   // Snapshot runs bypass it as well: a cache hit skips the cell entirely,
-  // so no snapshot file would ever be written.
+  // so no snapshot file would ever be written. Non-default DMT scheduler
+  // knobs (--dmt-exact / --dmt-gain-*) bypass it because cache keys do not
+  // encode them: a knob run must never poison (or be poisoned by) a
+  // default-schedule sweep.
   const bool cache_enabled = options.use_cache && !options.keep_series &&
                              !options.member_parallel && !options.telemetry &&
-                             !faulted && options.snapshot_every == 0;
+                             !faulted && options.snapshot_every == 0 &&
+                             !options.DmtSchedulerOverridden();
   SweepCache cache(options.cache_dir);
 
   // Progress manifest (checkpointed after every cell, crash-safe). Keyed by

@@ -49,6 +49,16 @@
 //                   Snapshot runs bypass the sweep cache.
 //   --snapshot-dir D
 //                   snapshot directory (default bench_snapshots/)
+//   --dmt-exact     run DMT cells in exact mode (gain_test_every=1,
+//                   gain_test_threshold=0): the dirty-node scheduler
+//                   evaluates every node every batch, bit-identical to the
+//                   pre-scheduler pipeline. Non-default scheduler runs
+//                   bypass the sweep cache (cache keys do not encode the
+//                   knobs).
+//   --dmt-gain-every N
+//                   override DmtConfig::gain_test_every (N >= 1)
+//   --dmt-gain-threshold X
+//                   override DmtConfig::gain_test_threshold (X >= 0, nats)
 //
 // Supervision: RunSweep wraps every cell in try/catch. A throwing cell is
 // retried once with the identical derived seed (deterministic faults fail
@@ -116,6 +126,17 @@ struct Options {
   // snapshot).
   std::size_t snapshot_every = 0;
   std::string snapshot_dir = "bench_snapshots";
+  // DMT dirty-node gain scheduler overrides (see the flag docs above).
+  // Sentinels mean "keep the DmtConfig defaults"; any non-default value
+  // bypasses the sweep cache.
+  bool dmt_exact = false;
+  std::size_t dmt_gain_every = 0;      // 0 = default
+  double dmt_gain_threshold = -1.0;    // < 0 = default
+
+  // True when any scheduler knob deviates from the built-in defaults.
+  bool DmtSchedulerOverridden() const {
+    return dmt_exact || dmt_gain_every != 0 || dmt_gain_threshold >= 0.0;
+  }
 };
 
 // Parses argv. `--help` prints the usage text to stdout and exits 0; an
@@ -137,7 +158,8 @@ std::vector<std::string> AllModels();
 std::unique_ptr<Classifier> MakeModel(const std::string& name,
                                       int num_features, int num_classes,
                                       std::uint64_t seed,
-                                      ThreadPool* pool = nullptr);
+                                      ThreadPool* pool = nullptr,
+                                      const Options* options = nullptr);
 
 struct CellResult {
   std::string dataset;

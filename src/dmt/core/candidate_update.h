@@ -2,34 +2,53 @@
 // (classifier and regressor): Algorithm 1 lines 1-11 over the SoA
 // CandidateStore, allocation-free in steady state.
 //
-// Structure of one batch update (UpdateNodeStatistics):
+// Since the dirty-node gain scheduler the engine is two-phase. Every batch
+// runs the accumulate-only fast path; the expensive evaluation half runs
+// only when the caller's scheduler declares the node due (see
+// dynamic_model_tree.h, DmtConfig::gain_test_every / gain_test_threshold):
 //
-//  1. SGD step of the node's simple model on the routed rows (Eq. 1).
-//  2. One loss/gradient evaluation per sample at the updated parameters
-//     (the "compute the sample gradient once" half of the SoA design).
-//  3. Node statistics increment (Algorithm 1, lines 1-3).
-//  4. Per feature: a prefix scan over the batch in ascending feature-value
-//     order. The running (loss, gradient, count) prefix is scattered into
-//     every stored candidate row whose threshold the scan passes -- a
-//     single kernels::Add into the store's gradient matrix -- and each
-//     value boundary becomes a fresh candidate proposal whose batch-local
-//     gain estimate is computed with the fused norm kernels (Eqs. 6-7).
-//  5. Bounded candidate replacement (Sec. V-D): proposals in descending
-//     estimated gain, at most replacement_rate * max_candidates
-//     replacements per step, each evicting the currently-worst stored row.
+//  AccumulateNodeStatistics -- always, one call per (node, batch):
+//   1. SGD step of the node's simple model on the routed rows (Eq. 1).
+//   2. One loss/gradient evaluation per sample at the updated parameters
+//      (the "compute the sample gradient once" half of the SoA design).
+//   3. Node statistics increment (Algorithm 1, lines 1-3).
+//
+//  ScatterAndPropose -- evaluation batches only (and the whole story in
+//  exact mode, gain_test_every = 1):
+//   4. Per feature: a prefix scan over the batch in ascending feature-value
+//      order. The running (loss, gradient, count) prefix is scattered into
+//      every stored candidate row whose threshold the scan passes -- a
+//      single kernels::Add into the store's gradient matrix -- and each
+//      value boundary becomes a fresh candidate proposal whose batch-local
+//      gain estimate is computed with the fused norm kernels (Eqs. 6-7).
+//   5. Bounded candidate replacement (Sec. V-D): proposals in descending
+//      estimated gain, at most replacement_rate * max_candidates
+//      replacements per step, each evicting the currently-worst stored row.
+//
+//  ScatterStoredOnly -- skipped batches: the stored candidates still
+//  receive this batch's statistics (their windows must stay aligned with
+//  the node's own tallies), but no fresh proposals are made and no sort is
+//  needed. Each stored candidate with threshold t owes exactly the sum
+//  over rows with value <= t -- the same quantity the prefix scan
+//  scatters -- so the rows are bucketed against the (few) stored
+//  thresholds by binary search and the buckets prefix-accumulated, at
+//  O(rows * log(candidates per feature)) instead of a batch sort.
+//  Features with no stored candidate are not touched at all.
 //
 // The ascending-value order per feature is NOT re-sorted per node: the
-// caller sorts the whole batch once per feature per PartialFit
-// (ComputeFeatureOrders) with the deterministic key (value, row index),
-// and each node filters that order through its membership mask -- a
-// node's rows are a subset of the batch, so the filtered sequence is
-// exactly the node-local ascending order.
+// caller resets the per-batch order cache once per PartialFit
+// (BeginFeatureOrders), and FeatureOrder sorts a feature's whole-batch
+// order with the deterministic key (value, row index) the first time an
+// evaluating node asks for it -- batches where every node is skipped never
+// sort anything. Each node filters that shared order through its
+// membership mask: a node's rows are a subset of the batch, so the
+// filtered sequence is exactly the node-local ascending order.
 //
 // All intermediate state lives in TrainScratch, which is reused across
-// nodes and batches: UpdateNodeStatistics runs strictly post-order (the
-// recursion of UpdateNode finishes both children before touching the
-// parent's statistics), so one shared instance is safe; only the row
-// partitions of the recursion itself need one buffer per tree depth.
+// nodes and batches: the phases run strictly post-order (the recursion of
+// UpdateNode finishes both children before touching the parent's
+// statistics), so one shared instance is safe; only the row partitions of
+// the recursion itself need one buffer per tree depth.
 #ifndef DMT_CORE_CANDIDATE_UPDATE_H_
 #define DMT_CORE_CANDIDATE_UPDATE_H_
 
@@ -111,8 +130,10 @@ class ProposalBuffer {
 // Every buffer the batch update needs; all grow-only.
 struct TrainScratch {
   // Whole-batch ascending-value sort orders, row-major [feature][pos],
-  // computed once per PartialFit (key: value, then row index).
+  // sorted lazily per feature per PartialFit (key: value, then row index);
+  // order_ready flags which features have been sorted for this batch.
   std::vector<std::uint32_t> feature_order;
+  std::vector<char> order_ready;
   std::size_t order_size = 0;  // rows per feature of the current batch
 
   // Root row list of the current batch (identity permutation).
@@ -129,6 +150,12 @@ struct TrainScratch {
   ProposalBuffer proposals;
   std::vector<double> stored_gain;
   std::vector<std::uint32_t> proposal_order;
+
+  // Bucket accumulators of ScatterStoredOnly: one slot per stored
+  // candidate of the feature group being scattered (skip-path scratch).
+  std::vector<double> bucket_loss;
+  std::vector<double> bucket_count;
+  std::vector<double> bucket_grad;  // row-major [bucket][param]
 
   // Recursion scratch of UpdateNode: row partitions indexed by depth. The
   // outer vectors grow when the tree deepens; the inner buffers keep their
@@ -148,15 +175,27 @@ auto TargetOf(const BatchT& batch, std::size_t i) {
   }
 }
 
-// Sorts every feature's whole-batch row order once; nodes filter it.
+// Invalidates the per-batch feature-order cache; call once per PartialFit
+// before any FeatureOrder use. Allocation-free once the buffers are warm.
 template <typename BatchT>
-void ComputeFeatureOrders(const BatchT& batch, int num_features,
-                          TrainScratch* scratch) {
-  const std::size_t n = batch.size();
-  scratch->order_size = n;
-  scratch->feature_order.resize(static_cast<std::size_t>(num_features) * n);
-  for (int j = 0; j < num_features; ++j) {
-    std::uint32_t* order = scratch->feature_order.data() + j * n;
+void BeginFeatureOrders(const BatchT& batch, int num_features,
+                        TrainScratch* scratch) {
+  scratch->order_size = batch.size();
+  scratch->feature_order.resize(static_cast<std::size_t>(num_features) *
+                                batch.size());
+  scratch->order_ready.assign(static_cast<std::size_t>(num_features), 0);
+}
+
+// The whole-batch ascending-value row order of feature `j`, sorted on
+// first use this batch and memoized (key: value, then row index -- fully
+// deterministic, so lazy and eager sorting agree bit-for-bit).
+template <typename BatchT>
+const std::uint32_t* FeatureOrder(const BatchT& batch, int j,
+                                  TrainScratch* scratch) {
+  const std::size_t n = scratch->order_size;
+  std::uint32_t* order =
+      scratch->feature_order.data() + static_cast<std::size_t>(j) * n;
+  if (!scratch->order_ready[static_cast<std::size_t>(j)]) {
     for (std::size_t i = 0; i < n; ++i) {
       order[i] = static_cast<std::uint32_t>(i);
     }
@@ -165,26 +204,38 @@ void ComputeFeatureOrders(const BatchT& batch, int num_features,
       const double vb = batch.row(b)[j];
       return va < vb || (va == vb && a < b);
     });
+    scratch->order_ready[static_cast<std::size_t>(j)] = 1;
+  }
+  return order;
+}
+
+// Eagerly sorts every feature's order (the pre-scheduler behavior; handy
+// for tests and callers that know every feature will be consumed).
+template <typename BatchT>
+void ComputeFeatureOrders(const BatchT& batch, int num_features,
+                          TrainScratch* scratch) {
+  BeginFeatureOrders(batch, num_features, scratch);
+  for (int j = 0; j < num_features; ++j) {
+    (void)FeatureOrder(batch, j, scratch);
   }
 }
 
-// Algorithm 1 for one node and one batch; see the file comment. The node
-// is passed as its constituent statistics so the classifier and regressor
-// trees share the engine without sharing a node type.
+// Phase 1 (every batch): model SGD step, per-sample losses/gradients, node
+// tallies. Returns the batch loss at the updated parameters and leaves
+// sample_loss / sample_grad / batch_grad in the scratch for the scatter
+// phase of the SAME (node, batch) -- the scatter calls below must follow
+// before the next node's accumulate.
 template <typename Model, typename BatchT>
-void UpdateNodeStatistics(const CandidateUpdateParams& params,
-                          const BatchT& batch,
-                          std::span<const std::size_t> rows, Model* model,
-                          double* loss_sum, std::span<double> grad_sum,
-                          double* count, CandidateStore* store,
-                          TrainScratch* scratch) {
+double AccumulateNodeStatistics(const BatchT& batch,
+                                std::span<const std::size_t> rows,
+                                Model* model, double* loss_sum,
+                                std::span<double> grad_sum, double* count,
+                                TrainScratch* scratch) {
   // 1. SGD update of the simple model (Eq. 1 via gradient descent).
   model->FitRows(batch, rows);
 
-  const std::size_t n = rows.size();
   const std::size_t batch_rows = batch.size();
-  const std::size_t k = store->num_params();
-  const double lambda = params.gradient_step_size;
+  const std::size_t k = static_cast<std::size_t>(model->num_params());
 
   // 2. Per-sample loss and gradient at the updated parameters, indexed by
   //    batch row so the feature-order scan can address them directly.
@@ -205,10 +256,28 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
   // 3. Increment node statistics (Algorithm 1, lines 1-3).
   *loss_sum += batch_loss;
   kernels::Add(grad_sum, scratch->batch_grad);
-  *count += static_cast<double>(n);
+  *count += static_cast<double>(rows.size());
+  return batch_loss;
+}
+
+// Phase 2, evaluation path (Algorithm 1 lines 6-11; Sec. V-D): prefix-scan
+// scatter into the stored candidates plus fresh proposals and bounded
+// replacement. Requires the scratch state of AccumulateNodeStatistics for
+// the same (node, batch); loss_sum / grad_sum / count are the node tallies
+// AFTER that accumulate.
+template <typename BatchT>
+void ScatterAndPropose(const CandidateUpdateParams& params,
+                       const BatchT& batch, std::span<const std::size_t> rows,
+                       double batch_loss, double loss_sum,
+                       std::span<const double> grad_sum, double count,
+                       CandidateStore* store, TrainScratch* scratch) {
+  const std::size_t n = rows.size();
+  const std::size_t batch_rows = batch.size();
+  const std::size_t k = store->num_params();
+  const double lambda = params.gradient_step_size;
 
   // 4. Per-feature prefix scan: stored-candidate scatter plus fresh
-  //    proposals (Algorithm 1, lines 6-11; Sec. V-D).
+  //    proposals.
   scratch->in_node.resize(batch_rows);
   std::fill(scratch->in_node.begin(), scratch->in_node.end(), 0);
   for (std::size_t r : rows) scratch->in_node[r] = 1;
@@ -224,8 +293,7 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
 
   for (int j = 0; j < params.num_features; ++j) {
     // Node-local ascending order = batch order filtered by membership.
-    const std::uint32_t* batch_order =
-        scratch->feature_order.data() + j * scratch->order_size;
+    const std::uint32_t* batch_order = FeatureOrder(batch, j, scratch);
     std::size_t filled = 0;
     for (std::size_t pos = 0; pos < scratch->order_size; ++pos) {
       const std::uint32_t r = batch_order[pos];
@@ -325,7 +393,7 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
   scratch->stored_gain.resize(store->size());
   for (std::size_t c = 0; c < store->size(); ++c) {
     scratch->stored_gain[c] = CandidateGain(
-        *store, c, *loss_sum, grad_sum, *count, *loss_sum, lambda);
+        *store, c, loss_sum, grad_sum, count, loss_sum, lambda);
   }
   int worst = -1;  // argmin of stored_gain, recomputed after replacements
   for (std::uint32_t p : scratch->proposal_order) {
@@ -338,7 +406,7 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
       std::copy(proposals.grad(p).begin(), proposals.grad(p).end(),
                 store->grad(c).begin());
       scratch->stored_gain.push_back(CandidateGain(
-          *store, c, *loss_sum, grad_sum, *count, *loss_sum, lambda));
+          *store, c, loss_sum, grad_sum, count, loss_sum, lambda));
       DMT_TELEMETRY_COUNT(params.appends_counter);
       continue;
     }
@@ -363,9 +431,105 @@ void UpdateNodeStatistics(const CandidateUpdateParams& params,
     std::copy(proposals.grad(p).begin(), proposals.grad(p).end(),
               store->grad(worst).begin());
     scratch->stored_gain[worst] = CandidateGain(
-        *store, worst, *loss_sum, grad_sum, *count, *loss_sum, lambda);
+        *store, worst, loss_sum, grad_sum, count, loss_sum, lambda);
     worst = -1;
     --budget;
+  }
+}
+
+// Phase 2, skip path: scatter this batch into the stored candidates
+// without sorting the batch or proposing anything. Each stored candidate
+// with threshold t owes the sum over this node's rows with value <= t
+// (exactly what the prefix scan delivers), so the rows are bucketed
+// against the sorted stored thresholds and the buckets prefix-accumulated.
+// Requires the scratch state of AccumulateNodeStatistics for the same
+// (node, batch). The bucket sums necessarily associate additions in a
+// different order than the value-sorted prefix scan, which is why exact
+// mode never routes a batch through here.
+template <typename BatchT>
+void ScatterStoredOnly(const BatchT& batch, std::span<const std::size_t> rows,
+                       CandidateStore* store, TrainScratch* scratch) {
+  const std::size_t total = store->size();
+  if (total == 0) return;
+  const std::size_t k = store->num_params();
+
+  // All stored candidates, grouped by feature in ascending threshold
+  // order (thresholds are unique per feature).
+  scratch->stored_idx.resize(total);
+  for (std::size_t c = 0; c < total; ++c) {
+    scratch->stored_idx[c] = static_cast<std::uint32_t>(c);
+  }
+  std::sort(scratch->stored_idx.begin(), scratch->stored_idx.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return store->feature(a) < store->feature(b) ||
+                     (store->feature(a) == store->feature(b) &&
+                      store->value(a) < store->value(b));
+            });
+
+  std::size_t group_begin = 0;
+  while (group_begin < total) {
+    const int j = store->feature(scratch->stored_idx[group_begin]);
+    std::size_t group_end = group_begin + 1;
+    while (group_end < total &&
+           store->feature(scratch->stored_idx[group_end]) == j) {
+      ++group_end;
+    }
+    const std::size_t buckets = group_end - group_begin;
+
+    scratch->bucket_loss.resize(buckets);
+    scratch->bucket_count.resize(buckets);
+    scratch->bucket_grad.resize(buckets * k);
+    std::fill(scratch->bucket_loss.begin(),
+              scratch->bucket_loss.begin() +
+                  static_cast<std::ptrdiff_t>(buckets), 0.0);
+    std::fill(scratch->bucket_count.begin(),
+              scratch->bucket_count.begin() +
+                  static_cast<std::ptrdiff_t>(buckets), 0.0);
+    std::fill(scratch->bucket_grad.begin(),
+              scratch->bucket_grad.begin() +
+                  static_cast<std::ptrdiff_t>(buckets * k), 0.0);
+
+    for (std::size_t r : rows) {
+      const double value = batch.row(r)[j];
+      // First stored threshold >= value: the smallest left side that
+      // includes this observation (rows above every threshold contribute
+      // to no candidate of this feature).
+      std::size_t lo = group_begin;
+      std::size_t hi = group_end;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (store->value(scratch->stored_idx[mid]) < value) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == group_end) continue;
+      const std::size_t b = lo - group_begin;
+      scratch->bucket_loss[b] += scratch->sample_loss[r];
+      kernels::Add(
+          std::span<double>(scratch->bucket_grad.data() + b * k, k),
+          {scratch->sample_grad.data() + r * k, k});
+      scratch->bucket_count[b] += 1.0;
+    }
+
+    // Ascending thresholds: candidate i owes buckets 0..i.
+    double run_loss = 0.0;
+    std::fill(scratch->prefix_grad.begin(), scratch->prefix_grad.end(), 0.0);
+    double run_count = 0.0;
+    for (std::size_t g = group_begin; g < group_end; ++g) {
+      const std::size_t b = g - group_begin;
+      run_loss += scratch->bucket_loss[b];
+      kernels::Add(std::span<double>(scratch->prefix_grad),
+                   {scratch->bucket_grad.data() + b * k, k});
+      run_count += scratch->bucket_count[b];
+      const std::size_t c = scratch->stored_idx[g];
+      store->loss(c) += run_loss;
+      kernels::Add(store->grad(c),
+                   std::span<const double>(scratch->prefix_grad));
+      store->count(c) += run_count;
+    }
+    group_begin = group_end;
   }
 }
 

@@ -23,6 +23,10 @@ struct DmtRegressor::Node {
   double count = 0.0;
   CandidateStore candidates;  // SoA split-candidate store (Sec. V-D)
 
+  // Dirty-node scheduler state (see DmtRegressorConfig::gain_test_*).
+  double samples_since_test = 0.0;
+  double loss_since_test = 0.0;
+
   Node(const linear::LinearRegressorConfig& model_config, Rng* rng)
       : model(model_config, rng),
         grad_sum(model.num_params(), 0.0),
@@ -35,6 +39,8 @@ struct DmtRegressor::Node {
     std::fill(grad_sum.begin(), grad_sum.end(), 0.0);
     count = 0.0;
     candidates.Clear();
+    samples_since_test = 0.0;
+    loss_since_test = 0.0;
   }
 };
 
@@ -42,6 +48,9 @@ DmtRegressor::DmtRegressor(const DmtRegressorConfig& config)
     : config_(config), rng_(config.seed) {
   DMT_CHECK(config.num_features >= 1);
   DMT_CHECK(config.epsilon > 0.0 && config.epsilon <= 1.0);
+  DMT_CHECK(config.gain_test_every >= 1);
+  DMT_CHECK(std::isfinite(config.gain_test_threshold) &&
+            config.gain_test_threshold >= 0.0);
   if (config_.max_candidates == 0) {
     config_.max_candidates =
         3 * static_cast<std::size_t>(config.num_features);
@@ -115,8 +124,9 @@ void DmtRegressor::PartialFit(const linear::RegressionBatch& batch) {
   for (std::size_t i = 0; i < standardized_->size(); ++i) {
     scratch_.root_rows[i] = i;
   }
-  // One ascending-value sort per feature per batch, shared by every node.
-  ComputeFeatureOrders(*standardized_, config_.num_features, &scratch_);
+  // Lazy ascending-value orders, shared by every node; only evaluating
+  // nodes trigger the per-feature sort.
+  BeginFeatureOrders(*standardized_, config_.num_features, &scratch_);
   UpdateNode(root_.get(), *standardized_, scratch_.root_rows, 0);
 }
 
@@ -149,7 +159,8 @@ void DmtRegressor::UpdateNode(Node* node,
     UpdateNode(node->left.get(), batch, left_span, depth + 1);
     UpdateNode(node->right.get(), batch, right_span, depth + 1);
   }
-  UpdateStatistics(node, batch, rows);
+  const bool evaluated = UpdateStatistics(node, batch, rows);
+  if (!evaluated) return;  // deferred: no structural checks this batch
   if (node->is_leaf()) {
     CheckLeafSplit(node, depth);
   } else {
@@ -157,7 +168,7 @@ void DmtRegressor::UpdateNode(Node* node,
   }
 }
 
-void DmtRegressor::UpdateStatistics(Node* node,
+bool DmtRegressor::UpdateStatistics(Node* node,
                                     const linear::RegressionBatch& batch,
                                     std::span<const std::size_t> rows) {
   const CandidateUpdateParams params{
@@ -167,9 +178,27 @@ void DmtRegressor::UpdateStatistics(Node* node,
       .max_proposals_per_feature = config_.max_proposals_per_feature,
       .gradient_step_size = config_.gradient_step_size,
   };
-  UpdateNodeStatistics(params, batch, rows, &node->model, &node->loss_sum,
-                       std::span<double>(node->grad_sum), &node->count,
-                       &node->candidates, &scratch_);
+  const double batch_loss = AccumulateNodeStatistics(
+      batch, rows, &node->model, &node->loss_sum,
+      std::span<double>(node->grad_sum), &node->count, &scratch_);
+
+  // Scheduler decision after absorbing the batch (gain_test_every = 1
+  // therefore always evaluates: exact mode).
+  node->samples_since_test += static_cast<double>(rows.size());
+  node->loss_since_test += batch_loss;
+  const bool due = node->samples_since_test >=
+                   static_cast<double>(config_.gain_test_every);
+  const bool dirty = node->loss_since_test >= config_.gain_test_threshold;
+  if (!due && !dirty) {
+    ScatterStoredOnly(batch, rows, &node->candidates, &scratch_);
+    return false;
+  }
+  ScatterAndPropose(params, batch, rows, batch_loss, node->loss_sum,
+                    std::span<const double>(node->grad_sum), node->count,
+                    &node->candidates, &scratch_);
+  node->samples_since_test = 0.0;
+  node->loss_since_test = 0.0;
+  return true;
 }
 
 void DmtRegressor::CheckLeafSplit(Node* node, std::size_t depth) {
@@ -334,6 +363,8 @@ void DmtRegressor::Save(std::ostream& out) const {
   writer.Size(config_.max_candidates);
   writer.F64(config_.replacement_rate);
   writer.Size(config_.max_proposals_per_feature);
+  writer.Size(config_.gain_test_every);
+  writer.F64(config_.gain_test_threshold);
   writer.U64(config_.seed);
   writer.Size(target_stats_.count());
   writer.F64(target_stats_.mean());
@@ -348,6 +379,8 @@ void DmtRegressor::Save(std::ostream& out) const {
     writer.F64(node->split_value);
     writer.F64(node->loss_sum);
     writer.F64(node->count);
+    writer.F64(node->samples_since_test);
+    writer.F64(node->loss_since_test);
     node->model.SaveState(writer);
     writer.VecF64(node->grad_sum);
     node->candidates.Save(writer);
@@ -383,6 +416,13 @@ std::unique_ptr<DmtRegressor> DmtRegressor::Load(std::istream& in) {
                     config.replacement_rate <= 1.0,
                 "DMT-R replacement rate out of range");
   config.max_proposals_per_feature = reader.Size(std::size_t{1} << 62);
+  config.gain_test_every = reader.Size(std::size_t{1} << 62);
+  serial::Check(config.gain_test_every >= 1,
+                "DMT-R gain test period out of range");
+  config.gain_test_threshold =
+      serial::CheckedFinite(reader.F64(), "DMT-R gain test threshold");
+  serial::Check(config.gain_test_threshold >= 0.0,
+                "DMT-R gain test threshold out of range");
   config.seed = reader.U64();
   auto tree = std::make_unique<DmtRegressor>(config);
   const std::size_t stats_n = reader.Size(std::size_t{1} << 62);
@@ -407,6 +447,8 @@ std::unique_ptr<DmtRegressor> DmtRegressor::Load(std::istream& in) {
     node->split_value = reader.F64();
     node->loss_sum = reader.F64();
     node->count = reader.F64();
+    node->samples_since_test = reader.F64();
+    node->loss_since_test = reader.F64();
     node->model.LoadState(reader);
     node->grad_sum = reader.VecF64Exact(
         static_cast<std::size_t>(node->model.num_params()));

@@ -37,6 +37,14 @@ struct DmtRegressorConfig {
   std::size_t max_candidates = 0;  // 0 -> 3 * num_features
   double replacement_rate = 0.5;
   std::size_t max_proposals_per_feature = 64;
+  // Dirty-node gain scheduler (same contract as DmtConfig): a node runs
+  // the AIC battery only when it has absorbed gain_test_every samples or
+  // gain_test_threshold nats of loss since its last evaluation. The
+  // threshold is measured on the standardized-target loss scale, so it is
+  // unit-free like the AIC thresholds themselves. gain_test_every = 1 or
+  // gain_test_threshold = 0 is exact mode.
+  std::size_t gain_test_every = 1000;
+  double gain_test_threshold = 50.0;
   std::uint64_t seed = 42;
 };
 
@@ -89,7 +97,9 @@ class DmtRegressor {
   std::unique_ptr<Node> MakeLeaf(const linear::LinearRegressor* warm_start);
   void UpdateNode(Node* node, const linear::RegressionBatch& batch,
                   std::span<const std::size_t> rows, std::size_t depth);
-  void UpdateStatistics(Node* node, const linear::RegressionBatch& batch,
+  // Two-phase update; returns true when the scheduler evaluated this node
+  // (the caller runs the structural checks only then).
+  bool UpdateStatistics(Node* node, const linear::RegressionBatch& batch,
                         std::span<const std::size_t> rows);
   void CheckLeafSplit(Node* node, std::size_t depth);
   void CheckInnerReplacement(Node* node, std::size_t depth);

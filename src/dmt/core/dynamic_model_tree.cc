@@ -36,6 +36,12 @@ struct DynamicModelTree::Node {
   // Bounded split-candidate store (Sec. V-D), SoA layout.
   CandidateStore candidates;
 
+  // Dirty-node scheduler state: samples and loss absorbed since this
+  // node's last AIC evaluation (the deterministic schedule inputs; see
+  // DmtConfig::gain_test_every / gain_test_threshold).
+  double samples_since_test = 0.0;
+  double loss_since_test = 0.0;
+
   Node(const linear::GlmConfig& glm_config, Rng* rng)
       : model(glm_config, rng),
         grad_sum(model.num_params(), 0.0),
@@ -48,6 +54,8 @@ struct DynamicModelTree::Node {
     std::fill(grad_sum.begin(), grad_sum.end(), 0.0);
     count = 0.0;
     candidates.Clear();
+    samples_since_test = 0.0;
+    loss_since_test = 0.0;
   }
 };
 
@@ -57,6 +65,9 @@ DynamicModelTree::DynamicModelTree(const DmtConfig& config)
   DMT_CHECK(config.num_classes >= 2);
   DMT_CHECK(config.epsilon > 0.0 && config.epsilon <= 1.0);
   DMT_CHECK(config.replacement_rate >= 0.0 && config.replacement_rate <= 1.0);
+  DMT_CHECK(config.gain_test_every >= 1);
+  DMT_CHECK(std::isfinite(config.gain_test_threshold) &&
+            config.gain_test_threshold >= 0.0);
   if (config_.max_candidates == 0) {
     config_.max_candidates = 3 * static_cast<std::size_t>(config.num_features);
   }
@@ -73,6 +84,10 @@ void DynamicModelTree::AttachTelemetry(obs::TelemetryRegistry* registry) {
   telemetry_.prunes = registry->Counter("dmt.prunes");
   telemetry_.gain_tests = registry->Counter("dmt.gain_tests");
   telemetry_.gain_tests_passed = registry->Counter("dmt.gain_tests_passed");
+  telemetry_.gain_tests_run = registry->Counter("dmt.gain_tests_run");
+  telemetry_.gain_tests_skipped =
+      registry->Counter("dmt.gain_tests_skipped");
+  telemetry_.dirty_nodes = registry->Counter("dmt.dirty_nodes");
   telemetry_.candidate_proposals =
       registry->Counter("dmt.candidate_proposals");
   telemetry_.candidate_appends = registry->Counter("dmt.candidate_appends");
@@ -162,8 +177,10 @@ void DynamicModelTree::PartialFitClean(const Batch& batch) {
   ++time_step_;
   scratch_.root_rows.resize(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i) scratch_.root_rows[i] = i;
-  // One ascending-value sort per feature per batch, shared by every node.
-  ComputeFeatureOrders(batch, config_.num_features, &scratch_);
+  // Lazy ascending-value orders, shared by every node: a feature is sorted
+  // the first time an evaluating node asks for it, so batches on which the
+  // scheduler defers every node never sort at all.
+  BeginFeatureOrders(batch, config_.num_features, &scratch_);
   UpdateNode(root_.get(), batch, scratch_.root_rows, 0);
 }
 
@@ -198,7 +215,8 @@ void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
     UpdateNode(node->right.get(), batch, right_span, depth + 1);
   }
 
-  UpdateStatistics(node, batch, rows);
+  const bool evaluated = UpdateStatistics(node, batch, rows);
+  if (!evaluated) return;  // deferred: no structural checks this batch
 
   if (node->is_leaf()) {
     CheckLeafSplit(node, depth);
@@ -207,7 +225,7 @@ void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
   }
 }
 
-void DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
+bool DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
                                         std::span<const std::size_t> rows) {
   const CandidateUpdateParams params{
       .num_features = config_.num_features,
@@ -219,9 +237,35 @@ void DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
       .appends_counter = telemetry_.candidate_appends,
       .evictions_counter = telemetry_.candidate_evictions,
   };
-  UpdateNodeStatistics(params, batch, rows, &node->model, &node->loss_sum,
-                       std::span<double>(node->grad_sum), &node->count,
-                       &node->candidates, &scratch_);
+  // Phase 1, every batch: model step, tallies, per-sample gradients.
+  const double batch_loss = AccumulateNodeStatistics(
+      batch, rows, &node->model, &node->loss_sum,
+      std::span<double>(node->grad_sum), &node->count, &scratch_);
+
+  // Scheduler decision AFTER absorbing this batch, so gain_test_every = 1
+  // always evaluates (exact mode) and a node is tested the moment the
+  // evidence since its last test crosses either trigger.
+  node->samples_since_test += static_cast<double>(rows.size());
+  node->loss_since_test += batch_loss;
+  const bool due = node->samples_since_test >=
+                   static_cast<double>(config_.gain_test_every);
+  const bool dirty = node->loss_since_test >= config_.gain_test_threshold;
+  if (!due && !dirty) {
+    // Phase 2, skip path: stored candidates still absorb the batch.
+    ScatterStoredOnly(batch, rows, &node->candidates, &scratch_);
+    DMT_TELEMETRY_COUNT(telemetry_.gain_tests_skipped);
+    return false;
+  }
+  if (dirty && !due) DMT_TELEMETRY_COUNT(telemetry_.dirty_nodes);
+
+  // Phase 2, evaluation path: scatter + fresh proposals + replacement.
+  ScatterAndPropose(params, batch, rows, batch_loss, node->loss_sum,
+                    std::span<const double>(node->grad_sum), node->count,
+                    &node->candidates, &scratch_);
+  node->samples_since_test = 0.0;
+  node->loss_since_test = 0.0;
+  DMT_TELEMETRY_COUNT(telemetry_.gain_tests_run);
+  return true;
 }
 
 void DynamicModelTree::CheckLeafSplit(Node* node, std::size_t depth) {
@@ -440,6 +484,8 @@ void DynamicModelTree::SaveBody(serial::Writer& writer) const {
   writer.Size(config_.max_candidates);
   writer.F64(config_.replacement_rate);
   writer.Size(config_.max_proposals_per_feature);
+  writer.Size(config_.gain_test_every);
+  writer.F64(config_.gain_test_threshold);
   writer.U64(config_.seed);
   writer.Size(time_step_);
   writer.Size(splits_performed_);
@@ -451,6 +497,8 @@ void DynamicModelTree::SaveBody(serial::Writer& writer) const {
     writer.F64(node->split_value);
     writer.F64(node->loss_sum);
     writer.F64(node->count);
+    writer.F64(node->samples_since_test);
+    writer.F64(node->loss_since_test);
     node->model.SaveState(writer);
     writer.VecF64(node->grad_sum);
     node->candidates.Save(writer);
@@ -498,6 +546,13 @@ std::unique_ptr<DynamicModelTree> DynamicModelTree::LoadBody(
                     config.replacement_rate <= 1.0,
                 "DMT replacement rate out of range");
   config.max_proposals_per_feature = reader.Size(std::size_t{1} << 62);
+  config.gain_test_every = reader.Size(std::size_t{1} << 62);
+  serial::Check(config.gain_test_every >= 1,
+                "DMT gain test period out of range");
+  config.gain_test_threshold =
+      serial::CheckedFinite(reader.F64(), "DMT gain test threshold");
+  serial::Check(config.gain_test_threshold >= 0.0,
+                "DMT gain test threshold out of range");
   config.seed = reader.U64();
   auto tree = std::make_unique<DynamicModelTree>(config);
   tree->time_step_ = reader.Size(std::size_t{1} << 62);
@@ -518,6 +573,8 @@ std::unique_ptr<DynamicModelTree> DynamicModelTree::LoadBody(
     node->split_value = reader.F64();
     node->loss_sum = reader.F64();
     node->count = reader.F64();
+    node->samples_since_test = reader.F64();
+    node->loss_since_test = reader.F64();
     node->model.LoadState(reader);
     node->grad_sum = reader.VecF64Exact(
         static_cast<std::size_t>(node->model.num_params()));

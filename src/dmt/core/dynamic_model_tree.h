@@ -72,6 +72,27 @@ struct DmtConfig {
   // the per-step cost bounded for very large batches (0 = all unique
   // values, the paper's setting for 0.1% batches).
   std::size_t max_proposals_per_feature = 64;
+  // --- Dirty-node gain scheduler (DESIGN.md Sec. 12) ----------------------
+  // The AIC split/replace/prune battery (Eq. 11 / Algorithm 1) and fresh
+  // candidate proposals run on a node only when, since its last
+  // evaluation, the node has absorbed gain_test_every samples (the
+  // amortized schedule: every node is still tested periodically) OR has
+  // accumulated gain_test_threshold nats of loss (the dirty trigger:
+  // badly-fit nodes -- fresh leaves, drifted subtrees -- are tested
+  // sooner, in proportion to the evidence arriving). Between evaluations a
+  // batch costs only the model update, the tallies and the stored-
+  // candidate scatter; no per-feature sort, no proposals. Both triggers
+  // count observations, never wall clock, so the schedule is
+  // seed-deterministic and identical at any --jobs value. Exact mode
+  // (gain_test_every = 1 or gain_test_threshold = 0) evaluates every node
+  // every batch and is bit-identical to the pre-scheduler pipeline.
+  // Defaults: the period keeps rarely-hit nodes honest; the threshold sits
+  // a little above the deepest AIC split threshold (~2k - ln eps nats), so
+  // a node accumulating split-worthy evidence is evaluated within roughly
+  // one batch of the evidence arriving (empirically, XOR split timing is
+  // identical to exact mode) while converged nodes skip most batches.
+  std::size_t gain_test_every = 1000;
+  double gain_test_threshold = 50.0;
   std::uint64_t seed = 42;
 };
 
@@ -173,9 +194,12 @@ class DynamicModelTree : public Classifier {
   // scratch_.root_rows or a depth-indexed partition buffer).
   void UpdateNode(Node* node, const Batch& batch,
                   std::span<const std::size_t> rows, std::size_t depth);
-  // Accumulates node + candidate statistics and manages the bounded
-  // candidate store for one batch (candidate_update.h engine).
-  void UpdateStatistics(Node* node, const Batch& batch,
+  // Two-phase statistics update (candidate_update.h engine): always
+  // accumulates the model step, tallies and stored-candidate scatter, then
+  // consults the dirty-node scheduler. Returns true when this node was
+  // evaluated this batch (fresh proposals made, counters reset) -- the
+  // caller runs the structural checks only then.
+  bool UpdateStatistics(Node* node, const Batch& batch,
                         std::span<const std::size_t> rows);
   void CheckLeafSplit(Node* node, std::size_t depth);
   void CheckInnerReplacement(Node* node, std::size_t depth);
@@ -208,6 +232,12 @@ class DynamicModelTree : public Classifier {
     std::uint64_t* prunes = nullptr;
     std::uint64_t* gain_tests = nullptr;
     std::uint64_t* gain_tests_passed = nullptr;
+    // Dirty-node scheduler outcomes: node evaluations run, node
+    // evaluations deferred, and evaluations forced early by the loss
+    // threshold (before the amortized schedule was due).
+    std::uint64_t* gain_tests_run = nullptr;
+    std::uint64_t* gain_tests_skipped = nullptr;
+    std::uint64_t* dirty_nodes = nullptr;
     std::uint64_t* candidate_proposals = nullptr;
     std::uint64_t* candidate_appends = nullptr;
     std::uint64_t* candidate_evictions = nullptr;

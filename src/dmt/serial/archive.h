@@ -38,7 +38,10 @@ constexpr std::uint32_t FourCC(char a, char b, char c, char d) {
 }
 
 inline constexpr std::uint32_t kMagic = FourCC('D', 'M', 'T', 'S');
-inline constexpr std::uint32_t kFormatVersion = 1;
+// Version history: 1 = initial format; 2 = dirty-node gain scheduler
+// (per-tree gain_test_every/gain_test_threshold knobs, per-node
+// samples_since_test/loss_since_test accumulators).
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 // Shared sanity caps for decoded dimensions. Legitimate models sit far
 // below these; a fuzzer-supplied count above them fails fast instead of

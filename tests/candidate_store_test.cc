@@ -3,8 +3,11 @@
 // degenerate one-sided candidates must never win a split, and the SoA gain
 // path (fused difference-norm kernels over matrix rows) must reproduce the
 // legacy AoS computation bit-for-bit on real stream data.
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -206,6 +209,115 @@ TEST(CandidateStoreTest, SoaGainsMatchLegacyOnSea) {
 TEST(CandidateStoreTest, SoaGainsMatchLegacyOnAgrawal) {
   streams::AgrawalGenerator stream({.seed = 12});
   ExpectSoaMatchesLegacy(&stream);
+}
+
+// --- Feature-order cache (BeginFeatureOrders / FeatureOrder) --------------
+// The scheduler PR made the per-feature batch sort lazy; these pin the
+// properties every scatter depends on: the (value, row index) key is a
+// total order even under duplicate values, the whole-batch order filtered
+// through a node's membership mask IS the node-local sort, and lazy
+// sorting is memoized without changing the result.
+
+TEST(FeatureOrderTest, DuplicateValuesTieBreakByRowIndex) {
+  // Feature 0 carries heavy duplicates in scrambled row order; the sort
+  // key (value, row index) must yield exactly one valid order.
+  const std::vector<double> values = {2.0, 1.0, 2.0, 1.0, 1.0, 3.0, 2.0};
+  Batch batch(2);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const std::vector<double> x = {values[i], static_cast<double>(i)};
+    batch.Add(x, 0);
+  }
+  TrainScratch scratch;
+  BeginFeatureOrders(batch, 2, &scratch);
+  const std::uint32_t* order = FeatureOrder(batch, 0, &scratch);
+  const std::vector<std::uint32_t> expected = {1, 3, 4, 0, 2, 6, 5};
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(order[i], expected[i]) << "position " << i;
+  }
+}
+
+TEST(FeatureOrderTest, MaskFilteredOrderEqualsIndependentNodeSort) {
+  // A node's rows are a subset of the batch; filtering the whole-batch
+  // order through the membership mask must reproduce the order an
+  // independent sort of just the node's rows would give -- including ties.
+  streams::SeaGenerator stream({.seed = 21});
+  Batch batch(stream.num_features());
+  ASSERT_GT(stream.FillBatch(256, &batch), 0u);
+  // Inject duplicates so the tie-break path is exercised on every feature.
+  for (std::size_t i = 0; i + 4 < batch.size(); i += 5) {
+    for (std::size_t j = 0; j < batch.num_features(); ++j) {
+      batch.mutable_row(i + 4)[j] = batch.row(i)[j];
+    }
+  }
+  // Every third row belongs to the "node".
+  std::vector<std::size_t> node_rows;
+  std::vector<char> in_node(batch.size(), 0);
+  for (std::size_t r = 0; r < batch.size(); r += 3) {
+    node_rows.push_back(r);
+    in_node[r] = 1;
+  }
+  TrainScratch scratch;
+  BeginFeatureOrders(batch, static_cast<int>(batch.num_features()), &scratch);
+  for (int j = 0; j < static_cast<int>(batch.num_features()); ++j) {
+    const std::uint32_t* order = FeatureOrder(batch, j, &scratch);
+    std::vector<std::uint32_t> filtered;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (in_node[order[i]]) filtered.push_back(order[i]);
+    }
+    std::vector<std::uint32_t> independent(node_rows.begin(),
+                                           node_rows.end());
+    std::sort(independent.begin(), independent.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const double va = batch.row(a)[j];
+                const double vb = batch.row(b)[j];
+                return va < vb || (va == vb && a < b);
+              });
+    ASSERT_EQ(filtered.size(), independent.size());
+    for (std::size_t i = 0; i < filtered.size(); ++i) {
+      EXPECT_EQ(filtered[i], independent[i])
+          << "feature " << j << " position " << i;
+    }
+  }
+}
+
+TEST(FeatureOrderTest, LazySortMatchesEagerAndMemoizes) {
+  streams::AgrawalGenerator stream({.seed = 22});
+  const int m = static_cast<int>(stream.num_features());
+  Batch batch(stream.num_features());
+  ASSERT_GT(stream.FillBatch(200, &batch), 0u);
+
+  TrainScratch eager;
+  ComputeFeatureOrders(batch, m, &eager);
+
+  TrainScratch lazy;
+  BeginFeatureOrders(batch, m, &lazy);
+  // Ask in reverse order to rule out accidental position dependence.
+  for (int j = m - 1; j >= 0; --j) {
+    const std::uint32_t* order = FeatureOrder(batch, j, &lazy);
+    const std::uint32_t* expected =
+        eager.feature_order.data() + static_cast<std::size_t>(j) * batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      ASSERT_EQ(order[i], expected[i]) << "feature " << j;
+    }
+  }
+
+  // Memoization: a second request must return the cached order, not
+  // re-sort. Scribble over the stored order and observe it come back
+  // verbatim (FeatureOrder may not touch a ready feature's slots).
+  std::uint32_t* slot = lazy.feature_order.data();
+  std::swap(slot[0], slot[1]);
+  const std::uint32_t* again = FeatureOrder(batch, 0, &lazy);
+  EXPECT_EQ(again[0], slot[0]);
+  EXPECT_EQ(again[1], slot[1]);
+
+  // A new batch boundary invalidates the cache: the scribble must be
+  // repaired by the fresh sort.
+  BeginFeatureOrders(batch, m, &lazy);
+  const std::uint32_t* fresh = FeatureOrder(batch, 0, &lazy);
+  const std::uint32_t* expected0 = eager.feature_order.data();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_EQ(fresh[i], expected0[i]);
+  }
 }
 
 }  // namespace

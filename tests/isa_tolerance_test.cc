@@ -1,0 +1,118 @@
+// ISA-portability pins for the vectorized kernels (kernels.h). The AVX2
+// variants are written to be bit-identical to the scalar loops (no FMA,
+// same per-element rounding sequence), and the bit-exact golden tests
+// enforce that end to end. This file is the belt-and-braces layer the
+// DMT_ENABLE_AVX2 CI job leans on: tolerance-checked agreement between
+// every kernel and a plain reference loop, plus an end-to-end DMT quality
+// pin loose enough to hold on any ISA. If a future vector kernel
+// legitimately reorders arithmetic (e.g. an FMA build flag), the bit-exact
+// goldens move but these must keep passing unchanged.
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/kernels.h"
+#include "dmt/common/random.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/eval/prequential.h"
+#include "dmt/streams/sea.h"
+
+namespace dmt {
+namespace {
+
+// Sized to cover the remainder handling: below one vector width, an exact
+// multiple, and a large off-by-three tail.
+constexpr std::size_t kSizes[] = {1, 3, 4, 8, 64, 1027};
+constexpr double kRelTol = 1e-12;
+
+std::vector<double> RandomVector(Rng* rng, std::size_t n) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Uniform() * 2.0 - 1.0;
+  return v;
+}
+
+void ExpectNear(double got, double want, const char* what, std::size_t n) {
+  const double scale = std::max(1.0, std::abs(want));
+  EXPECT_NEAR(got, want, kRelTol * scale) << what << " n=" << n;
+}
+
+TEST(IsaToleranceTest, ElementwiseKernelsMatchReferenceLoops) {
+  Rng rng(31);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> x = RandomVector(&rng, n);
+    const double a = rng.Uniform() * 2.0 - 1.0;
+
+    std::vector<double> y = RandomVector(&rng, n);
+    std::vector<double> y_ref = y;
+    kernels::Axpy(a, x.data(), y.data(), n);
+    for (std::size_t i = 0; i < n; ++i) y_ref[i] += a * x[i];
+    for (std::size_t i = 0; i < n; ++i) ExpectNear(y[i], y_ref[i], "Axpy", n);
+
+    std::vector<double> c(n, 0.0);
+    kernels::ScaledCopy(a, x.data(), c.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ExpectNear(c[i], a * x[i], "ScaledCopy", n);
+    }
+
+    std::vector<double> w = RandomVector(&rng, n);
+    std::vector<double> w_ref = w;
+    const double lr = 0.05;
+    const double err = rng.Uniform() - 0.5;
+    kernels::SgdAxpy(lr, err, x.data(), w.data(), n);
+    for (std::size_t i = 0; i < n; ++i) w_ref[i] -= lr * (err * x[i]);
+    for (std::size_t i = 0; i < n; ++i) {
+      ExpectNear(w[i], w_ref[i], "SgdAxpy", n);
+    }
+
+    std::vector<double> s = RandomVector(&rng, n);
+    std::vector<double> s_ref = s;
+    kernels::Add(s.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) s_ref[i] += x[i];
+    for (std::size_t i = 0; i < n; ++i) ExpectNear(s[i], s_ref[i], "Add", n);
+  }
+}
+
+TEST(IsaToleranceTest, ReductionKernelsMatchReferenceLoops) {
+  Rng rng(32);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(&rng, n);
+    const std::vector<double> b = RandomVector(&rng, n);
+
+    double dot = 0.0, sq = 0.0, sqdiff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dot += a[i] * b[i];
+      sq += a[i] * a[i];
+      const double d = a[i] - b[i];
+      sqdiff += d * d;
+    }
+    ExpectNear(kernels::Dot(a.data(), b.data(), n), dot, "Dot", n);
+    ExpectNear(kernels::SquaredNorm(a.data(), n), sq, "SquaredNorm", n);
+    ExpectNear(kernels::ScaledSquaredNorm(0.25, a.data(), n), 0.25 * sq,
+               "ScaledSquaredNorm", n);
+    ExpectNear(kernels::SquaredNormDiff(a.data(), b.data(), n), sqdiff,
+               "SquaredNormDiff", n);
+  }
+}
+
+// End-to-end quality pin: a prequential DMT run on SEA must land in a band
+// wide enough to absorb any legitimate ISA-induced rounding drift but
+// narrow enough to catch a broken kernel (which collapses F1 toward
+// chance). The scalar build measures ~0.83 mean F1 here.
+TEST(IsaToleranceTest, DmtSeaF1WithinToleranceBand) {
+  streams::SeaConfig sea;
+  sea.total_samples = 10'000;
+  sea.seed = 42;
+  streams::SeaGenerator stream(sea);
+  core::DynamicModelTree model({.num_features = 3, .num_classes = 2});
+  eval::PrequentialConfig config;
+  config.expected_samples = sea.total_samples;
+  const eval::PrequentialResult result =
+      eval::RunPrequential(&stream, &model, config);
+  EXPECT_GT(result.f1.mean(), 0.78) << "ISA " << kernels::IsaName();
+  EXPECT_LT(result.f1.mean(), 0.90) << "ISA " << kernels::IsaName();
+}
+
+}  // namespace
+}  // namespace dmt

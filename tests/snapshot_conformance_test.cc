@@ -509,7 +509,7 @@ TEST(SnapshotDecodeHeaderTest, BadMagicThrows) {
 
 TEST(SnapshotDecodeHeaderTest, VersionSkewThrows) {
   const std::string bytes = SmallArchive("GLM");
-  for (const std::uint32_t version : {0u, 2u, 0xFFFFFFFFu}) {
+  for (const std::uint32_t version : {0u, 1u, 3u, 0xFFFFFFFFu}) {
     std::string mutated = bytes;
     // The u32 version field sits right after the 4-byte magic (LE).
     mutated[4] = static_cast<char>(version & 0xFF);
