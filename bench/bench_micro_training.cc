@@ -20,8 +20,10 @@
 // --dmt-gain-*) apply to the DMT cells. --telemetry attaches a counter
 // registry per cell and writes TELEMETRY_<dataset>__<model>.json artifacts
 // (counters only -- the seed-deterministic surface; CI greps these to pin
-// the scheduler's skip behavior). Results are also written to
-// BENCH_train.json (bench_json.h).
+// the scheduler's skip behavior), and additionally prints a wall-clock
+// phase-timer breakdown (route/gather, model step, scatter, gain battery)
+// under each row for models that register phase timers (currently DMT).
+// Results are also written to BENCH_train.json (bench_json.h).
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -50,6 +52,15 @@ struct Measurement {
   // Counters-only JSON; populated when --telemetry (covers warm-up and the
   // timed region alike -- the whole stream's training behavior).
   std::string telemetry_counters_json;
+  // Phase-timer breakdown of the training hot path (route/gather, model
+  // step, stored-candidate scatter, gain battery); populated when
+  // --telemetry and the model registers phase timers (currently DMT).
+  struct Phase {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t calls = 0;
+  };
+  std::vector<Phase> phases;
 };
 
 // File-name-safe rendering matching the sweep harness's artifact naming.
@@ -113,7 +124,19 @@ Measurement MeasureModel(const std::string& name,
     m.train_allocs = static_cast<double>(total_allocs) /
                      static_cast<double>(m.measured_samples);
   }
-  if (options.telemetry) m.telemetry_counters_json = registry.CountersJson();
+  if (options.telemetry) {
+    m.telemetry_counters_json = registry.CountersJson();
+    // Snapshot the hot-path phase timers. Timer() creates-on-first-use, so
+    // models without phase instrumentation just report four zero phases,
+    // filtered out below.
+    for (const char* phase :
+         {"dmt.phase.route", "dmt.phase.model_step", "dmt.phase.scatter",
+          "dmt.phase.gain_battery"}) {
+      const obs::PhaseTimer* timer = registry.Timer(phase);
+      if (timer->calls == 0) continue;
+      m.phases.push_back({phase, timer->seconds, timer->calls});
+    }
+  }
   return m;
 }
 
@@ -138,6 +161,20 @@ int Main(int argc, char** argv) {
       const Measurement m = MeasureModel(name, spec, options);
       std::printf("%-12s %-12s %16.1f %18.3f\n", spec.name.c_str(),
                   name.c_str(), m.train_ns, m.train_allocs);
+      if (!m.phases.empty()) {
+        // Wall-clock phase breakdown of the whole run (warm-up included);
+        // percentages are of the instrumented phase total, not of the
+        // timed region above.
+        double phase_total = 0.0;
+        for (const Measurement::Phase& p : m.phases) phase_total += p.seconds;
+        for (const Measurement::Phase& p : m.phases) {
+          std::printf("  %-28s %9.3f ms %6.1f%% %12llu calls\n",
+                      p.name.c_str(), p.seconds * 1e3,
+                      phase_total > 0.0 ? 100.0 * p.seconds / phase_total
+                                        : 0.0,
+                      static_cast<unsigned long long>(p.calls));
+        }
+      }
       json.AddResult(spec.name, name,
                      {{"ns_per_sample", m.train_ns},
                       {"allocs_per_sample", m.train_allocs}});

@@ -88,7 +88,8 @@ constexpr const char kUsage[] =
     "         --bad-input skip|impute|throw\n"
     "         --cell-timeout SECONDS --resume\n"
     "         --snapshot-every N --snapshot-dir D\n"
-    "         --dmt-exact --dmt-gain-every N --dmt-gain-threshold X\n";
+    "         --dmt-exact --dmt-gain-every N --dmt-gain-threshold X\n"
+    "         --dmt-buckets N --dmt-f32-grad 0|1\n";
 
 // Usage errors (unknown flag, missing value, malformed spec) exit 2: the
 // conventional bad-invocation code, distinct from runtime failures (1).
@@ -171,6 +172,20 @@ Options ParseOptions(int argc, char** argv) {
       if (!(options.dmt_gain_threshold >= 0.0)) {
         UsageError("--dmt-gain-threshold must be >= 0");
       }
+    } else if (arg == "--dmt-buckets") {
+      options.dmt_buckets = std::strtoull(next().c_str(), nullptr, 10);
+      if (options.dmt_buckets > (std::size_t{1} << 20)) {
+        UsageError("--dmt-buckets must be <= 2^20");
+      }
+    } else if (arg == "--dmt-f32-grad") {
+      const std::string value = next();
+      if (value == "0") {
+        options.dmt_f32_grad = 0;
+      } else if (value == "1") {
+        options.dmt_f32_grad = 1;
+      } else {
+        UsageError("--dmt-f32-grad must be 0 or 1");
+      }
     } else if (arg == "--help") {
       std::fprintf(stdout, "%s", kUsage);
       std::exit(0);
@@ -208,12 +223,20 @@ std::unique_ptr<Classifier> MakeModel(const std::string& name,
       if (options->dmt_exact) {
         config.gain_test_every = 1;
         config.gain_test_threshold = 0.0;
+        config.order_buckets = 0;
+        config.candidate_grad_f32 = false;
       }
       if (options->dmt_gain_every != 0) {
         config.gain_test_every = options->dmt_gain_every;
       }
       if (options->dmt_gain_threshold >= 0.0) {
         config.gain_test_threshold = options->dmt_gain_threshold;
+      }
+      if (options->dmt_buckets != static_cast<std::size_t>(-1)) {
+        config.order_buckets = options->dmt_buckets;
+      }
+      if (options->dmt_f32_grad >= 0) {
+        config.candidate_grad_f32 = options->dmt_f32_grad != 0;
       }
     }
     return std::make_unique<core::DynamicModelTree>(config);

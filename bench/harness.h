@@ -50,15 +50,25 @@
 //   --snapshot-dir D
 //                   snapshot directory (default bench_snapshots/)
 //   --dmt-exact     run DMT cells in exact mode (gain_test_every=1,
-//                   gain_test_threshold=0): the dirty-node scheduler
-//                   evaluates every node every batch, bit-identical to the
-//                   pre-scheduler pipeline. Non-default scheduler runs
-//                   bypass the sweep cache (cache keys do not encode the
-//                   knobs).
+//                   gain_test_threshold=0, order_buckets=0,
+//                   candidate_grad_f32=false): the dirty-node scheduler
+//                   evaluates every node every batch through the exact
+//                   sort-based scan with full-precision gradients,
+//                   bit-identical to the pre-scheduler pipeline.
+//                   Non-default scheduler runs bypass the sweep cache
+//                   (cache keys do not encode the knobs).
 //   --dmt-gain-every N
 //                   override DmtConfig::gain_test_every (N >= 1)
 //   --dmt-gain-threshold X
 //                   override DmtConfig::gain_test_threshold (X >= 0, nats)
+//   --dmt-buckets N override DmtConfig::order_buckets: radix-bucket order
+//                   statistics with N buckets on evaluation batches
+//                   (0 = the exact sort-based scan). Like the scheduler
+//                   knobs, non-default values bypass the sweep cache.
+//   --dmt-f32-grad 0|1
+//                   override DmtConfig::candidate_grad_f32 (float32
+//                   candidate-gradient storage). Bypasses the sweep cache
+//                   when it deviates from the built-in default.
 //
 // Supervision: RunSweep wraps every cell in try/catch. A throwing cell is
 // retried once with the identical derived seed (deterministic faults fail
@@ -132,10 +142,15 @@ struct Options {
   bool dmt_exact = false;
   std::size_t dmt_gain_every = 0;      // 0 = default
   double dmt_gain_threshold = -1.0;    // < 0 = default
+  // Hot-path overrides; SIZE_MAX / -1 = keep the DmtConfig defaults.
+  std::size_t dmt_buckets = static_cast<std::size_t>(-1);
+  int dmt_f32_grad = -1;  // -1 = default, else 0 / 1
 
-  // True when any scheduler knob deviates from the built-in defaults.
+  // True when any scheduler or hot-path knob deviates from the built-in
+  // defaults.
   bool DmtSchedulerOverridden() const {
-    return dmt_exact || dmt_gain_every != 0 || dmt_gain_threshold >= 0.0;
+    return dmt_exact || dmt_gain_every != 0 || dmt_gain_threshold >= 0.0 ||
+           dmt_buckets != static_cast<std::size_t>(-1) || dmt_f32_grad >= 0;
   }
 };
 

@@ -63,6 +63,26 @@ void AddAvx2(double* y, const double* x, std::size_t n) {
   for (; i < n; ++i) y[i] += x[i];
 }
 
+// Four independent dot products of a row-major tile against one weight
+// vector. Lane t of the accumulator vector is row t's single accumulator,
+// updated in strict i-order with separate mul+add (no FMA) -- each lane
+// therefore reproduces the scalar Dot(x + t*stride, w, n) bit-for-bit;
+// the SIMD parallelism is across rows, never inside one reduction.
+void DotBatch4Avx2(const double* x, std::size_t stride, const double* w,
+                   std::size_t n, double* out) {
+  const double* x0 = x;
+  const double* x1 = x + stride;
+  const double* x2 = x + 2 * stride;
+  const double* x3 = x + 3 * stride;
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m256d rows = _mm256_set_pd(x3[i], x2[i], x1[i], x0[i]);
+    const __m256d wi = _mm256_set1_pd(w[i]);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(rows, wi));
+  }
+  _mm256_storeu_pd(out, acc);
+}
+
 }  // namespace internal
 #endif  // DMT_ENABLE_AVX2
 

@@ -44,6 +44,8 @@ void ScaledCopyAvx2(double a, const double* x, double* y, std::size_t n);
 void SgdAxpyAvx2(double lr, double err, const double* x, double* w,
                  std::size_t n);
 void AddAvx2(double* y, const double* x, std::size_t n);
+void DotBatch4Avx2(const double* x, std::size_t stride, const double* w,
+                   std::size_t n, double* out);
 }  // namespace internal
 #endif
 
@@ -63,6 +65,41 @@ inline double Dot(const double* DMT_RESTRICT a, const double* DMT_RESTRICT b,
   }
   for (; i < n; ++i) sum += a[i] * b[i];
   return sum;
+}
+
+// Four simultaneous dot products against one shared weight vector: four
+// rows of a row-major tile (row t at x + t*stride) times w. Each lane keeps
+// its OWN single accumulator updated in strict i-order, so every output is
+// bit-identical to Dot(x + t*stride, w, n) -- the multi-accumulator ILP is
+// across independent rows, never within one reduction. This is the
+// GEMM-shaped primitive of the leaf-tiled GLM update: one pass over w
+// serves four samples, quartering the weight-vector traffic.
+inline void DotBatch4(const double* DMT_RESTRICT x, std::size_t stride,
+                      const double* DMT_RESTRICT w, std::size_t n,
+                      double* DMT_RESTRICT out) {
+#ifdef DMT_ENABLE_AVX2
+  internal::DotBatch4Avx2(x, stride, w, n, out);
+#else
+  const double* DMT_RESTRICT x0 = x;
+  const double* DMT_RESTRICT x1 = x + stride;
+  const double* DMT_RESTRICT x2 = x + 2 * stride;
+  const double* DMT_RESTRICT x3 = x + 3 * stride;
+  double s0 = 0.0;
+  double s1 = 0.0;
+  double s2 = 0.0;
+  double s3 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double wi = w[i];
+    s0 += x0[i] * wi;
+    s1 += x1[i] * wi;
+    s2 += x2[i] * wi;
+    s3 += x3[i] * wi;
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+  out[3] = s3;
+#endif
 }
 
 // y[i] += a * x[i].
@@ -146,6 +183,69 @@ inline double SquaredNormDiff(const double* DMT_RESTRICT a,
   }
   for (; i < n; ++i) {
     const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+// --- float32 candidate-gradient kernels -------------------------------------
+//
+// The float32 CandidateStore mode stores accumulated candidate gradients as
+// floats (halving the scatter bandwidth) but performs EVERY arithmetic
+// operation in double: accumulation widens the stored float, adds in
+// double, and rounds once back to float; norms widen each element and
+// accumulate in a double (single accumulator, strict left-to-right). The
+// only precision loss is therefore the one float rounding per stored
+// element per update -- there is no float arithmetic anywhere.
+
+// y[i] = float(double(y[i]) + x[i]) -- elementwise, one widening, one
+// double add, one rounding; vectorization-safe like Add.
+inline void AddToF32(float* DMT_RESTRICT y, const double* DMT_RESTRICT x,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = static_cast<float>(static_cast<double>(y[i]) + x[i]);
+  }
+}
+
+// sum_i double(v[i])^2, strict left-to-right double accumulation.
+inline double SquaredNormF32(const float* DMT_RESTRICT v, std::size_t n) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = static_cast<double>(v[i]);
+    const double d1 = static_cast<double>(v[i + 1]);
+    const double d2 = static_cast<double>(v[i + 2]);
+    const double d3 = static_cast<double>(v[i + 3]);
+    sum += d0 * d0;
+    sum += d1 * d1;
+    sum += d2 * d2;
+    sum += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const double d = static_cast<double>(v[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+// sum_i (a[i] - double(b[i]))^2, strict left-to-right double accumulation
+// (the complement-gradient norm against a float-stored left gradient).
+inline double SquaredNormDiffF32(const double* DMT_RESTRICT a,
+                                 const float* DMT_RESTRICT b, std::size_t n) {
+  double sum = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double d0 = a[i] - static_cast<double>(b[i]);
+    const double d1 = a[i + 1] - static_cast<double>(b[i + 1]);
+    const double d2 = a[i + 2] - static_cast<double>(b[i + 2]);
+    const double d3 = a[i + 3] - static_cast<double>(b[i + 3]);
+    sum += d0 * d0;
+    sum += d1 * d1;
+    sum += d2 * d2;
+    sum += d3 * d3;
+  }
+  for (; i < n; ++i) {
+    const double d = a[i] - static_cast<double>(b[i]);
     sum += d * d;
   }
   return sum;

@@ -11,13 +11,20 @@ namespace dmt::core {
 void CandidateStore::Save(serial::Writer& writer) const {
   writer.Size(num_params_);
   writer.Size(size_);
+  // v3 record: the gradient precision mode, then each row's gradients in
+  // that precision (F32 halves the archive cost of f32 stores; no
+  // widen-on-save round trip).
+  writer.Bool(grad_f32_);
   for (std::size_t i = 0; i < size_; ++i) {
     writer.I32(feature_[i]);
     writer.F64(value_[i]);
     writer.F64(loss_[i]);
     writer.F64(count_[i]);
-    const std::span<const double> g = grad(i);
-    for (double v : g) writer.F64(v);
+    if (grad_f32_) {
+      for (float v : grad32(i)) writer.F32(v);
+    } else {
+      for (double v : grad(i)) writer.F64(v);
+    }
   }
 }
 
@@ -26,6 +33,15 @@ void CandidateStore::Load(serial::Reader& reader) {
   serial::Check(num_params == num_params_,
                 "candidate store gradient width mismatch");
   const std::size_t n = reader.Size(serial::kMaxVector);
+  // v2 archives predate the f32 mode: gradients are always F64 and may only
+  // restore into an f64 store (the owning tree defaults grad_f32 off when
+  // loading a v2 archive, so this only trips on a mode-mismatched caller).
+  bool archived_f32 = false;
+  if (reader.version() >= 3) {
+    archived_f32 = reader.Bool();
+  }
+  serial::Check(archived_f32 == grad_f32_,
+                "candidate store gradient mode mismatch");
   Clear();
   for (std::size_t i = 0; i < n; ++i) {
     const int feature = reader.I32();
@@ -33,8 +49,12 @@ void CandidateStore::Load(serial::Reader& reader) {
     const std::size_t row = Append(feature, value);
     loss(row) = reader.F64();
     count(row) = reader.F64();
-    const std::span<double> g = grad(row);
-    for (double& v : g) v = reader.F64();
+    if (grad_f32_) {
+      float* g = grad32_.data() + row * num_params_;
+      for (std::size_t j = 0; j < num_params_; ++j) g[j] = reader.F32();
+    } else {
+      for (double& v : grad(row)) v = reader.F64();
+    }
   }
 }
 
@@ -72,11 +92,15 @@ double CandidateGain(const CandidateStore& store, std::size_t i,
   if (count <= 0.0 || count >= node_count) {
     return -std::numeric_limits<double>::infinity();
   }
+  // Inlined ApproxCandidateLoss / ApproxComplementLoss on the store's
+  // mode-agnostic norm accessors (same expressions, so the f64 mode is
+  // bit-identical to the span-based helpers).
   const double left =
-      ApproxCandidateLoss(store.loss(i), store.grad(i), count, lambda);
+      store.loss(i) - (lambda / count) * store.GradSquaredNorm(i);
+  const double right_count = node_count - count;
   const double right =
-      ApproxComplementLoss(node_loss, node_grad, node_count, store.loss(i),
-                           store.grad(i), count, lambda);
+      (node_loss - store.loss(i)) -
+      (lambda / right_count) * store.GradSquaredNormDiff(node_grad, i);
   return reference_loss - left - right;  // Eqs. (3) / (4)
 }
 

@@ -8,26 +8,54 @@
 // dynamic_model_tree.h, DmtConfig::gain_test_every / gain_test_threshold):
 //
 //  AccumulateNodeStatistics -- always, one call per (node, batch):
-//   1. SGD step of the node's simple model on the routed rows (Eq. 1).
+//   0. The node's rows are GATHERED into a contiguous row-major tile
+//      (features plus labels/targets). Every later pass of this (node,
+//      batch) update walks the tile, not the strided batch: the model SGD
+//      step streams it front to back, the loss/gradient pass batches four
+//      rows per weight-vector traversal (kernels::DotBatch4), and the
+//      scatter phases index per-sample statistics by tile position. The
+//      gather copies doubles verbatim and every pass preserves per-sample
+//      order, so results are bit-identical to the ungathered path.
+//   1. SGD step of the node's simple model on the tile (Eq. 1).
 //   2. One loss/gradient evaluation per sample at the updated parameters
-//      (the "compute the sample gradient once" half of the SoA design).
+//      via the tiled kernels ("compute the sample gradient once").
 //   3. Node statistics increment (Algorithm 1, lines 1-3).
 //
 //  ScatterAndPropose -- evaluation batches only (and the whole story in
-//  exact mode, gain_test_every = 1):
-//   4. Per feature: a prefix scan over the batch in ascending feature-value
-//      order. The running (loss, gradient, count) prefix is scattered into
-//      every stored candidate row whose threshold the scan passes -- a
-//      single kernels::Add into the store's gradient matrix -- and each
-//      value boundary becomes a fresh candidate proposal whose batch-local
-//      gain estimate is computed with the fused norm kernels (Eqs. 6-7).
-//   5. Bounded candidate replacement (Sec. V-D): proposals in descending
-//      estimated gain, at most replacement_rate * max_candidates
-//      replacements per step, each evicting the currently-worst stored row.
+//  exact mode, gain_test_every = 1). Two proposal engines share the entry
+//  point, selected by CandidateUpdateParams::order_buckets:
 //
-//  ScatterStoredOnly -- skipped batches: the stored candidates still
-//  receive this batch's statistics (their windows must stay aligned with
-//  the node's own tallies), but no fresh proposals are made and no sort is
+//   Exact (order_buckets = 0): per feature, a prefix scan over the node's
+//   rows in ascending feature-value order (the shared FeatureOrder cache
+//   filtered through the node's membership). The running (loss, gradient,
+//   count) prefix is scattered into every stored candidate row whose
+//   threshold the scan passes, and each value boundary becomes a fresh
+//   proposal whose batch-local gain estimate uses the fused norm kernels
+//   (Eqs. 6-7). O(n log n) per feature per batch via the shared sort.
+//
+//   Bucketed (order_buckets = B > 0, the library default): the per-batch
+//   sort is replaced by a deterministic radix binning of the scaled [0, 1]
+//   feature range into B fixed-width buckets, O(n + B) per feature.
+//   Scanning the occupied buckets in ascending index IS ascending value
+//   order across buckets, so the same prefix-statistics recurrence runs
+//   over bucket aggregates; each occupied bucket proposes its MAXIMUM
+//   observed value (an actual data point, so the accumulated left-side
+//   statistics for "x <= threshold" are exact -- only the choice of which
+//   boundaries to propose is quantized; within-bucket boundaries are not
+//   proposed). Stored candidates are scattered by the ScatterStoredOnly
+//   bucketing below, which is exact for any threshold. The binning is
+//   deterministic (first-touch bitmap, ascending scan), just not
+//   bit-identical to the sort path -- which is why --dmt-exact pins
+//   order_buckets = 0.
+//
+//   Both engines feed ReplaceCandidates (Sec. V-D): proposals in
+//   descending estimated gain, at most replacement_rate * max_candidates
+//   replacements per step, each evicting the currently-worst stored row.
+//
+//  ScatterStoredOnly -- skipped batches (and the stored-candidate scatter
+//  of the bucketed evaluation path): the stored candidates still receive
+//  this batch's statistics (their windows must stay aligned with the
+//  node's own tallies), but no fresh proposals are made and no sort is
 //  needed. Each stored candidate with threshold t owes exactly the sum
 //  over rows with value <= t -- the same quantity the prefix scan
 //  scatters -- so the rows are bucketed against the (few) stored
@@ -39,10 +67,11 @@
 // caller resets the per-batch order cache once per PartialFit
 // (BeginFeatureOrders), and FeatureOrder sorts a feature's whole-batch
 // order with the deterministic key (value, row index) the first time an
-// evaluating node asks for it -- batches where every node is skipped never
-// sort anything. Each node filters that shared order through its
-// membership mask: a node's rows are a subset of the batch, so the
-// filtered sequence is exactly the node-local ascending order.
+// evaluating node asks for it -- batches where every node is skipped (or
+// every node evaluates through buckets) never sort anything. Each node
+// filters that shared order through its membership map: a node's rows are
+// a subset of the batch, so the filtered sequence is exactly the
+// node-local ascending order.
 //
 // All intermediate state lives in TrainScratch, which is reused across
 // nodes and batches: the phases run strictly post-order (the recursion of
@@ -53,6 +82,7 @@
 #define DMT_CORE_CANDIDATE_UPDATE_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -71,12 +101,19 @@ struct CandidateUpdateParams {
   double replacement_rate = 0.5;
   std::size_t max_proposals_per_feature = 0;
   double gradient_step_size = 0.2;
+  // Fixed-width radix buckets per feature for the evaluation-batch order
+  // statistics; 0 selects the exact sort-based scan (--dmt-exact, legacy
+  // behavior, and the default for direct engine callers).
+  std::size_t order_buckets = 0;
   // Optional telemetry destinations (null = not recorded): fresh proposals
-  // evaluated, proposals appended to a non-full store, and stored
-  // candidates evicted by a better proposal.
+  // evaluated, proposals appended to a non-full store, stored candidates
+  // evicted by a better proposal, evaluation batches routed through the
+  // bucketed engine, and proposals it produced.
   std::uint64_t* proposals_counter = nullptr;
   std::uint64_t* appends_counter = nullptr;
   std::uint64_t* evictions_counter = nullptr;
+  std::uint64_t* bucket_evals_counter = nullptr;
+  std::uint64_t* bucket_proposals_counter = nullptr;
 };
 
 // Grow-only SoA buffer of fresh-candidate proposals (one batch's worth);
@@ -139,14 +176,27 @@ struct TrainScratch {
   // Root row list of the current batch (identity permutation).
   std::vector<std::size_t> root_rows;
 
-  // Per-node buffers, reused across nodes (strictly post-order use).
-  std::vector<double> sample_loss;       // [batch row]
-  std::vector<double> sample_grad;       // [batch row][param], row-major
-  std::vector<double> batch_grad;        // num_params
-  std::vector<double> prefix_grad;       // num_params
-  std::vector<char> in_node;             // [batch row] membership mask
+  // Gathered leaf tile of the current (node, batch) update: the node's
+  // rows copied contiguous row-major (n x num_features) plus the parallel
+  // labels/targets. Per-node buffers, reused across nodes (strictly
+  // post-order use).
+  std::vector<double> tile_x;
+  std::vector<int> tile_label;      // classification gather
+  std::vector<double> tile_target;  // regression gather
+  // Row-major tile base of the current (node, batch): tile_x.data() after
+  // a gather, or the batch storage itself when the node owns every row
+  // (identity tile, zero-copy). Set by AccumulateNodeStatistics; valid
+  // only until the next node's accumulate.
+  const double* tile = nullptr;
+
+  std::vector<double> sample_loss;  // [tile pos]
+  std::vector<double> sample_grad;  // [tile pos][param], row-major
+  std::vector<double> batch_grad;   // num_params
+  std::vector<double> prefix_grad;  // num_params
+  // Batch row -> tile position of the current node (-1 = not in node);
+  // doubles as the membership mask of the FeatureOrder filter.
+  std::vector<std::int32_t> tile_pos;
   std::vector<std::uint32_t> node_order;  // filtered order, current feature
-  std::vector<std::uint32_t> stored_idx;  // store rows of current feature
   ProposalBuffer proposals;
   std::vector<double> stored_gain;
   std::vector<std::uint32_t> proposal_order;
@@ -156,6 +206,21 @@ struct TrainScratch {
   std::vector<double> bucket_loss;
   std::vector<double> bucket_count;
   std::vector<double> bucket_grad;  // row-major [bucket][param]
+
+  // Radix-bucket accumulators of ProposeFromBuckets. Occupied buckets are
+  // assigned COMPACT slots in first-touch order, so the aggregates live in
+  // a dense occupied x k block (cache-resident even for wide models)
+  // instead of a sparse order_buckets x k matrix; the bucket -> slot map
+  // is epoch-tagged, so nothing is ever bulk-cleared.
+  std::vector<std::uint32_t> radix_slot;   // [bucket] -> slot (epoch-gated)
+  std::vector<std::uint64_t> radix_epoch;  // [bucket] last-touch epoch
+  std::uint64_t radix_cur_epoch = 0;
+  std::vector<std::uint32_t> slot_bucket;  // [slot] -> bucket index
+  std::vector<std::uint32_t> slot_order;   // slots by ascending bucket
+  std::vector<double> slot_loss;
+  std::vector<double> slot_count;
+  std::vector<double> slot_max;   // per-slot max observed value
+  std::vector<double> slot_grad;  // row-major [slot][param]
 
   // Recursion scratch of UpdateNode: row partitions indexed by depth. The
   // outer vectors grow when the tree deepens; the inner buffers keep their
@@ -220,171 +285,129 @@ void ComputeFeatureOrders(const BatchT& batch, int num_features,
   }
 }
 
-// Phase 1 (every batch): model SGD step, per-sample losses/gradients, node
-// tallies. Returns the batch loss at the updated parameters and leaves
-// sample_loss / sample_grad / batch_grad in the scratch for the scatter
-// phase of the SAME (node, batch) -- the scatter calls below must follow
-// before the next node's accumulate.
+// Phase 1 (every batch): leaf-tile gather (or zero-copy aliasing when the
+// node owns the whole batch), model SGD step, per-sample losses/gradients,
+// node tallies. Returns the batch loss at the updated parameters and
+// leaves tile / sample_loss / sample_grad / batch_grad in the scratch, all
+// indexed by TILE position (position i = rows[i]), for the scatter phase
+// of the SAME (node, batch) -- the scatter calls below must follow before
+// the next node's accumulate.
 template <typename Model, typename BatchT>
 double AccumulateNodeStatistics(const BatchT& batch,
                                 std::span<const std::size_t> rows,
                                 Model* model, double* loss_sum,
                                 std::span<double> grad_sum, double* count,
                                 TrainScratch* scratch) {
-  // 1. SGD update of the simple model (Eq. 1 via gradient descent).
-  model->FitRows(batch, rows);
-
-  const std::size_t batch_rows = batch.size();
+  const std::size_t n = rows.size();
+  const std::size_t m = static_cast<std::size_t>(model->num_features());
   const std::size_t k = static_cast<std::size_t>(model->num_params());
+  constexpr bool kClassification =
+      requires { batch.label(std::size_t{0}); };
 
-  // 2. Per-sample loss and gradient at the updated parameters, indexed by
-  //    batch row so the feature-order scan can address them directly.
-  scratch->sample_loss.resize(batch_rows);
-  scratch->sample_grad.resize(batch_rows * k);
+  // 0. Point the tile at the node's rows. A node that owns the whole batch
+  //    (the root, and every node of a single-leaf tree) uses the batch
+  //    storage in place -- rows is the identity permutation and both batch
+  //    types are contiguous row-major, so no copy is needed. Other nodes
+  //    gather their rows into a contiguous row-major tile. Either way the
+  //    tile holds the exact same doubles, so everything computed from it
+  //    matches the strided-batch path bit for bit.
+  const bool identity = n > 0 && n == batch.size();
+  const int* labels = nullptr;
+  const double* targets = nullptr;
+  if (identity) {
+    scratch->tile = batch.row(0).data();
+    if constexpr (kClassification) {
+      labels = batch.labels().data();
+    } else {
+      targets = batch.targets().data();
+    }
+  } else {
+    scratch->tile_x.resize(n * m);
+    if constexpr (kClassification) {
+      scratch->tile_label.resize(n);
+    } else {
+      scratch->tile_target.resize(n);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = rows[i];
+      const std::span<const double> x = batch.row(r);
+      std::copy(x.begin(), x.end(),
+                scratch->tile_x.begin() + static_cast<std::ptrdiff_t>(i * m));
+      if constexpr (kClassification) {
+        scratch->tile_label[i] = batch.label(r);
+      } else {
+        scratch->tile_target[i] = batch.target(r);
+      }
+    }
+    scratch->tile = scratch->tile_x.data();
+    if constexpr (kClassification) {
+      labels = scratch->tile_label.data();
+    } else {
+      targets = scratch->tile_target.data();
+    }
+  }
+
+  // 1. SGD update of the simple model (Eq. 1 via gradient descent), in
+  //    tile order = stream order.
+  // 2. Per-sample loss and gradient at the updated parameters, four rows
+  //    per weight traversal (kernels::DotBatch4 inside the tiled kernel).
+  scratch->sample_loss.resize(n);
+  scratch->sample_grad.resize(n * k);
+  if constexpr (kClassification) {
+    model->FitTile(scratch->tile, labels, n);
+    model->LossAndGradientTile(scratch->tile, labels, n,
+                               scratch->sample_loss.data(),
+                               scratch->sample_grad.data());
+  } else {
+    model->FitTile(scratch->tile, targets, n);
+    model->LossAndGradientTile(scratch->tile, targets, n,
+                               scratch->sample_loss.data(),
+                               scratch->sample_grad.data());
+  }
+
   scratch->batch_grad.resize(k);
   scratch->prefix_grad.resize(k);
   std::fill(scratch->batch_grad.begin(), scratch->batch_grad.end(), 0.0);
   double batch_loss = 0.0;
-  for (std::size_t r : rows) {
-    std::span<double> g(scratch->sample_grad.data() + r * k, k);
-    scratch->sample_loss[r] =
-        model->LossAndGradientOne(batch.row(r), TargetOf(batch, r), g);
-    batch_loss += scratch->sample_loss[r];
-    kernels::Add(std::span<double>(scratch->batch_grad), g);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch_loss += scratch->sample_loss[i];
+    kernels::Add(scratch->batch_grad.data(),
+                 scratch->sample_grad.data() + i * k, k);
   }
 
   // 3. Increment node statistics (Algorithm 1, lines 1-3).
   *loss_sum += batch_loss;
   kernels::Add(grad_sum, scratch->batch_grad);
-  *count += static_cast<double>(rows.size());
+  *count += static_cast<double>(n);
   return batch_loss;
 }
 
-// Phase 2, evaluation path (Algorithm 1 lines 6-11; Sec. V-D): prefix-scan
-// scatter into the stored candidates plus fresh proposals and bounded
-// replacement. Requires the scratch state of AccumulateNodeStatistics for
-// the same (node, batch); loss_sum / grad_sum / count are the node tallies
-// AFTER that accumulate.
-template <typename BatchT>
-void ScatterAndPropose(const CandidateUpdateParams& params,
-                       const BatchT& batch, std::span<const std::size_t> rows,
-                       double batch_loss, double loss_sum,
-                       std::span<const double> grad_sum, double count,
-                       CandidateStore* store, TrainScratch* scratch) {
-  const std::size_t n = rows.size();
-  const std::size_t batch_rows = batch.size();
-  const std::size_t k = store->num_params();
+// Step 5 (both proposal engines): candidate replacement keeping the store
+// bounded at max_candidates, allowing at most replacement_rate of it to
+// turn over per step. Proposals are visited in descending estimated gain
+// (row index breaks ties deterministically). loss_sum / grad_sum / count
+// are the node tallies AFTER this batch's accumulate.
+inline void ReplaceCandidates(const CandidateUpdateParams& params,
+                              double loss_sum,
+                              std::span<const double> grad_sum, double count,
+                              CandidateStore* store, TrainScratch* scratch) {
   const double lambda = params.gradient_step_size;
-
-  // 4. Per-feature prefix scan: stored-candidate scatter plus fresh
-  //    proposals.
-  scratch->in_node.resize(batch_rows);
-  std::fill(scratch->in_node.begin(), scratch->in_node.end(), 0);
-  for (std::size_t r : rows) scratch->in_node[r] = 1;
-  scratch->node_order.resize(n);
-  scratch->proposals.Init(k);
-  scratch->proposals.Clear();
-
-  std::size_t proposal_stride = 1;
-  if (params.max_proposals_per_feature > 0 &&
-      n > params.max_proposals_per_feature) {
-    proposal_stride = n / params.max_proposals_per_feature;
-  }
-
-  for (int j = 0; j < params.num_features; ++j) {
-    // Node-local ascending order = batch order filtered by membership.
-    const std::uint32_t* batch_order = FeatureOrder(batch, j, scratch);
-    std::size_t filled = 0;
-    for (std::size_t pos = 0; pos < scratch->order_size; ++pos) {
-      const std::uint32_t r = batch_order[pos];
-      if (scratch->in_node[r]) scratch->node_order[filled++] = r;
-    }
-    DMT_DCHECK(filled == n);
-
-    // Stored candidates of this feature, in ascending threshold order
-    // (thresholds are unique per feature: duplicates are never stored).
-    scratch->stored_idx.clear();
-    for (std::size_t c = 0; c < store->size(); ++c) {
-      if (store->feature(c) == j) {
-        scratch->stored_idx.push_back(static_cast<std::uint32_t>(c));
-      }
-    }
-    std::sort(scratch->stored_idx.begin(), scratch->stored_idx.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                return store->value(a) < store->value(b);
-              });
-
-    double run_loss = 0.0;
-    std::fill(scratch->prefix_grad.begin(), scratch->prefix_grad.end(), 0.0);
-    double run_count = 0.0;
-    std::size_t stored_pos = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t r = scratch->node_order[i];
-      const double value = batch.row(r)[j];
-      // Stored candidates strictly below this value receive the prefix
-      // accumulated so far (their left side excludes this observation).
-      while (stored_pos < scratch->stored_idx.size() &&
-             store->value(scratch->stored_idx[stored_pos]) < value) {
-        const std::size_t c = scratch->stored_idx[stored_pos];
-        store->loss(c) += run_loss;
-        kernels::Add(store->grad(c),
-                     std::span<const double>(scratch->prefix_grad));
-        store->count(c) += run_count;
-        ++stored_pos;
-      }
-      run_loss += scratch->sample_loss[r];
-      kernels::Add(std::span<double>(scratch->prefix_grad),
-                   {scratch->sample_grad.data() + r * k, k});
-      run_count += 1.0;
-
-      // Value boundary: the split "x_j <= value" is a candidate.
-      const bool boundary =
-          i + 1 == n || batch.row(scratch->node_order[i + 1])[j] > value;
-      if (!boundary || i + 1 == n) continue;  // the full batch is no split
-      if ((i + 1) % proposal_stride != 0) continue;
-
-      // Estimated gain from this batch alone (Eq. 3 with Eq. 7 losses).
-      const double left_hat = ApproxCandidateLoss(
-          run_loss, scratch->prefix_grad, run_count, lambda);
-      const double right_norm_sq = kernels::SquaredNormDiff(
-          std::span<const double>(scratch->batch_grad),
-          std::span<const double>(scratch->prefix_grad));
-      const double right_count = static_cast<double>(n) - run_count;
-      const double right_hat =
-          (batch_loss - run_loss) -
-          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
-      const double est_gain = batch_loss - left_hat - right_hat;
-      scratch->proposals.Push(j, value, est_gain, run_loss,
-                              scratch->prefix_grad, run_count);
-    }
-    // Remaining stored candidates (threshold >= max value) absorb the full
-    // batch on their left side.
-    while (stored_pos < scratch->stored_idx.size()) {
-      const std::size_t c = scratch->stored_idx[stored_pos];
-      store->loss(c) += batch_loss;
-      kernels::Add(store->grad(c),
-                   std::span<const double>(scratch->batch_grad));
-      store->count(c) += static_cast<double>(n);
-      ++stored_pos;
-    }
-  }
-
-  // 5. Candidate replacement: keep the store bounded at max_candidates,
-  //    allowing at most replacement_rate of it to turn over per step.
-  //    Proposals are visited in descending estimated gain (row index
-  //    breaks ties deterministically).
   const ProposalBuffer& proposals = scratch->proposals;
   DMT_TELEMETRY_ADD(params.proposals_counter, proposals.size());
   scratch->proposal_order.resize(proposals.size());
   for (std::size_t i = 0; i < proposals.size(); ++i) {
     scratch->proposal_order[i] = static_cast<std::uint32_t>(i);
   }
-  std::sort(scratch->proposal_order.begin(), scratch->proposal_order.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return proposals.est_gain(a) > proposals.est_gain(b) ||
-                     (proposals.est_gain(a) == proposals.est_gain(b) &&
-                      a < b);
-            });
+  // Max-heap keyed (est_gain descending, index ascending) -- the key is a
+  // total order, so repeated pops replay exactly the fully-sorted sequence;
+  // but the loop below usually breaks after a handful of proposals, so the
+  // heap only pays for what it consumes instead of a full O(P log P) sort.
+  const auto heap_less = [&](std::uint32_t a, std::uint32_t b) {
+    return proposals.est_gain(a) < proposals.est_gain(b) ||
+           (proposals.est_gain(a) == proposals.est_gain(b) && a > b);
+  };
+  std::make_heap(scratch->proposal_order.begin(),
+                 scratch->proposal_order.end(), heap_less);
   std::size_t budget = static_cast<std::size_t>(
       params.replacement_rate * static_cast<double>(params.max_candidates));
   // Gain estimates of the stored candidates, computed once per step and
@@ -396,15 +419,20 @@ void ScatterAndPropose(const CandidateUpdateParams& params,
         *store, c, loss_sum, grad_sum, count, loss_sum, lambda);
   }
   int worst = -1;  // argmin of stored_gain, recomputed after replacements
-  for (std::uint32_t p : scratch->proposal_order) {
+  std::size_t heap_size = scratch->proposal_order.size();
+  while (heap_size > 0) {
+    std::pop_heap(scratch->proposal_order.begin(),
+                  scratch->proposal_order.begin() +
+                      static_cast<std::ptrdiff_t>(heap_size),
+                  heap_less);
+    const std::uint32_t p = scratch->proposal_order[--heap_size];
     if (store->Contains(proposals.feature(p), proposals.value(p))) continue;
     if (store->size() < params.max_candidates) {
       const std::size_t c =
           store->Append(proposals.feature(p), proposals.value(p));
       store->loss(c) = proposals.loss(p);
       store->count(c) = proposals.count(p);
-      std::copy(proposals.grad(p).begin(), proposals.grad(p).end(),
-                store->grad(c).begin());
+      store->SetGradFrom(c, proposals.grad(p));
       scratch->stored_gain.push_back(CandidateGain(
           *store, c, loss_sum, grad_sum, count, loss_sum, lambda));
       DMT_TELEMETRY_COUNT(params.appends_counter);
@@ -425,53 +453,176 @@ void ScatterAndPropose(const CandidateUpdateParams& params,
       break;
     }
     DMT_TELEMETRY_COUNT(params.evictions_counter);
-    store->Reset(worst, proposals.feature(p), proposals.value(p));
-    store->loss(worst) = proposals.loss(p);
-    store->count(worst) = proposals.count(p);
-    std::copy(proposals.grad(p).begin(), proposals.grad(p).end(),
-              store->grad(worst).begin());
-    scratch->stored_gain[worst] = CandidateGain(
-        *store, worst, loss_sum, grad_sum, count, loss_sum, lambda);
+    store->Reset(static_cast<std::size_t>(worst), proposals.feature(p),
+                 proposals.value(p));
+    store->loss(static_cast<std::size_t>(worst)) = proposals.loss(p);
+    store->count(static_cast<std::size_t>(worst)) = proposals.count(p);
+    store->SetGradFrom(static_cast<std::size_t>(worst), proposals.grad(p));
+    scratch->stored_gain[static_cast<std::size_t>(worst)] = CandidateGain(
+        *store, static_cast<std::size_t>(worst), loss_sum, grad_sum, count,
+        loss_sum, lambda);
     worst = -1;
     --budget;
   }
 }
 
-// Phase 2, skip path: scatter this batch into the stored candidates
-// without sorting the batch or proposing anything. Each stored candidate
-// with threshold t owes the sum over this node's rows with value <= t
-// (exactly what the prefix scan delivers), so the rows are bucketed
-// against the sorted stored thresholds and the buckets prefix-accumulated.
-// Requires the scratch state of AccumulateNodeStatistics for the same
-// (node, batch). The bucket sums necessarily associate additions in a
-// different order than the value-sorted prefix scan, which is why exact
-// mode never routes a batch through here.
+// Bucketed proposal engine: deterministic fixed-width radix binning of
+// each feature over the scaled [0, 1] range, O(n + order_buckets) per
+// feature instead of a sort. Reads the tile state of
+// AccumulateNodeStatistics; fills scratch->proposals. Values outside
+// [0, 1] clamp into the edge buckets (ordering within an edge bucket is
+// absorbed into its aggregate, which only coarsens proposal placement --
+// the accumulated statistics stay exact sums of actual sample terms).
+inline void ProposeFromBuckets(const CandidateUpdateParams& params,
+                               std::size_t n, double batch_loss,
+                               std::size_t num_params,
+                               TrainScratch* scratch) {
+  const std::size_t m = static_cast<std::size_t>(params.num_features);
+  const std::size_t k = num_params;
+  const std::size_t buckets = params.order_buckets;
+  const double lambda = params.gradient_step_size;
+  const double scale = static_cast<double>(buckets);
+
+  scratch->proposals.Init(k);
+  scratch->proposals.Clear();
+  if (n < 2) return;  // a single row yields no boundary (full batch)
+
+  scratch->radix_slot.resize(buckets);
+  scratch->radix_epoch.resize(buckets, 0u);
+  const std::size_t max_slots = std::min(n, buckets);
+  scratch->slot_bucket.resize(max_slots);
+  scratch->slot_order.resize(max_slots);
+  scratch->slot_loss.resize(max_slots);
+  scratch->slot_count.resize(max_slots);
+  scratch->slot_max.resize(max_slots);
+  scratch->slot_grad.resize(max_slots * k);
+
+  for (int j = 0; j < params.num_features; ++j) {
+    // Bin every row. An occupied bucket gets a compact slot on first touch
+    // (epoch tag marks it live this pass), so the aggregates stay dense no
+    // matter how sparse the occupancy.
+    const std::uint64_t epoch = ++scratch->radix_cur_epoch;
+    std::size_t occupied = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = scratch->tile[i * m + j];
+      const double scaled = v * scale;
+      std::size_t b;
+      if (scaled >= scale - 1.0) {
+        b = buckets - 1;
+      } else if (scaled > 0.0) {
+        b = static_cast<std::size_t>(scaled);
+      } else {
+        b = 0;  // negatives (and non-finite comparisons) clamp low
+      }
+      const double* sg = scratch->sample_grad.data() + i * k;
+      if (scratch->radix_epoch[b] != epoch) {
+        scratch->radix_epoch[b] = epoch;
+        const std::size_t s = occupied++;
+        scratch->radix_slot[b] = static_cast<std::uint32_t>(s);
+        scratch->slot_bucket[s] = static_cast<std::uint32_t>(b);
+        scratch->slot_loss[s] = scratch->sample_loss[i];
+        scratch->slot_count[s] = 1.0;
+        scratch->slot_max[s] = v;
+        std::copy(sg, sg + k, scratch->slot_grad.data() + s * k);
+      } else {
+        const std::size_t s = scratch->radix_slot[b];
+        scratch->slot_loss[s] += scratch->sample_loss[i];
+        scratch->slot_count[s] += 1.0;
+        if (v > scratch->slot_max[s]) scratch->slot_max[s] = v;
+        kernels::Add(scratch->slot_grad.data() + s * k, sg, k);
+      }
+    }
+    if (occupied < 2) continue;  // one bucket = no proposable boundary
+
+    // Proposal budget: the user's per-feature cap, additionally bounded by
+    // the bucket resolution (order_buckets / 8; at least 8). Boundary
+    // placement is already quantized to bucket granularity, so spending a
+    // full gain evaluation on every occupied bucket buys little -- the
+    // store persists the best candidates across evaluations, and the
+    // strided boundaries wander with the occupancy pattern batch to batch.
+    // Ceil division ENFORCES the cap (the exact path's floor stride only
+    // thins beyond twice the cap).
+    std::size_t budget = std::max<std::size_t>(8, buckets / 8);
+    if (params.max_proposals_per_feature > 0 &&
+        params.max_proposals_per_feature < budget) {
+      budget = params.max_proposals_per_feature;
+    }
+    std::size_t proposal_stride = 1;
+    if (occupied - 1 > budget) {
+      proposal_stride = (occupied - 1 + budget - 1) / budget;
+    }
+
+    // Ascending bucket index is ascending value order across buckets, so
+    // the prefix recurrence of the exact scan runs over the slots sorted
+    // by bucket (same visit order and per-bucket sums as a bitmap scan,
+    // hence bit-identical to it).
+    for (std::size_t s = 0; s < occupied; ++s) {
+      scratch->slot_order[s] = static_cast<std::uint32_t>(s);
+    }
+    std::sort(scratch->slot_order.begin(),
+              scratch->slot_order.begin() +
+                  static_cast<std::ptrdiff_t>(occupied),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return scratch->slot_bucket[a] < scratch->slot_bucket[b];
+              });
+
+    double run_loss = 0.0;
+    std::fill(scratch->prefix_grad.begin(), scratch->prefix_grad.end(), 0.0);
+    double run_count = 0.0;
+    for (std::size_t seen = 1; seen <= occupied; ++seen) {
+      const std::size_t s = scratch->slot_order[seen - 1];
+      run_loss += scratch->slot_loss[s];
+      kernels::Add(scratch->prefix_grad.data(),
+                   scratch->slot_grad.data() + s * k, k);
+      run_count += scratch->slot_count[s];
+      if (seen == occupied) break;  // the full batch is no split
+      if (seen % proposal_stride != 0) continue;
+
+      // Estimated gain from this batch alone (Eq. 3 with Eq. 7 losses) --
+      // the same expressions as the exact scan, over the bucket prefix.
+      const double left_hat = ApproxCandidateLoss(
+          run_loss, scratch->prefix_grad, run_count, lambda);
+      const double right_norm_sq = kernels::SquaredNormDiff(
+          std::span<const double>(scratch->batch_grad),
+          std::span<const double>(scratch->prefix_grad));
+      const double right_count = static_cast<double>(n) - run_count;
+      const double right_hat =
+          (batch_loss - run_loss) -
+          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
+      const double est_gain = batch_loss - left_hat - right_hat;
+      scratch->proposals.Push(j, scratch->slot_max[s], est_gain, run_loss,
+                              scratch->prefix_grad, run_count);
+    }
+  }
+}
+
+// Phase 2, skip path (and the stored-candidate scatter of the bucketed
+// evaluation path): scatter this batch into the stored candidates without
+// sorting the batch or proposing anything. Each stored candidate with
+// threshold t owes the sum over this node's rows with value <= t (exactly
+// what the prefix scan delivers), so the rows are bucketed against the
+// sorted stored thresholds by binary search and the buckets
+// prefix-accumulated. Requires the tile state of AccumulateNodeStatistics
+// for the same (node, batch). The bucket sums necessarily associate
+// additions in a different order than the value-sorted prefix scan, which
+// is why exact mode never routes a batch through here.
 template <typename BatchT>
 void ScatterStoredOnly(const BatchT& batch, std::span<const std::size_t> rows,
                        CandidateStore* store, TrainScratch* scratch) {
   const std::size_t total = store->size();
   if (total == 0) return;
   const std::size_t k = store->num_params();
+  const std::size_t m = batch.num_features();
 
-  // All stored candidates, grouped by feature in ascending threshold
-  // order (thresholds are unique per feature).
-  scratch->stored_idx.resize(total);
-  for (std::size_t c = 0; c < total; ++c) {
-    scratch->stored_idx[c] = static_cast<std::uint32_t>(c);
-  }
-  std::sort(scratch->stored_idx.begin(), scratch->stored_idx.end(),
-            [&](std::uint32_t a, std::uint32_t b) {
-              return store->feature(a) < store->feature(b) ||
-                     (store->feature(a) == store->feature(b) &&
-                      store->value(a) < store->value(b));
-            });
+  // Keys are immutable during the scatter (only loss/grad/count mutate),
+  // so the store's maintained order stays valid throughout.
+  const std::span<const std::uint32_t> stored = store->SortedByFeatureValue();
 
   std::size_t group_begin = 0;
   while (group_begin < total) {
-    const int j = store->feature(scratch->stored_idx[group_begin]);
+    const int j = store->feature(stored[group_begin]);
     std::size_t group_end = group_begin + 1;
-    while (group_end < total &&
-           store->feature(scratch->stored_idx[group_end]) == j) {
+    while (group_end < total && store->feature(stored[group_end]) == j) {
       ++group_end;
     }
     const std::size_t buckets = group_end - group_begin;
@@ -489,8 +640,8 @@ void ScatterStoredOnly(const BatchT& batch, std::span<const std::size_t> rows,
               scratch->bucket_grad.begin() +
                   static_cast<std::ptrdiff_t>(buckets * k), 0.0);
 
-    for (std::size_t r : rows) {
-      const double value = batch.row(r)[j];
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double value = scratch->tile[i * m + j];
       // First stored threshold >= value: the smallest left side that
       // includes this observation (rows above every threshold contribute
       // to no candidate of this feature).
@@ -498,7 +649,7 @@ void ScatterStoredOnly(const BatchT& batch, std::span<const std::size_t> rows,
       std::size_t hi = group_end;
       while (lo < hi) {
         const std::size_t mid = lo + (hi - lo) / 2;
-        if (store->value(scratch->stored_idx[mid]) < value) {
+        if (store->value(stored[mid]) < value) {
           lo = mid + 1;
         } else {
           hi = mid;
@@ -506,10 +657,9 @@ void ScatterStoredOnly(const BatchT& batch, std::span<const std::size_t> rows,
       }
       if (lo == group_end) continue;
       const std::size_t b = lo - group_begin;
-      scratch->bucket_loss[b] += scratch->sample_loss[r];
-      kernels::Add(
-          std::span<double>(scratch->bucket_grad.data() + b * k, k),
-          {scratch->sample_grad.data() + r * k, k});
+      scratch->bucket_loss[b] += scratch->sample_loss[i];
+      kernels::Add(scratch->bucket_grad.data() + b * k,
+                   scratch->sample_grad.data() + i * k, k);
       scratch->bucket_count[b] += 1.0;
     }
 
@@ -520,17 +670,148 @@ void ScatterStoredOnly(const BatchT& batch, std::span<const std::size_t> rows,
     for (std::size_t g = group_begin; g < group_end; ++g) {
       const std::size_t b = g - group_begin;
       run_loss += scratch->bucket_loss[b];
-      kernels::Add(std::span<double>(scratch->prefix_grad),
-                   {scratch->bucket_grad.data() + b * k, k});
+      kernels::Add(scratch->prefix_grad.data(),
+                   scratch->bucket_grad.data() + b * k, k);
       run_count += scratch->bucket_count[b];
-      const std::size_t c = scratch->stored_idx[g];
+      const std::size_t c = stored[g];
       store->loss(c) += run_loss;
-      kernels::Add(store->grad(c),
-                   std::span<const double>(scratch->prefix_grad));
+      store->AccumulateGrad(c, scratch->prefix_grad);
       store->count(c) += run_count;
     }
     group_begin = group_end;
   }
+}
+
+// Phase 2, evaluation path (Algorithm 1 lines 6-11; Sec. V-D): scatter
+// into the stored candidates plus fresh proposals and bounded replacement,
+// through the exact sorted scan (order_buckets = 0) or the radix-bucket
+// engine. Requires the tile state of AccumulateNodeStatistics for the same
+// (node, batch); loss_sum / grad_sum / count are the node tallies AFTER
+// that accumulate.
+template <typename BatchT>
+void ScatterAndPropose(const CandidateUpdateParams& params,
+                       const BatchT& batch, std::span<const std::size_t> rows,
+                       double batch_loss, double loss_sum,
+                       std::span<const double> grad_sum, double count,
+                       CandidateStore* store, TrainScratch* scratch) {
+  const std::size_t n = rows.size();
+  const std::size_t batch_rows = batch.size();
+  const std::size_t m = static_cast<std::size_t>(params.num_features);
+  const std::size_t k = store->num_params();
+  const double lambda = params.gradient_step_size;
+
+  if (params.order_buckets > 0) {
+    // Bucketed engine: the stored scatter reuses the skip-path bucketing
+    // (exact for any threshold), the proposals come from radix buckets.
+    DMT_TELEMETRY_COUNT(params.bucket_evals_counter);
+    ScatterStoredOnly(batch, rows, store, scratch);
+    ProposeFromBuckets(params, n, batch_loss, k, scratch);
+    DMT_TELEMETRY_ADD(params.bucket_proposals_counter,
+                      scratch->proposals.size());
+    ReplaceCandidates(params, loss_sum, grad_sum, count, store, scratch);
+    return;
+  }
+
+  // 4. Exact engine: per-feature prefix scan in ascending value order --
+  //    stored-candidate scatter plus fresh proposals.
+  scratch->tile_pos.resize(batch_rows);
+  std::fill(scratch->tile_pos.begin(), scratch->tile_pos.end(),
+            std::int32_t{-1});
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch->tile_pos[rows[i]] = static_cast<std::int32_t>(i);
+  }
+  scratch->node_order.resize(n);
+  scratch->proposals.Init(k);
+  scratch->proposals.Clear();
+
+  std::size_t proposal_stride = 1;
+  if (params.max_proposals_per_feature > 0 &&
+      n > params.max_proposals_per_feature) {
+    proposal_stride = n / params.max_proposals_per_feature;
+  }
+
+  // Stored candidates grouped by feature in ascending threshold order; the
+  // store's keys don't change during the scan (ReplaceCandidates runs
+  // after it), so its maintained order serves every feature's group.
+  const std::span<const std::uint32_t> stored = store->SortedByFeatureValue();
+  std::size_t group_begin = 0;
+
+  for (int j = 0; j < params.num_features; ++j) {
+    // Node-local ascending order = batch order filtered by membership,
+    // re-expressed as tile positions so the scan walks the gathered tile.
+    const std::uint32_t* batch_order = FeatureOrder(batch, j, scratch);
+    std::size_t filled = 0;
+    for (std::size_t pos = 0; pos < scratch->order_size; ++pos) {
+      const std::int32_t tp = scratch->tile_pos[batch_order[pos]];
+      if (tp >= 0) {
+        scratch->node_order[filled++] = static_cast<std::uint32_t>(tp);
+      }
+    }
+    DMT_DCHECK(filled == n);
+
+    // This feature's stored group [group_begin, group_end).
+    std::size_t group_end = group_begin;
+    while (group_end < stored.size() && store->feature(stored[group_end]) == j) {
+      ++group_end;
+    }
+
+    double run_loss = 0.0;
+    std::fill(scratch->prefix_grad.begin(), scratch->prefix_grad.end(), 0.0);
+    double run_count = 0.0;
+    std::size_t stored_pos = group_begin;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t tp = scratch->node_order[i];
+      const double value = scratch->tile[tp * m + j];
+      // Stored candidates strictly below this value receive the prefix
+      // accumulated so far (their left side excludes this observation).
+      while (stored_pos < group_end &&
+             store->value(stored[stored_pos]) < value) {
+        const std::size_t c = stored[stored_pos];
+        store->loss(c) += run_loss;
+        store->AccumulateGrad(c, scratch->prefix_grad);
+        store->count(c) += run_count;
+        ++stored_pos;
+      }
+      run_loss += scratch->sample_loss[tp];
+      kernels::Add(scratch->prefix_grad.data(),
+                   scratch->sample_grad.data() + tp * k, k);
+      run_count += 1.0;
+
+      // Value boundary: the split "x_j <= value" is a candidate.
+      const bool boundary =
+          i + 1 == n ||
+          scratch->tile[scratch->node_order[i + 1] * m + j] > value;
+      if (!boundary || i + 1 == n) continue;  // the full batch is no split
+      if ((i + 1) % proposal_stride != 0) continue;
+
+      // Estimated gain from this batch alone (Eq. 3 with Eq. 7 losses).
+      const double left_hat = ApproxCandidateLoss(
+          run_loss, scratch->prefix_grad, run_count, lambda);
+      const double right_norm_sq = kernels::SquaredNormDiff(
+          std::span<const double>(scratch->batch_grad),
+          std::span<const double>(scratch->prefix_grad));
+      const double right_count = static_cast<double>(n) - run_count;
+      const double right_hat =
+          (batch_loss - run_loss) -
+          (right_count > 0.0 ? lambda / right_count * right_norm_sq : 0.0);
+      const double est_gain = batch_loss - left_hat - right_hat;
+      scratch->proposals.Push(j, value, est_gain, run_loss,
+                              scratch->prefix_grad, run_count);
+    }
+    // Remaining stored candidates (threshold >= max value) absorb the full
+    // batch on their left side.
+    while (stored_pos < group_end) {
+      const std::size_t c = stored[stored_pos];
+      store->loss(c) += batch_loss;
+      store->AccumulateGrad(c, scratch->batch_grad);
+      store->count(c) += static_cast<double>(n);
+      ++stored_pos;
+    }
+    group_begin = group_end;
+  }
+
+  // 5. Bounded candidate replacement.
+  ReplaceCandidates(params, loss_sum, grad_sum, count, store, scratch);
 }
 
 }  // namespace dmt::core

@@ -27,10 +27,11 @@ struct DmtRegressor::Node {
   double samples_since_test = 0.0;
   double loss_since_test = 0.0;
 
-  Node(const linear::LinearRegressorConfig& model_config, Rng* rng)
+  Node(const linear::LinearRegressorConfig& model_config, Rng* rng,
+       bool grad_f32)
       : model(model_config, rng),
         grad_sum(model.num_params(), 0.0),
-        candidates(static_cast<std::size_t>(model.num_params())) {}
+        candidates(static_cast<std::size_t>(model.num_params()), grad_f32) {}
 
   bool is_leaf() const { return split_feature < 0; }
 
@@ -51,6 +52,7 @@ DmtRegressor::DmtRegressor(const DmtRegressorConfig& config)
   DMT_CHECK(config.gain_test_every >= 1);
   DMT_CHECK(std::isfinite(config.gain_test_threshold) &&
             config.gain_test_threshold >= 0.0);
+  DMT_CHECK(config.order_buckets <= (std::size_t{1} << 20));
   if (config_.max_candidates == 0) {
     config_.max_candidates =
         3 * static_cast<std::size_t>(config.num_features);
@@ -68,7 +70,8 @@ std::unique_ptr<DmtRegressor::Node> DmtRegressor::MakeLeaf(
   linear::LinearRegressorConfig model_config;
   model_config.num_features = config_.num_features;
   model_config.learning_rate = config_.learning_rate;
-  auto node = std::make_unique<Node>(model_config, &rng_);
+  auto node =
+      std::make_unique<Node>(model_config, &rng_, config_.candidate_grad_f32);
   if (warm_start != nullptr) node->model.WarmStartFrom(*warm_start);
   return node;
 }
@@ -177,6 +180,7 @@ bool DmtRegressor::UpdateStatistics(Node* node,
       .replacement_rate = config_.replacement_rate,
       .max_proposals_per_feature = config_.max_proposals_per_feature,
       .gradient_step_size = config_.gradient_step_size,
+      .order_buckets = config_.order_buckets,
   };
   const double batch_loss = AccumulateNodeStatistics(
       batch, rows, &node->model, &node->loss_sum,
@@ -365,6 +369,9 @@ void DmtRegressor::Save(std::ostream& out) const {
   writer.Size(config_.max_proposals_per_feature);
   writer.Size(config_.gain_test_every);
   writer.F64(config_.gain_test_threshold);
+  // v3 fields: training hot-path knobs (version-gated on load).
+  writer.Size(config_.order_buckets);
+  writer.Bool(config_.candidate_grad_f32);
   writer.U64(config_.seed);
   writer.Size(target_stats_.count());
   writer.F64(target_stats_.mean());
@@ -423,6 +430,15 @@ std::unique_ptr<DmtRegressor> DmtRegressor::Load(std::istream& in) {
       serial::CheckedFinite(reader.F64(), "DMT-R gain test threshold");
   serial::Check(config.gain_test_threshold >= 0.0,
                 "DMT-R gain test threshold out of range");
+  if (reader.version() >= 3) {
+    config.order_buckets = reader.Size(std::size_t{1} << 20);
+    config.candidate_grad_f32 = reader.Bool();
+  } else {
+    // v2 archives predate the hot-path knobs: keep the exact-sort, f64
+    // behavior of the build that wrote them.
+    config.order_buckets = 0;
+    config.candidate_grad_f32 = false;
+  }
   config.seed = reader.U64();
   auto tree = std::make_unique<DmtRegressor>(config);
   const std::size_t stats_n = reader.Size(std::size_t{1} << 62);

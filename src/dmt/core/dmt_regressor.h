@@ -45,6 +45,11 @@ struct DmtRegressorConfig {
   // gain_test_threshold = 0 is exact mode.
   std::size_t gain_test_every = 1000;
   double gain_test_threshold = 50.0;
+  // Training hot-path knobs (same contract as DmtConfig): radix-bucket
+  // order statistics on evaluation batches (0 = exact sort-based scan) and
+  // float32 candidate-gradient storage (false = full f64).
+  std::size_t order_buckets = 256;
+  bool candidate_grad_f32 = true;
   std::uint64_t seed = 42;
 };
 

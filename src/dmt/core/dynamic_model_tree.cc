@@ -42,10 +42,10 @@ struct DynamicModelTree::Node {
   double samples_since_test = 0.0;
   double loss_since_test = 0.0;
 
-  Node(const linear::GlmConfig& glm_config, Rng* rng)
+  Node(const linear::GlmConfig& glm_config, Rng* rng, bool grad_f32)
       : model(glm_config, rng),
         grad_sum(model.num_params(), 0.0),
-        candidates(static_cast<std::size_t>(model.num_params())) {}
+        candidates(static_cast<std::size_t>(model.num_params()), grad_f32) {}
 
   bool is_leaf() const { return split_feature < 0; }
 
@@ -68,6 +68,7 @@ DynamicModelTree::DynamicModelTree(const DmtConfig& config)
   DMT_CHECK(config.gain_test_every >= 1);
   DMT_CHECK(std::isfinite(config.gain_test_threshold) &&
             config.gain_test_threshold >= 0.0);
+  DMT_CHECK(config.order_buckets <= (std::size_t{1} << 20));
   if (config_.max_candidates == 0) {
     config_.max_candidates = 3 * static_cast<std::size_t>(config.num_features);
   }
@@ -93,6 +94,12 @@ void DynamicModelTree::AttachTelemetry(obs::TelemetryRegistry* registry) {
   telemetry_.candidate_appends = registry->Counter("dmt.candidate_appends");
   telemetry_.candidate_evictions =
       registry->Counter("dmt.candidate_evictions");
+  telemetry_.bucket_evals = registry->Counter("dmt.bucket_evals");
+  telemetry_.bucket_proposals = registry->Counter("dmt.bucket_proposals");
+  telemetry_.phase_route = registry->Timer("dmt.phase.route");
+  telemetry_.phase_model_step = registry->Timer("dmt.phase.model_step");
+  telemetry_.phase_scatter = registry->Timer("dmt.phase.scatter");
+  telemetry_.phase_gain_battery = registry->Timer("dmt.phase.gain_battery");
 }
 
 std::unique_ptr<DynamicModelTree::Node> DynamicModelTree::MakeLeaf(
@@ -101,7 +108,8 @@ std::unique_ptr<DynamicModelTree::Node> DynamicModelTree::MakeLeaf(
   glm_config.num_features = config_.num_features;
   glm_config.num_classes = config_.num_classes;
   glm_config.learning_rate = config_.learning_rate;
-  auto node = std::make_unique<Node>(glm_config, &rng_);
+  auto node =
+      std::make_unique<Node>(glm_config, &rng_, config_.candidate_grad_f32);
   if (warm_start_from != nullptr) node->model.WarmStartFrom(*warm_start_from);
   return node;
 }
@@ -197,11 +205,14 @@ void DynamicModelTree::UpdateNode(Node* node, const Batch& batch,
     std::vector<std::size_t>& right_rows = scratch_.right_rows[depth];
     left_rows.clear();
     right_rows.clear();
-    for (std::size_t r : rows) {
-      if (batch.row(r)[node->split_feature] <= node->split_value) {
-        left_rows.push_back(r);
-      } else {
-        right_rows.push_back(r);
+    {
+      obs::ScopedPhaseTimer route_timer(telemetry_.phase_route);
+      for (std::size_t r : rows) {
+        if (batch.row(r)[node->split_feature] <= node->split_value) {
+          left_rows.push_back(r);
+        } else {
+          right_rows.push_back(r);
+        }
       }
     }
     // Bottom-up: children update (and possibly restructure) first. Both
@@ -233,14 +244,22 @@ bool DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
       .replacement_rate = config_.replacement_rate,
       .max_proposals_per_feature = config_.max_proposals_per_feature,
       .gradient_step_size = config_.gradient_step_size,
+      .order_buckets = config_.order_buckets,
       .proposals_counter = telemetry_.candidate_proposals,
       .appends_counter = telemetry_.candidate_appends,
       .evictions_counter = telemetry_.candidate_evictions,
+      .bucket_evals_counter = telemetry_.bucket_evals,
+      .bucket_proposals_counter = telemetry_.bucket_proposals,
   };
-  // Phase 1, every batch: model step, tallies, per-sample gradients.
-  const double batch_loss = AccumulateNodeStatistics(
-      batch, rows, &node->model, &node->loss_sum,
-      std::span<double>(node->grad_sum), &node->count, &scratch_);
+  // Phase 1, every batch: tile gather, model step, tallies, per-sample
+  // gradients.
+  double batch_loss = 0.0;
+  {
+    obs::ScopedPhaseTimer model_timer(telemetry_.phase_model_step);
+    batch_loss = AccumulateNodeStatistics(
+        batch, rows, &node->model, &node->loss_sum,
+        std::span<double>(node->grad_sum), &node->count, &scratch_);
+  }
 
   // Scheduler decision AFTER absorbing this batch, so gain_test_every = 1
   // always evaluates (exact mode) and a node is tested the moment the
@@ -252,6 +271,7 @@ bool DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
   const bool dirty = node->loss_since_test >= config_.gain_test_threshold;
   if (!due && !dirty) {
     // Phase 2, skip path: stored candidates still absorb the batch.
+    obs::ScopedPhaseTimer scatter_timer(telemetry_.phase_scatter);
     ScatterStoredOnly(batch, rows, &node->candidates, &scratch_);
     DMT_TELEMETRY_COUNT(telemetry_.gain_tests_skipped);
     return false;
@@ -259,9 +279,12 @@ bool DynamicModelTree::UpdateStatistics(Node* node, const Batch& batch,
   if (dirty && !due) DMT_TELEMETRY_COUNT(telemetry_.dirty_nodes);
 
   // Phase 2, evaluation path: scatter + fresh proposals + replacement.
-  ScatterAndPropose(params, batch, rows, batch_loss, node->loss_sum,
-                    std::span<const double>(node->grad_sum), node->count,
-                    &node->candidates, &scratch_);
+  {
+    obs::ScopedPhaseTimer gain_timer(telemetry_.phase_gain_battery);
+    ScatterAndPropose(params, batch, rows, batch_loss, node->loss_sum,
+                      std::span<const double>(node->grad_sum), node->count,
+                      &node->candidates, &scratch_);
+  }
   node->samples_since_test = 0.0;
   node->loss_since_test = 0.0;
   DMT_TELEMETRY_COUNT(telemetry_.gain_tests_run);
@@ -486,6 +509,10 @@ void DynamicModelTree::SaveBody(serial::Writer& writer) const {
   writer.Size(config_.max_proposals_per_feature);
   writer.Size(config_.gain_test_every);
   writer.F64(config_.gain_test_threshold);
+  // v3 fields: training hot-path knobs (gated on reader.version() in
+  // LoadBody so v2 archives keep decoding).
+  writer.Size(config_.order_buckets);
+  writer.Bool(config_.candidate_grad_f32);
   writer.U64(config_.seed);
   writer.Size(time_step_);
   writer.Size(splits_performed_);
@@ -553,6 +580,16 @@ std::unique_ptr<DynamicModelTree> DynamicModelTree::LoadBody(
       serial::CheckedFinite(reader.F64(), "DMT gain test threshold");
   serial::Check(config.gain_test_threshold >= 0.0,
                 "DMT gain test threshold out of range");
+  if (reader.version() >= 3) {
+    config.order_buckets = reader.Size(std::size_t{1} << 20);
+    config.candidate_grad_f32 = reader.Bool();
+  } else {
+    // v2 archives predate the hot-path knobs: restore the exact-sort, f64
+    // behavior of the build that wrote them, so training continues
+    // identically.
+    config.order_buckets = 0;
+    config.candidate_grad_f32 = false;
+  }
   config.seed = reader.U64();
   auto tree = std::make_unique<DynamicModelTree>(config);
   tree->time_step_ = reader.Size(std::size_t{1} << 62);

@@ -93,6 +93,19 @@ struct DmtConfig {
   // identical to exact mode) while converged nodes skip most batches.
   std::size_t gain_test_every = 1000;
   double gain_test_threshold = 50.0;
+  // --- Training hot path (candidate_update.h) -----------------------------
+  // Fixed-width radix buckets per feature for the evaluation-batch order
+  // statistics: proposal boundaries come from an O(rows + buckets) binning
+  // of the scaled [0, 1] feature range instead of an O(n log n) sort, and
+  // each proposed threshold is an actual observed value (the per-bucket
+  // maximum), so the accumulated candidate statistics stay exact sums --
+  // only the choice of boundaries is quantized. 0 restores the exact
+  // sort-based scan (--dmt-exact; bit-identical to the legacy pipeline).
+  std::size_t order_buckets = 256;
+  // Store split-candidate gradients as float32 (double arithmetic, one
+  // float rounding per element per update); halves the candidate store's
+  // memory traffic. false restores full f64 storage (--dmt-exact).
+  bool candidate_grad_f32 = true;
   std::uint64_t seed = 42;
 };
 
@@ -241,6 +254,17 @@ class DynamicModelTree : public Classifier {
     std::uint64_t* candidate_proposals = nullptr;
     std::uint64_t* candidate_appends = nullptr;
     std::uint64_t* candidate_evictions = nullptr;
+    // Bucketed order-statistics engine: evaluation batches routed through
+    // radix buckets, and the proposals they produced.
+    std::uint64_t* bucket_evals = nullptr;
+    std::uint64_t* bucket_proposals = nullptr;
+    // Training phase timers (wall clock; excluded from the golden counter
+    // surface): inner-node routing, model step + per-sample gradients,
+    // skip-path stored scatter, and the evaluation-path gain battery.
+    obs::PhaseTimer* phase_route = nullptr;
+    obs::PhaseTimer* phase_model_step = nullptr;
+    obs::PhaseTimer* phase_scatter = nullptr;
+    obs::PhaseTimer* phase_gain_battery = nullptr;
   };
   Telemetry telemetry_;
 

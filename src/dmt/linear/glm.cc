@@ -31,6 +31,7 @@ Glm::Glm(const GlmConfig& config)
   params_.resize(ParamCount(num_features_, num_classes_));
   for (double& p : params_) p = rng.Gaussian(0.0, config.init_scale);
   logits_scratch_.resize(num_classes_);
+  tile_logits_.resize(4 * static_cast<std::size_t>(num_classes_));
 }
 
 Glm::Glm(const GlmConfig& config, Rng* rng)
@@ -44,6 +45,7 @@ Glm::Glm(const GlmConfig& config, Rng* rng)
   params_.resize(ParamCount(num_features_, num_classes_));
   for (double& p : params_) p = rng->Gaussian(0.0, config.init_scale);
   logits_scratch_.resize(num_classes_);
+  tile_logits_.resize(4 * static_cast<std::size_t>(num_classes_));
 }
 
 void Glm::Fit(const Batch& batch) {
@@ -60,6 +62,75 @@ void Glm::FitRows(const Batch& batch, std::span<const std::size_t> rows) {
   }
   if (config_.l1_penalty > 0.0 && !rows.empty()) ApplyL1Prox();
   if (!rows.empty()) CheckParamsFinite();
+}
+
+void Glm::FitTile(const double* tile, const int* labels, std::size_t n) {
+  const std::size_t m = static_cast<std::size_t>(num_features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    SgdStep({tile + i * m, m}, labels[i]);
+  }
+  if (config_.l1_penalty > 0.0 && n > 0) ApplyL1Prox();
+  if (n > 0) CheckParamsFinite();
+}
+
+void Glm::LossAndGradientTile(const double* tile, const int* labels,
+                              std::size_t n, double* loss_out,
+                              double* grad_out) const {
+  const std::size_t m = static_cast<std::size_t>(num_features_);
+  const std::size_t k = params_.size();
+  const int stride = num_features_ + 1;
+  std::size_t i = 0;
+  if (is_binary()) {
+    const double bias = params_.back();
+    for (; i + 4 <= n; i += 4) {
+      double z[4];
+      kernels::DotBatch4(tile + i * m, m, params_.data(), m, z);
+      for (std::size_t t = 0; t < 4; ++t) {
+        const std::size_t r = i + t;
+        const double p = Sigmoid(z[t] + bias);
+        const int y = labels[r];
+        const double err = p - (y == 1 ? 1.0 : 0.0);
+        double* g = grad_out + r * k;
+        kernels::ScaledCopy(err, tile + r * m, g, m);
+        g[m] = err;
+        loss_out[r] = -(y == 1 ? SafeLog(p) : SafeLog(1.0 - p));
+      }
+    }
+    for (; i < n; ++i) {
+      loss_out[i] = LossAndGradientOne({tile + i * m, m}, labels[i],
+                                       {grad_out + i * k, k});
+    }
+    return;
+  }
+  const int num_classes = num_classes_;
+  for (; i + 4 <= n; i += 4) {
+    for (int c = 0; c < num_classes; ++c) {
+      const double* w = params_.data() + c * stride;
+      double z[4];
+      kernels::DotBatch4(tile + i * m, m, w, m, z);
+      for (std::size_t t = 0; t < 4; ++t) {
+        tile_logits_[t * num_classes + c] = z[t] + w[num_features_];
+      }
+    }
+    for (std::size_t t = 0; t < 4; ++t) {
+      const std::size_t r = i + t;
+      const std::span<double> logits(tile_logits_.data() + t * num_classes,
+                                     static_cast<std::size_t>(num_classes));
+      SoftmaxInPlace(logits);
+      const int y = labels[r];
+      for (int c = 0; c < num_classes; ++c) {
+        const double err = logits[c] - (c == y ? 1.0 : 0.0);
+        double* g = grad_out + r * k + c * stride;
+        kernels::ScaledCopy(err, tile + r * m, g, m);
+        g[num_features_] = err;
+      }
+      loss_out[r] = -SafeLog(logits[y]);
+    }
+  }
+  for (; i < n; ++i) {
+    loss_out[i] = LossAndGradientOne({tile + i * m, m}, labels[i],
+                                     {grad_out + i * k, k});
+  }
 }
 
 void Glm::CheckParamsFinite() {

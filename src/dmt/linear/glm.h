@@ -89,6 +89,22 @@ class Glm {
   void Fit(const Batch& batch);
   // SGD over the rows of `batch` selected by `rows`.
   void FitRows(const Batch& batch, std::span<const std::size_t> rows);
+  // SGD over a gathered row-major tile (`n` rows of num_features() doubles,
+  // labels parallel), in tile order. SGD is inherently sequential (each
+  // sample sees the previous sample's weights), so the tile buys locality,
+  // not batching: bit-identical to FitRows over the gathered rows.
+  void FitTile(const double* tile, const int* labels, std::size_t n);
+
+  // Per-sample loss and gradient at the CURRENT (fixed) parameters over a
+  // gathered tile: loss_out[i] and grad_out[i * num_params() ...] are
+  // overwritten. Unlike the SGD pass the parameters do not move between
+  // rows, so the dot products are batched four rows at a time
+  // (kernels::DotBatch4) -- one pass over the weight vector serves four
+  // samples. Row i's results are bit-identical to LossAndGradientOne on
+  // that row (DotBatch4's per-lane accumulation order matches Dot).
+  void LossAndGradientTile(const double* tile, const int* labels,
+                           std::size_t n, double* loss_out,
+                           double* grad_out) const;
 
   // Writes the class probabilities for one observation into `out`
   // (num_classes() entries, overwritten). The allocation-free scoring
@@ -187,6 +203,8 @@ class Glm {
   std::vector<double> grad_accum_;
   // Scratch buffer reused across per-sample probability computations.
   mutable std::vector<double> logits_scratch_;
+  // Scratch logits of one 4-row tile group (4 x num_classes, row-major).
+  mutable std::vector<double> tile_logits_;
   std::uint64_t num_resets_ = 0;
   std::uint64_t num_skipped_samples_ = 0;
   std::uint64_t* resets_counter_ = nullptr;

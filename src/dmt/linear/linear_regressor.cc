@@ -68,6 +68,41 @@ void LinearRegressor::FitRows(const RegressionBatch& batch,
   if (!rows.empty()) CheckParamsFinite();
 }
 
+void LinearRegressor::FitTile(const double* tile, const double* targets,
+                              std::size_t n) {
+  const std::size_t m = static_cast<std::size_t>(num_features_);
+  for (std::size_t i = 0; i < n; ++i) {
+    SgdStep({tile + i * m, m}, targets[i]);
+  }
+  if (n > 0) CheckParamsFinite();
+}
+
+void LinearRegressor::LossAndGradientTile(const double* tile,
+                                          const double* targets,
+                                          std::size_t n, double* loss_out,
+                                          double* grad_out) const {
+  const std::size_t m = static_cast<std::size_t>(num_features_);
+  const std::size_t k = params_.size();
+  const double bias = params_.back();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    double z[4];
+    kernels::DotBatch4(tile + i * m, m, params_.data(), m, z);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const std::size_t r = i + t;
+      const double err = (z[t] + bias) - targets[r];
+      double* g = grad_out + r * k;
+      kernels::ScaledCopy(err, tile + r * m, g, m);
+      g[m] = err;
+      loss_out[r] = 0.5 * err * err;
+    }
+  }
+  for (; i < n; ++i) {
+    loss_out[i] = LossAndGradientOne({tile + i * m, m}, targets[i],
+                                     {grad_out + i * k, k});
+  }
+}
+
 void LinearRegressor::CheckParamsFinite() {
   for (const double p : params_) {
     if (std::isfinite(p)) continue;

@@ -47,6 +47,7 @@ class RegressionBatch {
     return {data_.data() + i * num_features_, num_features_};
   }
   double target(std::size_t i) const { return targets_[i]; }
+  const std::vector<double>& targets() const { return targets_; }
 
   void clear() {
     data_.clear();
@@ -96,6 +97,16 @@ class LinearRegressor {
   void Fit(const RegressionBatch& batch);
   void FitRows(const RegressionBatch& batch,
                std::span<const std::size_t> rows);
+  // SGD over a gathered row-major tile, in tile order; bit-identical to
+  // FitRows over the gathered rows (see Glm::FitTile).
+  void FitTile(const double* tile, const double* targets, std::size_t n);
+
+  // Per-sample loss and gradient at the current (fixed) parameters over a
+  // tile, four dot products at a time (kernels::DotBatch4); row i is
+  // bit-identical to LossAndGradientOne on that row.
+  void LossAndGradientTile(const double* tile, const double* targets,
+                           std::size_t n, double* loss_out,
+                           double* grad_out) const;
 
   double Predict(std::span<const double> x) const;
 

@@ -44,6 +44,13 @@ void Writer::F64(double v) {
   U64(bits);
 }
 
+void Writer::F32(float v) {
+  std::uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "float must be 32-bit IEEE-754");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U32(bits);
+}
+
 void Writer::Str(const std::string& s) {
   Size(s.size());
   if (!s.empty()) WriteExact(s.data(), s.size());
@@ -75,11 +82,13 @@ void Reader::ReadExact(void* dst, std::size_t n) {
 std::uint32_t Reader::Header() {
   Check(U32() == kMagic, "bad magic: not a DMT model archive");
   const std::uint32_t version = U32();
-  if (version != kFormatVersion) {
+  if (version < kMinReadVersion || version > kFormatVersion) {
     throw SerialError("unsupported archive format version " +
-                      std::to_string(version) + " (this build reads version " +
+                      std::to_string(version) + " (this build reads versions " +
+                      std::to_string(kMinReadVersion) + ".." +
                       std::to_string(kFormatVersion) + ")");
   }
+  version_ = version;
   return U32();
 }
 
@@ -131,6 +140,13 @@ bool Reader::Bool() {
 double Reader::F64() {
   const std::uint64_t bits = U64();
   double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+float Reader::F32() {
+  const std::uint32_t bits = U32();
+  float v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
 }

@@ -40,8 +40,15 @@ constexpr std::uint32_t FourCC(char a, char b, char c, char d) {
 inline constexpr std::uint32_t kMagic = FourCC('D', 'M', 'T', 'S');
 // Version history: 1 = initial format; 2 = dirty-node gain scheduler
 // (per-tree gain_test_every/gain_test_threshold knobs, per-node
-// samples_since_test/loss_since_test accumulators).
-inline constexpr std::uint32_t kFormatVersion = 2;
+// samples_since_test/loss_since_test accumulators); 3 = training hot-path
+// knobs (per-tree order_buckets/candidate_grad_f32) and typed candidate
+// gradients (F32 rows when the store runs in float32 mode).
+inline constexpr std::uint32_t kFormatVersion = 3;
+// Oldest archive version this build still reads. v2 archives decode with
+// the hot-path knobs defaulted off (exact order statistics, f64 candidate
+// gradients), so a restored model continues training exactly as the build
+// that wrote it.
+inline constexpr std::uint32_t kMinReadVersion = 2;
 
 // Shared sanity caps for decoded dimensions. Legitimate models sit far
 // below these; a fuzzer-supplied count above them fails fast instead of
@@ -88,6 +95,7 @@ class Writer {
   void Size(std::size_t v) { U64(static_cast<std::uint64_t>(v)); }
   void Bool(bool v) { U8(v ? 1 : 0); }
   void F64(double v);  // raw IEEE-754 bit pattern
+  void F32(float v);   // raw IEEE-754 bit pattern (f32 candidate gradients)
   void Str(const std::string& s);
   void VecF64(const std::vector<double>& v);
   void VecU64(const std::vector<std::uint64_t>& v);
@@ -106,10 +114,16 @@ class Reader {
  public:
   explicit Reader(std::istream& in) : in_(in) {}
 
-  // Validates magic + version and returns the learner tag.
+  // Validates magic + version and returns the learner tag. Accepts any
+  // version in [kMinReadVersion, kFormatVersion]; the decoded version is
+  // exposed via version() so records can gate fields added in later
+  // versions.
   std::uint32_t Header();
   // Validates magic + version + this exact learner tag.
   void Header(std::uint32_t expected_tag);
+  // Archive format version decoded by Header() (kFormatVersion before any
+  // Header call).
+  std::uint32_t version() const { return version_; }
   std::uint8_t U8();
   std::uint32_t U32();
   std::uint64_t U64();
@@ -120,6 +134,7 @@ class Reader {
   std::size_t Size(std::size_t max);
   bool Bool();  // strict: only 0 or 1 decode
   double F64();
+  float F32();
   std::string Str(std::size_t max_len);
   std::vector<double> VecF64(std::size_t max_len = kMaxVector);
   // Like VecF64 but the archived length must equal `n` exactly.
@@ -130,6 +145,7 @@ class Reader {
  private:
   void ReadExact(void* dst, std::size_t n);
   std::istream& in_;
+  std::uint32_t version_ = kFormatVersion;
 };
 
 }  // namespace dmt::serial

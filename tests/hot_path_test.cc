@@ -1,0 +1,332 @@
+// Conformance for the leaf-tiled training hot path.
+//
+// Three families:
+//  1. Tile vs per-sample bit-identity: FitTile / LossAndGradientTile over a
+//     gathered tile must equal FitRows / LossAndGradientOne over the same
+//     rows EXACTLY (doubles compare with ==), for the binary and softmax
+//     GLM heads and the linear regressor, across empty, single-row,
+//     multiple-of-four and remainder tile sizes. This is the contract that
+//     lets the DMT swap engines without moving a single golden byte.
+//  2. Radix-bucket vs exact-scan proposal agreement: on grid-aligned
+//     feature values (every distinct value in its own bucket) the bucketed
+//     engine must produce the same candidate set as the exact sorted scan,
+//     with statistics equal up to summation order.
+//  3. float32 candidate-gradient accuracy: store-level norm error bounds
+//     and end-to-end F1 agreement between the default (bucketed + f32)
+//     and the pinned exact-f64 configuration.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/core/candidate.h"
+#include "dmt/core/candidate_update.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/eval/prequential.h"
+#include "dmt/linear/glm.h"
+#include "dmt/linear/linear_regressor.h"
+#include "dmt/streams/sea.h"
+
+namespace dmt {
+namespace {
+
+// Tile sizes covering the DotBatch4 edges: empty, below one group, an
+// exact multiple of four, and off-by-one/-three remainders.
+constexpr std::size_t kTileSizes[] = {0, 1, 3, 4, 8, 13};
+
+// --- 1. Tile vs per-sample bit-identity ----------------------------------
+
+void FillClassBatch(Rng* rng, Batch* batch, int m, int c, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x(m);
+    for (double& v : x) v = rng->Uniform();
+    batch->Add(x, static_cast<int>(rng->Uniform() * c) % c);
+  }
+}
+
+void ExpectGlmTileMatchesPerSample(int num_classes) {
+  const int m = 4;
+  linear::GlmConfig config{.num_features = m, .num_classes = num_classes};
+  for (const std::size_t n : kTileSizes) {
+    // Same config + seed: both models start from identical parameters.
+    linear::Glm per_sample(config);
+    linear::Glm tiled(config);
+    const std::size_t k = static_cast<std::size_t>(per_sample.num_params());
+
+    Rng rng(1000 + n);
+    Batch batch(m);
+    FillClassBatch(&rng, &batch, m, num_classes, n);
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+
+    // Reference: the strided per-sample path.
+    per_sample.FitRows(batch, rows);
+    std::vector<double> want_loss(n);
+    std::vector<double> want_grad(n * k);
+    for (std::size_t i = 0; i < n; ++i) {
+      want_loss[i] = per_sample.LossAndGradientOne(
+          batch.row(i), batch.label(i), {want_grad.data() + i * k, k});
+    }
+
+    // Tiled path over the gathered copy of the same rows.
+    std::vector<double> tile(n * m);
+    std::vector<int> labels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> x = batch.row(i);
+      std::copy(x.begin(), x.end(), tile.begin() + i * m);
+      labels[i] = batch.label(i);
+    }
+    tiled.FitTile(tile.data(), labels.data(), n);
+    std::vector<double> got_loss(n);
+    std::vector<double> got_grad(n * k);
+    tiled.LossAndGradientTile(tile.data(), labels.data(), n, got_loss.data(),
+                              got_grad.data());
+
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got_loss[i], want_loss[i])
+          << "c=" << num_classes << " n=" << n << " row " << i;
+      for (std::size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(got_grad[i * k + j], want_grad[i * k + j])
+            << "c=" << num_classes << " n=" << n << " row " << i << " param "
+            << j;
+      }
+    }
+    // Updated parameters must agree bitwise too: probe the full posterior.
+    Rng probe(7);
+    for (int t = 0; t < 50; ++t) {
+      std::vector<double> x(m);
+      for (double& v : x) v = probe.Uniform();
+      const std::vector<double> pa = per_sample.PredictProba(x);
+      const std::vector<double> pb = tiled.PredictProba(x);
+      for (int cc = 0; cc < num_classes; ++cc) {
+        ASSERT_EQ(pa[cc], pb[cc]) << "c=" << num_classes << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(HotPathTest, GlmBinaryTileBitIdenticalToPerSamplePath) {
+  ExpectGlmTileMatchesPerSample(2);
+}
+
+TEST(HotPathTest, GlmSoftmaxTileBitIdenticalToPerSamplePath) {
+  ExpectGlmTileMatchesPerSample(3);
+}
+
+TEST(HotPathTest, RegressorTileBitIdenticalToPerSamplePath) {
+  const int m = 5;
+  linear::LinearRegressorConfig config{.num_features = m};
+  for (const std::size_t n : kTileSizes) {
+    linear::LinearRegressor per_sample(config);
+    linear::LinearRegressor tiled(config);
+    const std::size_t k = static_cast<std::size_t>(per_sample.num_params());
+
+    Rng rng(2000 + n);
+    linear::RegressionBatch batch(m);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<double> x(m);
+      for (double& v : x) v = rng.Uniform();
+      batch.Add(x, 2.0 * x[0] - x[1] + 0.1 * rng.Gaussian());
+    }
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+
+    per_sample.FitRows(batch, rows);
+    std::vector<double> want_loss(n);
+    std::vector<double> want_grad(n * k);
+    for (std::size_t i = 0; i < n; ++i) {
+      want_loss[i] = per_sample.LossAndGradientOne(
+          batch.row(i), batch.target(i), {want_grad.data() + i * k, k});
+    }
+
+    std::vector<double> tile(n * m);
+    std::vector<double> targets(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::span<const double> x = batch.row(i);
+      std::copy(x.begin(), x.end(), tile.begin() + i * m);
+      targets[i] = batch.target(i);
+    }
+    tiled.FitTile(tile.data(), targets.data(), n);
+    std::vector<double> got_loss(n);
+    std::vector<double> got_grad(n * k);
+    tiled.LossAndGradientTile(tile.data(), targets.data(), n, got_loss.data(),
+                              got_grad.data());
+
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got_loss[i], want_loss[i]) << "n=" << n << " row " << i;
+      for (std::size_t j = 0; j < k; ++j) {
+        ASSERT_EQ(got_grad[i * k + j], want_grad[i * k + j])
+            << "n=" << n << " row " << i << " param " << j;
+      }
+    }
+    ASSERT_EQ(tiled.params().size(), per_sample.params().size());
+    for (std::size_t j = 0; j < k; ++j) {
+      ASSERT_EQ(tiled.params()[j], per_sample.params()[j])
+          << "n=" << n << " param " << j;
+    }
+  }
+}
+
+// --- 2. Radix buckets vs exact sorted scan --------------------------------
+
+// Grid-aligned values: with kGrid distinct values and kBuckets >> kGrid
+// every distinct value occupies its own bucket, the per-bucket max IS the
+// group value, and both engines see identical split thresholds. Statistics
+// then differ only by floating-point summation order (the exact scan
+// accumulates row by row in value order; the bucketed engine sums each
+// bucket first), so counts compare exactly and losses/gains to 1e-9.
+constexpr int kGridValues = 10;
+
+double GridValue(Rng* rng) {
+  const int cell = static_cast<int>(rng->Uniform() * kGridValues) %
+                   kGridValues;
+  return (2.0 * cell + 1.0) / (2.0 * kGridValues);  // 0.05, 0.15, ... 0.95
+}
+
+TEST(HotPathTest, RadixProposalsMatchExactScanOnGridValues) {
+  const int m = 2;
+  const int c = 2;
+  linear::GlmConfig glm_config{.num_features = m, .num_classes = c};
+
+  core::CandidateUpdateParams exact_params;
+  exact_params.num_features = m;
+  exact_params.max_candidates = 4096;  // never full: no replacement races
+  exact_params.max_proposals_per_feature = 0;  // stride 1 on both engines
+  exact_params.gradient_step_size = 0.2;
+  exact_params.order_buckets = 0;
+  core::CandidateUpdateParams bucket_params = exact_params;
+  bucket_params.order_buckets = 4096;
+
+  linear::Glm exact_model(glm_config);
+  linear::Glm bucket_model(glm_config);
+  const std::size_t k = static_cast<std::size_t>(exact_model.num_params());
+  core::CandidateStore exact_store(k);
+  core::CandidateStore bucket_store(k);
+  core::TrainScratch exact_scratch;
+  core::TrainScratch bucket_scratch;
+  double exact_loss = 0.0, bucket_loss_sum = 0.0;
+  std::vector<double> exact_grad(k, 0.0), bucket_grad(k, 0.0);
+  double exact_count = 0.0, bucket_count = 0.0;
+
+  Rng rng(55);
+  for (int b = 0; b < 3; ++b) {  // batch 2+ also exercises stored scatter
+    Batch batch(m);
+    for (int i = 0; i < 200; ++i) {
+      std::vector<double> x = {GridValue(&rng), GridValue(&rng)};
+      batch.Add(x, x[0] + x[1] > 1.0 ? 1 : 0);
+    }
+    std::vector<std::size_t> rows(batch.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+
+    core::BeginFeatureOrders(batch, m, &exact_scratch);
+    const double lb_exact = core::AccumulateNodeStatistics(
+        batch, rows, &exact_model, &exact_loss, exact_grad, &exact_count,
+        &exact_scratch);
+    core::ScatterAndPropose(exact_params, batch, rows, lb_exact, exact_loss,
+                            exact_grad, exact_count, &exact_store,
+                            &exact_scratch);
+
+    core::BeginFeatureOrders(batch, m, &bucket_scratch);
+    const double lb_bucket = core::AccumulateNodeStatistics(
+        batch, rows, &bucket_model, &bucket_loss_sum, bucket_grad,
+        &bucket_count, &bucket_scratch);
+    core::ScatterAndPropose(bucket_params, batch, rows, lb_bucket,
+                            bucket_loss_sum, bucket_grad, bucket_count,
+                            &bucket_store, &bucket_scratch);
+    ASSERT_EQ(lb_bucket, lb_exact) << "batch " << b;
+  }
+
+  // Same candidate set (keys are exact doubles on both engines) ...
+  ASSERT_GT(exact_store.size(), 0u);
+  ASSERT_EQ(bucket_store.size(), exact_store.size());
+  std::map<std::pair<int, double>, std::size_t> exact_keys;
+  for (std::size_t i = 0; i < exact_store.size(); ++i) {
+    exact_keys[{exact_store.feature(i), exact_store.value(i)}] = i;
+  }
+  for (std::size_t i = 0; i < bucket_store.size(); ++i) {
+    const auto it = exact_keys.find(
+        {bucket_store.feature(i), bucket_store.value(i)});
+    ASSERT_NE(it, exact_keys.end())
+        << "bucketed candidate (" << bucket_store.feature(i) << ", "
+        << bucket_store.value(i) << ") missing from the exact scan";
+    const std::size_t e = it->second;
+    // ... with identical membership counts and order-tolerant statistics.
+    EXPECT_EQ(bucket_store.count(i), exact_store.count(e));
+    EXPECT_NEAR(bucket_store.loss(i), exact_store.loss(e),
+                1e-9 * std::max(1.0, std::abs(exact_store.loss(e))));
+    EXPECT_NEAR(bucket_store.GradSquaredNorm(i),
+                exact_store.GradSquaredNorm(e),
+                1e-9 * std::max(1.0, exact_store.GradSquaredNorm(e)));
+    const double exact_gain =
+        core::CandidateGain(exact_store, e, exact_loss, exact_grad,
+                            exact_count, exact_loss, 0.2);
+    const double bucket_gain =
+        core::CandidateGain(bucket_store, i, bucket_loss_sum, bucket_grad,
+                            bucket_count, bucket_loss_sum, 0.2);
+    EXPECT_NEAR(bucket_gain, exact_gain,
+                1e-9 * std::max(1.0, std::abs(exact_gain)));
+  }
+}
+
+// --- 3. float32 candidate gradients ---------------------------------------
+
+// Store-level bound: after many accumulations the f32 store's norms must
+// track the f64 reference within the float32 relative-error envelope
+// (one rounding per element per update; errors accumulate at most
+// linearly, so ~updates * 2^-24 relative, far below the 1e-4 asserted).
+TEST(HotPathTest, Float32StoreNormsTrackFloat64) {
+  const std::size_t k = 12;
+  core::CandidateStore f64(k, /*grad_f32=*/false);
+  core::CandidateStore f32(k, /*grad_f32=*/true);
+  EXPECT_FALSE(f64.grad_f32());
+  EXPECT_TRUE(f32.grad_f32());
+  f64.Append(0, 0.5);
+  f32.Append(0, 0.5);
+
+  Rng rng(99);
+  std::vector<double> g(k);
+  std::vector<double> node_grad(k, 0.25);
+  for (int step = 0; step < 500; ++step) {
+    for (double& v : g) v = rng.Uniform() * 0.02 - 0.01;
+    f64.AccumulateGrad(0, g);
+    f32.AccumulateGrad(0, g);
+  }
+  const double want = f64.GradSquaredNorm(0);
+  const double got = f32.GradSquaredNorm(0);
+  ASSERT_GT(want, 0.0);
+  EXPECT_NEAR(got, want, 1e-4 * want);
+  const double want_diff = f64.GradSquaredNormDiff(node_grad, 0);
+  const double got_diff = f32.GradSquaredNormDiff(node_grad, 0);
+  EXPECT_NEAR(got_diff, want_diff, 1e-4 * std::max(1.0, want_diff));
+}
+
+// End-to-end: the new defaults (256 radix buckets + f32 gradients) must
+// track the pinned exact-f64 configuration on SEA -- same scheduler, only
+// the hot-path knobs differ. The 0.01 band is the acceptance bar for the
+// bucketed-default Table II golden.
+TEST(HotPathTest, BucketedF32DefaultsTrackExactQualityOnSea) {
+  auto run = [](std::size_t buckets, bool f32) {
+    streams::SeaConfig sea;
+    sea.total_samples = 10'000;
+    sea.seed = 42;
+    streams::SeaGenerator stream(sea);
+    core::DmtConfig config{.num_features = 3, .num_classes = 2};
+    config.order_buckets = buckets;
+    config.candidate_grad_f32 = f32;
+    core::DynamicModelTree model(config);
+    eval::PrequentialConfig eval_config;
+    eval_config.expected_samples = sea.total_samples;
+    return eval::RunPrequential(&stream, &model, eval_config).f1.mean();
+  };
+  const double pinned = run(0, false);
+  const double bucketed_f32 = run(256, true);
+  EXPECT_NEAR(bucketed_f32, pinned, 0.01);
+}
+
+}  // namespace
+}  // namespace dmt

@@ -96,6 +96,64 @@ TEST(IsaToleranceTest, ReductionKernelsMatchReferenceLoops) {
   }
 }
 
+// DotBatch4 promises more than tolerance: each lane must be BIT-identical
+// to a plain Dot over its row, on every ISA (the AVX2 variant keeps one
+// accumulator per lane in strict i-order; the ILP is across rows, never
+// within a reduction). The leaf-tiled trainer leans on this for
+// tile-vs-per-sample bit-identity, so this is EXPECT_EQ, not NEAR.
+TEST(IsaToleranceTest, DotBatch4BitIdenticalToFourDots) {
+  Rng rng(33);
+  for (const std::size_t n : kSizes) {
+    const std::size_t stride = n + 3;  // padded rows: stride > n
+    std::vector<double> tile(4 * stride);
+    for (double& v : tile) v = rng.Uniform() * 2.0 - 1.0;
+    const std::vector<double> w = RandomVector(&rng, n);
+
+    double out[4] = {0.0, 0.0, 0.0, 0.0};
+    kernels::DotBatch4(tile.data(), stride, w.data(), n, out);
+    for (std::size_t t = 0; t < 4; ++t) {
+      const double want = kernels::Dot(tile.data() + t * stride, w.data(), n);
+      EXPECT_EQ(out[t], want) << "lane " << t << " n=" << n << " ISA "
+                              << kernels::IsaName();
+    }
+  }
+}
+
+// Float32 candidate-gradient kernels: storage is float, every arithmetic
+// operation is double (widen, operate, round once back on store). The
+// reference loops spell that contract out element by element.
+TEST(IsaToleranceTest, Float32GradientKernelsMatchReferenceLoops) {
+  Rng rng(34);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> x = RandomVector(&rng, n);
+    const std::vector<double> a = RandomVector(&rng, n);
+
+    std::vector<float> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y[i] = static_cast<float>(rng.Uniform() * 2.0 - 1.0);
+    }
+    std::vector<float> y_ref = y;
+    kernels::AddToF32(y.data(), x.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      y_ref[i] = static_cast<float>(static_cast<double>(y_ref[i]) + x[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y[i], y_ref[i]) << "AddToF32 n=" << n << " i=" << i;
+    }
+
+    double sq = 0.0, sqdiff = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = static_cast<double>(y[i]);
+      sq += d * d;
+      const double e = a[i] - d;
+      sqdiff += e * e;
+    }
+    ExpectNear(kernels::SquaredNormF32(y.data(), n), sq, "SquaredNormF32", n);
+    ExpectNear(kernels::SquaredNormDiffF32(a.data(), y.data(), n), sqdiff,
+               "SquaredNormDiffF32", n);
+  }
+}
+
 // End-to-end quality pin: a prequential DMT run on SEA must land in a band
 // wide enough to absorb any legitimate ISA-induced rounding drift but
 // narrow enough to catch a broken kernel (which collapses F1 toward

@@ -509,7 +509,9 @@ TEST(SnapshotDecodeHeaderTest, BadMagicThrows) {
 
 TEST(SnapshotDecodeHeaderTest, VersionSkewThrows) {
   const std::string bytes = SmallArchive("GLM");
-  for (const std::uint32_t version : {0u, 1u, 3u, 0xFFFFFFFFu}) {
+  // 2 (kMinReadVersion) and 3 (kFormatVersion) decode; everything else
+  // must be rejected at the header.
+  for (const std::uint32_t version : {0u, 1u, 4u, 0xFFFFFFFFu}) {
     std::string mutated = bytes;
     // The u32 version field sits right after the 4-byte magic (LE).
     mutated[4] = static_cast<char>(version & 0xFF);
@@ -665,6 +667,63 @@ TEST_P(GoldenArchiveTest, PinnedFormatStillDecodesAndReproduces) {
 
 INSTANTIATE_TEST_SUITE_P(AllClassifiers, GoldenArchiveTest,
                          ::testing::ValuesIn(kAllClassifiers));
+
+// --- Backward compatibility: version-2 archives still load ----------------
+//
+// bench/goldens/compat/<learner>_v2.dmts are frozen format-version-2
+// archives (the pre-hot-path format: no order_buckets /
+// candidate_grad_f32 config fields, full-f64 candidate gradients). A v3
+// reader must keep decoding them -- kMinReadVersion stays at 2 -- and a
+// restored model must keep training and re-save as a well-formed v3
+// archive. These files are never regenerated; they pin the old bytes.
+
+class V2CompatTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(V2CompatTest, Version2ArchiveLoadsTrainsAndResavesAsV3) {
+  const std::string name = GetParam();
+  const std::string path = std::string(DMT_SOURCE_DIR) +
+                           "/bench/goldens/compat/" + SanitizeName(name) +
+                           "_v2.dmts";
+  std::ifstream in_file(path, std::ios::binary);
+  ASSERT_TRUE(in_file) << "missing frozen v2 archive " << path;
+  std::stringstream buffer;
+  buffer << in_file.rdbuf();
+  const std::string v2_bytes = buffer.str();
+  ASSERT_GE(v2_bytes.size(), 8u);
+  ASSERT_EQ(static_cast<unsigned char>(v2_bytes[4]), 2u)
+      << path << " is not a version-2 archive; compat files are frozen "
+      << "and must never be regenerated";
+
+  std::unique_ptr<Classifier> model = Restore(v2_bytes);
+  ASSERT_NE(model, nullptr) << name;
+
+  // The restore must keep learning (a v2 DMT continues with the archived
+  // exact-scan / f64 candidate semantics) and keep predicting sanely.
+  Rng rng(977);
+  const int m = 3;  // the canonical golden recipe trains on 3 features
+  for (int b = 0; b < 5; ++b) {
+    Batch batch(m);
+    FillConcept(&rng, &batch, m, model->num_classes(), 160, false);
+    model->PartialFit(batch);
+  }
+  std::vector<double> x = {0.25, 0.75, 0.5};
+  const std::vector<double> proba = model->PredictProba(x);
+  double sum = 0.0;
+  for (const double p : proba) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9) << name;
+
+  // Re-saving writes the current format; the new archive must self-identify
+  // as v3 and round-trip bit-identically through the v3 reader.
+  const std::string v3_bytes = SnapshotOf(*model);
+  ASSERT_GE(v3_bytes.size(), 8u);
+  EXPECT_EQ(static_cast<unsigned char>(v3_bytes[4]), 3u) << name;
+  std::unique_ptr<Classifier> reloaded = Restore(v3_bytes);
+  ASSERT_NE(reloaded, nullptr) << name;
+  EXPECT_EQ(SnapshotOf(*reloaded), v3_bytes) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(FrozenV2, V2CompatTest,
+                         ::testing::Values("DMT", "GLM", "ARF"));
 
 }  // namespace
 }  // namespace dmt
