@@ -22,6 +22,7 @@
 #ifndef DMT_BENCH_BENCH_JSON_H_
 #define DMT_BENCH_BENCH_JSON_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -43,7 +44,13 @@ class JsonBenchWriter {
                       model + "\"";
     char buffer[64];
     for (const auto& [name, value] : metrics) {
-      std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      // JSON has no NaN/Inf literals; a non-finite metric (possible under
+      // fault injection) becomes null instead of corrupting the document.
+      if (!std::isfinite(value)) {
+        std::snprintf(buffer, sizeof(buffer), "null");
+      } else {
+        std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+      }
       row += ", \"" + name + "\": " + buffer;
     }
     row += "}";

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "dmt/common/parse.h"
 #include "dmt/common/random.h"
 #include "dmt/obs/telemetry.h"
 #include "dmt/common/thread_pool.h"
@@ -54,24 +55,50 @@ std::string SanitizeName(const std::string& name) {
   return safe;
 }
 
+// FNV-1a over the raw (unsanitized) names, rendered as 8 hex digits: the
+// collision-breaking suffix for ArtifactStem. Deliberately not std::hash
+// (implementation-defined across standard libraries); artifact names must
+// be stable across platforms.
+std::string RawNameHash(const std::string& raw) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : raw) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%08x",
+                static_cast<unsigned>(h ^ (h >> 32)));
+  return buffer;
+}
+
 // One TELEMETRY_<dataset>__<model>.json per computed cell, next to the
-// BENCH_*.json outputs the table binaries write.
+// BENCH_*.json outputs the table binaries write. Stems are disambiguated
+// through ArtifactStem, so two distinct model names that sanitize equal
+// ("VFDT(MC)" vs "VFDT_MC_") can never silently overwrite each other.
 void WriteTelemetryArtifacts(const std::vector<CellResult>& results,
                              const Options& options) {
   std::error_code ec;
   std::filesystem::create_directories(options.telemetry_dir, ec);
+  std::map<std::string, std::string> used_stems;
   for (const CellResult& cell : results) {
     if (cell.telemetry_json.empty()) continue;
     const std::filesystem::path path =
         std::filesystem::path(options.telemetry_dir) /
-        ("TELEMETRY_" + SanitizeName(cell.dataset) + "__" +
-         SanitizeName(cell.model) + ".json");
+        ("TELEMETRY_" + ArtifactStem(cell.dataset, cell.model, &used_stems) +
+         ".json");
     std::ofstream out(path);
     if (!out) {
       std::fprintf(stderr, "[sweep] cannot write %s\n", path.string().c_str());
       continue;
     }
     out << cell.telemetry_json;
+    // Streaming can fail after a successful open (disk full, quota); a
+    // silent half-written artifact would poison downstream dashboards.
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "[sweep] write failed for %s\n",
+                   path.string().c_str());
+    }
   }
 }
 
@@ -100,6 +127,23 @@ constexpr const char kUsage[] =
 
 }  // namespace
 
+std::string ArtifactStem(const std::string& dataset, const std::string& model,
+                         std::map<std::string, std::string>* used) {
+  const std::string raw = dataset + "/" + model;
+  std::string stem = SanitizeName(dataset) + "__" + SanitizeName(model);
+  if (used != nullptr) {
+    auto [it, inserted] = used->emplace(stem, raw);
+    if (!inserted && it->second != raw) {
+      // A *different* raw pair already owns this stem (sanitization is
+      // lossy): append a stable hash of the raw names. Repeats of the same
+      // pair keep the plain stem (idempotent within one sweep).
+      stem += "_" + RawNameHash(raw);
+      (*used)[stem] = raw;
+    }
+  }
+  return stem;
+}
+
 Options ParseOptions(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
@@ -108,16 +152,34 @@ Options ParseOptions(int argc, char** argv) {
       if (i + 1 >= argc) UsageError("missing value for " + arg);
       return argv[++i];
     };
+    // Strict numeric values: "--samples abc", "--jobs ''" and
+    // "--cell-timeout nan" are usage errors (exit 2), never a silent 0.
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string value = next();
+      const std::optional<std::uint64_t> parsed = ParseU64(value);
+      if (!parsed) {
+        UsageError("bad numeric value for " + arg + ": '" + value + "'");
+      }
+      return *parsed;
+    };
+    auto next_double = [&]() -> double {
+      const std::string value = next();
+      const std::optional<double> parsed = ParseDouble(value);
+      if (!parsed) {
+        UsageError("bad numeric value for " + arg + ": '" + value + "'");
+      }
+      return *parsed;
+    };
     if (arg == "--samples") {
-      options.max_samples = std::strtoull(next().c_str(), nullptr, 10);
+      options.max_samples = next_u64();
     } else if (arg == "--seed") {
-      options.seed = std::strtoull(next().c_str(), nullptr, 10);
+      options.seed = next_u64();
     } else if (arg == "--datasets") {
       options.datasets = SplitCsv(next());
     } else if (arg == "--models") {
       options.models = SplitCsv(next());
     } else if (arg == "--jobs") {
-      options.jobs = std::strtoull(next().c_str(), nullptr, 10);
+      options.jobs = next_u64();
     } else if (arg == "--no-cache") {
       options.use_cache = false;
     } else if (arg == "--member-parallel") {
@@ -153,27 +215,30 @@ Options ParseOptions(int argc, char** argv) {
         UsageError(std::string("bad --bad-input value: ") + e.what());
       }
     } else if (arg == "--cell-timeout") {
-      options.cell_timeout_seconds = std::strtod(next().c_str(), nullptr);
+      options.cell_timeout_seconds = next_double();
+      if (options.cell_timeout_seconds < 0.0) {
+        UsageError("--cell-timeout must be >= 0");
+      }
     } else if (arg == "--resume") {
       options.resume = true;
     } else if (arg == "--snapshot-every") {
-      options.snapshot_every = std::strtoull(next().c_str(), nullptr, 10);
+      options.snapshot_every = next_u64();
     } else if (arg == "--snapshot-dir") {
       options.snapshot_dir = next();
     } else if (arg == "--dmt-exact") {
       options.dmt_exact = true;
     } else if (arg == "--dmt-gain-every") {
-      options.dmt_gain_every = std::strtoull(next().c_str(), nullptr, 10);
+      options.dmt_gain_every = next_u64();
       if (options.dmt_gain_every < 1) {
         UsageError("--dmt-gain-every must be >= 1");
       }
     } else if (arg == "--dmt-gain-threshold") {
-      options.dmt_gain_threshold = std::strtod(next().c_str(), nullptr);
+      options.dmt_gain_threshold = next_double();
       if (!(options.dmt_gain_threshold >= 0.0)) {
         UsageError("--dmt-gain-threshold must be >= 0");
       }
     } else if (arg == "--dmt-buckets") {
-      options.dmt_buckets = std::strtoull(next().c_str(), nullptr, 10);
+      options.dmt_buckets = next_u64();
       if (options.dmt_buckets > (std::size_t{1} << 20)) {
         UsageError("--dmt-buckets must be <= 2^20");
       }

@@ -92,6 +92,7 @@
 #ifndef DMT_BENCH_HARNESS_H_
 #define DMT_BENCH_HARNESS_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -232,6 +233,18 @@ std::vector<streams::DatasetSpec> SelectedDatasets(const Options& options);
 // if the counter is absent (or the cell ran without --telemetry).
 std::uint64_t CounterFromJson(const std::string& counters_json,
                               const std::string& name);
+
+// File-name-safe artifact stem for a (dataset, model) cell:
+// non-alphanumerics (except '-') become '_', e.g. "SEA__VFDT_MC_" for
+// ("SEA", "VFDT(MC)"). The sanitization is lossy -- "VFDT(MC)" and the
+// literal name "VFDT_MC_" collapse to the same stem -- so `used` tracks
+// every stem handed out so far (stem -> raw "dataset/model" key): on a
+// collision with a *different* raw pair, a short FNV-1a hash of the raw
+// names is appended, guaranteeing distinct cells never share an artifact
+// path. Deterministic: depends only on the raw names and call order (the
+// sweep's cell order is fixed), never on threads or timing.
+std::string ArtifactStem(const std::string& dataset, const std::string& model,
+                         std::map<std::string, std::string>* used);
 
 // Per-cell robustness counters (the inject.* fault tallies and glm.resets)
 // as a CSV block on stdout, one row per cell that has any. The figure

@@ -1,0 +1,41 @@
+#include "dmt/common/parse.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace dmt {
+
+std::optional<std::uint64_t> ParseU64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  // strtoull accepts leading whitespace and a sign (including '-', which it
+  // silently negates modulo 2^64); both are garbage for a flag value.
+  const char first = text.front();
+  if (first < '0' || first > '9') return std::nullopt;
+  const std::string buffer(text);  // NUL-terminate for strtoull
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) return std::nullopt;
+  if (end != buffer.c_str() + buffer.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(value);
+}
+
+std::optional<double> ParseDouble(std::string_view text, bool require_finite) {
+  if (text.empty()) return std::nullopt;
+  // Leading whitespace is strtod-legal but flag/protocol garbage.
+  const char first = text.front();
+  if (first == ' ' || first == '\t') return std::nullopt;
+  const std::string buffer(text);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size() || end == buffer.c_str()) {
+    return std::nullopt;
+  }
+  if (require_finite && !std::isfinite(value)) return std::nullopt;
+  return value;
+}
+
+}  // namespace dmt

@@ -1,5 +1,6 @@
 #include "dmt/obs/telemetry.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace dmt::obs {
@@ -16,6 +17,14 @@ void AppendQuoted(std::string* out, const std::string& name) {
 }
 
 void AppendDouble(std::string* out, double value) {
+  // JSON has no NaN/Inf literals; "%.17g" would print bare `nan` / `inf`
+  // and make the whole document unparseable (seen under fault injection,
+  // where a gauge can legitimately hold a poisoned value). Emit null: the
+  // reader keeps the key and sees an explicit "no finite value" marker.
+  if (!std::isfinite(value)) {
+    out->append("null");
+    return;
+  }
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.17g", value);
   out->append(buffer);

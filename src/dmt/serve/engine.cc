@@ -1,0 +1,398 @@
+#include "dmt/serve/engine.h"
+
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "dmt/common/random.h"
+#include "dmt/serial/model_io.h"
+
+namespace dmt::serve {
+
+namespace {
+
+// Stable stream-id -> shard hash (FNV-1a, SplitMix64-finalized). Must not
+// depend on anything but the id bytes: a stream's model identity survives
+// process restarts and shard-count changes only because its *seed* comes
+// from DeriveSeed(engine seed, id), but its shard home may legitimately
+// move when num_shards changes.
+std::size_t ShardOf(const std::string& id, std::size_t num_shards) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : id) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(SplitMix64(h) % num_shards);
+}
+
+void AppendG(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(ServeConfig config) : config_(std::move(config)) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.batch_window == 0) config_.batch_window = 1;
+  if (config_.queue_capacity == 0) {
+    config_.queue_capacity = config_.batch_window;
+  }
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->scratch_batch =
+        Batch(static_cast<std::size_t>(config_.num_features));
+    shards_.push_back(std::move(shard));
+  }
+  shard_queues_.resize(config_.num_shards);
+  if (config_.num_shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_shards);
+  }
+}
+
+ServeEngine::~ServeEngine() = default;
+
+ServeEngine::StreamState* ServeEngine::FindOrCreateStream(
+    const std::string& id) {
+  const auto it = streams_.find(id);
+  if (it != streams_.end()) return &it->second;
+  StreamState state;
+  state.id = id;
+  state.shard = ShardOf(id, shards_.size());
+  // Seeded from the stream identity alone: the same id always gets the
+  // same model no matter which shard hosts it or when it first appeared.
+  state.model = config_.factory(id, DeriveSeed(config_.seed, id));
+  state.model->AttachTelemetry(&shards_[state.shard]->telemetry);
+  ++shards_[state.shard]->num_streams;
+  ++streams_created_;
+  return &streams_.emplace(id, std::move(state)).first->second;
+}
+
+void ServeEngine::RouteRequest(Request&& request, std::size_t slot) {
+  if (request.verb == Verb::kStats) {
+    responses_[slot] = StatsLine();
+    return;
+  }
+  if (request.verb == Verb::kSnapshot && !streams_.count(request.stream_id)) {
+    responses_[slot] = "ERR unknown_stream " + request.stream_id;
+    return;
+  }
+  StreamState* stream = FindOrCreateStream(request.stream_id);
+  Shard* shard = shards_[stream->shard].get();
+
+  // Bad-input policy, applied at routing so every request's response is
+  // fully determined by the request sequence. Train rows carry the label
+  // as the last value; a bad label can never be imputed.
+  if (request.verb == Verb::kTrain || request.verb == Verb::kScore) {
+    const std::size_t features = static_cast<std::size_t>(
+        config_.num_features);
+    double bad_value = 0.0;
+    bool row_bad = false;
+    for (std::size_t i = 0; i < features; ++i) {
+      if (!std::isfinite(request.values[i])) {
+        bad_value = request.values[i];
+        row_bad = true;
+        if (config_.bad_input_policy == BadInputPolicy::kImputeMidpoint) {
+          request.values[i] = 0.0;
+          ++values_imputed_;
+        }
+      }
+    }
+    bool label_bad = false;
+    if (request.verb == Verb::kTrain) {
+      const double label = request.values.back();
+      label_bad = !std::isfinite(label) || label != std::floor(label) ||
+                  label < 0.0 ||
+                  label >= static_cast<double>(config_.num_classes);
+    }
+    if (row_bad || label_bad) {
+      ++bad_rows_;
+      *shard->bad_rows += 1;
+      // The gauge holds the offending value verbatim -- possibly NaN/Inf;
+      // the JSON exporter must render it as null, not as bare `nan`.
+      *shard->last_bad_value = label_bad ? request.values.back() : bad_value;
+    }
+    const bool drop_row =
+        label_bad || (row_bad && config_.bad_input_policy !=
+                                     BadInputPolicy::kImputeMidpoint);
+    if (drop_row) {
+      const char* what = request.verb == Verb::kTrain ? "train" : "score";
+      if (config_.bad_input_policy == BadInputPolicy::kThrow) {
+        responses_[slot] =
+            "ERR bad_row " + std::string(what) + " " + request.stream_id;
+      } else {
+        responses_[slot] =
+            "OK " + std::string(what) + " " + request.stream_id + " dropped";
+      }
+      return;
+    }
+  }
+
+  // Explicit back-pressure: a full shard queue rejects instead of growing
+  // without bound; the client owns the retry (next window is one barrier
+  // away, hence retry-after=1).
+  std::vector<Routed>& queue = shard_queues_[stream->shard];
+  if (queue.size() >= config_.queue_capacity) {
+    ++rejected_;
+    *shard->rejected += 1;
+    responses_[slot] = "ERR retry-after=1 " + request.stream_id + " shard=" +
+                       std::to_string(stream->shard) + " queue_full";
+    return;
+  }
+
+  Routed routed;
+  routed.verb = request.verb;
+  routed.stream = stream;
+  routed.slot = slot;
+  routed.values = std::move(request.values);
+  routed.path = std::move(request.path);
+  switch (request.verb) {
+    case Verb::kTrain:
+      routed.ordinal = ++stream->rows_trained;
+      ++train_rows_;
+      break;
+    case Verb::kScore:
+      ++score_rows_;
+      break;
+    case Verb::kSnapshot:
+      ++snapshots_;
+      break;
+    case Verb::kRestore:
+      ++restores_;
+      break;
+    default:
+      break;
+  }
+  queue.push_back(std::move(routed));
+}
+
+void ServeEngine::ServeLine(std::string_view line, std::ostream& out) {
+  ++requests_;
+  Request request;
+  std::string error;
+  const bool parsed =
+      ParseRequestLine(line, config_.num_features, &request, &error);
+  if (parsed && request.verb == Verb::kDrop) {
+    // A drop is a window boundary: everything routed so far (possibly
+    // including requests for this stream) executes first, then the stream
+    // is destroyed on the routing thread while no shard task is running.
+    // Its response is emitted directly -- still in request order, right
+    // after the flushed window's responses.
+    Flush(out);
+    const auto it = streams_.find(request.stream_id);
+    if (it == streams_.end()) {
+      out << "ERR unknown_stream " << request.stream_id << '\n';
+    } else {
+      --shards_[it->second.shard]->num_streams;
+      streams_.erase(it);
+      ++drops_;
+      out << "OK drop " << request.stream_id << '\n';
+    }
+    return;
+  }
+  const std::size_t slot = responses_.size();
+  responses_.emplace_back();
+  if (!parsed) {
+    ++parse_errors_;
+    responses_[slot] = "ERR parse " + error;
+  } else {
+    RouteRequest(std::move(request), slot);
+  }
+  if (responses_.size() >= config_.batch_window) Flush(out);
+}
+
+void ServeEngine::Flush(std::ostream& out) {
+  bool any = false;
+  for (const std::vector<Routed>& queue : shard_queues_) {
+    if (!queue.empty()) any = true;
+  }
+  if (any) {
+    if (pool_ != nullptr) {
+      std::vector<std::future<void>> futures;
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (shard_queues_[s].empty()) continue;
+        Shard* shard = shards_[s].get();
+        std::vector<Routed>* items = &shard_queues_[s];
+        futures.push_back(
+            pool_->Submit([this, shard, items]() { ProcessShard(shard, items); }));
+      }
+      for (std::future<void>& future : futures) {
+        GetHelping(pool_.get(), &future);
+      }
+    } else {
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        if (!shard_queues_[s].empty()) {
+          ProcessShard(shards_[s].get(), &shard_queues_[s]);
+        }
+      }
+    }
+    for (std::vector<Routed>& queue : shard_queues_) queue.clear();
+  }
+  for (const std::string& response : responses_) out << response << '\n';
+  if (!responses_.empty()) out.flush();
+  responses_.clear();
+  ++windows_;
+  if (config_.exporter != nullptr && config_.export_every > 0 &&
+      windows_ % config_.export_every == 0) {
+    ExportTelemetry();
+  }
+}
+
+void ServeEngine::ProcessShard(Shard* shard, std::vector<Routed>* items) {
+  // Regroup per stream, preserving each stream's own request order but
+  // ignoring interleaving by other streams: streams are independent, so
+  // this is semantically equivalent to global order -- and it makes run
+  // coalescing identical at any shard count (see the header contract).
+  std::vector<std::vector<Routed*>> per_stream;
+  std::unordered_map<const StreamState*, std::size_t> stream_index;
+  for (Routed& item : *items) {
+    const auto [it, inserted] =
+        stream_index.emplace(item.stream, per_stream.size());
+    if (inserted) per_stream.emplace_back();
+    per_stream[it->second].push_back(&item);
+  }
+
+  const std::size_t features = static_cast<std::size_t>(config_.num_features);
+  for (std::vector<Routed*>& sequence : per_stream) {
+    std::size_t i = 0;
+    while (i < sequence.size()) {
+      Routed* head = sequence[i];
+      StreamState* stream = head->stream;
+      if (head->verb == Verb::kTrain || head->verb == Verb::kScore) {
+        // Maximal same-verb run of this stream -> one batched model call.
+        std::size_t end = i;
+        while (end < sequence.size() && sequence[end]->verb == head->verb) {
+          ++end;
+        }
+        Batch& batch = shard->scratch_batch;
+        batch.clear();
+        for (std::size_t j = i; j < end; ++j) {
+          const std::vector<double>& values = sequence[j]->values;
+          batch.Add(std::span<const double>(values.data(), features),
+                    head->verb == Verb::kTrain
+                        ? static_cast<int>(values[features])
+                        : 0);
+        }
+        if (head->verb == Verb::kTrain) {
+          try {
+            stream->model->PartialFit(batch);
+            *shard->train_rows += batch.size();
+            for (std::size_t j = i; j < end; ++j) {
+              responses_[sequence[j]->slot] =
+                  "OK train " + stream->id +
+                  " n=" + std::to_string(sequence[j]->ordinal);
+            }
+          } catch (const std::exception& e) {
+            for (std::size_t j = i; j < end; ++j) {
+              responses_[sequence[j]->slot] =
+                  std::string("ERR train ") + e.what();
+            }
+          }
+        } else {
+          try {
+            stream->model->PredictBatch(batch, &shard->scratch_proba);
+            *shard->score_rows += batch.size();
+            for (std::size_t j = i; j < end; ++j) {
+              const std::span<const double> proba =
+                  shard->scratch_proba.row(j - i);
+              std::string& response = responses_[sequence[j]->slot];
+              response = "OK score " + stream->id + " pred=" +
+                         std::to_string(ArgMax(proba)) + " p=";
+              for (std::size_t c = 0; c < proba.size(); ++c) {
+                if (c > 0) response.push_back(',');
+                AppendG(&response, proba[c]);
+              }
+            }
+          } catch (const std::exception& e) {
+            for (std::size_t j = i; j < end; ++j) {
+              responses_[sequence[j]->slot] =
+                  std::string("ERR score ") + e.what();
+            }
+          }
+        }
+        i = end;
+        continue;
+      }
+      if (head->verb == Verb::kSnapshot) {
+        try {
+          serial::SaveClassifierToFile(*stream->model, head->path);
+          *shard->snapshots += 1;
+          responses_[head->slot] =
+              "OK snapshot " + stream->id + " " + head->path;
+        } catch (const std::exception& e) {
+          responses_[head->slot] = std::string("ERR snapshot ") + e.what();
+        }
+      } else {  // kRestore: blue-green -- decode fully, then swap
+        try {
+          std::unique_ptr<Classifier> loaded =
+              serial::LoadClassifierFromFile(head->path);
+          if (loaded->num_classes() != config_.num_classes) {
+            responses_[head->slot] =
+                "ERR restore archive has " +
+                std::to_string(loaded->num_classes()) + " classes, engine " +
+                std::to_string(config_.num_classes);
+          } else {
+            loaded->AttachTelemetry(&shard->telemetry);
+            stream->model = std::move(loaded);
+            *shard->restores += 1;
+            responses_[head->slot] = "OK restore " + stream->id;
+          }
+        } catch (const std::exception& e) {
+          responses_[head->slot] = std::string("ERR restore ") + e.what();
+        }
+      }
+      ++i;
+    }
+  }
+}
+
+void ServeEngine::ExportTelemetry() {
+  ++exporter_flushes_;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    config_.exporter->WriteLine(shards_[s]->ExportLine(s, exporter_flushes_));
+  }
+}
+
+std::string ServeEngine::StatsLine() const {
+  // Routing-time tallies only: everything here is a pure function of the
+  // request sequence, so `stats` responses match at any shard count.
+  std::string line = "OK stats {";
+  const auto field = [&line](const char* name, std::uint64_t value,
+                             bool first = false) {
+    if (!first) line += ", ";
+    line += std::string("\"") + name + "\": " + std::to_string(value);
+  };
+  field("streams", streams_.size(), /*first=*/true);
+  field("streams_created", streams_created_);
+  field("requests", requests_);
+  field("train_rows", train_rows_);
+  field("score_rows", score_rows_);
+  field("bad_rows", bad_rows_);
+  field("values_imputed", values_imputed_);
+  field("rejected", rejected_);
+  field("parse_errors", parse_errors_);
+  field("snapshots", snapshots_);
+  field("restores", restores_);
+  field("drops", drops_);
+  field("windows", windows_);
+  line += "}";
+  return line;
+}
+
+void ServeEngine::Finish(std::ostream& out) {
+  Flush(out);
+  if (config_.exporter != nullptr) ExportTelemetry();
+}
+
+void ServeEngine::RunScript(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) ServeLine(line, out);
+  Finish(out);
+}
+
+}  // namespace dmt::serve

@@ -1,0 +1,165 @@
+// Multi-tenant stream-serving engine (DESIGN.md Sec. 14): one long-lived
+// process owning N independent per-stream learner instances (the
+// "millions of users" story of ROADMAP -- many small models, not one big
+// one), keyed by stream id and sharded across the existing work-stealing
+// ThreadPool.
+//
+// Execution model: requests are consumed in *windows* of at most
+// `batch_window` lines. The routing thread parses each line, creates
+// missing streams, applies the bad-input policy, and appends the request
+// to its stream's shard queue; when the window is full (or input ends, or
+// a `drop` forces a boundary) every shard with work runs as one pool task,
+// and a barrier precedes response emission. Responses always come out in
+// request order, one line per request.
+//
+// Determinism contract: the same request script and seed produce
+// byte-identical responses at ANY shard count. Three properties make this
+// hold:
+//  * per-stream models are seeded DeriveSeed(seed, stream_id) -- never
+//    from shard identity or scheduling order;
+//  * window boundaries depend only on the global request sequence;
+//  * inside a shard, requests are regrouped PER STREAM (each stream's own
+//    subsequence order is preserved; streams are mutually independent), so
+//    consecutive same-verb runs of one stream coalesce into the same
+//    PartialFit / PredictBatch batches no matter how many other streams
+//    share the shard.
+// Back-pressure is the one deliberate exception: a full shard queue
+// rejects with "ERR retry-after..." and queue occupancy is per shard, so
+// scripts that hit the bound are only comparable at a fixed shard count
+// (the default capacity, one full window, can never be hit).
+#ifndef DMT_SERVE_ENGINE_H_
+#define DMT_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dmt/common/classifier.h"
+#include "dmt/common/sanitize.h"
+#include "dmt/common/thread_pool.h"
+#include "dmt/serve/exporter.h"
+#include "dmt/serve/request.h"
+#include "dmt/serve/shard.h"
+
+namespace dmt::serve {
+
+// Builds the learner for a newly observed stream id. `seed` is already
+// derived from the engine seed and the stream id; the factory must not
+// fold in any other entropy (clocks, addresses) or the determinism
+// contract breaks. dmt_serve wires this to bench::MakeModel, so any of the
+// serializable learners can serve.
+using ModelFactory = std::function<std::unique_ptr<Classifier>(
+    const std::string& stream_id, std::uint64_t seed)>;
+
+struct ServeConfig {
+  int num_features = 0;  // required: arity of every csv-row
+  int num_classes = 0;   // required: restored models must match
+  std::size_t num_shards = 1;
+  std::uint64_t seed = 42;
+  // Max requests routed before the window barrier (>= 1). Larger windows
+  // coalesce more rows per PartialFit/PredictBatch call; window boundaries
+  // are part of the deterministic batch structure, so runs that should
+  // produce byte-identical snapshots must agree on this value.
+  std::size_t batch_window = 64;
+  // Per-shard bound on requests queued within one window; requests beyond
+  // it are rejected with "ERR retry-after=1 ..." (explicit back-pressure).
+  // 0 means batch_window, which a single shard can never exceed.
+  std::size_t queue_capacity = 0;
+  // Non-finite features / out-of-range labels: kSkip drops the row
+  // ("OK ... dropped"), kImputeMidpoint imputes features with 0.0 (serve
+  // rows are unscaled; there is no running scaler), kThrow rejects the
+  // request ("ERR bad_row ...") -- a server must not abort on bad input.
+  BadInputPolicy bad_input_policy = BadInputPolicy::kSkip;
+  ModelFactory factory;
+  // Optional caller-owned telemetry sink: one JSONL record per shard every
+  // `export_every` windows (0 = only the final flush) and at Finish().
+  JsonlExporter* exporter = nullptr;
+  std::size_t export_every = 0;
+};
+
+class ServeEngine {
+ public:
+  explicit ServeEngine(ServeConfig config);
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  // Routes one request line; may emit buffered responses to `out` when the
+  // line completes a window (or forces a boundary). Exactly one response
+  // line per request, in request order, once Finish() has run.
+  void ServeLine(std::string_view line, std::ostream& out);
+
+  // Processes the pending partial window and emits its responses.
+  void Flush(std::ostream& out);
+
+  // Flush + final telemetry export. Idempotent; the engine accepts further
+  // requests afterwards (the exporter then flushes again on the next
+  // Finish).
+  void Finish(std::ostream& out);
+
+  // Convenience driver: ServeLine for every line of `in`, then Finish.
+  void RunScript(std::istream& in, std::ostream& out);
+
+  std::size_t num_streams() const { return streams_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(std::size_t i) const { return *shards_[i]; }
+
+ private:
+  struct StreamState {
+    std::string id;
+    std::size_t shard = 0;
+    std::unique_ptr<Classifier> model;
+    std::uint64_t rows_trained = 0;  // accepted rows, counted at routing
+  };
+
+  // One routed request waiting for its shard task.
+  struct Routed {
+    Verb verb = Verb::kTrain;
+    StreamState* stream = nullptr;
+    std::size_t slot = 0;            // response index within the window
+    std::vector<double> values;      // train: F features + label; score: F
+    std::string path;                // snapshot / restore
+    std::uint64_t ordinal = 0;       // train: rows_trained after this row
+  };
+
+  StreamState* FindOrCreateStream(const std::string& id);
+  void RouteRequest(Request&& request, std::size_t slot);
+  void ProcessShard(Shard* shard, std::vector<Routed>* items);
+  void ExportTelemetry();
+  std::string StatsLine() const;
+
+  ServeConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;  // only when num_shards > 1
+  std::unordered_map<std::string, StreamState> streams_;
+
+  // Current window: per-request response slots plus per-shard queues.
+  std::vector<std::string> responses_;
+  std::vector<std::vector<Routed>> shard_queues_;
+
+  // Routing-time tallies (main thread only). StatsLine reports these, so
+  // `stats` responses are shard-count-independent by construction.
+  std::uint64_t requests_ = 0;
+  std::uint64_t parse_errors_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t bad_rows_ = 0;
+  std::uint64_t values_imputed_ = 0;
+  std::uint64_t train_rows_ = 0;   // accepted at routing
+  std::uint64_t score_rows_ = 0;
+  std::uint64_t snapshots_ = 0;
+  std::uint64_t restores_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t streams_created_ = 0;
+  std::uint64_t windows_ = 0;
+  std::uint64_t exporter_flushes_ = 0;
+};
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "dmt/serve/exporter.h"
+
+namespace dmt::serve {
+
+std::string CompactJson(const std::string& pretty) {
+  std::string out;
+  out.reserve(pretty.size());
+  bool at_line_start = false;
+  for (const char c : pretty) {
+    if (c == '\n') {
+      at_line_start = true;
+      continue;
+    }
+    if (at_line_start && (c == ' ' || c == '\t')) continue;
+    at_line_start = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+JsonlExporter::JsonlExporter(const std::string& path)
+    : file_(path, std::ios::app) {
+  if (file_) out_ = &file_;
+}
+
+JsonlExporter::JsonlExporter(std::ostream* out) : out_(out) {}
+
+void JsonlExporter::WriteLine(const std::string& line) {
+  if (out_ == nullptr || !out_->good()) {
+    ++lines_dropped_;
+    return;
+  }
+  *out_ << line << '\n';
+  out_->flush();
+  if (out_->good()) {
+    ++lines_written_;
+  } else {
+    ++lines_dropped_;
+  }
+}
+
+}  // namespace dmt::serve

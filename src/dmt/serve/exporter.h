@@ -1,0 +1,51 @@
+// Streaming telemetry exporter: periodic per-shard JSONL flushes (one JSON
+// object per line) to a file or any ostream, so a live dashboard can tail
+// splits/drift/resets while the engine serves (DESIGN.md Sec. 14).
+//
+// Flushes happen on the engine's routing thread at window barriers (every
+// --export-every windows and once at shutdown), never concurrently with
+// shard workers, so no synchronization is needed beyond the ostream's own.
+#ifndef DMT_SERVE_EXPORTER_H_
+#define DMT_SERVE_EXPORTER_H_
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+namespace dmt::serve {
+
+// Collapses the pretty-printed TelemetryRegistry::ToJson() document to one
+// line by dropping newlines and the indentation that follows them. Safe
+// because metric names are library-chosen identifiers: no string in the
+// document contains a newline, and spaces inside the document only occur
+// after ':' / ',' separators or line breaks.
+std::string CompactJson(const std::string& pretty);
+
+class JsonlExporter {
+ public:
+  // Appends to `path` (created if absent). ok() reports whether the sink
+  // opened; a failed exporter degrades to dropping lines, and the engine
+  // surfaces the failure in its stats.
+  explicit JsonlExporter(const std::string& path);
+  // Writes to a caller-owned ostream (tests; socket-backed sinks).
+  explicit JsonlExporter(std::ostream* out);
+
+  bool ok() const { return out_ != nullptr && out_->good(); }
+  std::uint64_t lines_written() const { return lines_written_; }
+  std::uint64_t lines_dropped() const { return lines_dropped_; }
+
+  // Appends one JSONL record (the line must not contain '\n') and flushes,
+  // so a tailing reader never sits on a half-written line.
+  void WriteLine(const std::string& line);
+
+ private:
+  std::ofstream file_;        // backing store for the path constructor
+  std::ostream* out_ = nullptr;
+  std::uint64_t lines_written_ = 0;
+  std::uint64_t lines_dropped_ = 0;
+};
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_EXPORTER_H_

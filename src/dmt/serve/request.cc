@@ -1,0 +1,116 @@
+#include "dmt/serve/request.h"
+
+#include <optional>
+
+#include "dmt/common/parse.h"
+
+namespace dmt::serve {
+
+namespace {
+
+// Splits on runs of spaces/tabs; the csv-row is a single token.
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+bool ParseCsvRow(std::string_view text, std::size_t expected,
+                 std::vector<double>* out, std::string* error) {
+  out->clear();
+  out->reserve(expected);
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = text.find(',', start);
+    const std::string_view field =
+        text.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start);
+    // Non-finite values are legitimate (hostile) data here, so
+    // require_finite is off; empty fields and trailing garbage still fail.
+    const std::optional<double> value =
+        ParseDouble(field, /*require_finite=*/false);
+    if (!value) {
+      *error = "bad csv value '" + std::string(field) + "'";
+      return false;
+    }
+    out->push_back(*value);
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (out->size() != expected) {
+    *error = "expected " + std::to_string(expected) + " csv values, got " +
+             std::to_string(out->size());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ParseRequestLine(std::string_view line, int num_features, Request* out,
+                      std::string* error) {
+  // Tolerate trailing \r so scripts written on any platform parse.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  *out = Request{};
+  const std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    *error = "empty request";
+    return false;
+  }
+  const std::string_view verb = tokens[0];
+  if (verb == "stats") {
+    if (tokens.size() != 1) {
+      *error = "stats takes no arguments";
+      return false;
+    }
+    out->verb = Verb::kStats;
+    return true;
+  }
+  if (tokens.size() < 2) {
+    *error = "missing stream id";
+    return false;
+  }
+  out->stream_id = std::string(tokens[1]);
+  if (verb == "drop") {
+    if (tokens.size() != 2) {
+      *error = "drop takes exactly one argument";
+      return false;
+    }
+    out->verb = Verb::kDrop;
+    return true;
+  }
+  if (tokens.size() != 3) {
+    *error = std::string(verb) + " takes exactly two arguments";
+    return false;
+  }
+  if (verb == "train") {
+    out->verb = Verb::kTrain;
+    return ParseCsvRow(tokens[2], static_cast<std::size_t>(num_features) + 1,
+                       &out->values, error);
+  }
+  if (verb == "score") {
+    out->verb = Verb::kScore;
+    return ParseCsvRow(tokens[2], static_cast<std::size_t>(num_features),
+                       &out->values, error);
+  }
+  if (verb == "snapshot") {
+    out->verb = Verb::kSnapshot;
+    out->path = std::string(tokens[2]);
+    return true;
+  }
+  if (verb == "restore") {
+    out->verb = Verb::kRestore;
+    out->path = std::string(tokens[2]);
+    return true;
+  }
+  *error = "unknown verb '" + std::string(verb) + "'";
+  return false;
+}
+
+}  // namespace dmt::serve

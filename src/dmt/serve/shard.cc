@@ -1,0 +1,28 @@
+#include "dmt/serve/shard.h"
+
+#include "dmt/serve/exporter.h"
+
+namespace dmt::serve {
+
+Shard::Shard() {
+  train_rows = telemetry.Counter("serve.train_rows");
+  score_rows = telemetry.Counter("serve.score_rows");
+  snapshots = telemetry.Counter("serve.snapshots");
+  restores = telemetry.Counter("serve.restores");
+  rejected = telemetry.Counter("serve.rejected");
+  bad_rows = telemetry.Counter("serve.bad_rows");
+  last_bad_value = telemetry.Gauge("serve.last_bad_value");
+}
+
+std::string Shard::ExportLine(std::size_t shard_index,
+                              std::uint64_t flush_sequence) const {
+  std::string line = "{\"shard\": " + std::to_string(shard_index) +
+                     ", \"flush\": " + std::to_string(flush_sequence) +
+                     ", \"streams\": " + std::to_string(num_streams) +
+                     ", \"telemetry\": ";
+  line += CompactJson(telemetry.ToJson());
+  line += "}";
+  return line;
+}
+
+}  // namespace dmt::serve

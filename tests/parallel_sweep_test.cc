@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
@@ -681,6 +682,81 @@ TEST(ParseOptionsDeathTest, MalformedFailpointSpecExitsWithCode2) {
   const char* argv[] = {"bench", "--failpoints", "=0.5"};
   EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
               ::testing::ExitedWithCode(2), "bad --failpoints spec");
+}
+
+// strtoull-style parsing silently returned 0 for garbage values; every
+// numeric flag must now reject trailing garbage, empty strings, and
+// non-finite doubles instead of benchmarking with samples=0 or jobs=0.
+TEST(ParseOptionsDeathTest, NonNumericSamplesExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--samples", "abc"};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2),
+              "bad numeric value for --samples: 'abc'");
+}
+
+TEST(ParseOptionsDeathTest, TrailingGarbageSeedExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--seed", "12x"};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2),
+              "bad numeric value for --seed: '12x'");
+}
+
+TEST(ParseOptionsDeathTest, EmptyJobsExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--jobs", ""};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2),
+              "bad numeric value for --jobs: ''");
+}
+
+TEST(ParseOptionsDeathTest, NanCellTimeoutExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--cell-timeout", "nan"};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2),
+              "bad numeric value for --cell-timeout: 'nan'");
+}
+
+TEST(ParseOptionsDeathTest, NegativeCellTimeoutExitsWithCode2) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const char* argv[] = {"bench", "--cell-timeout", "-1.5"};
+  EXPECT_EXIT(bench::ParseOptions(3, const_cast<char**>(argv)),
+              ::testing::ExitedWithCode(2), "--cell-timeout must be >= 0");
+}
+
+// ----------------------------------------------- artifact name collisions
+
+// SanitizeName maps every non-alphanumeric run to '_', so distinct model
+// names like "VFDT(MC)" and "VFDT_MC_" collide; ArtifactStem must keep
+// the first owner's plain stem and disambiguate later claimants with a
+// stable hash suffix so telemetry artifacts never overwrite each other.
+TEST(ArtifactStemTest, CollidingRawNamesGetDistinctStems) {
+  std::map<std::string, std::string> used;
+  const std::string first = bench::ArtifactStem("SEA", "VFDT(MC)", &used);
+  const std::string second = bench::ArtifactStem("SEA", "VFDT_MC_", &used);
+  EXPECT_EQ(first, "SEA__VFDT_MC_");
+  EXPECT_NE(second, first);
+  EXPECT_NE(used.find(second), used.end());
+}
+
+TEST(ArtifactStemTest, RepeatedPairIsIdempotent) {
+  std::map<std::string, std::string> used;
+  const std::string a = bench::ArtifactStem("SEA", "DMT", &used);
+  const std::string b = bench::ArtifactStem("SEA", "DMT", &used);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "SEA__DMT");
+}
+
+TEST(ArtifactStemTest, HashSuffixIsStableAcrossCalls) {
+  std::map<std::string, std::string> used1;
+  std::map<std::string, std::string> used2;
+  bench::ArtifactStem("SEA", "VFDT(MC)", &used1);
+  bench::ArtifactStem("SEA", "VFDT(MC)", &used2);
+  const std::string a = bench::ArtifactStem("SEA", "VFDT_MC_", &used1);
+  const std::string b = bench::ArtifactStem("SEA", "VFDT_MC_", &used2);
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace

@@ -1,0 +1,497 @@
+// Tests for the multi-tenant serving layer (src/dmt/serve): request
+// grammar, the engine's determinism contract (byte-identical responses at
+// any shard count), explicit back-pressure, live snapshot/restore parity
+// with the offline serial archives, and JSONL telemetry validity under
+// NaN traffic.
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/common/random.h"
+#include "dmt/core/dynamic_model_tree.h"
+#include "dmt/linear/glm_classifier.h"
+#include "dmt/serial/model_io.h"
+#include "dmt/serve/engine.h"
+#include "dmt/serve/exporter.h"
+#include "dmt/serve/request.h"
+#include "json_check.h"
+
+namespace dmt {
+namespace {
+
+serve::ModelFactory GlmFactory(int features, int classes) {
+  return [features, classes](const std::string& /*id*/,
+                             std::uint64_t seed) -> std::unique_ptr<Classifier> {
+    linear::GlmConfig config;
+    config.num_features = features;
+    config.num_classes = classes;
+    config.seed = seed;
+    return std::make_unique<linear::GlmClassifier>(config);
+  };
+}
+
+serve::ModelFactory DmtFactory(int features, int classes) {
+  return [features, classes](const std::string& /*id*/,
+                             std::uint64_t seed) -> std::unique_ptr<Classifier> {
+    core::DmtConfig config;
+    config.num_features = features;
+    config.num_classes = classes;
+    config.seed = seed;
+    return std::make_unique<core::DynamicModelTree>(config);
+  };
+}
+
+std::string RunLines(serve::ServeEngine* engine,
+                     const std::vector<std::string>& lines) {
+  std::ostringstream out;
+  for (const std::string& line : lines) engine->ServeLine(line, out);
+  engine->Finish(out);
+  return out.str();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// ------------------------------------------------------- request grammar
+
+TEST(RequestParseTest, AcceptsEveryVerb) {
+  serve::Request request;
+  std::string error;
+  EXPECT_TRUE(
+      serve::ParseRequestLine("train u1 0.5,1.5,1", 2, &request, &error));
+  EXPECT_EQ(request.verb, serve::Verb::kTrain);
+  EXPECT_EQ(request.stream_id, "u1");
+  ASSERT_EQ(request.values.size(), 3u);
+  EXPECT_DOUBLE_EQ(request.values[1], 1.5);
+
+  EXPECT_TRUE(serve::ParseRequestLine("score u1 0.5,1.5", 2, &request, &error));
+  EXPECT_EQ(request.verb, serve::Verb::kScore);
+  EXPECT_EQ(request.values.size(), 2u);
+
+  EXPECT_TRUE(
+      serve::ParseRequestLine("snapshot u1 /tmp/m.dmt", 2, &request, &error));
+  EXPECT_EQ(request.verb, serve::Verb::kSnapshot);
+  EXPECT_EQ(request.path, "/tmp/m.dmt");
+
+  EXPECT_TRUE(
+      serve::ParseRequestLine("restore u1 /tmp/m.dmt", 2, &request, &error));
+  EXPECT_EQ(request.verb, serve::Verb::kRestore);
+
+  EXPECT_TRUE(serve::ParseRequestLine("drop u1", 2, &request, &error));
+  EXPECT_EQ(request.verb, serve::Verb::kDrop);
+
+  EXPECT_TRUE(serve::ParseRequestLine("stats", 2, &request, &error));
+  EXPECT_EQ(request.verb, serve::Verb::kStats);
+}
+
+TEST(RequestParseTest, ToleratesCarriageReturnAndAcceptsNonFiniteData) {
+  serve::Request request;
+  std::string error;
+  EXPECT_TRUE(
+      serve::ParseRequestLine("score u1 0.5,1.5\r", 2, &request, &error));
+  // Non-finite values are *data* (the bad-input policy decides their fate),
+  // not a protocol error.
+  EXPECT_TRUE(serve::ParseRequestLine("score u1 nan,inf", 2, &request, &error));
+  EXPECT_TRUE(std::isnan(request.values[0]));
+  EXPECT_TRUE(std::isinf(request.values[1]));
+}
+
+TEST(RequestParseTest, RejectsMalformedLines) {
+  serve::Request request;
+  std::string error;
+  EXPECT_FALSE(serve::ParseRequestLine("", 2, &request, &error));
+  EXPECT_FALSE(serve::ParseRequestLine("train", 2, &request, &error));
+  EXPECT_FALSE(serve::ParseRequestLine("poke u1 0.5,1.5", 2, &request, &error));
+  EXPECT_NE(error.find("unknown verb"), std::string::npos);
+  EXPECT_FALSE(serve::ParseRequestLine("train u1 0.5,abc,1", 2, &request,
+                                       &error));
+  EXPECT_NE(error.find("bad csv value"), std::string::npos);
+  // Arity is checked against the engine's feature count (+1 label for
+  // train).
+  EXPECT_FALSE(serve::ParseRequestLine("train u1 0.5,1", 2, &request, &error));
+  EXPECT_FALSE(serve::ParseRequestLine("score u1 0.5,1.5,2.5", 2, &request,
+                                       &error));
+  EXPECT_FALSE(serve::ParseRequestLine("stats now", 2, &request, &error));
+  EXPECT_FALSE(serve::ParseRequestLine("drop u1 extra", 2, &request, &error));
+}
+
+// ---------------------------------------------------------- determinism
+
+std::vector<std::string> ManyStreamScript(std::size_t num_requests,
+                                          std::size_t num_streams) {
+  // Deterministic inline LCG; no global RNG state.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<std::string> lines;
+  lines.reserve(num_requests + 2);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    const std::string id = "s" + std::to_string(next() % num_streams);
+    const double a = static_cast<double>(next() % 1000) / 1000.0;
+    const double b = static_cast<double>(next() % 1000) / 1000.0;
+    std::ostringstream line;
+    if (next() % 10 < 6) {
+      line << "train " << id << ' ' << a << ',' << b << ',' << next() % 2;
+    } else {
+      line << "score " << id << ' ' << a << ',' << b;
+    }
+    lines.push_back(line.str());
+    if (i % 997 == 0) lines.push_back("stats");
+  }
+  lines.push_back("stats");
+  return lines;
+}
+
+TEST(ServeEngineTest, ThousandStreamsByteIdenticalAcrossShardCounts) {
+  const std::vector<std::string> script = ManyStreamScript(4000, 1100);
+  std::string outputs[3];
+  const std::size_t shard_counts[3] = {1, 4, 7};
+  for (int i = 0; i < 3; ++i) {
+    serve::ServeConfig config;
+    config.num_features = 2;
+    config.num_classes = 2;
+    config.num_shards = shard_counts[i];
+    config.seed = 99;
+    config.batch_window = 64;
+    config.factory = GlmFactory(2, 2);
+    serve::ServeEngine engine(config);
+    outputs[i] = RunLines(&engine, script);
+    EXPECT_GE(engine.num_streams(), 1000u);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  EXPECT_EQ(outputs[0], outputs[2]);
+  // Exactly one response line per request, in order.
+  EXPECT_EQ(SplitLines(outputs[0]).size(), script.size());
+}
+
+TEST(ServeEngineTest, DmtModelIsAlsoShardCountInvariant) {
+  const std::vector<std::string> script = ManyStreamScript(1500, 40);
+  std::string outputs[2];
+  const std::size_t shard_counts[2] = {1, 3};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeConfig config;
+    config.num_features = 2;
+    config.num_classes = 2;
+    config.num_shards = shard_counts[i];
+    config.seed = 7;
+    config.batch_window = 32;
+    config.factory = DmtFactory(2, 2);
+    serve::ServeEngine engine(config);
+    outputs[i] = RunLines(&engine, script);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(ServeEngineTest, SameIdGetsSameModelRegardlessOfArrivalOrder) {
+  // The per-stream seed depends only on (engine seed, id): training "b"
+  // first must not change what "a" learns.
+  const std::vector<std::string> tail = {"train a 0.1,0.9,1", "score a 0.5,0.5"};
+  std::vector<std::string> first_a = tail;
+  std::vector<std::string> b_then_a = {"train b 0.8,0.2,0"};
+  b_then_a.insert(b_then_a.end(), tail.begin(), tail.end());
+
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine1(config);
+  serve::ServeEngine engine2(config);
+  const std::vector<std::string> out1 = SplitLines(RunLines(&engine1, first_a));
+  const std::vector<std::string> out2 =
+      SplitLines(RunLines(&engine2, b_then_a));
+  ASSERT_EQ(out1.size(), 2u);
+  ASSERT_EQ(out2.size(), 3u);
+  EXPECT_EQ(out1[1], out2[2]);  // identical score for "a"
+}
+
+// --------------------------------------------------------- back-pressure
+
+TEST(ServeEngineTest, FullShardQueueRejectsWithRetryAfter) {
+  serve::ServeConfig config;
+  config.num_features = 1;
+  config.num_classes = 2;
+  config.num_shards = 1;
+  config.batch_window = 8;
+  config.queue_capacity = 2;
+  config.factory = GlmFactory(1, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> lines = {
+      "train u 0.1,0", "train u 0.2,1", "train u 0.3,0", "train u 0.4,1"};
+  const std::vector<std::string> out = SplitLines(RunLines(&engine, lines));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "OK train u n=1");
+  EXPECT_EQ(out[1], "OK train u n=2");
+  EXPECT_EQ(out[2], "ERR retry-after=1 u shard=0 queue_full");
+  EXPECT_EQ(out[3], "ERR retry-after=1 u shard=0 queue_full");
+}
+
+TEST(ServeEngineTest, DefaultQueueCapacityNeverRejects) {
+  serve::ServeConfig config;
+  config.num_features = 1;
+  config.num_classes = 2;
+  config.num_shards = 1;
+  config.batch_window = 4;  // queue_capacity defaults to the window size
+  config.factory = GlmFactory(1, 2);
+  serve::ServeEngine engine(config);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 20; ++i) {
+    lines.push_back("train u 0." + std::to_string(i % 10) + "," +
+                    std::to_string(i % 2));
+  }
+  const std::string out = RunLines(&engine, lines);
+  EXPECT_EQ(out.find("retry-after"), std::string::npos);
+}
+
+// ----------------------------------------------------- snapshot / restore
+
+TEST(ServeEngineTest, LiveSnapshotBitIdenticalToOfflineArchive) {
+  const std::string live_path = ::testing::TempDir() + "serve_live.dmt";
+  const std::string offline_path = ::testing::TempDir() + "serve_offline.dmt";
+  const int kRows = 37;
+
+  std::uint64_t state = 11;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < kRows; ++i) {
+    rows.push_back({static_cast<double>(next() % 1000) / 1000.0,
+                    static_cast<double>(next() % 1000) / 1000.0,
+                    static_cast<double>(next() % 2)});
+  }
+
+  // Live: one window holds every row, so the engine performs exactly one
+  // PartialFit with all 37 rows -- the same batch structure the offline
+  // path uses below. batch_window is part of the determinism contract.
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.seed = 5;
+  config.batch_window = 256;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  std::vector<std::string> lines;
+  for (const std::vector<double>& row : rows) {
+    std::ostringstream line;
+    line << "train u " << row[0] << ',' << row[1] << ','
+         << static_cast<int>(row[2]);
+    lines.push_back(line.str());
+  }
+  lines.push_back("snapshot u " + live_path);
+  const std::string out = RunLines(&engine, lines);
+  EXPECT_NE(out.find("OK snapshot u " + live_path), std::string::npos) << out;
+
+  // Offline: same model seed, same single batch, direct serial save.
+  linear::GlmConfig glm;
+  glm.num_features = 2;
+  glm.num_classes = 2;
+  glm.seed = DeriveSeed(5, "u");
+  linear::GlmClassifier offline(glm);
+  Batch batch(2);
+  for (const std::vector<double>& row : rows) {
+    batch.Add(std::span<const double>(row.data(), 2),
+              static_cast<int>(row[2]));
+  }
+  offline.PartialFit(batch);
+  serial::SaveClassifierToFile(offline, offline_path);
+
+  const std::string live_bytes = ReadFileBytes(live_path);
+  const std::string offline_bytes = ReadFileBytes(offline_path);
+  ASSERT_FALSE(live_bytes.empty());
+  EXPECT_EQ(live_bytes, offline_bytes);
+}
+
+TEST(ServeEngineTest, RestoreRollsBackToSnapshotState) {
+  const std::string path = ::testing::TempDir() + "serve_rollback.dmt";
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> lines = {
+      "train u 0.1,0.9,1", "train u 0.9,0.1,0",
+      "snapshot u " + path,
+      "score u 0.4,0.6",          // [3] reference prediction
+      "train u 0.5,0.5,1",        // moves the live model
+      "restore u " + path,
+      "score u 0.4,0.6",          // [6] must match [3] exactly
+  };
+  const std::vector<std::string> out = SplitLines(RunLines(&engine, lines));
+  ASSERT_EQ(out.size(), lines.size());
+  EXPECT_EQ(out[5], "OK restore u");
+  EXPECT_EQ(out[6], out[3]);
+}
+
+TEST(ServeEngineTest, SnapshotOfUnknownStreamIsAnError) {
+  serve::ServeConfig config;
+  config.num_features = 1;
+  config.num_classes = 2;
+  config.factory = GlmFactory(1, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> out =
+      SplitLines(RunLines(&engine, {"snapshot ghost /tmp/ghost.dmt"}));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "ERR unknown_stream ghost");
+}
+
+TEST(ServeEngineTest, DropForgetsAndRecreatesFreshModel) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> session = {
+      "train u 0.2,0.8,1", "train u 0.7,0.3,0", "score u 0.5,0.5"};
+  std::vector<std::string> script = session;
+  script.push_back("drop u");
+  script.insert(script.end(), session.begin(), session.end());
+  const std::vector<std::string> out = SplitLines(RunLines(&engine, script));
+  ASSERT_EQ(out.size(), 7u);
+  EXPECT_EQ(out[3], "OK drop u");
+  // Same id + same engine seed -> the recreated stream relearns the exact
+  // same model; train ordinals restart at 1.
+  EXPECT_EQ(out[4], "OK train u n=1");
+  EXPECT_EQ(out[6], out[2]);
+  EXPECT_EQ(engine.num_streams(), 1u);
+}
+
+// ----------------------------------------------------- bad-input policies
+
+TEST(ServeEngineTest, SkipPolicyDropsNonFiniteRows) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.bad_input_policy = BadInputPolicy::kSkip;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> out = SplitLines(RunLines(
+      &engine, {"train u nan,0.5,1", "score u inf,0.5", "train u 0.1,0.2,5"}));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], "OK train u dropped");
+  EXPECT_EQ(out[1], "OK score u dropped");
+  EXPECT_EQ(out[2], "OK train u dropped");  // out-of-range label
+}
+
+TEST(ServeEngineTest, ThrowPolicyRejectsWithoutAborting) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.bad_input_policy = BadInputPolicy::kThrow;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> out = SplitLines(
+      RunLines(&engine, {"train u nan,0.5,1", "train u 0.1,0.5,1"}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "ERR bad_row train u");
+  EXPECT_EQ(out[1], "OK train u n=1");  // the server kept serving
+}
+
+TEST(ServeEngineTest, ImputePolicyZeroFillsFeaturesButNeverLabels) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.bad_input_policy = BadInputPolicy::kImputeMidpoint;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> out = SplitLines(RunLines(
+      &engine, {"train u nan,0.5,1", "train u 0.1,0.5,nan"}));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK train u n=1");       // feature imputed, row kept
+  EXPECT_EQ(out[1], "OK train u dropped");   // bad label is never imputed
+}
+
+// ------------------------------------------------------- telemetry export
+
+TEST(ServeEngineTest, ExporterEmitsValidJsonlUnderNanTraffic) {
+  std::ostringstream sink;
+  serve::JsonlExporter exporter(&sink);
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.num_shards = 2;
+  config.batch_window = 2;
+  config.exporter = &exporter;
+  config.export_every = 1;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 6; ++i) {
+    lines.push_back("train s" + std::to_string(i) + " nan,0.5,1");
+    lines.push_back("score s" + std::to_string(i) + " 0.4,0.6");
+  }
+  RunLines(&engine, lines);
+
+  const std::vector<std::string> records = SplitLines(sink.str());
+  ASSERT_GE(records.size(), 2u);
+  EXPECT_EQ(exporter.lines_written(), records.size());
+  EXPECT_EQ(exporter.lines_dropped(), 0u);
+  bool saw_null_gauge = false;
+  for (const std::string& record : records) {
+    EXPECT_TRUE(testjson::IsValidJson(record)) << record;
+    EXPECT_NE(record.find("\"shard\""), std::string::npos);
+    EXPECT_NE(record.find("serve.bad_rows"), std::string::npos);
+    if (record.find("\"serve.last_bad_value\": null") != std::string::npos) {
+      saw_null_gauge = true;
+    }
+  }
+  // The NaN feature value landed in the last_bad_value gauge and must have
+  // been rendered as JSON null, never as a bare `nan` token.
+  EXPECT_TRUE(saw_null_gauge) << sink.str();
+  EXPECT_EQ(sink.str().find(" nan"), std::string::npos);
+}
+
+TEST(ServeEngineTest, StatsPayloadIsValidJson) {
+  serve::ServeConfig config;
+  config.num_features = 1;
+  config.num_classes = 2;
+  config.factory = GlmFactory(1, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> out =
+      SplitLines(RunLines(&engine, {"train u 0.5,1", "stats"}));
+  ASSERT_EQ(out.size(), 2u);
+  ASSERT_EQ(out[1].rfind("OK stats ", 0), 0u);
+  const std::string payload = out[1].substr(std::string("OK stats ").size());
+  EXPECT_TRUE(testjson::IsValidJson(payload)) << payload;
+  EXPECT_NE(payload.find("\"train_rows\": 1"), std::string::npos);
+}
+
+TEST(ServeEngineTest, ParseErrorsGetOneResponseLineEach) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::vector<std::string> out = SplitLines(RunLines(
+      &engine, {"bogus", "train u 0.5", "train u 0.1,0.2,1", ""}));
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].rfind("ERR parse ", 0), 0u);
+  EXPECT_EQ(out[1].rfind("ERR parse ", 0), 0u);
+  EXPECT_EQ(out[2], "OK train u n=1");
+  EXPECT_EQ(out[3].rfind("ERR parse ", 0), 0u);
+}
+
+}  // namespace
+}  // namespace dmt

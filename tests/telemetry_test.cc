@@ -3,10 +3,13 @@
 // counters are seed-deterministic and attaching a registry never changes
 // the learned model.
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 
 #include <gtest/gtest.h>
+
+#include "json_check.h"
 
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/drift/adwin.h"
@@ -201,6 +204,36 @@ TEST(TelemetryEndToEndTest, VfdtSplitCountersAreConsistent) {
   EXPECT_LE(*registry.Counter("vfdt.splits"),
             *registry.Counter("vfdt.split_attempts"));
   EXPECT_EQ(*registry.Counter("vfdt.splits"), model.NumSplits());
+}
+
+// Regression: AppendDouble printed non-finite gauges as bare `nan` / `inf`
+// tokens, which no JSON parser accepts. They must render as `null` and the
+// whole document must stay valid JSON.
+TEST(TelemetryRegistryTest, NonFiniteGaugesRenderAsNull) {
+  obs::TelemetryRegistry registry;
+  *registry.Gauge("bad.nan") = std::numeric_limits<double>::quiet_NaN();
+  *registry.Gauge("bad.pos_inf") = std::numeric_limits<double>::infinity();
+  *registry.Gauge("bad.neg_inf") = -std::numeric_limits<double>::infinity();
+  *registry.Gauge("good.value") = 1.5;
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(testjson::IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"bad.nan\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bad.pos_inf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bad.neg_inf\": null"), std::string::npos) << json;
+  EXPECT_NE(json.find("1.5"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": inf"), std::string::npos) << json;
+  EXPECT_EQ(json.find(": -inf"), std::string::npos) << json;
+}
+
+// The happy-path document (counters, timers, finite gauges) must also
+// satisfy the strict validator, not just eyeball-parse.
+TEST(TelemetryRegistryTest, ToJsonIsParseableJson) {
+  obs::TelemetryRegistry registry;
+  *registry.Counter("c.one") = 7;
+  *registry.Gauge("g.pi") = 3.14159;
+  registry.Timer("t.fit");
+  EXPECT_TRUE(testjson::IsValidJson(registry.ToJson())) << registry.ToJson();
 }
 
 }  // namespace

@@ -11,9 +11,11 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
+#include "dmt/common/parse.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/eval/prequential.h"
@@ -69,14 +71,24 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) UsageError("missing value for " + arg);
       return argv[++i];
     };
+    // Strict numeric flags: trailing garbage and empty strings are usage
+    // errors (exit 2), never a silent 0.
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string value = next();
+      const std::optional<std::uint64_t> parsed = dmt::ParseU64(value);
+      if (!parsed) {
+        UsageError("bad numeric value for " + arg + ": '" + value + "'");
+      }
+      return *parsed;
+    };
     if (arg == "--csv") csv_path = next();
     else if (arg == "--label") label_column = next();
     else if (arg == "--dataset") dataset = next();
     else if (arg == "--model") model_name = next();
-    else if (arg == "--samples") samples = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--batch") batch_size = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
-    else if (arg == "--skip") skip = std::strtoull(next().c_str(), nullptr, 10);
+    else if (arg == "--samples") samples = next_u64();
+    else if (arg == "--batch") batch_size = next_u64();
+    else if (arg == "--seed") seed = next_u64();
+    else if (arg == "--skip") skip = next_u64();
     else if (arg == "--save-model") save_model_path = next();
     else if (arg == "--load-model") load_model_path = next();
     else if (arg == "--no-normalize") normalize = false;

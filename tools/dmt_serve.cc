@@ -1,0 +1,203 @@
+// dmt_serve: long-lived multi-tenant stream-serving engine (DESIGN.md
+// Sec. 14). Owns one independent per-stream learner instance per stream
+// id, sharded across a work-stealing thread pool, and speaks the
+// line-delimited request protocol of serve/request.h on stdin/stdout or a
+// local unix-domain socket:
+//
+//   printf 'train u1 0.1,0.7,1\nscore u1 0.2,0.5\nstats\n' |
+//     dmt_serve --model DMT --features 2 --classes 2
+//
+//   dmt_serve --model GLM --features 3 --classes 2 --socket /tmp/dmt.sock
+//
+// Every request yields exactly one response line, in request order; the
+// same script and seed produce byte-identical responses at any --shards
+// value. --export FILE streams per-shard telemetry as JSONL (one valid
+// JSON object per line, NaN-safe) so splits/drift/resets are observable
+// in flight.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "dmt/common/parse.h"
+#include "dmt/common/sanitize.h"
+#include "dmt/serve/engine.h"
+#include "dmt/serve/exporter.h"
+#include "harness.h"
+
+namespace {
+
+constexpr const char kUsage[] =
+    "usage: dmt_serve --features N --classes N [--model NAME] [--shards N]\n"
+    "       [--seed S] [--batch-window N] [--queue-capacity N]\n"
+    "       [--bad-input skip|impute|throw] [--export FILE]\n"
+    "       [--export-every N] [--socket PATH]\n"
+    "protocol (one request per line, one response line per request):\n"
+    "  train <stream> <f1,...,fN,label>   incremental update\n"
+    "  score <stream> <f1,...,fN>         class prediction + probabilities\n"
+    "  snapshot <stream> <path>           save the live model (atomic)\n"
+    "  restore <stream> <path>            blue-green restore from archive\n"
+    "  drop <stream>                      forget the stream\n"
+    "  stats                              one-line JSON engine summary\n"
+    "models: DMT FIMT-DD VFDT(MC) VFDT(NBA) HT-Ada EFDT ForestEns\n"
+    "BaggingEns OzaBag OzaBoost SGT GLM\n";
+
+// Usage errors exit 2 (bad invocation), runtime failures exit 1.
+[[noreturn]] void UsageError(const std::string& message) {
+  std::fprintf(stderr, "dmt_serve: %s\n%s", message.c_str(), kUsage);
+  std::exit(2);
+}
+
+// Accept loop on a unix-domain socket: one client at a time, the engine
+// (and all its models) persisting across connections. Each connection is
+// bridged through string streams -- request scripts are read to EOF, then
+// answered in one write; fine for the local scripted-session use case this
+// serves (a full streaming bridge would need non-blocking IO for no
+// benefit here).
+int RunUnixSocket(dmt::serve::ServeEngine* engine, const std::string& path) {
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("dmt_serve: socket");
+    return 1;
+  }
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "dmt_serve: socket path too long: %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listener, 1) < 0) {
+    std::perror("dmt_serve: bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "dmt_serve: listening on %s\n", path.c_str());
+  while (true) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    std::string input;
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::read(client, buffer, sizeof(buffer))) > 0) {
+      input.append(buffer, static_cast<std::size_t>(n));
+    }
+    std::istringstream in(input);
+    std::ostringstream responses;
+    std::string line;
+    while (std::getline(in, line)) engine->ServeLine(line, responses);
+    engine->Finish(responses);
+    const std::string& text = responses.str();
+    std::size_t written = 0;
+    while (written < text.size()) {
+      const ssize_t w =
+          ::write(client, text.data() + written, text.size() - written);
+      if (w <= 0) break;
+      written += static_cast<std::size_t>(w);
+    }
+    ::close(client);
+  }
+  ::close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dmt;
+  std::string model_name = "DMT";
+  std::string export_path;
+  std::string socket_path;
+  serve::ServeConfig config;
+  std::uint64_t features = 0;
+  std::uint64_t classes = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) UsageError("missing value for " + arg);
+      return argv[++i];
+    };
+    // Strict numeric flags (common/parse.h): trailing garbage, empty
+    // strings and non-finite values exit 2, never become a silent 0.
+    auto next_u64 = [&]() -> std::uint64_t {
+      const std::string value = next();
+      const std::optional<std::uint64_t> parsed = ParseU64(value);
+      if (!parsed) {
+        UsageError("bad numeric value for " + arg + ": '" + value + "'");
+      }
+      return *parsed;
+    };
+    if (arg == "--model") model_name = next();
+    else if (arg == "--features") features = next_u64();
+    else if (arg == "--classes") classes = next_u64();
+    else if (arg == "--shards") config.num_shards = next_u64();
+    else if (arg == "--seed") config.seed = next_u64();
+    else if (arg == "--batch-window") config.batch_window = next_u64();
+    else if (arg == "--queue-capacity") config.queue_capacity = next_u64();
+    else if (arg == "--export") export_path = next();
+    else if (arg == "--export-every") config.export_every = next_u64();
+    else if (arg == "--socket") socket_path = next();
+    else if (arg == "--bad-input") {
+      const std::string value = next();
+      try {
+        config.bad_input_policy = BadInputPolicyFromString(value);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --bad-input value: ") + e.what());
+      }
+    } else if (arg == "--help") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      UsageError("unknown option: " + arg);
+    }
+  }
+  if (features == 0 || classes == 0) {
+    UsageError("--features and --classes are required (and must be >= 1)");
+  }
+  if (classes < 2) UsageError("--classes must be >= 2");
+  config.num_features = static_cast<int>(features);
+  config.num_classes = static_cast<int>(classes);
+
+  // Validate the model name up front (MakeModel exits 1 on an unknown
+  // name, which would otherwise only fire at first request).
+  {
+    bool known = false;
+    for (const char* name :
+         {"DMT", "FIMT-DD", "VFDT(MC)", "VFDT(NBA)", "HT-Ada", "EFDT",
+          "ForestEns", "BaggingEns", "OzaBag", "OzaBoost", "SGT", "GLM"}) {
+      if (model_name == name) known = true;
+    }
+    if (!known) UsageError("unknown model: " + model_name);
+  }
+  config.factory = [&](const std::string& /*stream_id*/, std::uint64_t seed) {
+    return bench::MakeModel(model_name, config.num_features,
+                            config.num_classes, seed);
+  };
+
+  std::unique_ptr<serve::JsonlExporter> exporter;
+  if (!export_path.empty()) {
+    exporter = std::make_unique<serve::JsonlExporter>(export_path);
+    if (!exporter->ok()) {
+      std::fprintf(stderr, "dmt_serve: cannot open --export %s\n",
+                   export_path.c_str());
+      return 1;
+    }
+    config.exporter = exporter.get();
+  }
+
+  serve::ServeEngine engine(config);
+  if (!socket_path.empty()) return RunUnixSocket(&engine, socket_path);
+  engine.RunScript(std::cin, std::cout);
+  return 0;
+}
