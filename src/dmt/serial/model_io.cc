@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 #include <istream>
+#include <sstream>
 
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/ensemble/adaptive_random_forest.h"
@@ -62,6 +63,18 @@ std::unique_ptr<trees::Vfdt> LoadMemberVfdt(Reader& reader, int num_features,
             tree->config().num_classes == num_classes,
         "ensemble member tree dimensions disagree with the ensemble");
   return tree;
+}
+
+std::string SaveClassifierToString(const Classifier& model) {
+  std::ostringstream out(std::ios::binary);
+  model.Save(out);
+  if (!out) throw SerialError("in-memory model archive encode failed");
+  return out.str();
+}
+
+std::unique_ptr<Classifier> LoadClassifierFromString(const std::string& bytes) {
+  std::istringstream in(bytes, std::ios::binary);
+  return LoadClassifier(in);
 }
 
 void SaveClassifierToFile(const Classifier& model, const std::string& path) {

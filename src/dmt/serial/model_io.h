@@ -48,6 +48,14 @@ std::unique_ptr<Classifier> LoadClassifierFromFile(const std::string& path);
 // snapshot. Throws SerialError if the file cannot be written.
 void SaveClassifierToFile(const Classifier& model, const std::string& path);
 
+// In-memory round trip, for embedding archives inside larger container
+// formats (the serve layer's checkpoint manifests, replication payloads):
+// the returned bytes are exactly what SaveClassifierToFile publishes, and
+// LoadClassifierFromString accepts exactly what LoadClassifierFromFile
+// reads. Throws SerialError on encode failure / malformed bytes.
+std::string SaveClassifierToString(const Classifier& model);
+std::unique_ptr<Classifier> LoadClassifierFromString(const std::string& bytes);
+
 // Reads one embedded VFDT body record for an ensemble member and checks it
 // matches the ensemble dimensions: ensemble scoring shares per-class
 // scratch rows across members, so a member tree with foreign dimensions

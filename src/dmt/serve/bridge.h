@@ -1,0 +1,51 @@
+// Byte-stream front end of the serving engine: drives one ServeEngine
+// over raw file descriptors speaking the line protocol of
+// serve/request.h. Two callers share it --
+//  * dmt_serve's stdin/stdout batch mode (flush_when_idle = false):
+//    window boundaries come only from the request count, never from read
+//    chunking, so a piped script produces byte-identical output to
+//    ServeEngine::RunScript no matter how the pipe fragments;
+//  * the unix-socket server (flush_when_idle = true): each fully received
+//    line is answered as soon as the connection goes idle, so an
+//    interactive client gets one response per request over a persistent
+//    connection instead of waiting for a window to fill or the stream to
+//    close.
+//
+// Both loops are signal-aware: `stop` points at a sig_atomic_t flag set
+// by a SIGINT/SIGTERM handler (installed without SA_RESTART, so blocked
+// reads return EINTR and the flag is observed promptly). On stop the
+// in-flight window is drained and buffered responses are written before
+// returning -- graceful shutdown, never dropped work.
+#ifndef DMT_SERVE_BRIDGE_H_
+#define DMT_SERVE_BRIDGE_H_
+
+#include <csignal>
+#include <string>
+
+namespace dmt::serve {
+
+class ServeEngine;
+
+// Reads request lines from `in_fd` until EOF or `*stop`, writing response
+// bytes to `out_fd`. An unterminated final line at EOF is served as a
+// line (matching std::getline); a partial line interrupted by `stop` is
+// discarded (it was never fully received). Always flushes the pending
+// window before returning; does NOT call Finish -- the caller owns the
+// final checkpoint / telemetry flush. Returns 0, or 1 when responses
+// could not be written (dead peer).
+int RunLineProtocol(ServeEngine* engine, int in_fd, int out_fd,
+                    const volatile std::sig_atomic_t* stop,
+                    bool flush_when_idle);
+
+// Accept loop on a unix-domain socket at `path`: one client at a time,
+// the engine (and all its models) persisting across connections; each
+// connection is served per line (RunLineProtocol with flush_when_idle).
+// On `*stop` the listener closes, the socket file is unlinked and the
+// engine Finishes (final checkpoint + telemetry flush). Returns 0 on
+// clean shutdown, 1 on a socket setup failure.
+int RunUnixSocketServer(ServeEngine* engine, const std::string& path,
+                        const volatile std::sig_atomic_t* stop);
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_BRIDGE_H_

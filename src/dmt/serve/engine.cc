@@ -1,14 +1,17 @@
 #include "dmt/serve/engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <future>
 #include <istream>
+#include <limits>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
-#include "dmt/common/random.h"
 #include "dmt/serial/model_io.h"
+#include "dmt/serve/state_dir.h"
 
 namespace dmt::serve {
 
@@ -34,6 +37,21 @@ void AppendG(std::string* out, double value) {
   out->append(buffer);
 }
 
+// Textual mt19937_64 state (the standard's portable stream format), so a
+// stream's fault-injection trace continues bit-identically across a
+// checkpoint/recover cycle.
+std::string RngToText(const Rng& rng) {
+  std::ostringstream out;
+  out << rng.engine();
+  return out.str();
+}
+
+bool RngFromText(const std::string& text, Rng* rng) {
+  std::istringstream in(text);
+  in >> rng->engine();
+  return static_cast<bool>(in);
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(ServeConfig config) : config_(std::move(config)) {
@@ -53,24 +71,134 @@ ServeEngine::ServeEngine(ServeConfig config) : config_(std::move(config)) {
   if (config_.num_shards > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_shards);
   }
+  if (config_.state_dir.empty()) {
+    if (config_.max_streams > 0 || config_.idle_windows > 0) {
+      throw StateError(
+          "stream eviction (max_streams / idle_windows) requires a state "
+          "dir to park models in");
+    }
+    if (config_.checkpoint_every > 0) {
+      throw StateError("checkpoint_every requires a state dir");
+    }
+  } else {
+    EnsureStateDir(config_.state_dir);
+    RecoverFromStateDir();
+  }
 }
 
 ServeEngine::~ServeEngine() = default;
 
 ServeEngine::StreamState* ServeEngine::FindOrCreateStream(
-    const std::string& id) {
+    const std::string& id, std::string* error) {
   const auto it = streams_.find(id);
-  if (it != streams_.end()) return &it->second;
+  if (it != streams_.end()) {
+    StreamState* stream = &it->second;
+    if (stream->model == nullptr && !WarmStart(stream, error)) return nullptr;
+    return stream;
+  }
   StreamState state;
   state.id = id;
   state.shard = ShardOf(id, shards_.size());
   // Seeded from the stream identity alone: the same id always gets the
   // same model no matter which shard hosts it or when it first appeared.
   state.model = config_.factory(id, DeriveSeed(config_.seed, id));
-  state.model->AttachTelemetry(&shards_[state.shard]->telemetry);
-  ++shards_[state.shard]->num_streams;
+  Shard* shard = shards_[state.shard].get();
+  state.model->AttachTelemetry(&shard->telemetry);
+  ++shard->num_streams;
+  *shard->resident_streams = static_cast<double>(shard->num_streams);
+  ++resident_;
   ++streams_created_;
   return &streams_.emplace(id, std::move(state)).first->second;
+}
+
+bool ServeEngine::WarmStart(StreamState* stream, std::string* error) {
+  try {
+    const std::string archive =
+        ReadEvictionArchive(config_.state_dir, stream->id);
+    std::unique_ptr<Classifier> model =
+        serial::LoadClassifierFromString(archive);
+    if (model->num_classes() != config_.num_classes) {
+      throw StateError("parked archive has " +
+                       std::to_string(model->num_classes()) +
+                       " classes, engine " +
+                       std::to_string(config_.num_classes));
+    }
+    Shard* shard = shards_[stream->shard].get();
+    model->AttachTelemetry(&shard->telemetry);
+    stream->model = std::move(model);
+    // The parked file is now stale (the resident model trains on); the
+    // next eviction or checkpoint re-serializes from memory.
+    RemoveEvictionArchive(config_.state_dir, stream->id);
+    ++shard->num_streams;
+    *shard->resident_streams = static_cast<double>(shard->num_streams);
+    *shard->warm_starts += 1;
+    ++resident_;
+    ++warm_starts_;
+    return true;
+  } catch (const std::exception& e) {
+    ++state_errors_;
+    *error = e.what();
+    return false;
+  }
+}
+
+void ServeEngine::InjectFaults(Request* request, StreamState* stream) {
+  const robust::FaultSpec& spec = config_.inject;
+  if (stream->inject_rng == nullptr) {
+    // Seeded from the stream identity alone, like the model itself, and
+    // advanced once per train/score request of this stream: the fault
+    // trace is a pure function of the stream's request subsequence.
+    stream->inject_rng = std::make_unique<Rng>(
+        DeriveSeed(config_.seed, stream->id, "inject"));
+  }
+  Rng& rng = *stream->inject_rng;
+  const int features = config_.num_features;
+  bool injected = false;
+  // Draw order mirrors robust::FaultyStream: truncate, nan, inf, missing,
+  // flip. Serve rows have no "stream end", so truncate becomes a truncated
+  // *row*: a random suffix of the features is lost (NaN).
+  if (spec.truncate_rate > 0.0 && features > 0 &&
+      rng.Bernoulli(spec.truncate_rate)) {
+    const int start = rng.UniformInt(0, features - 1);
+    for (int i = start; i < features; ++i) {
+      request->values[static_cast<std::size_t>(i)] =
+          std::numeric_limits<double>::quiet_NaN();
+    }
+    injected = true;
+  }
+  if (spec.nan_rate > 0.0 && features > 0 && rng.Bernoulli(spec.nan_rate)) {
+    request->values[static_cast<std::size_t>(rng.UniformInt(0, features - 1))] =
+        std::numeric_limits<double>::quiet_NaN();
+    injected = true;
+  }
+  if (spec.inf_rate > 0.0 && features > 0 && rng.Bernoulli(spec.inf_rate)) {
+    const double sign = rng.Bernoulli(0.5) ? 1.0 : -1.0;
+    request->values[static_cast<std::size_t>(rng.UniformInt(0, features - 1))] =
+        sign * std::numeric_limits<double>::infinity();
+    injected = true;
+  }
+  if (spec.missing_rate > 0.0) {
+    for (int i = 0; i < features; ++i) {
+      if (rng.Bernoulli(spec.missing_rate)) {
+        request->values[static_cast<std::size_t>(i)] =
+            std::numeric_limits<double>::quiet_NaN();
+        injected = true;
+      }
+    }
+  }
+  if (request->verb == Verb::kTrain && spec.flip_rate > 0.0 &&
+      config_.num_classes > 1 && rng.Bernoulli(spec.flip_rate)) {
+    double& label = request->values[static_cast<std::size_t>(features)];
+    if (std::isfinite(label) && label == std::floor(label) && label >= 0.0 &&
+        label < static_cast<double>(config_.num_classes)) {
+      // Uniform over the other classes: draw r in [0, c-2], shift past y.
+      int r = rng.UniformInt(0, config_.num_classes - 2);
+      if (r >= static_cast<int>(label)) ++r;
+      label = static_cast<double>(r);
+      injected = true;
+    }
+  }
+  if (injected) ++injected_rows_;
 }
 
 void ServeEngine::RouteRequest(Request&& request, std::size_t slot) {
@@ -82,8 +210,23 @@ void ServeEngine::RouteRequest(Request&& request, std::size_t slot) {
     responses_[slot] = "ERR unknown_stream " + request.stream_id;
     return;
   }
-  StreamState* stream = FindOrCreateStream(request.stream_id);
+  std::string warm_error;
+  StreamState* stream = FindOrCreateStream(request.stream_id, &warm_error);
+  if (stream == nullptr) {
+    responses_[slot] = "ERR warm_start " + request.stream_id + " " + warm_error;
+    return;
+  }
+  // Touch bookkeeping for LRU/TTL eviction: the request ordinal is unique,
+  // so the LRU order is total and eviction picks the same victims at any
+  // shard count.
+  stream->last_touch = requests_;
+  stream->last_window = windows_;
   Shard* shard = shards_[stream->shard].get();
+
+  if (config_.inject.any() &&
+      (request.verb == Verb::kTrain || request.verb == Verb::kScore)) {
+    InjectFaults(&request, stream);
+  }
 
   // Bad-input policy, applied at routing so every request's response is
   // fully determined by the request sequence. Train rows carry the label
@@ -188,7 +331,16 @@ void ServeEngine::ServeLine(std::string_view line, std::ostream& out) {
     if (it == streams_.end()) {
       out << "ERR unknown_stream " << request.stream_id << '\n';
     } else {
-      --shards_[it->second.shard]->num_streams;
+      StreamState& state = it->second;
+      if (state.model != nullptr) {
+        Shard* shard = shards_[state.shard].get();
+        --shard->num_streams;
+        *shard->resident_streams = static_cast<double>(shard->num_streams);
+        --resident_;
+      } else if (!config_.state_dir.empty()) {
+        // A dropped stream must not be resurrectable from its parked file.
+        RemoveEvictionArchive(config_.state_dir, request.stream_id);
+      }
       streams_.erase(it);
       ++drops_;
       out << "OK drop " << request.stream_id << '\n';
@@ -207,6 +359,10 @@ void ServeEngine::ServeLine(std::string_view line, std::ostream& out) {
 }
 
 void ServeEngine::Flush(std::ostream& out) {
+  // An empty flush (bridge idle tick, drop at a window start, double
+  // Finish) is a no-op: it must not advance the window clock, evict, or
+  // checkpoint, or interactive serving would diverge from batch replay.
+  if (responses_.empty()) return;
   bool any = false;
   for (const std::vector<Routed>& queue : shard_queues_) {
     if (!queue.empty()) any = true;
@@ -234,12 +390,251 @@ void ServeEngine::Flush(std::ostream& out) {
     for (std::vector<Routed>& queue : shard_queues_) queue.clear();
   }
   for (const std::string& response : responses_) out << response << '\n';
-  if (!responses_.empty()) out.flush();
+  out.flush();
   responses_.clear();
   ++windows_;
+  EvictAtBoundary();
+  if (!config_.state_dir.empty() && config_.checkpoint_every > 0 &&
+      windows_ % config_.checkpoint_every == 0) {
+    WriteCheckpoint();
+  }
   if (config_.exporter != nullptr && config_.export_every > 0 &&
       windows_ % config_.export_every == 0) {
     ExportTelemetry();
+  }
+}
+
+void ServeEngine::EvictAtBoundary() {
+  if (config_.max_streams == 0 && config_.idle_windows == 0) return;
+  // Runs on the routing thread between windows, so eviction timing is a
+  // pure function of the request sequence -- never of shard scheduling.
+  std::vector<StreamState*> victims;
+  if (config_.idle_windows > 0) {
+    for (auto& [id, state] : streams_) {
+      if (state.model != nullptr &&
+          windows_ - state.last_window > config_.idle_windows) {
+        victims.push_back(&state);
+      }
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const StreamState* a, const StreamState* b) {
+                return a->last_touch < b->last_touch;
+              });
+    for (StreamState* victim : victims) EvictStream(victim);
+    victims.clear();
+  }
+  if (config_.max_streams > 0 && resident_ > config_.max_streams) {
+    for (auto& [id, state] : streams_) {
+      if (state.model != nullptr) victims.push_back(&state);
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const StreamState* a, const StreamState* b) {
+                return a->last_touch < b->last_touch;
+              });
+    for (StreamState* victim : victims) {
+      if (resident_ <= config_.max_streams) break;
+      EvictStream(victim);
+    }
+  }
+}
+
+bool ServeEngine::EvictStream(StreamState* stream) {
+  try {
+    WriteEvictionArchive(config_.state_dir, stream->id,
+                         serial::SaveClassifierToString(*stream->model));
+  } catch (const std::exception& e) {
+    // Never silently lose state: a stream that cannot be parked stays
+    // resident and serving continues.
+    ++state_errors_;
+    std::fprintf(stderr, "dmt_serve: cannot evict stream '%s': %s\n",
+                 stream->id.c_str(), e.what());
+    return false;
+  }
+  stream->model.reset();
+  Shard* shard = shards_[stream->shard].get();
+  --shard->num_streams;
+  *shard->resident_streams = static_cast<double>(shard->num_streams);
+  *shard->evictions += 1;
+  --resident_;
+  ++evictions_;
+  return true;
+}
+
+void ServeEngine::WriteCheckpoint() {
+  Manifest manifest;
+  manifest.seq = next_checkpoint_seq_;
+  manifest.model_kind = config_.model_kind;
+  manifest.num_features = config_.num_features;
+  manifest.num_classes = config_.num_classes;
+  manifest.seed = config_.seed;
+  manifest.batch_window = config_.batch_window;
+  manifest.inject_rates = {config_.inject.nan_rate, config_.inject.inf_rate,
+                           config_.inject.missing_rate,
+                           config_.inject.flip_rate,
+                           config_.inject.truncate_rate};
+  ManifestTallies& t = manifest.tallies;
+  t.requests = requests_;
+  t.parse_errors = parse_errors_;
+  t.rejected = rejected_;
+  t.bad_rows = bad_rows_;
+  t.values_imputed = values_imputed_;
+  t.train_rows = train_rows_;
+  t.score_rows = score_rows_;
+  t.snapshots = snapshots_;
+  t.restores = restores_;
+  t.drops = drops_;
+  t.streams_created = streams_created_;
+  t.windows = windows_;
+  t.evictions = evictions_;
+  t.warm_starts = warm_starts_;
+  // The checkpoint counts itself: a run recovered from it must report the
+  // same `checkpoints` tally as the run that wrote it.
+  t.checkpoints = checkpoints_ + 1;
+  t.injected_rows = injected_rows_;
+  t.state_errors = state_errors_;
+
+  std::vector<const StreamState*> order;
+  order.reserve(streams_.size());
+  for (const auto& [id, state] : streams_) order.push_back(&state);
+  std::sort(order.begin(), order.end(),
+            [](const StreamState* a, const StreamState* b) {
+              return a->id < b->id;
+            });
+  try {
+    manifest.streams.reserve(order.size());
+    for (const StreamState* state : order) {
+      ManifestStream entry;
+      entry.id = state->id;
+      entry.resident = state->model != nullptr;
+      entry.rows_trained = state->rows_trained;
+      entry.last_touch = state->last_touch;
+      entry.last_window = state->last_window;
+      if (state->inject_rng != nullptr) {
+        entry.inject_rng = RngToText(*state->inject_rng);
+      }
+      entry.archive =
+          entry.resident
+              ? serial::SaveClassifierToString(*state->model)
+              : ReadEvictionArchive(config_.state_dir, state->id);
+      manifest.streams.push_back(std::move(entry));
+    }
+    WriteManifest(config_.state_dir, manifest);
+  } catch (const std::exception& e) {
+    // A failed checkpoint never interrupts serving; the previous manifest
+    // stays the recovery point.
+    ++state_errors_;
+    std::fprintf(stderr, "dmt_serve: checkpoint %llu failed: %s\n",
+                 static_cast<unsigned long long>(manifest.seq), e.what());
+    return;
+  }
+  ++checkpoints_;
+  ++next_checkpoint_seq_;
+}
+
+void ServeEngine::RecoverFromStateDir() {
+  const std::optional<Manifest> loaded =
+      LoadNewestManifest(config_.state_dir);
+  if (!loaded.has_value()) return;  // fresh state dir
+  const Manifest& m = *loaded;
+  // Config-stamp verification: every field below is part of the
+  // determinism recipe, so skew is a typed refusal, never a silent reset.
+  if (m.model_kind != config_.model_kind) {
+    throw StateError("checkpoint was written by model kind '" +
+                     m.model_kind + "', engine runs '" + config_.model_kind +
+                     "'");
+  }
+  if (m.num_features != config_.num_features ||
+      m.num_classes != config_.num_classes) {
+    throw StateError(
+        "checkpoint dimensions " + std::to_string(m.num_features) + "x" +
+        std::to_string(m.num_classes) + " do not match engine " +
+        std::to_string(config_.num_features) + "x" +
+        std::to_string(config_.num_classes));
+  }
+  if (m.seed != config_.seed) {
+    throw StateError("checkpoint seed " + std::to_string(m.seed) +
+                     " does not match engine seed " +
+                     std::to_string(config_.seed));
+  }
+  if (m.batch_window != config_.batch_window) {
+    throw StateError("checkpoint batch_window " +
+                     std::to_string(m.batch_window) +
+                     " does not match engine batch_window " +
+                     std::to_string(config_.batch_window));
+  }
+  const std::array<double, 5> rates = {
+      config_.inject.nan_rate, config_.inject.inf_rate,
+      config_.inject.missing_rate, config_.inject.flip_rate,
+      config_.inject.truncate_rate};
+  if (m.inject_rates != rates) {
+    throw StateError(
+        "checkpoint fault-injection rates do not match the engine's "
+        "--inject spec");
+  }
+
+  const ManifestTallies& t = m.tallies;
+  requests_ = t.requests;
+  parse_errors_ = t.parse_errors;
+  rejected_ = t.rejected;
+  bad_rows_ = t.bad_rows;
+  values_imputed_ = t.values_imputed;
+  train_rows_ = t.train_rows;
+  score_rows_ = t.score_rows;
+  snapshots_ = t.snapshots;
+  restores_ = t.restores;
+  drops_ = t.drops;
+  streams_created_ = t.streams_created;
+  windows_ = t.windows;
+  evictions_ = t.evictions;
+  warm_starts_ = t.warm_starts;
+  checkpoints_ = t.checkpoints;
+  injected_rows_ = t.injected_rows;
+  state_errors_ = t.state_errors;
+  next_checkpoint_seq_ = m.seq + 1;
+
+  for (const ManifestStream& entry : m.streams) {
+    StreamState state;
+    state.id = entry.id;
+    state.shard = ShardOf(entry.id, shards_.size());
+    state.rows_trained = entry.rows_trained;
+    state.last_touch = entry.last_touch;
+    state.last_window = entry.last_window;
+    if (!entry.inject_rng.empty()) {
+      state.inject_rng = std::make_unique<Rng>(0);
+      if (!RngFromText(entry.inject_rng, state.inject_rng.get())) {
+        throw StateError("corrupt injection-generator state for stream '" +
+                         entry.id + "'");
+      }
+    }
+    if (entry.resident) {
+      std::unique_ptr<Classifier> model;
+      try {
+        model = serial::LoadClassifierFromString(entry.archive);
+      } catch (const serial::SerialError& e) {
+        throw StateError("corrupt model archive for stream '" + entry.id +
+                         "': " + e.what());
+      }
+      if (model->num_classes() != config_.num_classes) {
+        throw StateError("stream '" + entry.id + "' archive has " +
+                         std::to_string(model->num_classes()) +
+                         " classes, engine " +
+                         std::to_string(config_.num_classes));
+      }
+      Shard* shard = shards_[state.shard].get();
+      model->AttachTelemetry(&shard->telemetry);
+      state.model = std::move(model);
+      ++shard->num_streams;
+      *shard->resident_streams = static_cast<double>(shard->num_streams);
+      ++resident_;
+    } else {
+      // Re-materialize the parked file so a later touch can warm-start
+      // without going back to the manifest.
+      WriteEvictionArchive(config_.state_dir, entry.id, entry.archive);
+    }
+    if (!streams_.emplace(entry.id, std::move(state)).second) {
+      throw StateError("checkpoint manifest lists stream '" + entry.id +
+                       "' twice");
+    }
   }
 }
 
@@ -368,6 +763,7 @@ std::string ServeEngine::StatsLine() const {
     line += std::string("\"") + name + "\": " + std::to_string(value);
   };
   field("streams", streams_.size(), /*first=*/true);
+  field("resident_streams", resident_);
   field("streams_created", streams_created_);
   field("requests", requests_);
   field("train_rows", train_rows_);
@@ -380,12 +776,18 @@ std::string ServeEngine::StatsLine() const {
   field("restores", restores_);
   field("drops", drops_);
   field("windows", windows_);
+  field("evictions", evictions_);
+  field("warm_starts", warm_starts_);
+  field("checkpoints", checkpoints_);
+  field("injected_rows", injected_rows_);
+  field("state_errors", state_errors_);
   line += "}";
   return line;
 }
 
 void ServeEngine::Finish(std::ostream& out) {
   Flush(out);
+  if (!config_.state_dir.empty()) WriteCheckpoint();
   if (config_.exporter != nullptr) ExportTelemetry();
 }
 

@@ -40,8 +40,10 @@
 #include <vector>
 
 #include "dmt/common/classifier.h"
+#include "dmt/common/random.h"
 #include "dmt/common/sanitize.h"
 #include "dmt/common/thread_pool.h"
+#include "dmt/robust/faulty_stream.h"
 #include "dmt/serve/exporter.h"
 #include "dmt/serve/request.h"
 #include "dmt/serve/shard.h"
@@ -80,10 +82,43 @@ struct ServeConfig {
   // `export_every` windows (0 = only the final flush) and at Finish().
   JsonlExporter* exporter = nullptr;
   std::size_t export_every = 0;
+
+  // --- Durability and lifecycle (DESIGN.md Sec. 15) ---
+  // Directory for checkpoint manifests and eviction archives; "" disables
+  // the whole durability layer. When set, the constructor recovers from
+  // the newest complete manifest (throwing StateError on corruption or a
+  // config-stamp mismatch) and Finish() writes a final checkpoint.
+  std::string state_dir;
+  // Config-stamp label recorded in every manifest (dmt_serve passes the
+  // --model name); a manifest written under a different label refuses to
+  // restore. "" matches only "".
+  std::string model_kind;
+  // Write a checkpoint manifest every N windows (0 = only at Finish).
+  // Requires state_dir.
+  std::size_t checkpoint_every = 0;
+  // Resident-stream bound: after each window, least-recently-touched
+  // resident streams are evicted (parked to disk) until at most this many
+  // remain. 0 = unbounded. Requires state_dir.
+  std::size_t max_streams = 0;
+  // TTL: after each window, resident streams untouched for more than this
+  // many windows are evicted. 0 = no TTL. Requires state_dir.
+  std::size_t idle_windows = 0;
+  // Deterministic fault injection on the request path: train/score rows
+  // are corrupted at these rates by a per-stream Rng seeded
+  // DeriveSeed(seed, stream_id, "inject") -- never from shard or timing --
+  // so the fault trace is part of the determinism contract (identical at
+  // any shard count, and checkpoint/restore preserves the generator
+  // state). Serve has no "stream end", so truncate is reinterpreted: a
+  // random suffix of the row's features becomes NaN.
+  robust::FaultSpec inject;
 };
 
 class ServeEngine {
  public:
+  // Throws StateError when eviction is configured without a state dir, or
+  // when config.state_dir holds a manifest that is corrupt, version-skewed
+  // or stamped with a different configuration -- recovery refuses to
+  // guess. A clean or empty state dir starts fresh.
   explicit ServeEngine(ServeConfig config);
   ~ServeEngine();
 
@@ -107,15 +142,26 @@ class ServeEngine {
   void RunScript(std::istream& in, std::ostream& out);
 
   std::size_t num_streams() const { return streams_.size(); }
+  // Streams whose model is in memory (num_streams minus parked streams).
+  std::size_t resident_streams() const { return resident_; }
   std::size_t num_shards() const { return shards_.size(); }
   const Shard& shard(std::size_t i) const { return *shards_[i]; }
+  std::uint64_t windows() const { return windows_; }
+  std::uint64_t checkpoints() const { return checkpoints_; }
 
  private:
   struct StreamState {
     std::string id;
     std::size_t shard = 0;
+    // Null while the stream is parked on disk (evicted); warm-started
+    // transparently on the next touch.
     std::unique_ptr<Classifier> model;
     std::uint64_t rows_trained = 0;  // accepted rows, counted at routing
+    std::uint64_t last_touch = 0;    // global request ordinal (LRU key)
+    std::uint64_t last_window = 0;   // window of the last touch (TTL key)
+    // Lazily created on the first injected draw; survives eviction in
+    // memory and checkpoints as textual mt19937_64 state.
+    std::unique_ptr<Rng> inject_rng;
   };
 
   // One routed request waiting for its shard task.
@@ -128,9 +174,18 @@ class ServeEngine {
     std::uint64_t ordinal = 0;       // train: rows_trained after this row
   };
 
-  StreamState* FindOrCreateStream(const std::string& id);
+  // Returns the (possibly just created or warm-started) stream, or nullptr
+  // when a parked stream's archive cannot be loaded -- `*error` then holds
+  // the diagnostic and the stream stays parked.
+  StreamState* FindOrCreateStream(const std::string& id, std::string* error);
+  bool WarmStart(StreamState* stream, std::string* error);
+  void InjectFaults(Request* request, StreamState* stream);
   void RouteRequest(Request&& request, std::size_t slot);
   void ProcessShard(Shard* shard, std::vector<Routed>* items);
+  void EvictAtBoundary();
+  bool EvictStream(StreamState* stream);
+  void WriteCheckpoint();
+  void RecoverFromStateDir();
   void ExportTelemetry();
   std::string StatsLine() const;
 
@@ -158,6 +213,15 @@ class ServeEngine {
   std::uint64_t streams_created_ = 0;
   std::uint64_t windows_ = 0;
   std::uint64_t exporter_flushes_ = 0;
+
+  // Durability layer (main thread only; shards never touch it).
+  std::size_t resident_ = 0;           // streams with a model in memory
+  std::uint64_t next_checkpoint_seq_ = 1;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t warm_starts_ = 0;
+  std::uint64_t checkpoints_ = 0;
+  std::uint64_t injected_rows_ = 0;
+  std::uint64_t state_errors_ = 0;     // non-fatal durability failures
 };
 
 }  // namespace dmt::serve

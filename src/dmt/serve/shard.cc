@@ -11,7 +11,10 @@ Shard::Shard() {
   restores = telemetry.Counter("serve.restores");
   rejected = telemetry.Counter("serve.rejected");
   bad_rows = telemetry.Counter("serve.bad_rows");
+  evictions = telemetry.Counter("serve.evictions");
+  warm_starts = telemetry.Counter("serve.warm_starts");
   last_bad_value = telemetry.Gauge("serve.last_bad_value");
+  resident_streams = telemetry.Gauge("serve.resident_streams");
 }
 
 std::string Shard::ExportLine(std::size_t shard_index,

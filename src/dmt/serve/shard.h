@@ -38,12 +38,18 @@ struct Shard {
   std::uint64_t* restores = nullptr;     // serve.restores
   std::uint64_t* rejected = nullptr;     // serve.rejected (back-pressure)
   std::uint64_t* bad_rows = nullptr;     // serve.bad_rows (non-finite/label)
+  std::uint64_t* evictions = nullptr;    // serve.evictions (parked to disk)
+  std::uint64_t* warm_starts = nullptr;  // serve.warm_starts (un-parked)
   double* last_bad_value = nullptr;      // serve.last_bad_value gauge; holds
                                          // the offending value verbatim
                                          // (possibly NaN/Inf -- the JSON
                                          // writer must survive it)
+  double* resident_streams = nullptr;    // serve.resident_streams gauge;
+                                         // mirrors num_streams
 
-  // Streams currently homed on this shard (kept by the engine).
+  // Streams currently resident (model in memory) on this shard; parked
+  // streams are not counted. Kept by the engine, mirrored into the
+  // resident_streams gauge.
   std::size_t num_streams = 0;
 
   // Grow-only scratch reused across windows: coalesced per-stream request

@@ -1,0 +1,154 @@
+// Durability layer of the serving engine (DESIGN.md Sec. 15): engine-wide
+// checkpoint manifests plus per-stream eviction archives, both living in
+// one `--state-dir` directory.
+//
+// A *manifest* is a single self-contained file holding the full engine
+// state at one window boundary: a config stamp (model kind, dimensions,
+// seed, batch window, fault-injection rates), the routing-time tallies,
+// and one entry per known stream -- resident or evicted -- with the
+// stream's complete serial archive embedded as bytes. Embedding makes the
+// checkpoint one atomic unit: it is written to `<name>.tmp` and renamed,
+// so a manifest either exists completely or not at all, and recovery is a
+// pure function of a single file's bytes. Recovery always uses the newest
+// complete manifest; a crash mid-write leaves a stale `.tmp` behind and
+// the previous manifest intact.
+//
+// An *eviction archive* parks one idle stream's model on disk
+// (`evicted/<sanitized>-<fnv64>.dmts`). The file wraps the raw serial
+// archive with the stream id, which is verified on load, so a filename
+// hash collision (or a stale file from a dropped stream) surfaces as a
+// typed error instead of silently warm-starting the wrong model.
+//
+// Every failure mode of this layer -- unreadable directory, truncated or
+// bit-flipped manifest, version skew, config-stamp mismatch, foreign
+// eviction archive -- raises StateError. Nothing here aborts, and decode
+// hardening is inherited from serial::Reader (bounds-checked reads,
+// capped counts).
+#ifndef DMT_SERVE_STATE_DIR_H_
+#define DMT_SERVE_STATE_DIR_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dmt/serial/archive.h"
+
+namespace dmt::serve {
+
+// Typed failure of the durability layer. dmt_serve maps recovery-time
+// StateError to an exit-2 diagnostic; request-time warm-start failures
+// become "ERR warm_start ..." responses.
+class StateError : public std::runtime_error {
+ public:
+  explicit StateError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Container tags (serial/archive.h FourCC space, append-only).
+inline constexpr std::uint32_t kTagManifest =
+    serial::FourCC('M', 'N', 'F', 'S');
+inline constexpr std::uint32_t kTagEviction =
+    serial::FourCC('E', 'V', 'C', 'S');
+
+// One known stream: identity, lifecycle counters, and the full serial
+// archive bytes of its model (exactly what Classifier::Save writes).
+struct ManifestStream {
+  std::string id;
+  bool resident = true;
+  std::uint64_t rows_trained = 0;
+  std::uint64_t last_touch = 0;   // request ordinal of the last touch (LRU)
+  std::uint64_t last_window = 0;  // window of the last touch (TTL)
+  std::string inject_rng;         // textual mt19937_64 state; "" = unused
+  std::string archive;
+};
+
+// Routing-time tallies, restored verbatim so `stats` responses continue
+// exactly where the checkpointed run left off. Field order is the wire
+// order.
+struct ManifestTallies {
+  std::uint64_t requests = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t bad_rows = 0;
+  std::uint64_t values_imputed = 0;
+  std::uint64_t train_rows = 0;
+  std::uint64_t score_rows = 0;
+  std::uint64_t snapshots = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t streams_created = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t warm_starts = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t injected_rows = 0;
+  std::uint64_t state_errors = 0;
+};
+
+struct Manifest {
+  std::uint64_t seq = 0;
+  // Config stamp: a checkpoint only restores into an engine configured
+  // identically. Skew in any field is a StateError, never a silent reset
+  // -- these values are part of the determinism recipe (a different model
+  // kind, seed, batch window or fault schedule would diverge from the
+  // checkpointed trajectory instead of continuing it).
+  std::string model_kind;
+  std::int32_t num_features = 0;
+  std::int32_t num_classes = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t batch_window = 0;
+  // nan, inf, missing, flip, truncate rates of the --inject spec.
+  std::array<double, 5> inject_rates = {0.0, 0.0, 0.0, 0.0, 0.0};
+  ManifestTallies tallies;
+  std::vector<ManifestStream> streams;
+};
+
+// "manifest-<seq, 20 decimal digits>.dmtm": zero-padded so lexicographic
+// and numeric order agree.
+std::string ManifestFileName(std::uint64_t seq);
+
+// Collision-resistant, filesystem-safe file name for one stream's
+// eviction archive: a sanitized prefix of the id plus the 16-hex-digit
+// FNV-1a of the full id (ids are arbitrary request tokens and may contain
+// '/', '..', etc.). The id stored *inside* the file is authoritative.
+std::string EvictionFileName(const std::string& stream_id);
+
+// Creates `dir` and its evicted/ subdirectory. Throws StateError if the
+// path cannot be created or is not a directory.
+void EnsureStateDir(const std::string& dir);
+
+// Serializes `manifest` to `dir`, write-to-temp + rename, then prunes
+// manifests older than seq-1 (the previous manifest is kept as a spare).
+// Throws StateError on any write failure; a failed write never disturbs
+// existing manifests.
+void WriteManifest(const std::string& dir, const Manifest& manifest);
+
+// Scans `dir` for the newest complete manifest ("manifest-*.dmtm"; stale
+// .tmp files are ignored) and decodes it. Returns nullopt when no
+// manifest exists (fresh state dir). Throws StateError on an unreadable
+// directory or a malformed / version-skewed manifest -- recovery refuses
+// to guess, it never silently falls back to an older checkpoint.
+std::optional<Manifest> LoadNewestManifest(const std::string& dir);
+
+// Parks one stream's serial archive in dir/evicted/ (write-to-temp +
+// rename). `archive` holds the raw model archive bytes. Throws StateError
+// on write failure.
+void WriteEvictionArchive(const std::string& dir, const std::string& stream_id,
+                          const std::string& archive);
+
+// Loads a parked stream's archive bytes back, verifying the id recorded
+// inside the file. Throws StateError if the file is missing, malformed,
+// or holds a different stream.
+std::string ReadEvictionArchive(const std::string& dir,
+                                const std::string& stream_id);
+
+// Deletes a parked stream's archive (a dropped stream must not be
+// resurrectable from disk). Missing files are ignored.
+void RemoveEvictionArchive(const std::string& dir,
+                           const std::string& stream_id);
+
+}  // namespace dmt::serve
+
+#endif  // DMT_SERVE_STATE_DIR_H_

@@ -5,23 +5,31 @@
 // NaN traffic.
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <span>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include "dmt/common/random.h"
 #include "dmt/core/dynamic_model_tree.h"
 #include "dmt/linear/glm_classifier.h"
+#include "dmt/robust/faulty_stream.h"
 #include "dmt/serial/model_io.h"
+#include "dmt/serve/bridge.h"
 #include "dmt/serve/engine.h"
 #include "dmt/serve/exporter.h"
 #include "dmt/serve/request.h"
+#include "dmt/serve/state_dir.h"
 #include "json_check.h"
 
 namespace dmt {
@@ -491,6 +499,469 @@ TEST(ServeEngineTest, ParseErrorsGetOneResponseLineEach) {
   EXPECT_EQ(out[1].rfind("ERR parse ", 0), 0u);
   EXPECT_EQ(out[2], "OK train u n=1");
   EXPECT_EQ(out[3].rfind("ERR parse ", 0), 0u);
+}
+
+// ------------------------------------------------ durability & lifecycle
+
+std::string FreshStateDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Train/score traffic over `num_streams` streams with periodic revisits
+// of old streams (forcing warm starts once eviction is on). No `stats`
+// lines: stats report eviction tallies, which legitimately differ between
+// a bounded and an unbounded engine.
+std::vector<std::string> RevisitingScript(std::size_t num_requests,
+                                          std::size_t num_streams) {
+  std::uint64_t state = 0x2545f4914f6cdd1dULL;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  std::vector<std::string> lines;
+  lines.reserve(num_requests);
+  for (std::size_t i = 0; i < num_requests; ++i) {
+    // Mostly a moving "hot" window of streams, periodically jumping back
+    // to the coldest ones so evicted models must be warm-started.
+    const std::size_t hot = (i / 7) % num_streams;
+    const std::size_t id_index = next() % 4 == 0 ? (next() % num_streams)
+                                                 : hot;
+    const std::string id = "s" + std::to_string(id_index);
+    const double a = static_cast<double>(next() % 1000) / 1000.0;
+    const double b = static_cast<double>(next() % 1000) / 1000.0;
+    std::ostringstream line;
+    if (next() % 10 < 6) {
+      line << "train " << id << ' ' << a << ',' << b << ',' << next() % 2;
+    } else {
+      line << "score " << id << ' ' << a << ',' << b;
+    }
+    lines.push_back(line.str());
+  }
+  return lines;
+}
+
+TEST(ServeDurabilityTest, EvictionWithoutStateDirIsRefused) {
+  serve::ServeConfig config;
+  config.num_features = 1;
+  config.num_classes = 2;
+  config.max_streams = 4;
+  config.factory = GlmFactory(1, 2);
+  EXPECT_THROW(serve::ServeEngine engine(config), serve::StateError);
+}
+
+TEST(ServeDurabilityTest, LruEvictionBoundsResidentStreams) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.batch_window = 8;
+  config.state_dir = FreshStateDir("serve_evict_bound");
+  config.max_streams = 4;
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+  const std::string out =
+      RunLines(&engine, RevisitingScript(400, 20));
+  EXPECT_EQ(out.find("ERR"), std::string::npos) << out;
+  EXPECT_EQ(engine.num_streams(), 20u);       // every stream still known
+  EXPECT_LE(engine.resident_streams(), 4u);   // but at most 4 in memory
+  // Per-shard telemetry saw the lifecycle events.
+  std::uint64_t evictions = 0;
+  std::uint64_t warm_starts = 0;
+  for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+    evictions += *engine.shard(s).evictions;
+    warm_starts += *engine.shard(s).warm_starts;
+  }
+  EXPECT_GT(evictions, 0u);
+  EXPECT_GT(warm_starts, 0u);
+}
+
+TEST(ServeDurabilityTest, EvictionIsByteInvisibleForGlm) {
+  const std::vector<std::string> script = RevisitingScript(600, 12);
+  serve::ServeConfig unbounded;
+  unbounded.num_features = 2;
+  unbounded.num_classes = 2;
+  unbounded.batch_window = 16;
+  unbounded.seed = 3;
+  unbounded.factory = GlmFactory(2, 2);
+  serve::ServeEngine reference(unbounded);
+  const std::string expected = RunLines(&reference, script);
+
+  serve::ServeConfig bounded = unbounded;
+  bounded.state_dir = FreshStateDir("serve_evict_glm");
+  bounded.max_streams = 3;
+  bounded.idle_windows = 2;
+  serve::ServeEngine engine(bounded);
+  const std::string actual = RunLines(&engine, script);
+  EXPECT_EQ(actual, expected);
+  EXPECT_LE(engine.resident_streams(), 3u);
+}
+
+TEST(ServeDurabilityTest, EvictionIsByteInvisibleForDmt) {
+  const std::vector<std::string> script = RevisitingScript(400, 8);
+  serve::ServeConfig unbounded;
+  unbounded.num_features = 2;
+  unbounded.num_classes = 2;
+  unbounded.batch_window = 16;
+  unbounded.seed = 17;
+  unbounded.factory = DmtFactory(2, 2);
+  serve::ServeEngine reference(unbounded);
+  const std::string expected = RunLines(&reference, script);
+
+  serve::ServeConfig bounded = unbounded;
+  bounded.state_dir = FreshStateDir("serve_evict_dmt");
+  bounded.max_streams = 2;
+  serve::ServeEngine engine(bounded);
+  EXPECT_EQ(RunLines(&engine, script), expected);
+}
+
+TEST(ServeDurabilityTest, ShardCountInvariantWithEvictionActive) {
+  // Eviction decisions run on the routing thread at window boundaries, so
+  // the full transcript -- stats lines included -- is shard-invariant.
+  std::vector<std::string> script = RevisitingScript(500, 15);
+  for (std::size_t i = 50; i < script.size(); i += 100) {
+    script[i] = "stats";
+  }
+  std::string outputs[2];
+  const std::size_t shard_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeConfig config;
+    config.num_features = 2;
+    config.num_classes = 2;
+    config.num_shards = shard_counts[i];
+    config.batch_window = 8;
+    config.seed = 23;
+    config.state_dir =
+        FreshStateDir("serve_evict_shards" + std::to_string(i));
+    config.max_streams = 5;
+    config.idle_windows = 3;
+    config.factory = GlmFactory(2, 2);
+    serve::ServeEngine engine(config);
+    outputs[i] = RunLines(&engine, script);
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(ServeDurabilityTest, CheckpointRecoveryContinuesByteIdentically) {
+  // 48 requests at batch_window 8 and checkpoint_every 2: checkpoints
+  // land after requests 16, 32 and 48. Kill the first engine (abandon it
+  // un-Finished) after 40 requests -- the newest manifest then covers
+  // exactly the first 32 -- and recovery must replay the tail to the same
+  // bytes an uninterrupted run produces, stats lines included.
+  std::vector<std::string> script = RevisitingScript(48, 6);
+  script[40] = "stats";  // tally continuity, right after the cut
+  script[47] = "stats";
+  const std::size_t covered = 32;
+
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.batch_window = 8;
+  config.seed = 9;
+  config.model_kind = "GLM";
+  config.checkpoint_every = 2;
+  config.factory = GlmFactory(2, 2);
+
+  // Uninterrupted reference run, in its own state dir.
+  serve::ServeConfig reference_config = config;
+  reference_config.state_dir = FreshStateDir("serve_recover_ref");
+  serve::ServeEngine reference(reference_config);
+  const std::vector<std::string> expected =
+      SplitLines(RunLines(&reference, script));
+  ASSERT_EQ(expected.size(), script.size());
+
+  // Crashing run: serve 40 requests, never Finish (simulated kill -9; the
+  // destructor does not checkpoint).
+  config.state_dir = FreshStateDir("serve_recover_crash");
+  {
+    serve::ServeEngine doomed(config);
+    std::ostringstream sink;
+    for (std::size_t i = 0; i < 40; ++i) doomed.ServeLine(script[i], sink);
+  }
+
+  // Recovery: the new engine resumes from request `covered` and must
+  // reproduce the reference transcript for the tail exactly.
+  serve::ServeEngine recovered(config);
+  EXPECT_GT(recovered.num_streams(), 0u);
+  std::ostringstream out;
+  for (std::size_t i = covered; i < script.size(); ++i) {
+    recovered.ServeLine(script[i], out);
+  }
+  recovered.Finish(out);
+  const std::vector<std::string> tail = SplitLines(out.str());
+  ASSERT_EQ(tail.size(), script.size() - covered);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], expected[covered + i]) << "response " << (covered + i);
+  }
+}
+
+TEST(ServeDurabilityTest, RecoveryWithEvictionIsShardInvariant) {
+  // Crash-recover under active eviction at two shard counts; the replayed
+  // tails must agree byte for byte.
+  const std::vector<std::string> script = RevisitingScript(96, 10);
+  const std::size_t covered = 64;  // checkpoints every 2 windows of 8
+  std::string tails[2];
+  const std::size_t shard_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeConfig config;
+    config.num_features = 2;
+    config.num_classes = 2;
+    config.num_shards = shard_counts[i];
+    config.batch_window = 8;
+    config.seed = 31;
+    config.model_kind = "GLM";
+    config.checkpoint_every = 2;
+    config.max_streams = 4;
+    config.state_dir =
+        FreshStateDir("serve_recover_shards" + std::to_string(i));
+    config.factory = GlmFactory(2, 2);
+    {
+      serve::ServeEngine doomed(config);
+      std::ostringstream sink;
+      for (std::size_t j = 0; j < 72; ++j) doomed.ServeLine(script[j], sink);
+    }
+    serve::ServeEngine recovered(config);
+    std::ostringstream out;
+    for (std::size_t j = covered; j < script.size(); ++j) {
+      recovered.ServeLine(script[j], out);
+    }
+    recovered.Finish(out);
+    tails[i] = out.str();
+  }
+  EXPECT_FALSE(tails[0].empty());
+  EXPECT_EQ(tails[0], tails[1]);
+}
+
+TEST(ServeDurabilityTest, RecoveryRejectsConfigSkew) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.model_kind = "GLM";
+  config.state_dir = FreshStateDir("serve_skew");
+  config.factory = GlmFactory(2, 2);
+  {
+    serve::ServeEngine engine(config);
+    std::ostringstream out;
+    engine.ServeLine("train u 0.1,0.9,1", out);
+    engine.Finish(out);  // writes the manifest
+  }
+  {
+    serve::ServeConfig skew = config;
+    skew.model_kind = "DMT";
+    EXPECT_THROW(serve::ServeEngine engine(skew), serve::StateError);
+  }
+  {
+    serve::ServeConfig skew = config;
+    skew.seed = config.seed + 1;
+    EXPECT_THROW(serve::ServeEngine engine(skew), serve::StateError);
+  }
+  {
+    serve::ServeConfig skew = config;
+    skew.batch_window = config.batch_window + 1;
+    EXPECT_THROW(serve::ServeEngine engine(skew), serve::StateError);
+  }
+  // The matching configuration still recovers.
+  serve::ServeEngine engine(config);
+  EXPECT_EQ(engine.num_streams(), 1u);
+}
+
+TEST(ServeDurabilityTest, CorruptManifestIsATypedRefusal) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.state_dir = FreshStateDir("serve_corrupt");
+  config.factory = GlmFactory(2, 2);
+  {
+    serve::ServeEngine engine(config);
+    std::ostringstream out;
+    engine.ServeLine("train u 0.1,0.9,1", out);
+    engine.Finish(out);
+  }
+  // Truncate the manifest mid-file.
+  const std::optional<serve::Manifest> manifest =
+      serve::LoadNewestManifest(config.state_dir);
+  ASSERT_TRUE(manifest.has_value());
+  const std::string path =
+      config.state_dir + "/" + serve::ManifestFileName(manifest->seq);
+  const std::string bytes = ReadFileBytes(path);
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  EXPECT_THROW(serve::ServeEngine engine(config), serve::StateError);
+}
+
+// --------------------------------------------------------- fault injection
+
+TEST(ServeInjectionTest, ServerSurvivesFaultTrafficDeterministically) {
+  const std::vector<std::string> script = RevisitingScript(500, 9);
+  std::string outputs[2];
+  const std::size_t shard_counts[2] = {1, 2};
+  for (int i = 0; i < 2; ++i) {
+    serve::ServeConfig config;
+    config.num_features = 2;
+    config.num_classes = 2;
+    config.num_shards = shard_counts[i];
+    config.batch_window = 16;
+    config.seed = 77;
+    config.inject = robust::FaultSpec::Parse(
+        "nan=0.2,inf=0.1,missing=0.1,flip=0.3,truncate=0.15");
+    config.factory = GlmFactory(2, 2);
+    serve::ServeEngine engine(config);
+    std::ostringstream out;
+    for (const std::string& line : script) engine.ServeLine(line, out);
+    engine.ServeLine("stats", out);
+    engine.Finish(out);
+    outputs[i] = out.str();
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+  const std::vector<std::string> lines = SplitLines(outputs[0]);
+  // One response per request, every one OK (skip policy) -- the server
+  // never aborted or went silent under nan/inf/truncate traffic.
+  ASSERT_EQ(lines.size(), script.size() + 1);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("OK ", 0), 0u) << line;
+  }
+  EXPECT_EQ(lines.back().find("\"injected_rows\": 0,"), std::string::npos)
+      << lines.back();
+  EXPECT_NE(lines.back().find("\"injected_rows\": "), std::string::npos);
+}
+
+TEST(ServeInjectionTest, InjectionTraceSurvivesCheckpointRecovery) {
+  const std::vector<std::string> script = RevisitingScript(64, 4);
+  const std::size_t covered = 32;
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.batch_window = 8;
+  config.seed = 55;
+  config.model_kind = "GLM";
+  config.checkpoint_every = 2;
+  config.inject =
+      robust::FaultSpec::Parse("nan=0.25,missing=0.2,flip=0.3,truncate=0.1");
+  config.factory = GlmFactory(2, 2);
+
+  serve::ServeConfig reference_config = config;
+  reference_config.state_dir = FreshStateDir("serve_inject_ref");
+  serve::ServeEngine reference(reference_config);
+  const std::string expected = RunLines(&reference, script);
+
+  config.state_dir = FreshStateDir("serve_inject_crash");
+  {
+    serve::ServeEngine doomed(config);
+    std::ostringstream sink;
+    for (std::size_t i = 0; i < 40; ++i) doomed.ServeLine(script[i], sink);
+  }
+  serve::ServeEngine recovered(config);
+  std::ostringstream out;
+  for (std::size_t i = covered; i < script.size(); ++i) {
+    recovered.ServeLine(script[i], out);
+  }
+  recovered.Finish(out);
+  // The recovered tail equals the reference's tail: the per-stream
+  // injection generators resumed mid-trace.
+  const std::vector<std::string> expected_lines = SplitLines(expected);
+  const std::vector<std::string> tail = SplitLines(out.str());
+  ASSERT_EQ(tail.size(), script.size() - covered);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i], expected_lines[covered + i]);
+  }
+  // Rate skew between the checkpoint and the engine is refused.
+  serve::ServeConfig skew = config;
+  skew.inject.nan_rate = 0.5;
+  EXPECT_THROW(serve::ServeEngine engine(skew), serve::StateError);
+}
+
+// ----------------------------------------------------------------- bridge
+
+TEST(ServeBridgeTest, AnswersPerLineOverOnePersistentConnection) {
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.batch_window = 64;  // larger than the request count: only the
+                             // idle flush can emit responses
+  config.factory = GlmFactory(2, 2);
+  serve::ServeEngine engine(config);
+
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread server([&engine, &fds]() {
+    serve::RunLineProtocol(&engine, fds[0], fds[0], nullptr,
+                           /*flush_when_idle=*/true);
+  });
+
+  const auto send_line = [&fds](const std::string& line) {
+    const std::string framed = line + "\n";
+    ASSERT_EQ(::write(fds[1], framed.data(), framed.size()),
+              static_cast<ssize_t>(framed.size()));
+  };
+  const auto read_line = [&fds]() {
+    std::string line;
+    char c;
+    while (::read(fds[1], &c, 1) == 1 && c != '\n') line.push_back(c);
+    return line;
+  };
+
+  // Strict request/response lockstep: each answer must arrive before the
+  // next request is sent, so responses cannot be riding a later window.
+  send_line("train u 0.1,0.9,1");
+  EXPECT_EQ(read_line(), "OK train u n=1");
+  send_line("score u 0.4,0.6");
+  const std::string score = read_line();
+  EXPECT_EQ(score.rfind("OK score u pred=", 0), 0u) << score;
+  send_line("stats");
+  EXPECT_EQ(read_line().rfind("OK stats ", 0), 0u);
+
+  ASSERT_EQ(::shutdown(fds[1], SHUT_WR), 0);
+  server.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(ServeBridgeTest, BatchModeMatchesRunScriptAndServesUnterminatedTail) {
+  const std::vector<std::string> script = RevisitingScript(100, 5);
+  serve::ServeConfig config;
+  config.num_features = 2;
+  config.num_classes = 2;
+  config.batch_window = 16;
+  config.factory = GlmFactory(2, 2);
+
+  serve::ServeEngine reference(config);
+  const std::string expected = RunLines(&reference, script);
+
+  // Same script through the fd bridge, deliberately without a trailing
+  // newline on the final line.
+  std::string input;
+  for (std::size_t i = 0; i < script.size(); ++i) {
+    input += script[i];
+    if (i + 1 < script.size()) input += '\n';
+  }
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  serve::ServeEngine engine(config);
+  std::string actual;
+  std::thread client([&fds, &input, &actual]() {
+    std::size_t written = 0;
+    while (written < input.size()) {
+      const ssize_t w = ::write(fds[1], input.data() + written,
+                                std::min<std::size_t>(777, input.size() -
+                                                               written));
+      ASSERT_GT(w, 0);
+      written += static_cast<std::size_t>(w);
+    }
+    ::shutdown(fds[1], SHUT_WR);
+    char buffer[4096];
+    ssize_t n;
+    while ((n = ::read(fds[1], buffer, sizeof(buffer))) > 0) {
+      actual.append(buffer, static_cast<std::size_t>(n));
+    }
+  });
+  serve::RunLineProtocol(&engine, fds[0], fds[0], nullptr,
+                         /*flush_when_idle=*/false);
+  engine.Finish(std::cout);  // nothing pending; parity with dmt_serve main
+  ::shutdown(fds[0], SHUT_WR);
+  client.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_EQ(actual, expected);
 }
 
 }  // namespace

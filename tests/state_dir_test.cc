@@ -1,0 +1,261 @@
+// Tests for the serving durability layer (src/dmt/serve/state_dir):
+// manifest round trips, newest-complete selection, pruning, and the
+// corruption contract -- a truncated, bit-flipped, version-skewed or
+// foreign file always surfaces as a typed StateError, never UB, abort or
+// a silently wrong recovery.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dmt/serve/state_dir.h"
+
+namespace dmt {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+serve::Manifest MakeManifest(std::uint64_t seq) {
+  serve::Manifest m;
+  m.seq = seq;
+  m.model_kind = "GLM";
+  m.num_features = 3;
+  m.num_classes = 2;
+  m.seed = 42;
+  m.batch_window = 16;
+  m.inject_rates = {0.1, 0.0, 0.25, 0.5, 1.0};
+  m.tallies.requests = 100;
+  m.tallies.train_rows = 60;
+  m.tallies.score_rows = 30;
+  m.tallies.windows = 7;
+  m.tallies.evictions = 2;
+  m.tallies.warm_starts = 1;
+  m.tallies.checkpoints = 3;
+
+  serve::ManifestStream alpha;
+  alpha.id = "alpha";
+  alpha.resident = true;
+  alpha.rows_trained = 41;
+  alpha.last_touch = 99;
+  alpha.last_window = 7;
+  alpha.archive = "alpha-model-archive-bytes";  // opaque to the manifest
+  m.streams.push_back(alpha);
+
+  serve::ManifestStream beta;
+  beta.id = "beta";
+  beta.resident = false;
+  beta.rows_trained = 19;
+  beta.last_touch = 55;
+  beta.last_window = 3;
+  beta.inject_rng = "123 456 789 101112";
+  beta.archive = "beta-model-archive-bytes";
+  m.streams.push_back(beta);
+  return m;
+}
+
+// ----------------------------------------------------------- round trips
+
+TEST(StateDirTest, ManifestRoundTripPreservesEveryField) {
+  const std::string dir = FreshDir("state_roundtrip");
+  const serve::Manifest written = MakeManifest(12);
+  serve::WriteManifest(dir, written);
+
+  const std::optional<serve::Manifest> loaded =
+      serve::LoadNewestManifest(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seq, 12u);
+  EXPECT_EQ(loaded->model_kind, "GLM");
+  EXPECT_EQ(loaded->num_features, 3);
+  EXPECT_EQ(loaded->num_classes, 2);
+  EXPECT_EQ(loaded->seed, 42u);
+  EXPECT_EQ(loaded->batch_window, 16u);
+  EXPECT_EQ(loaded->inject_rates, written.inject_rates);
+  EXPECT_EQ(loaded->tallies.requests, 100u);
+  EXPECT_EQ(loaded->tallies.train_rows, 60u);
+  EXPECT_EQ(loaded->tallies.windows, 7u);
+  EXPECT_EQ(loaded->tallies.evictions, 2u);
+  EXPECT_EQ(loaded->tallies.checkpoints, 3u);
+  ASSERT_EQ(loaded->streams.size(), 2u);
+  EXPECT_EQ(loaded->streams[0].id, "alpha");
+  EXPECT_TRUE(loaded->streams[0].resident);
+  EXPECT_EQ(loaded->streams[0].rows_trained, 41u);
+  EXPECT_EQ(loaded->streams[0].last_touch, 99u);
+  EXPECT_EQ(loaded->streams[0].archive, "alpha-model-archive-bytes");
+  EXPECT_EQ(loaded->streams[1].id, "beta");
+  EXPECT_FALSE(loaded->streams[1].resident);
+  EXPECT_EQ(loaded->streams[1].inject_rng, "123 456 789 101112");
+}
+
+TEST(StateDirTest, EmptyOrMissingDirIsAFreshStart) {
+  EXPECT_FALSE(serve::LoadNewestManifest(FreshDir("state_empty")));
+  EXPECT_FALSE(
+      serve::LoadNewestManifest(::testing::TempDir() + "state_nonexistent"));
+}
+
+// -------------------------------------------- newest-complete + pruning
+
+TEST(StateDirTest, NewestManifestWinsAndStaleTmpIsIgnored) {
+  const std::string dir = FreshDir("state_newest");
+  serve::WriteManifest(dir, MakeManifest(3));
+  serve::WriteManifest(dir, MakeManifest(7));
+  // A crash mid-write leaves a .tmp behind with a higher sequence; only
+  // completely renamed manifests count.
+  WriteFileBytes(dir + "/" + serve::ManifestFileName(9) + ".tmp", "torn");
+  WriteFileBytes(dir + "/manifest-notanumber.dmtm", "junk");
+
+  const std::optional<serve::Manifest> loaded =
+      serve::LoadNewestManifest(dir);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->seq, 7u);
+}
+
+TEST(StateDirTest, WriteManifestPrunesAllButTheSpare) {
+  const std::string dir = FreshDir("state_prune");
+  serve::WriteManifest(dir, MakeManifest(1));
+  serve::WriteManifest(dir, MakeManifest(2));
+  serve::WriteManifest(dir, MakeManifest(3));
+  EXPECT_FALSE(fs::exists(dir + "/" + serve::ManifestFileName(1)));
+  EXPECT_TRUE(fs::exists(dir + "/" + serve::ManifestFileName(2)));
+  EXPECT_TRUE(fs::exists(dir + "/" + serve::ManifestFileName(3)));
+}
+
+TEST(StateDirTest, FileNameSequenceMismatchIsDetected) {
+  const std::string dir = FreshDir("state_seqskew");
+  serve::WriteManifest(dir, MakeManifest(5));
+  // A manifest renamed to a different sequence (a botched manual restore)
+  // must not be trusted as that sequence.
+  fs::rename(dir + "/" + serve::ManifestFileName(5),
+             dir + "/" + serve::ManifestFileName(6));
+  EXPECT_THROW(serve::LoadNewestManifest(dir), serve::StateError);
+}
+
+// ------------------------------------------------------ corruption fuzz
+
+TEST(StateDirTest, EveryTruncationIsATypedError) {
+  const std::string dir = FreshDir("state_trunc_src");
+  serve::WriteManifest(dir, MakeManifest(4));
+  const std::string bytes =
+      ReadFileBytes(dir + "/" + serve::ManifestFileName(4));
+  ASSERT_GT(bytes.size(), 100u);
+
+  const std::string fuzz_dir = FreshDir("state_trunc_fuzz");
+  const std::string target = fuzz_dir + "/" + serve::ManifestFileName(4);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    WriteFileBytes(target, bytes.substr(0, cut));
+    EXPECT_THROW(serve::LoadNewestManifest(fuzz_dir), serve::StateError)
+        << "truncation at byte " << cut << " was accepted";
+  }
+  // Sanity: the untruncated bytes do load.
+  WriteFileBytes(target, bytes);
+  EXPECT_TRUE(serve::LoadNewestManifest(fuzz_dir).has_value());
+}
+
+TEST(StateDirTest, ByteFlipsNeverCrashOnlyLoadOrTypedError) {
+  const std::string dir = FreshDir("state_flip_src");
+  serve::WriteManifest(dir, MakeManifest(4));
+  const std::string bytes =
+      ReadFileBytes(dir + "/" + serve::ManifestFileName(4));
+
+  const std::string fuzz_dir = FreshDir("state_flip_fuzz");
+  const std::string target = fuzz_dir + "/" + serve::ManifestFileName(4);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xFF);
+    WriteFileBytes(target, mutated);
+    try {
+      serve::LoadNewestManifest(fuzz_dir);  // may succeed (payload bytes)
+    } catch (const serve::StateError&) {
+      // typed refusal is the other acceptable outcome
+    }
+  }
+}
+
+TEST(StateDirTest, FormatVersionSkewIsATypedError) {
+  const std::string dir = FreshDir("state_version");
+  serve::WriteManifest(dir, MakeManifest(4));
+  const std::string path = dir + "/" + serve::ManifestFileName(4);
+  std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 8u);
+  // Bytes 4..7 hold the little-endian format version (after the 4-byte
+  // magic); a far-future version must be refused, not misparsed.
+  bytes[4] = 0x63;
+  bytes[5] = 0x00;
+  bytes[6] = 0x00;
+  bytes[7] = 0x00;
+  WriteFileBytes(path, bytes);
+  EXPECT_THROW(serve::LoadNewestManifest(dir), serve::StateError);
+}
+
+// ------------------------------------------------------ eviction archives
+
+TEST(StateDirTest, EvictionArchiveRoundTripAndRemoval) {
+  const std::string dir = FreshDir("state_evict");
+  serve::EnsureStateDir(dir);
+  serve::WriteEvictionArchive(dir, "user/42", "parked-model-bytes");
+  EXPECT_EQ(serve::ReadEvictionArchive(dir, "user/42"), "parked-model-bytes");
+  serve::RemoveEvictionArchive(dir, "user/42");
+  EXPECT_THROW(serve::ReadEvictionArchive(dir, "user/42"), serve::StateError);
+}
+
+TEST(StateDirTest, ForeignEvictionArchiveIsDetected) {
+  const std::string dir = FreshDir("state_evict_foreign");
+  serve::EnsureStateDir(dir);
+  serve::WriteEvictionArchive(dir, "alice", "alice-bytes");
+  // Simulate a filename collision / stale rename: alice's file sitting
+  // where bob's is expected. The id recorded inside the file wins.
+  fs::rename(dir + "/evicted/" + serve::EvictionFileName("alice"),
+             dir + "/evicted/" + serve::EvictionFileName("bob"));
+  EXPECT_THROW(serve::ReadEvictionArchive(dir, "bob"), serve::StateError);
+}
+
+TEST(StateDirTest, CorruptEvictionArchiveIsATypedError) {
+  const std::string dir = FreshDir("state_evict_corrupt");
+  serve::EnsureStateDir(dir);
+  serve::WriteEvictionArchive(dir, "carol", "carol-bytes");
+  const std::string path =
+      dir + "/evicted/" + serve::EvictionFileName("carol");
+  const std::string bytes = ReadFileBytes(path);
+  for (std::size_t cut = 0; cut < bytes.size(); cut += 3) {
+    WriteFileBytes(path, bytes.substr(0, cut));
+    EXPECT_THROW(serve::ReadEvictionArchive(dir, "carol"), serve::StateError)
+        << "truncation at byte " << cut << " was accepted";
+  }
+}
+
+TEST(StateDirTest, EvictionFileNamesAreSafeAndDistinct) {
+  const std::string hostile = serve::EvictionFileName("../../etc/passwd");
+  EXPECT_EQ(hostile.find('/'), std::string::npos);
+  EXPECT_NE(serve::EvictionFileName("stream-a"),
+            serve::EvictionFileName("stream-b"));
+  // Long ids differing only past the sanitized prefix still get distinct
+  // names via the full-id hash.
+  const std::string long_a(60, 'x');
+  std::string long_b = long_a;
+  long_b.back() = 'y';
+  EXPECT_NE(serve::EvictionFileName(long_a), serve::EvictionFileName(long_b));
+}
+
+}  // namespace
+}  // namespace dmt

@@ -1,6 +1,6 @@
 // dmt_serve: long-lived multi-tenant stream-serving engine (DESIGN.md
-// Sec. 14). Owns one independent per-stream learner instance per stream
-// id, sharded across a work-stealing thread pool, and speaks the
+// Sec. 14-15). Owns one independent per-stream learner instance per
+// stream id, sharded across a work-stealing thread pool, and speaks the
 // line-delimited request protocol of serve/request.h on stdin/stdout or a
 // local unix-domain socket:
 //
@@ -14,6 +14,15 @@
 // value. --export FILE streams per-shard telemetry as JSONL (one valid
 // JSON object per line, NaN-safe) so splits/drift/resets are observable
 // in flight.
+//
+// Durability (--state-dir): the engine checkpoints itself to an atomic
+// manifest every --checkpoint-every windows and on shutdown, recovers
+// from the newest complete manifest at startup (a corrupt or
+// config-skewed manifest is an exit-2 diagnostic, never a silent reset),
+// and parks idle streams to disk under --max-streams / --idle-windows,
+// warm-starting them transparently on the next request. SIGINT/SIGTERM
+// drain in-flight work, write a final checkpoint and exit 0.
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -21,14 +30,15 @@
 #include <sstream>
 #include <string>
 
-#include <sys/socket.h>
-#include <sys/un.h>
 #include <unistd.h>
 
 #include "dmt/common/parse.h"
 #include "dmt/common/sanitize.h"
+#include "dmt/robust/faulty_stream.h"
+#include "dmt/serve/bridge.h"
 #include "dmt/serve/engine.h"
 #include "dmt/serve/exporter.h"
+#include "dmt/serve/state_dir.h"
 #include "harness.h"
 
 namespace {
@@ -37,7 +47,9 @@ constexpr const char kUsage[] =
     "usage: dmt_serve --features N --classes N [--model NAME] [--shards N]\n"
     "       [--seed S] [--batch-window N] [--queue-capacity N]\n"
     "       [--bad-input skip|impute|throw] [--export FILE]\n"
-    "       [--export-every N] [--socket PATH]\n"
+    "       [--export-every N] [--socket PATH] [--state-dir DIR]\n"
+    "       [--checkpoint-every N] [--max-streams N] [--idle-windows N]\n"
+    "       [--inject SPEC] [--dump-state]\n"
     "protocol (one request per line, one response line per request):\n"
     "  train <stream> <f1,...,fN,label>   incremental update\n"
     "  score <stream> <f1,...,fN>         class prediction + probabilities\n"
@@ -45,70 +57,65 @@ constexpr const char kUsage[] =
     "  restore <stream> <path>            blue-green restore from archive\n"
     "  drop <stream>                      forget the stream\n"
     "  stats                              one-line JSON engine summary\n"
+    "durability: --state-dir enables checkpoint manifests (recovered at\n"
+    "startup, written every --checkpoint-every windows and on shutdown)\n"
+    "and idle-stream eviction (--max-streams LRU bound, --idle-windows\n"
+    "TTL); --dump-state prints the newest manifest summary and exits.\n"
+    "--inject nan=R,inf=R,missing=R,flip=R,truncate=R corrupts train and\n"
+    "score rows deterministically per stream (truncate drops a feature\n"
+    "suffix).\n"
     "models: DMT FIMT-DD VFDT(MC) VFDT(NBA) HT-Ada EFDT ForestEns\n"
     "BaggingEns OzaBag OzaBoost SGT GLM\n";
 
-// Usage errors exit 2 (bad invocation), runtime failures exit 1.
+// Usage errors and unusable state dirs exit 2, runtime failures exit 1.
 [[noreturn]] void UsageError(const std::string& message) {
   std::fprintf(stderr, "dmt_serve: %s\n%s", message.c_str(), kUsage);
   std::exit(2);
 }
 
-// Accept loop on a unix-domain socket: one client at a time, the engine
-// (and all its models) persisting across connections. Each connection is
-// bridged through string streams -- request scripts are read to EOF, then
-// answered in one write; fine for the local scripted-session use case this
-// serves (a full streaming bridge would need non-blocking IO for no
-// benefit here).
-int RunUnixSocket(dmt::serve::ServeEngine* engine, const std::string& path) {
-  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (listener < 0) {
-    std::perror("dmt_serve: socket");
-    return 1;
-  }
-  ::unlink(path.c_str());
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    std::fprintf(stderr, "dmt_serve: socket path too long: %s\n",
-                 path.c_str());
-    return 1;
-  }
-  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
-  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listener, 1) < 0) {
-    std::perror("dmt_serve: bind/listen");
-    ::close(listener);
-    return 1;
-  }
-  std::fprintf(stderr, "dmt_serve: listening on %s\n", path.c_str());
-  while (true) {
-    const int client = ::accept(listener, nullptr, nullptr);
-    if (client < 0) break;
-    std::string input;
-    char buffer[4096];
-    ssize_t n;
-    while ((n = ::read(client, buffer, sizeof(buffer))) > 0) {
-      input.append(buffer, static_cast<std::size_t>(n));
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnStopSignal(int /*signum*/) { g_stop = 1; }
+
+// No SA_RESTART: a blocked read()/accept() must return EINTR so the stop
+// flag is observed promptly and shutdown can drain + checkpoint.
+void InstallStopHandlers() {
+  struct sigaction action {};
+  action.sa_handler = OnStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+// --dump-state: one-line summary of the newest checkpoint manifest, for
+// scripts (the crash-recovery CI job reads `requests=` to know how much
+// of its request script the checkpoint already covers).
+int DumpState(const std::string& state_dir) {
+  try {
+    const std::optional<dmt::serve::Manifest> manifest =
+        dmt::serve::LoadNewestManifest(state_dir);
+    if (!manifest.has_value()) {
+      std::fprintf(stderr, "dmt_serve: no checkpoint manifest in %s\n",
+                   state_dir.c_str());
+      return 1;
     }
-    std::istringstream in(input);
-    std::ostringstream responses;
-    std::string line;
-    while (std::getline(in, line)) engine->ServeLine(line, responses);
-    engine->Finish(responses);
-    const std::string& text = responses.str();
-    std::size_t written = 0;
-    while (written < text.size()) {
-      const ssize_t w =
-          ::write(client, text.data() + written, text.size() - written);
-      if (w <= 0) break;
-      written += static_cast<std::size_t>(w);
+    std::size_t resident = 0;
+    for (const dmt::serve::ManifestStream& stream : manifest->streams) {
+      if (stream.resident) ++resident;
     }
-    ::close(client);
+    std::printf(
+        "state seq=%llu windows=%llu requests=%llu streams=%zu "
+        "resident=%zu model=%s\n",
+        static_cast<unsigned long long>(manifest->seq),
+        static_cast<unsigned long long>(manifest->tallies.windows),
+        static_cast<unsigned long long>(manifest->tallies.requests),
+        manifest->streams.size(), resident, manifest->model_kind.c_str());
+    return 0;
+  } catch (const dmt::serve::StateError& e) {
+    std::fprintf(stderr, "dmt_serve: %s\n", e.what());
+    return 2;
   }
-  ::close(listener);
-  return 0;
 }
 
 }  // namespace
@@ -118,6 +125,7 @@ int main(int argc, char** argv) {
   std::string model_name = "DMT";
   std::string export_path;
   std::string socket_path;
+  bool dump_state = false;
   serve::ServeConfig config;
   std::uint64_t features = 0;
   std::uint64_t classes = 0;
@@ -148,7 +156,19 @@ int main(int argc, char** argv) {
     else if (arg == "--export") export_path = next();
     else if (arg == "--export-every") config.export_every = next_u64();
     else if (arg == "--socket") socket_path = next();
-    else if (arg == "--bad-input") {
+    else if (arg == "--state-dir") config.state_dir = next();
+    else if (arg == "--checkpoint-every") config.checkpoint_every = next_u64();
+    else if (arg == "--max-streams") config.max_streams = next_u64();
+    else if (arg == "--idle-windows") config.idle_windows = next_u64();
+    else if (arg == "--dump-state") dump_state = true;
+    else if (arg == "--inject") {
+      const std::string value = next();
+      try {
+        config.inject = robust::FaultSpec::Parse(value);
+      } catch (const std::invalid_argument& e) {
+        UsageError(std::string("bad --inject value: ") + e.what());
+      }
+    } else if (arg == "--bad-input") {
       const std::string value = next();
       try {
         config.bad_input_policy = BadInputPolicyFromString(value);
@@ -160,6 +180,20 @@ int main(int argc, char** argv) {
       return 0;
     } else {
       UsageError("unknown option: " + arg);
+    }
+  }
+  if (dump_state) {
+    if (config.state_dir.empty()) {
+      UsageError("--dump-state requires --state-dir");
+    }
+    return DumpState(config.state_dir);
+  }
+  if (config.state_dir.empty()) {
+    if (config.checkpoint_every > 0) {
+      UsageError("--checkpoint-every requires --state-dir");
+    }
+    if (config.max_streams > 0 || config.idle_windows > 0) {
+      UsageError("--max-streams / --idle-windows require --state-dir");
     }
   }
   if (features == 0 || classes == 0) {
@@ -180,6 +214,7 @@ int main(int argc, char** argv) {
     }
     if (!known) UsageError("unknown model: " + model_name);
   }
+  config.model_kind = model_name;
   config.factory = [&](const std::string& /*stream_id*/, std::uint64_t seed) {
     return bench::MakeModel(model_name, config.num_features,
                             config.num_classes, seed);
@@ -196,8 +231,24 @@ int main(int argc, char** argv) {
     config.exporter = exporter.get();
   }
 
-  serve::ServeEngine engine(config);
-  if (!socket_path.empty()) return RunUnixSocket(&engine, socket_path);
-  engine.RunScript(std::cin, std::cout);
-  return 0;
+  InstallStopHandlers();
+  std::optional<serve::ServeEngine> engine;
+  try {
+    engine.emplace(std::move(config));
+  } catch (const serve::StateError& e) {
+    // Recovery refused (corrupt manifest, config skew, eviction without a
+    // state dir): a misconfiguration, not a runtime failure.
+    std::fprintf(stderr, "dmt_serve: %s\n", e.what());
+    return 2;
+  }
+  if (!socket_path.empty()) {
+    return serve::RunUnixSocketServer(&*engine, socket_path, &g_stop);
+  }
+  const int rc =
+      serve::RunLineProtocol(&*engine, STDIN_FILENO, STDOUT_FILENO, &g_stop,
+                             /*flush_when_idle=*/false);
+  // All responses were drained by the bridge; Finish writes the final
+  // checkpoint and flushes telemetry.
+  engine->Finish(std::cout);
+  return rc;
 }
